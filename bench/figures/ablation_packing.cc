@@ -1,0 +1,86 @@
+// Ablation: the two §IV-A packing policies the paper contrasts — Round
+// Robin ("optimize for load balancing") vs First Fit Decreasing bin
+// packing ("reduce the total cost ... minimum number of containers") —
+// plus the resource-compliant middle ground, across topology sizes.
+//
+// Reports container count (pay-as-you-go cost proxy) and load balance
+// (max/mean instance count per container).
+
+#include <algorithm>
+
+#include "bench/figures/fig_util.h"
+#include "packing/packing_registry.h"
+#include "workloads/word_count.h"
+
+using namespace heron;
+
+namespace {
+
+struct PolicyStats {
+  int containers = 0;
+  double balance = 0;  ///< max/mean instances per container; 1.0 = perfect.
+  double max_cpu = 0;  ///< Largest container CPU ask (homogeneous sizing).
+};
+
+PolicyStats Evaluate(const std::string& policy, int spouts, int bolts) {
+  auto topology =
+      workloads::BuildWordCountTopology("ablation", spouts, bolts);
+  HERON_CHECK_OK(topology.status());
+  auto packing = packing::PackingRegistry::Global()->Create(policy);
+  HERON_CHECK_OK(packing.status());
+  Config config;
+  config.SetDouble(config_keys::kContainerCpuHint, 9.0);
+  config.SetInt(config_keys::kContainerRamMbHint, 10 * 1024);
+  HERON_CHECK_OK((*packing)->Initialize(config, *topology));
+  auto plan = (*packing)->Pack();
+  HERON_CHECK_OK(plan.status());
+
+  PolicyStats stats;
+  stats.containers = plan->NumContainers();
+  size_t max_instances = 0;
+  size_t total_instances = 0;
+  for (const auto& c : plan->containers()) {
+    max_instances = std::max(max_instances, c.instances.size());
+    total_instances += c.instances.size();
+    stats.max_cpu = std::max(stats.max_cpu, c.required.cpu);
+  }
+  stats.balance = static_cast<double>(max_instances) /
+                  (static_cast<double>(total_instances) /
+                   static_cast<double>(stats.containers));
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintFigureHeader(
+      "Ablation: packing policy (Resource Manager, §IV-A)",
+      "Round Robin balances load; bin packing minimizes containers (cost)");
+  bench::PrintColumns({"topology", "policy", "containers", "balance",
+                       "max_cpu_ask"});
+
+  for (const auto& [spouts, bolts] : std::vector<std::pair<int, int>>{
+           {25, 25}, {100, 100}, {200, 200}, {10, 100}}) {
+    for (const auto& [policy, label] :
+         std::vector<std::pair<std::string, std::string>>{
+             {"ROUND_ROBIN", "RR"},
+             {"FIRST_FIT_DECREASING", "FFD_BINPACK"},
+             {"RESOURCE_COMPLIANT_RR", "RC_RR"}}) {
+      const PolicyStats stats = Evaluate(policy, spouts, bolts);
+      char topo[32];
+      std::snprintf(topo, sizeof(topo), "%dx%d", spouts, bolts);
+      bench::PrintCell(topo);
+      bench::PrintCell(label.c_str());
+      bench::PrintCellInt(stats.containers);
+      bench::PrintCell(stats.balance);
+      bench::PrintCell(stats.max_cpu);
+      bench::EndRow();
+    }
+  }
+  std::printf(
+      "\n  Reading: FIRST_FIT_DECREASING packs the same topology into fewer\n"
+      "  containers (lower cost) at the price of skew; ROUND_ROBIN keeps\n"
+      "  balance ~1.0 with more containers. Different topologies on one\n"
+      "  cluster can each pick their own policy (§IV-A).\n");
+  return 0;
+}

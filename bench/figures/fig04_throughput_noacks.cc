@@ -1,0 +1,56 @@
+// Reproduces Figure 4: Heron vs Storm WordCount throughput without
+// acknowledgements.
+//
+// "The throughput of Heron is 2-3X higher than that of Storm." (§VI-A)
+
+#include "bench/figures/fig_util.h"
+#include "sim/heron_model.h"
+#include "sim/storm_model.h"
+
+using namespace heron;
+using namespace heron::sim;
+
+int main() {
+  HeronCostModel heron_costs;
+  StormCostModel storm_costs;
+
+  bench::PrintFigureHeader(
+      "Figure 4: Throughput without acks",
+      "Heron throughput 2-3X higher than Storm (WordCount, acks off)");
+  bench::PrintColumns(
+      {"parallelism", "heron_Mt/min", "storm_Mt/min", "ratio"});
+
+  double min_ratio = 1e30, max_ratio = 0;
+  for (const int p : {25, 50, 75}) {
+    HeronSimConfig h;
+    h.spouts = h.bolts = p;
+    h.acking = false;
+    h.warmup_sec = bench::WarmupSec();
+    h.measure_sec = bench::MeasureSec();
+    const SimResult hr = RunHeronSim(h, heron_costs);
+
+    StormSimConfig s;
+    s.spouts = s.bolts = p;
+    s.acking = false;
+    s.warmup_sec = bench::WarmupSec();
+    s.measure_sec = bench::MeasureSec();
+    const SimResult sr = RunStormSim(s, storm_costs);
+
+    const double ratio = hr.tuples_per_min / sr.tuples_per_min;
+    min_ratio = std::min(min_ratio, ratio);
+    max_ratio = std::max(max_ratio, ratio);
+
+    bench::PrintCellInt(p);
+    bench::PrintCell(hr.tuples_per_min / 1e6);
+    bench::PrintCell(sr.tuples_per_min / 1e6);
+    bench::PrintCell(ratio);
+    bench::EndRow();
+  }
+
+  std::printf("\n");
+  bench::PrintVerdict("Fig 4 min Heron/Storm throughput ratio", min_ratio,
+                      2.0, 3.2);
+  bench::PrintVerdict("Fig 4 max Heron/Storm throughput ratio", max_ratio,
+                      2.0, 3.2);
+  return 0;
+}

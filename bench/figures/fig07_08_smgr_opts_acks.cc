@@ -1,0 +1,59 @@
+// Reproduces Figures 7 and 8: Stream Manager optimizations with acks —
+// total throughput and throughput per provisioned CPU core.
+//
+// "The Stream Manager optimizations provide a 3.5-4.5X performance
+// improvement. At the same time ... a substantial performance improvement
+// per CPU core." (§VI-B)
+
+#include "bench/figures/fig_util.h"
+#include "sim/heron_model.h"
+
+using namespace heron;
+using namespace heron::sim;
+
+int main() {
+  HeronCostModel costs;
+  constexpr int64_t kMaxSpoutPending = 50000;
+
+  bench::PrintFigureHeader(
+      "Figure 7: Throughput with acks | Figure 8: Throughput per CPU core",
+      "SMGR optimizations with acks: 3.5-4.5X throughput");
+  bench::PrintColumns({"parallelism", "opt_Mt/min", "noopt_Mt/min", "ratio",
+                       "opt_Mt/m/core", "noopt_Mt/m/core", "core_ratio"});
+
+  double min_ratio = 1e30, max_ratio = 0;
+  for (const int p : {25, 100, 200}) {
+    HeronSimConfig config;
+    config.spouts = config.bolts = p;
+    config.acking = true;
+    config.max_spout_pending = kMaxSpoutPending;
+    config.warmup_sec = bench::WarmupSec();
+    config.measure_sec = bench::MeasureSec();
+
+    config.optimizations = true;
+    const SimResult on = RunHeronSim(config, costs);
+    config.optimizations = false;
+    const SimResult off = RunHeronSim(config, costs);
+
+    const double ratio = on.tuples_per_min / off.tuples_per_min;
+    min_ratio = std::min(min_ratio, ratio);
+    max_ratio = std::max(max_ratio, ratio);
+
+    bench::PrintCellInt(p);
+    bench::PrintCell(on.tuples_per_min / 1e6);
+    bench::PrintCell(off.tuples_per_min / 1e6);
+    bench::PrintCell(ratio);
+    bench::PrintCell(on.tuples_per_min_per_core / 1e6);
+    bench::PrintCell(off.tuples_per_min_per_core / 1e6);
+    bench::PrintCell(on.tuples_per_min_per_core /
+                     off.tuples_per_min_per_core);
+    bench::EndRow();
+  }
+
+  std::printf("\n");
+  bench::PrintVerdict("Fig 7 min optimization throughput ratio", min_ratio,
+                      3.5, 4.5);
+  bench::PrintVerdict("Fig 7 max optimization throughput ratio", max_ratio,
+                      3.5, 4.5);
+  return 0;
+}

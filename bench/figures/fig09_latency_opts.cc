@@ -1,0 +1,54 @@
+// Reproduces Figure 9: end-to-end latency with and without the Stream
+// Manager optimizations (acks enabled).
+//
+// "The Stream Manager optimizations can also provide a 2-3X reduction in
+// end-to-end latency." (§VI-B)
+
+#include "bench/figures/fig_util.h"
+#include "sim/heron_model.h"
+
+using namespace heron;
+using namespace heron::sim;
+
+int main() {
+  HeronCostModel costs;
+  constexpr int64_t kMaxSpoutPending = 50000;
+
+  bench::PrintFigureHeader(
+      "Figure 9: End-to-end latency with acks",
+      "SMGR optimizations: 2-3X lower end-to-end latency");
+  bench::PrintColumns(
+      {"parallelism", "opt_lat_ms", "noopt_lat_ms", "lat_ratio"});
+
+  double min_ratio = 1e30, max_ratio = 0;
+  for (const int p : {25, 100, 200}) {
+    HeronSimConfig config;
+    config.spouts = config.bolts = p;
+    config.acking = true;
+    config.max_spout_pending = kMaxSpoutPending;
+    config.warmup_sec = bench::WarmupSec();
+    config.measure_sec = bench::MeasureSec();
+
+    config.optimizations = true;
+    const SimResult on = RunHeronSim(config, costs);
+    config.optimizations = false;
+    const SimResult off = RunHeronSim(config, costs);
+
+    const double ratio = off.latency_ms_mean / on.latency_ms_mean;
+    min_ratio = std::min(min_ratio, ratio);
+    max_ratio = std::max(max_ratio, ratio);
+
+    bench::PrintCellInt(p);
+    bench::PrintCell(on.latency_ms_mean);
+    bench::PrintCell(off.latency_ms_mean);
+    bench::PrintCell(ratio);
+    bench::EndRow();
+  }
+
+  std::printf("\n");
+  bench::PrintVerdict("Fig 9 min latency reduction ratio", min_ratio, 2.0,
+                      3.5);
+  bench::PrintVerdict("Fig 9 max latency reduction ratio", max_ratio, 2.0,
+                      3.5);
+  return 0;
+}

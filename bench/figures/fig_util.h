@@ -1,0 +1,57 @@
+#ifndef HERON_BENCH_FIGURES_FIG_UTIL_H_
+#define HERON_BENCH_FIGURES_FIG_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace heron {
+namespace bench {
+
+/// Shared output conventions for the figure-reproduction harness: every
+/// binary prints the series the paper's figure plots, one row per x-axis
+/// point, with the paper's reported band next to the measured value so
+/// the reader can eyeball the shape without the PDF at hand.
+
+inline void PrintFigureHeader(const char* figure, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("Paper: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline void PrintColumns(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < cols.size(); ++i) std::printf("%16s", "----------");
+  std::printf("\n");
+}
+
+inline void PrintCell(double v) { std::printf("%16.1f", v); }
+inline void PrintCell(const char* v) { std::printf("%16s", v); }
+inline void PrintCellInt(int64_t v) {
+  std::printf("%16lld", static_cast<long long>(v));
+}
+inline void EndRow() { std::printf("\n"); }
+
+inline void PrintVerdict(const char* what, double measured, double lo,
+                         double hi) {
+  const bool ok = measured >= lo && measured <= hi;
+  std::printf("  %-44s measured %6.2f  paper band [%.1f, %.1f]  %s\n", what,
+              measured, lo, hi, ok ? "IN BAND" : "OUT OF BAND");
+}
+
+/// Simulation windows: trimmed when HERON_BENCH_FAST is set so the whole
+/// harness stays CI-friendly.
+inline double WarmupSec() {
+  return std::getenv("HERON_BENCH_FAST") != nullptr ? 0.1 : 0.2;
+}
+inline double MeasureSec() {
+  return std::getenv("HERON_BENCH_FAST") != nullptr ? 0.2 : 0.4;
+}
+
+}  // namespace bench
+}  // namespace heron
+
+#endif  // HERON_BENCH_FIGURES_FIG_UTIL_H_

@@ -1,0 +1,60 @@
+// Real-time analytics — the production-style pipeline of §VI-D: events
+// from a (simulated) Kafka firehose, filtered, aggregated per key, and
+// written to a (simulated) Redis store, with per-category CPU accounting.
+//
+//   $ ./build/examples/streaming_analytics
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/logging.h"
+#include "external/pipeline_workload.h"
+#include "runtime/local_cluster.h"
+
+using namespace heron;
+
+int main() {
+  Logging::SetLevel(LogLevel::kWarning);
+
+  auto kafka = std::make_shared<external::SimKafka>(
+      external::SimKafka::Options{});
+  auto redis = std::make_shared<external::SimRedis>(
+      external::SimRedis::Options{});
+  auto recorder = std::make_shared<external::CostRecorder>();
+
+  external::PipelineWorkloadOptions workload;
+  workload.spouts = 2;
+  workload.filters = 2;
+  workload.aggregators = 2;
+  auto topology = external::BuildPipelineTopology(
+      "streaming-analytics", workload, kafka, redis, recorder);
+  HERON_CHECK_OK(topology.status());
+
+  Config config;
+  config.SetInt(config_keys::kNumContainersHint, 2);
+  runtime::LocalCluster cluster(config);
+  HERON_CHECK_OK(cluster.Submit(*topology));
+  std::printf("analytics pipeline running (kafka → filter → aggregate → "
+              "redis)...\n");
+  std::this_thread::sleep_for(std::chrono::seconds(3));
+
+  const double engine_cpu_ms =
+      static_cast<double>(cluster.SumInstanceGauge("instance.thread.cpu.ns") +
+                          cluster.SumSmgrGauge("smgr.thread.cpu.ns")) /
+      1e6;
+  HERON_CHECK_OK(cluster.Kill());
+
+  std::printf("events fetched from kafka-sim: %llu\n",
+              static_cast<unsigned long long>(kafka->total_fetched()));
+  std::printf("operations written to redis-sim: %llu (%zu keys)\n",
+              static_cast<unsigned long long>(redis->total_ops()),
+              redis->key_count());
+  std::printf("CPU spent fetching: %.1f ms | user logic: %.1f ms | "
+              "writing: %.1f ms\n",
+              static_cast<double>(recorder->fetch_ns.load()) / 1e6,
+              static_cast<double>(recorder->user_ns.load()) / 1e6,
+              static_cast<double>(recorder->write_ns.load()) / 1e6);
+  std::printf("engine threads total CPU: %.1f ms\n", engine_cpu_ms);
+  return kafka->total_fetched() > 0 && redis->total_ops() > 0 ? 0 : 1;
+}

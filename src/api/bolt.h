@@ -1,0 +1,64 @@
+#ifndef HERON_API_BOLT_H_
+#define HERON_API_BOLT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/tuple.h"
+#include "common/config.h"
+
+namespace heron {
+namespace api {
+
+class TopologyContext;
+
+/// \brief Emission and acking surface handed to a bolt.
+class IBoltOutputCollector {
+ public:
+  virtual ~IBoltOutputCollector() = default;
+
+  /// Emits `values` on `stream`, anchored to `anchors`: failure of the
+  /// emitted tuple fails every anchor's tuple tree.
+  virtual void Emit(const StreamId& stream, const std::vector<const Tuple*>& anchors,
+                    Values values) = 0;
+
+  /// Marks `tuple` fully processed by this bolt.
+  virtual void Ack(const Tuple& tuple) = 0;
+
+  /// Marks `tuple` failed; the root spout will see Fail().
+  virtual void Fail(const Tuple& tuple) = 0;
+
+  /// Convenience: anchored emit on the default stream.
+  void Emit(const Tuple& anchor, Values values) {
+    Emit(kDefaultStreamId, {&anchor}, std::move(values));
+  }
+  /// Convenience: unanchored emit on the default stream.
+  void Emit(Values values) { Emit(kDefaultStreamId, {}, std::move(values)); }
+};
+
+/// \brief A stream transformation — the user-code contract (§II: "bolts
+/// perform computations on the streams they receive").
+class IBolt {
+ public:
+  virtual ~IBolt() = default;
+
+  /// Called once before any Execute.
+  virtual void Prepare(const Config& config, TopologyContext* context,
+                       IBoltOutputCollector* collector) = 0;
+
+  /// Processes one input tuple. With acking enabled the bolt must Ack or
+  /// Fail every tuple it receives (directly or via anchored emits).
+  virtual void Execute(const Tuple& input) = 0;
+
+  virtual void Cleanup() {}
+};
+
+/// Factory the topology carries; one bolt object per Heron Instance.
+using BoltFactory = std::function<std::unique_ptr<IBolt>()>;
+
+}  // namespace api
+}  // namespace heron
+
+#endif  // HERON_API_BOLT_H_

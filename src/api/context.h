@@ -1,0 +1,46 @@
+#ifndef HERON_API_CONTEXT_H_
+#define HERON_API_CONTEXT_H_
+
+#include <string>
+
+#include "common/ids.h"
+
+namespace heron {
+namespace api {
+
+/// \brief What user code may know about where it is running: its task
+/// identity within the topology. Handed to ISpout::Open / IBolt::Prepare
+/// by the executor.
+class TopologyContext {
+ public:
+  TopologyContext(std::string topology_name, ComponentId component,
+                  TaskId task_id, int component_index, int parallelism)
+      : topology_name_(std::move(topology_name)),
+        component_(std::move(component)),
+        task_id_(task_id),
+        component_index_(component_index),
+        parallelism_(parallelism) {}
+
+  const std::string& topology_name() const { return topology_name_; }
+  /// The logical component this instance executes.
+  const ComponentId& component() const { return component_; }
+  /// Global task id, unique across the topology.
+  TaskId task_id() const { return task_id_; }
+  /// This instance's index among the component's instances, in [0,
+  /// parallelism).
+  int component_index() const { return component_index_; }
+  /// Current parallelism of the component.
+  int parallelism() const { return parallelism_; }
+
+ private:
+  std::string topology_name_;
+  ComponentId component_;
+  TaskId task_id_;
+  int component_index_;
+  int parallelism_;
+};
+
+}  // namespace api
+}  // namespace heron
+
+#endif  // HERON_API_CONTEXT_H_

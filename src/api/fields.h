@@ -1,0 +1,47 @@
+#ifndef HERON_API_FIELDS_H_
+#define HERON_API_FIELDS_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace heron {
+namespace api {
+
+/// \brief Ordered schema of field names declared by a component's output
+/// stream, e.g. Fields({"word", "count"}).
+///
+/// Fields grouping selects a subset of these names; the Router resolves
+/// names to positions once at wiring time so the data plane works with
+/// indices only.
+class Fields {
+ public:
+  Fields() = default;
+  Fields(std::initializer_list<std::string> names) : names_(names) {}
+  explicit Fields(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  /// Returns the position of `name`, or -1 when absent.
+  int IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  bool Contains(const std::string& name) const { return IndexOf(name) >= 0; }
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+  const std::string& at(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  bool operator==(const Fields& other) const { return names_ == other.names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace api
+}  // namespace heron
+
+#endif  // HERON_API_FIELDS_H_

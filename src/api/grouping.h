@@ -1,0 +1,70 @@
+#ifndef HERON_API_GROUPING_H_
+#define HERON_API_GROUPING_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "api/fields.h"
+#include "api/tuple.h"
+#include "common/random.h"
+
+namespace heron {
+namespace api {
+
+/// \brief How a stream is partitioned across the consuming bolt's tasks.
+enum class GroupingKind : uint8_t {
+  kShuffle = 0,   ///< Uniform random task choice.
+  kFields = 1,    ///< Hash of selected fields → one task (sticky per key).
+  kAll = 2,       ///< Replicated to every task.
+  kGlobal = 3,    ///< Always the lowest task id.
+  kDirect = 4,    ///< Emitter names the destination task explicitly.
+  kCustom = 5,    ///< User-provided function.
+};
+
+/// \brief User-defined grouping: maps (values, #tasks) to task indices.
+/// Must be deterministic for a given input if replay consistency matters.
+using CustomGroupingFn =
+    std::function<std::vector<int>(const Values& values, int num_tasks)>;
+
+/// \brief Resolves destination task ids for tuples on one (stream →
+/// consumer) edge. Built once from the physical plan; the data plane calls
+/// Route() per tuple with no allocation on the single-destination paths.
+class Router {
+ public:
+  /// \param kind          the grouping
+  /// \param schema        producer's output schema on this stream
+  /// \param grouping_fields  selected fields (kFields only)
+  /// \param target_tasks  consumer task ids, sorted ascending
+  /// \param seed          shuffle RNG seed (deterministic tests/sims)
+  Router(GroupingKind kind, const Fields& schema, const Fields& grouping_fields,
+         std::vector<TaskId> target_tasks, uint64_t seed = 1,
+         CustomGroupingFn custom_fn = nullptr);
+
+  /// Appends the destination task id(s) for `values` to `out`.
+  /// kAll appends every target; others append exactly one.
+  void Route(const Values& values, std::vector<TaskId>* out);
+
+  /// Single-destination fast path used by the hot loop; valid for every
+  /// kind except kAll and kCustom (which may fan out).
+  TaskId RouteOne(const Values& values);
+
+  GroupingKind kind() const { return kind_; }
+  const std::vector<TaskId>& target_tasks() const { return target_tasks_; }
+
+  /// Computes the fields-grouping hash of `values` with this router's
+  /// selected field indices. Exposed for tests of routing determinism.
+  uint64_t KeyHash(const Values& values) const;
+
+ private:
+  GroupingKind kind_;
+  std::vector<int> field_indices_;  // Positions of grouping fields in schema.
+  std::vector<TaskId> target_tasks_;
+  Random rng_;
+  CustomGroupingFn custom_fn_;
+};
+
+}  // namespace api
+}  // namespace heron
+
+#endif  // HERON_API_GROUPING_H_

@@ -1,0 +1,72 @@
+#ifndef HERON_API_SPOUT_H_
+#define HERON_API_SPOUT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "api/tuple.h"
+#include "common/config.h"
+
+namespace heron {
+namespace api {
+
+class TopologyContext;
+
+/// \brief Emission surface handed to a spout.
+///
+/// Implemented by the Heron Instance executor (and by the Storm-baseline
+/// executor); user code never constructs one.
+class ISpoutOutputCollector {
+ public:
+  virtual ~ISpoutOutputCollector() = default;
+
+  /// Emits `values` on `stream`. When `message_id` is set and acking is
+  /// enabled, the tuple tree is tracked: Ack()/Fail() is eventually called
+  /// back with the same id.
+  virtual void Emit(const StreamId& stream, Values values,
+                    std::optional<int64_t> message_id) = 0;
+
+  /// Emits on the default stream.
+  void Emit(Values values, std::optional<int64_t> message_id = std::nullopt) {
+    Emit(kDefaultStreamId, std::move(values), message_id);
+  }
+};
+
+/// \brief A source of streams — the user-code contract (§II: "spouts are
+/// sources of input data such as a stream of Tweets").
+///
+/// Lifecycle: Open once, then NextTuple repeatedly from the instance's
+/// execution loop; Ack/Fail callbacks arrive on the same thread. Close on
+/// topology kill.
+class ISpout {
+ public:
+  virtual ~ISpout() = default;
+
+  /// Called once before any NextTuple, with this instance's slice of the
+  /// merged topology config and its task context.
+  virtual void Open(const Config& config, TopologyContext* context,
+                    ISpoutOutputCollector* collector) = 0;
+
+  /// Requests the next tuple(s); may emit zero or more. Must not block —
+  /// the executor interleaves NextTuple with ack processing and flow
+  /// control (max_spout_pending, §V-B).
+  virtual void NextTuple() = 0;
+
+  /// The tuple tree rooted at `message_id` completed fully.
+  virtual void Ack(int64_t message_id) {}
+
+  /// The tuple tree rooted at `message_id` failed or timed out.
+  virtual void Fail(int64_t message_id) {}
+
+  virtual void Close() {}
+};
+
+/// Factory the topology carries; each Heron Instance constructs its own
+/// spout object so instances share nothing (§III-A isolation).
+using SpoutFactory = std::function<std::unique_ptr<ISpout>()>;
+
+}  // namespace api
+}  // namespace heron
+
+#endif  // HERON_API_SPOUT_H_

@@ -1,0 +1,263 @@
+#include "api/topology.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace heron {
+namespace api {
+
+const ComponentDef* Topology::FindComponent(const ComponentId& id) const {
+  for (const auto& c : components_) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+int Topology::TotalInstances() const {
+  int total = 0;
+  for (const auto& c : components_) total += c.parallelism;
+  return total;
+}
+
+const Fields* Topology::OutputSchema(const ComponentId& component,
+                                     const StreamId& stream) const {
+  const ComponentDef* def = FindComponent(component);
+  if (def == nullptr) return nullptr;
+  auto it = def->outputs.find(stream);
+  return it == def->outputs.end() ? nullptr : &it->second;
+}
+
+Result<Topology> Topology::WithParallelism(const ComponentId& component,
+                                           int new_parallelism) const {
+  if (new_parallelism < 1) {
+    return Status::InvalidArgument(
+        StrFormat("parallelism must be >= 1, got %d", new_parallelism));
+  }
+  Topology scaled = *this;
+  for (auto& c : scaled.components_) {
+    if (c.id == component) {
+      c.parallelism = new_parallelism;
+      return scaled;
+    }
+  }
+  return Status::NotFound(
+      StrFormat("component '%s' not in topology '%s'", component.c_str(),
+                name_.c_str()));
+}
+
+ComponentDef* SpoutDeclarer::def() { return builder_->FindMutable(id_); }
+ComponentDef* BoltDeclarer::def() { return builder_->FindMutable(id_); }
+
+SpoutDeclarer& SpoutDeclarer::OutputFields(Fields fields, StreamId stream) {
+  def()->outputs[std::move(stream)] = std::move(fields);
+  return *this;
+}
+
+SpoutDeclarer& SpoutDeclarer::SetResources(Resource r) {
+  def()->resources = r;
+  return *this;
+}
+
+BoltDeclarer& BoltDeclarer::OutputFields(Fields fields, StreamId stream) {
+  def()->outputs[std::move(stream)] = std::move(fields);
+  return *this;
+}
+
+BoltDeclarer& BoltDeclarer::SetResources(Resource r) {
+  def()->resources = r;
+  return *this;
+}
+
+BoltDeclarer& BoltDeclarer::ShuffleGrouping(const ComponentId& source,
+                                            const StreamId& stream) {
+  def()->inputs.push_back({source, stream, GroupingKind::kShuffle, {}, nullptr});
+  return *this;
+}
+
+BoltDeclarer& BoltDeclarer::FieldsGrouping(const ComponentId& source,
+                                           Fields fields,
+                                           const StreamId& stream) {
+  def()->inputs.push_back(
+      {source, stream, GroupingKind::kFields, std::move(fields), nullptr});
+  return *this;
+}
+
+BoltDeclarer& BoltDeclarer::AllGrouping(const ComponentId& source,
+                                        const StreamId& stream) {
+  def()->inputs.push_back({source, stream, GroupingKind::kAll, {}, nullptr});
+  return *this;
+}
+
+BoltDeclarer& BoltDeclarer::GlobalGrouping(const ComponentId& source,
+                                           const StreamId& stream) {
+  def()->inputs.push_back({source, stream, GroupingKind::kGlobal, {}, nullptr});
+  return *this;
+}
+
+BoltDeclarer& BoltDeclarer::CustomGrouping(const ComponentId& source,
+                                           CustomGroupingFn fn,
+                                           const StreamId& stream) {
+  def()->inputs.push_back(
+      {source, stream, GroupingKind::kCustom, {}, std::move(fn)});
+  return *this;
+}
+
+ComponentDef* TopologyBuilder::FindMutable(const ComponentId& id) {
+  for (auto& c : topology_.components_) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+SpoutDeclarer TopologyBuilder::SetSpout(const ComponentId& id,
+                                        SpoutFactory factory,
+                                        int parallelism) {
+  ComponentDef def;
+  def.id = id;
+  def.kind = ComponentKind::kSpout;
+  def.parallelism = parallelism;
+  def.spout_factory = std::move(factory);
+  def.outputs[kDefaultStreamId] = Fields();
+  topology_.components_.push_back(std::move(def));
+  return SpoutDeclarer(this, id);
+}
+
+BoltDeclarer TopologyBuilder::SetBolt(const ComponentId& id,
+                                      BoltFactory factory, int parallelism) {
+  ComponentDef def;
+  def.id = id;
+  def.kind = ComponentKind::kBolt;
+  def.parallelism = parallelism;
+  def.bolt_factory = std::move(factory);
+  def.outputs[kDefaultStreamId] = Fields();
+  topology_.components_.push_back(std::move(def));
+  return BoltDeclarer(this, id);
+}
+
+namespace {
+
+/// DFS cycle check over the component graph (edges: input source → bolt).
+bool HasCycleFrom(const Topology& t, const ComponentId& node,
+                  std::set<ComponentId>* visiting,
+                  std::set<ComponentId>* done) {
+  if (done->count(node) != 0) return false;
+  if (!visiting->insert(node).second) return true;
+  for (const auto& c : t.components()) {
+    for (const auto& in : c.inputs) {
+      if (in.source == node &&
+          HasCycleFrom(t, c.id, visiting, done)) {
+        return true;
+      }
+    }
+  }
+  visiting->erase(node);
+  done->insert(node);
+  return false;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Topology>> TopologyBuilder::Build() {
+  const Topology& t = topology_;
+  if (t.name().empty()) {
+    return Status::InvalidArgument("topology name must not be empty");
+  }
+  if (t.components().empty()) {
+    return Status::InvalidArgument("topology has no components");
+  }
+
+  std::set<ComponentId> ids;
+  bool has_spout = false;
+  for (const auto& c : t.components()) {
+    if (c.id.empty()) {
+      return Status::InvalidArgument("component id must not be empty");
+    }
+    if (!ids.insert(c.id).second) {
+      return Status::AlreadyExists(
+          StrFormat("duplicate component id '%s'", c.id.c_str()));
+    }
+    if (c.parallelism < 1) {
+      return Status::InvalidArgument(StrFormat(
+          "component '%s' parallelism must be >= 1, got %d", c.id.c_str(),
+          c.parallelism));
+    }
+    if (c.kind == ComponentKind::kSpout) {
+      has_spout = true;
+      if (!c.inputs.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("spout '%s' must not subscribe to inputs",
+                      c.id.c_str()));
+      }
+      if (!c.spout_factory) {
+        return Status::InvalidArgument(
+            StrFormat("spout '%s' has no factory", c.id.c_str()));
+      }
+    } else if (!c.bolt_factory) {
+      return Status::InvalidArgument(
+          StrFormat("bolt '%s' has no factory", c.id.c_str()));
+    }
+    if (c.resources.cpu <= 0 || c.resources.ram_mb <= 0) {
+      return Status::InvalidArgument(StrFormat(
+          "component '%s' must demand positive cpu and ram", c.id.c_str()));
+    }
+  }
+  if (!has_spout) {
+    return Status::InvalidArgument("topology must contain at least one spout");
+  }
+
+  // Validate input edges.
+  for (const auto& c : t.components()) {
+    for (const auto& in : c.inputs) {
+      const ComponentDef* src = t.FindComponent(in.source);
+      if (src == nullptr) {
+        return Status::NotFound(
+            StrFormat("bolt '%s' subscribes to unknown component '%s'",
+                      c.id.c_str(), in.source.c_str()));
+      }
+      const Fields* schema = t.OutputSchema(in.source, in.stream);
+      if (schema == nullptr) {
+        return Status::NotFound(StrFormat(
+            "bolt '%s' subscribes to undeclared stream '%s' of '%s'",
+            c.id.c_str(), in.stream.c_str(), in.source.c_str()));
+      }
+      if (in.grouping == GroupingKind::kFields) {
+        if (in.grouping_fields.empty()) {
+          return Status::InvalidArgument(StrFormat(
+              "bolt '%s' fields grouping on '%s' selects no fields",
+              c.id.c_str(), in.source.c_str()));
+        }
+        for (const auto& f : in.grouping_fields.names()) {
+          if (!schema->Contains(f)) {
+            return Status::NotFound(StrFormat(
+                "bolt '%s' groups on field '%s' absent from stream '%s' of "
+                "'%s'",
+                c.id.c_str(), f.c_str(), in.stream.c_str(),
+                in.source.c_str()));
+          }
+        }
+      }
+      if (in.grouping == GroupingKind::kCustom && in.custom_fn == nullptr) {
+        return Status::InvalidArgument(
+            StrFormat("bolt '%s' custom grouping has no function",
+                      c.id.c_str()));
+      }
+    }
+  }
+
+  // Cycle detection.
+  std::set<ComponentId> visiting;
+  std::set<ComponentId> done;
+  for (const auto& c : t.components()) {
+    if (HasCycleFrom(t, c.id, &visiting, &done)) {
+      return Status::InvalidArgument(StrFormat(
+          "topology '%s' contains a cycle through '%s'", t.name().c_str(),
+          c.id.c_str()));
+    }
+  }
+
+  return std::make_shared<const Topology>(topology_);
+}
+
+}  // namespace api
+}  // namespace heron

@@ -1,0 +1,168 @@
+#ifndef HERON_API_TOPOLOGY_H_
+#define HERON_API_TOPOLOGY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/bolt.h"
+#include "api/fields.h"
+#include "api/grouping.h"
+#include "api/spout.h"
+#include "common/config.h"
+#include "common/resource.h"
+#include "common/result.h"
+
+namespace heron {
+namespace api {
+
+enum class ComponentKind : uint8_t { kSpout = 0, kBolt = 1 };
+
+/// \brief One subscribed input edge of a bolt.
+struct InputSpec {
+  ComponentId source;
+  StreamId stream = kDefaultStreamId;
+  GroupingKind grouping = GroupingKind::kShuffle;
+  Fields grouping_fields;        ///< kFields only.
+  CustomGroupingFn custom_fn;    ///< kCustom only.
+};
+
+/// \brief A logical node of the topology DAG: a spout or bolt, its
+/// parallelism, declared output streams, inputs and resource demand.
+struct ComponentDef {
+  ComponentId id;
+  ComponentKind kind = ComponentKind::kBolt;
+  int parallelism = 1;
+  Resource resources{1.0, 1024, 0};  ///< Per-instance demand.
+  std::map<StreamId, Fields> outputs;
+  std::vector<InputSpec> inputs;   ///< Bolts only.
+  SpoutFactory spout_factory;      ///< Spouts only.
+  BoltFactory bolt_factory;        ///< Bolts only.
+};
+
+/// \brief An immutable, validated topology: "a directed graph of spouts
+/// and bolts" (§II). Produced by TopologyBuilder::Build.
+class Topology {
+ public:
+  const std::string& name() const { return name_; }
+  const Config& config() const { return config_; }
+
+  /// Components in declaration order (stable task-id assignment depends on
+  /// this order).
+  const std::vector<ComponentDef>& components() const { return components_; }
+
+  /// Lookup by id; nullptr when absent.
+  const ComponentDef* FindComponent(const ComponentId& id) const;
+
+  /// Sum of parallelism over all components.
+  int TotalInstances() const;
+
+  /// The declared output schema of (component, stream); nullptr if the
+  /// stream is not declared.
+  const Fields* OutputSchema(const ComponentId& component,
+                             const StreamId& stream) const;
+
+  /// Returns a copy with `component`'s parallelism replaced; used by
+  /// topology scaling before Repack (§IV-A).
+  Result<Topology> WithParallelism(const ComponentId& component,
+                                   int new_parallelism) const;
+
+ private:
+  friend class TopologyBuilder;
+  Topology() = default;
+
+  std::string name_;
+  Config config_;
+  std::vector<ComponentDef> components_;
+};
+
+class TopologyBuilder;
+
+/// \brief Fluent handle for configuring a spout being added.
+class SpoutDeclarer {
+ public:
+  /// Declares the schema of an output stream (default stream included).
+  SpoutDeclarer& OutputFields(Fields fields,
+                              StreamId stream = kDefaultStreamId);
+  /// Per-instance resource demand (defaults to 1 CPU / 1024 MB).
+  SpoutDeclarer& SetResources(Resource r);
+
+ private:
+  friend class TopologyBuilder;
+  SpoutDeclarer(TopologyBuilder* builder, ComponentId id)
+      : builder_(builder), id_(std::move(id)) {}
+  ComponentDef* def();
+
+  TopologyBuilder* builder_;
+  ComponentId id_;
+};
+
+/// \brief Fluent handle for configuring a bolt being added.
+class BoltDeclarer {
+ public:
+  BoltDeclarer& OutputFields(Fields fields, StreamId stream = kDefaultStreamId);
+  BoltDeclarer& SetResources(Resource r);
+
+  /// Input subscriptions.
+  BoltDeclarer& ShuffleGrouping(const ComponentId& source,
+                                const StreamId& stream = kDefaultStreamId);
+  BoltDeclarer& FieldsGrouping(const ComponentId& source, Fields fields,
+                               const StreamId& stream = kDefaultStreamId);
+  BoltDeclarer& AllGrouping(const ComponentId& source,
+                            const StreamId& stream = kDefaultStreamId);
+  BoltDeclarer& GlobalGrouping(const ComponentId& source,
+                               const StreamId& stream = kDefaultStreamId);
+  BoltDeclarer& CustomGrouping(const ComponentId& source, CustomGroupingFn fn,
+                               const StreamId& stream = kDefaultStreamId);
+
+ private:
+  friend class TopologyBuilder;
+  BoltDeclarer(TopologyBuilder* builder, ComponentId id)
+      : builder_(builder), id_(std::move(id)) {}
+  ComponentDef* def();
+
+  TopologyBuilder* builder_;
+  ComponentId id_;
+};
+
+/// \brief Assembles and validates a Topology.
+///
+/// Usage mirrors Heron's Java API:
+///   TopologyBuilder b("word-count");
+///   b.SetSpout("sentence", MakeSentenceSpout, 25)
+///       .OutputFields({"word"});
+///   b.SetBolt("count", MakeCountBolt, 25)
+///       .FieldsGrouping("sentence", {"word"});
+///   auto topology = b.Build();
+class TopologyBuilder {
+ public:
+  explicit TopologyBuilder(std::string name) { topology_.name_ = name; }
+
+  SpoutDeclarer SetSpout(const ComponentId& id, SpoutFactory factory,
+                         int parallelism);
+  BoltDeclarer SetBolt(const ComponentId& id, BoltFactory factory,
+                       int parallelism);
+
+  /// Topology-level configuration (acking, max_spout_pending, ...).
+  Config* mutable_config() { return &topology_.config_; }
+
+  /// Validates the graph and returns the immutable topology:
+  ///  - component ids unique and non-empty, parallelism >= 1;
+  ///  - every input references a declared component and stream;
+  ///  - spouts have no inputs; the graph is a DAG;
+  ///  - fields groupings reference fields of the source schema.
+  Result<std::shared_ptr<const Topology>> Build();
+
+ private:
+  friend class SpoutDeclarer;
+  friend class BoltDeclarer;
+  ComponentDef* FindMutable(const ComponentId& id);
+
+  Topology topology_;
+};
+
+}  // namespace api
+}  // namespace heron
+
+#endif  // HERON_API_TOPOLOGY_H_

@@ -1,0 +1,4 @@
+#include "api/tuple.h"
+
+// Tuple is header-only today; this TU anchors the library target and keeps
+// room for out-of-line growth without touching the build.

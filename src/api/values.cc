@@ -1,0 +1,164 @@
+#include "api/values.h"
+
+#include "common/strings.h"
+
+namespace heron {
+namespace api {
+
+namespace {
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvBytes(const void* data, size_t len, uint64_t seed = kFnvOffset) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+ValueKind KindOf(const Value& v) {
+  return static_cast<ValueKind>(v.index());
+}
+
+uint64_t HashSerializedBytes(const void* data, size_t len) {
+  return FnvBytes(data, len);
+}
+
+uint64_t HashValue(const Value& v) {
+  // The hash is defined over the value's canonical wire encoding (the
+  // exact bytes EncodeValue writes), so the Stream Manager's lazy path —
+  // which hashes serialized byte ranges without decoding (§V-A) — routes
+  // identically to this decoded path. The bytes are folded in streaming
+  // fashion; nothing is materialized.
+  uint64_t h = kFnvOffset;
+  const auto mix = [&h](uint8_t b) {
+    h ^= b;
+    h *= kFnvPrime;
+  };
+  const auto mix_varint = [&mix](uint64_t x) {
+    while (x >= 0x80) {
+      mix(static_cast<uint8_t>((x & 0x7F) | 0x80));
+      x >>= 7;
+    }
+    mix(static_cast<uint8_t>(x));
+  };
+  switch (KindOf(v)) {
+    case ValueKind::kInt64:
+      mix(static_cast<uint8_t>(ValueKind::kInt64));
+      mix_varint(serde::ZigZagEncode(std::get<int64_t>(v)));
+      break;
+    case ValueKind::kDouble: {
+      mix(static_cast<uint8_t>(ValueKind::kDouble));
+      uint64_t bits;
+      const double d = std::get<double>(v);
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      for (int i = 0; i < 8; ++i) mix(static_cast<uint8_t>(bits >> (8 * i)));
+      break;
+    }
+    case ValueKind::kBool:
+      mix(static_cast<uint8_t>(ValueKind::kBool));
+      mix(std::get<bool>(v) ? 1 : 0);
+      break;
+    case ValueKind::kString: {
+      mix(static_cast<uint8_t>(ValueKind::kString));
+      const std::string& s = std::get<std::string>(v);
+      mix_varint(s.size());
+      for (const char c : s) mix(static_cast<uint8_t>(c));
+      break;
+    }
+  }
+  return h;
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t h) {
+  // boost::hash_combine-style mix, 64-bit constants.
+  return seed ^ (h + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+}
+
+void EncodeValue(const Value& v, serde::WireEncoder* enc) {
+  enc->WriteVarint(static_cast<uint64_t>(KindOf(v)));
+  switch (KindOf(v)) {
+    case ValueKind::kInt64:
+      enc->WriteVarint(serde::ZigZagEncode(std::get<int64_t>(v)));
+      break;
+    case ValueKind::kDouble: {
+      // Reuse the field writer's fixed64 layout without a tag.
+      uint64_t bits;
+      const double d = std::get<double>(v);
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      for (int i = 0; i < 8; ++i) {
+        enc->buffer()->push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+      }
+      break;
+    }
+    case ValueKind::kBool:
+      enc->WriteVarint(std::get<bool>(v) ? 1 : 0);
+      break;
+    case ValueKind::kString: {
+      const std::string& s = std::get<std::string>(v);
+      enc->WriteVarint(s.size());
+      enc->buffer()->append(s);
+      break;
+    }
+  }
+}
+
+Result<Value> DecodeValue(serde::WireDecoder* dec) {
+  HERON_ASSIGN_OR_RETURN(uint64_t kind_raw, dec->ReadVarint());
+  switch (static_cast<ValueKind>(kind_raw)) {
+    case ValueKind::kInt64: {
+      HERON_ASSIGN_OR_RETURN(uint64_t raw, dec->ReadVarint());
+      return Value(serde::ZigZagDecode(raw));
+    }
+    case ValueKind::kDouble: {
+      HERON_ASSIGN_OR_RETURN(double d, dec->ReadDouble());
+      return Value(d);
+    }
+    case ValueKind::kBool: {
+      HERON_ASSIGN_OR_RETURN(uint64_t raw, dec->ReadVarint());
+      return Value(raw != 0);
+    }
+    case ValueKind::kString: {
+      HERON_ASSIGN_OR_RETURN(serde::BytesView bytes, dec->ReadBytes());
+      return Value(std::string(bytes));
+    }
+  }
+  return Status::IOError(StrFormat("unknown value kind %llu",
+                                   static_cast<unsigned long long>(kind_raw)));
+}
+
+std::string ValueToString(const Value& v) {
+  switch (KindOf(v)) {
+    case ValueKind::kInt64:
+      return StrFormat("%lld", static_cast<long long>(std::get<int64_t>(v)));
+    case ValueKind::kDouble:
+      return StrFormat("%g", std::get<double>(v));
+    case ValueKind::kBool:
+      return std::get<bool>(v) ? "true" : "false";
+    case ValueKind::kString:
+      return StrFormat("\"%s\"", std::get<std::string>(v).c_str());
+  }
+  return "?";
+}
+
+size_t ValueByteSize(const Value& v) {
+  switch (KindOf(v)) {
+    case ValueKind::kInt64:
+      return sizeof(int64_t);
+    case ValueKind::kDouble:
+      return sizeof(double);
+    case ValueKind::kBool:
+      return 1;
+    case ValueKind::kString:
+      return std::get<std::string>(v).size();
+  }
+  return 0;
+}
+
+}  // namespace api
+}  // namespace heron

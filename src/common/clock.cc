@@ -1,0 +1,34 @@
+#include "common/clock.h"
+
+#include <ctime>
+
+#include <chrono>
+
+namespace heron {
+
+int64_t RealClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RealClock* RealClock::Get() {
+  static RealClock clock;
+  return &clock;
+}
+
+int64_t ThreadCpuNanos() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+void VirtualClock::AdvanceTo(int64_t target_nanos) {
+  int64_t current = now_nanos_.load(std::memory_order_acquire);
+  while (current < target_nanos &&
+         !now_nanos_.compare_exchange_weak(current, target_nanos,
+                                           std::memory_order_acq_rel)) {
+  }
+}
+
+}  // namespace heron

@@ -1,0 +1,83 @@
+#ifndef HERON_COMMON_CLOCK_H_
+#define HERON_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace heron {
+
+/// \brief Time source abstraction.
+///
+/// Real components use RealClock; the discrete-event simulator and tests
+/// inject a VirtualClock so that timer-driven behaviour (cache drain
+/// frequency, scheduler monitoring, message timeouts) is deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since an arbitrary epoch.
+  virtual int64_t NowNanos() const = 0;
+
+  int64_t NowMicros() const { return NowNanos() / 1000; }
+  int64_t NowMillis() const { return NowNanos() / 1000000; }
+};
+
+/// \brief Wall monotonic clock (std::chrono::steady_clock).
+class RealClock final : public Clock {
+ public:
+  int64_t NowNanos() const override;
+
+  /// Returns a shared process-wide instance.
+  static RealClock* Get();
+};
+
+/// \brief Manually advanced clock for simulation and tests.
+///
+/// Thread-safe: the simulator advances it from its driver loop while
+/// components read it concurrently.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_nanos = 0) : now_nanos_(start_nanos) {}
+
+  int64_t NowNanos() const override {
+    return now_nanos_.load(std::memory_order_acquire);
+  }
+
+  /// Moves time forward by `delta_nanos` (must be >= 0).
+  void AdvanceNanos(int64_t delta_nanos) {
+    now_nanos_.fetch_add(delta_nanos, std::memory_order_acq_rel);
+  }
+  void AdvanceMillis(int64_t delta_millis) { AdvanceNanos(delta_millis * 1000000); }
+
+  /// Jumps directly to `target_nanos`; never moves backwards.
+  void AdvanceTo(int64_t target_nanos);
+
+ private:
+  std::atomic<int64_t> now_nanos_;
+};
+
+/// \brief CPU time consumed by the calling thread, in nanoseconds.
+///
+/// Used by the resource-accounting experiment (Fig. 14): each engine
+/// thread reports its own CPU burn, so the breakdown is immune to
+/// wall-clock distortion from oversubscribed cores.
+int64_t ThreadCpuNanos();
+
+/// \brief Scoped stopwatch measuring elapsed nanoseconds on a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock) : clock_(clock), start_(clock->NowNanos()) {}
+
+  int64_t ElapsedNanos() const { return clock_->NowNanos() - start_; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedNanos()) / 1e6; }
+  void Reset() { start_ = clock_->NowNanos(); }
+
+ private:
+  const Clock* clock_;
+  int64_t start_;
+};
+
+}  // namespace heron
+
+#endif  // HERON_COMMON_CLOCK_H_

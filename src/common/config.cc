@@ -1,0 +1,124 @@
+#include "common/config.h"
+
+#include "common/strings.h"
+
+namespace heron {
+
+Config& Config::Set(std::string_view key, std::string_view value) {
+  values_[std::string(key)] = std::string(value);
+  return *this;
+}
+
+Config& Config::SetInt(std::string_view key, int64_t value) {
+  return Set(key, StrFormat("%lld", static_cast<long long>(value)));
+}
+
+Config& Config::SetDouble(std::string_view key, double value) {
+  return Set(key, StrFormat("%.17g", value));
+}
+
+Config& Config::SetBool(std::string_view key, bool value) {
+  return Set(key, value ? "true" : "false");
+}
+
+bool Config::Has(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+Result<std::string> Config::GetString(std::string_view key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::NotFound(StrFormat("config key '%.*s' not set",
+                                      static_cast<int>(key.size()),
+                                      key.data()));
+  }
+  return it->second;
+}
+
+Result<int64_t> Config::GetInt(std::string_view key) const {
+  HERON_ASSIGN_OR_RETURN(std::string raw, GetString(key));
+  int64_t v = 0;
+  if (!ParseInt64(raw, &v)) {
+    return Status::InvalidArgument(
+        StrFormat("config key '%.*s' is not an integer: '%s'",
+                  static_cast<int>(key.size()), key.data(), raw.c_str()));
+  }
+  return v;
+}
+
+Result<double> Config::GetDouble(std::string_view key) const {
+  HERON_ASSIGN_OR_RETURN(std::string raw, GetString(key));
+  double v = 0;
+  if (!ParseDouble(raw, &v)) {
+    return Status::InvalidArgument(
+        StrFormat("config key '%.*s' is not a double: '%s'",
+                  static_cast<int>(key.size()), key.data(), raw.c_str()));
+  }
+  return v;
+}
+
+Result<bool> Config::GetBool(std::string_view key) const {
+  HERON_ASSIGN_OR_RETURN(std::string raw, GetString(key));
+  bool v = false;
+  if (!ParseBool(raw, &v)) {
+    return Status::InvalidArgument(
+        StrFormat("config key '%.*s' is not a boolean: '%s'",
+                  static_cast<int>(key.size()), key.data(), raw.c_str()));
+  }
+  return v;
+}
+
+std::string Config::GetStringOr(std::string_view key,
+                                std::string_view dflt) const {
+  auto r = GetString(key);
+  return r.ok() ? *r : std::string(dflt);
+}
+
+int64_t Config::GetIntOr(std::string_view key, int64_t dflt) const {
+  auto r = GetInt(key);
+  return r.ok() ? *r : dflt;
+}
+
+double Config::GetDoubleOr(std::string_view key, double dflt) const {
+  auto r = GetDouble(key);
+  return r.ok() ? *r : dflt;
+}
+
+bool Config::GetBoolOr(std::string_view key, bool dflt) const {
+  auto r = GetBool(key);
+  return r.ok() ? *r : dflt;
+}
+
+Config Config::MergedWith(const Config& overrides) const {
+  Config merged = *this;
+  for (const auto& [k, v] : overrides.values_) {
+    merged.values_[k] = v;
+  }
+  return merged;
+}
+
+Result<Config> Config::FromKeyValueText(std::string_view text) {
+  Config config;
+  int line_no = 0;
+  for (const auto& raw_line : StrSplit(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("config line %d has no '=': '%s'", line_no,
+                    std::string(line).c_str()));
+    }
+    std::string_view key = StripWhitespace(line.substr(0, eq));
+    std::string_view value = StripWhitespace(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("config line %d has empty key", line_no));
+    }
+    config.Set(key, value);
+  }
+  return config;
+}
+
+}  // namespace heron

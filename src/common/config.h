@@ -1,0 +1,102 @@
+#ifndef HERON_COMMON_CONFIG_H_
+#define HERON_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace heron {
+
+/// \brief Hierarchical string key → typed value configuration.
+///
+/// The paper's modules are configured "either at topology submission time
+/// through the command line or using special configuration files" (§II).
+/// Config is the single mechanism: every module receives one at
+/// Initialize() and reads only its own keys. Values are stored as strings
+/// and parsed on access, mirroring Heron's .yaml-backed configuration.
+class Config {
+ public:
+  Config() = default;
+
+  /// Sets a key, overwriting any previous value.
+  Config& Set(std::string_view key, std::string_view value);
+  Config& SetInt(std::string_view key, int64_t value);
+  Config& SetDouble(std::string_view key, double value);
+  Config& SetBool(std::string_view key, bool value);
+
+  bool Has(std::string_view key) const;
+
+  /// Typed getters; return kNotFound for missing keys and
+  /// kInvalidArgument for unparseable values.
+  Result<std::string> GetString(std::string_view key) const;
+  Result<int64_t> GetInt(std::string_view key) const;
+  Result<double> GetDouble(std::string_view key) const;
+  Result<bool> GetBool(std::string_view key) const;
+
+  /// Getters with fallback, for optional keys with engine defaults.
+  std::string GetStringOr(std::string_view key, std::string_view dflt) const;
+  int64_t GetIntOr(std::string_view key, int64_t dflt) const;
+  double GetDoubleOr(std::string_view key, double dflt) const;
+  bool GetBoolOr(std::string_view key, bool dflt) const;
+
+  /// Merges `overrides` on top of this config: keys in `overrides` win.
+  /// This is how per-topology configuration layers over cluster defaults.
+  Config MergedWith(const Config& overrides) const;
+
+  /// Parses "key=value" lines (comments with '#', blank lines ignored);
+  /// used for the "special configuration files" of §II.
+  static Result<Config> FromKeyValueText(std::string_view text);
+
+  size_t size() const { return values_.size(); }
+  const std::map<std::string, std::string, std::less<>>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+/// Well-known configuration keys used by the built-in modules.
+namespace config_keys {
+
+// Topology-level.
+inline constexpr char kTopologyName[] = "heron.topology.name";
+inline constexpr char kAckingEnabled[] = "heron.topology.acking";
+inline constexpr char kMessageTimeoutMs[] = "heron.topology.message.timeout.ms";
+inline constexpr char kMaxSpoutPending[] = "heron.topology.max.spout.pending";
+
+// Resource manager / packing.
+inline constexpr char kPackingAlgorithm[] = "heron.packing.algorithm";
+inline constexpr char kContainerCpuHint[] = "heron.packing.container.cpu";
+inline constexpr char kContainerRamMbHint[] = "heron.packing.container.ram.mb";
+inline constexpr char kContainerDiskMbHint[] = "heron.packing.container.disk.mb";
+inline constexpr char kInstanceCpuDefault[] = "heron.packing.instance.cpu";
+inline constexpr char kInstanceRamMbDefault[] = "heron.packing.instance.ram.mb";
+inline constexpr char kNumContainersHint[] = "heron.packing.num.containers";
+
+// Scheduler.
+inline constexpr char kSchedulerKind[] = "heron.scheduler.kind";
+inline constexpr char kSchedulerMonitorIntervalMs[] =
+    "heron.scheduler.monitor.interval.ms";
+
+// State manager.
+inline constexpr char kStateManagerKind[] = "heron.statemgr.kind";
+inline constexpr char kStateManagerRoot[] = "heron.statemgr.root.path";
+
+// Stream manager.
+inline constexpr char kCacheDrainFrequencyMs[] =
+    "heron.streammgr.cache.drain.frequency.ms";
+inline constexpr char kCacheDrainSizeBytes[] =
+    "heron.streammgr.cache.drain.size.bytes";
+inline constexpr char kSmgrOptimizationsEnabled[] =
+    "heron.streammgr.optimizations.enabled";
+
+}  // namespace config_keys
+
+}  // namespace heron
+
+#endif  // HERON_COMMON_CONFIG_H_

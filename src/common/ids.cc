@@ -1,0 +1,16 @@
+#include "common/ids.h"
+
+#include <atomic>
+
+#include "common/strings.h"
+
+namespace heron {
+
+std::string IdGenerator::Next(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  return StrFormat("%s-%llu", prefix.c_str(),
+                   static_cast<unsigned long long>(
+                       counter.fetch_add(1, std::memory_order_relaxed)));
+}
+
+}  // namespace heron

@@ -1,0 +1,37 @@
+#ifndef HERON_COMMON_IDS_H_
+#define HERON_COMMON_IDS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace heron {
+
+/// Identifier vocabulary shared across modules. These are deliberately
+/// plain typedefs (not strong types) to keep the serialized wire formats
+/// simple; naming documents intent at API boundaries.
+
+/// Logical component name in a topology ("sentence-spout", "count-bolt").
+using ComponentId = std::string;
+
+/// Global index of a Heron Instance within a topology, dense from 0.
+using TaskId = int32_t;
+
+/// Container ordinal within a topology; container 0 runs the TMaster.
+using ContainerId = int32_t;
+
+/// Stream name within a component; the default stream is "default".
+using StreamId = std::string;
+
+inline constexpr char kDefaultStreamId[] = "default";
+
+/// \brief Generates process-unique identifiers ("t-42") for topologies,
+/// sessions and ephemeral nodes. Thread-safe.
+class IdGenerator {
+ public:
+  /// Returns "<prefix>-<n>" with a process-wide monotonically increasing n.
+  static std::string Next(const std::string& prefix);
+};
+
+}  // namespace heron
+
+#endif  // HERON_COMMON_IDS_H_

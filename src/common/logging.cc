@@ -1,0 +1,71 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace heron {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_emit_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logging::SetLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logging::level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  const bool enabled = Logging::Enabled(level_);
+  if (enabled || level_ == LogLevel::kFatal) {
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+    // Strip directories from the file path for readability.
+    const char* base = file_;
+    for (const char* p = file_; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    std::fprintf(stderr, "[%s %lld.%03lld %s:%d] %s\n", LevelTag(level_),
+                 static_cast<long long>(ms / 1000),
+                 static_cast<long long>(ms % 1000), base, line_,
+                 stream_.str().c_str());
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace heron

@@ -1,0 +1,95 @@
+#ifndef HERON_COMMON_LOGGING_H_
+#define HERON_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace heron {
+
+/// \brief Log severity, ascending.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Process-wide logging controls.
+///
+/// The engine logs sparingly on the data plane; control-plane transitions
+/// (scheduling, failures, scaling) log at kInfo. Tests raise the threshold
+/// to kWarning to keep output quiet.
+class Logging {
+ public:
+  /// Sets the minimum level that will be emitted.
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+
+  /// Returns true if `level` would be emitted.
+  static bool Enabled(LogLevel level) { return level >= Logging::level(); }
+};
+
+namespace internal {
+
+/// One log statement: accumulates the message and emits it (with timestamp,
+/// level tag, and source location) on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement that is disabled at the current level.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define HLOG_INTERNAL(lvl)                                               \
+  ::heron::Logging::Enabled(lvl)                                         \
+      ? static_cast<void>(0)                                             \
+      : static_cast<void>(0),                                            \
+      ::heron::internal::LogMessage(lvl, __FILE__, __LINE__)
+
+/// Usage: HLOG(INFO) << "scheduled " << n << " containers";
+#define HLOG(severity) HLOG_##severity()
+#define HLOG_DEBUG() \
+  ::heron::internal::LogMessage(::heron::LogLevel::kDebug, __FILE__, __LINE__)
+#define HLOG_INFO() \
+  ::heron::internal::LogMessage(::heron::LogLevel::kInfo, __FILE__, __LINE__)
+#define HLOG_WARNING()                                                     \
+  ::heron::internal::LogMessage(::heron::LogLevel::kWarning, __FILE__,     \
+                                __LINE__)
+#define HLOG_ERROR() \
+  ::heron::internal::LogMessage(::heron::LogLevel::kError, __FILE__, __LINE__)
+#define HLOG_FATAL() \
+  ::heron::internal::LogMessage(::heron::LogLevel::kFatal, __FILE__, __LINE__)
+
+/// Internal invariant check; logs fatally (and aborts) when `cond` is false.
+#define HERON_DCHECK(cond)                                       \
+  if (!(cond)) HLOG(FATAL) << "Check failed: " #cond << " at "
+
+}  // namespace heron
+
+#endif  // HERON_COMMON_LOGGING_H_

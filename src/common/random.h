@@ -1,0 +1,47 @@
+#ifndef HERON_COMMON_RANDOM_H_
+#define HERON_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace heron {
+
+/// \brief Deterministic, fast PRNG (splitmix64 core).
+///
+/// Used everywhere randomness is needed — shuffle grouping, workload
+/// generators, failure injection — so that every experiment is exactly
+/// reproducible from its seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return NextUint64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace heron
+
+#endif  // HERON_COMMON_RANDOM_H_

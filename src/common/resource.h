@@ -1,0 +1,74 @@
+#ifndef HERON_COMMON_RESOURCE_H_
+#define HERON_COMMON_RESOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/strings.h"
+
+namespace heron {
+
+/// \brief A resource vector: CPU cores (fractional), RAM and disk in MB.
+///
+/// Used by components to declare per-instance requirements, by the
+/// Resource Manager when packing instances into containers (§IV-A), and by
+/// the scheduling-framework substrates when admitting containers onto
+/// nodes.
+struct Resource {
+  double cpu = 0.0;
+  int64_t ram_mb = 0;
+  int64_t disk_mb = 0;
+
+  constexpr Resource() = default;
+  constexpr Resource(double cpu_cores, int64_t ram, int64_t disk = 0)
+      : cpu(cpu_cores), ram_mb(ram), disk_mb(disk) {}
+
+  Resource operator+(const Resource& o) const {
+    return Resource(cpu + o.cpu, ram_mb + o.ram_mb, disk_mb + o.disk_mb);
+  }
+  Resource operator-(const Resource& o) const {
+    return Resource(cpu - o.cpu, ram_mb - o.ram_mb, disk_mb - o.disk_mb);
+  }
+  Resource& operator+=(const Resource& o) {
+    cpu += o.cpu;
+    ram_mb += o.ram_mb;
+    disk_mb += o.disk_mb;
+    return *this;
+  }
+  Resource& operator-=(const Resource& o) {
+    cpu -= o.cpu;
+    ram_mb -= o.ram_mb;
+    disk_mb -= o.disk_mb;
+    return *this;
+  }
+
+  /// True when every dimension of `o` fits inside this resource. A small
+  /// epsilon absorbs floating-point drift in the CPU dimension.
+  bool Fits(const Resource& o) const {
+    return o.cpu <= cpu + 1e-9 && o.ram_mb <= ram_mb && o.disk_mb <= disk_mb;
+  }
+
+  bool IsZero() const { return cpu == 0.0 && ram_mb == 0 && disk_mb == 0; }
+
+  /// Per-dimension max, used to size homogeneous containers (§IV-B:
+  /// "Aurora can only allocate homogeneous containers").
+  static Resource Max(const Resource& a, const Resource& b) {
+    return Resource(a.cpu > b.cpu ? a.cpu : b.cpu,
+                    a.ram_mb > b.ram_mb ? a.ram_mb : b.ram_mb,
+                    a.disk_mb > b.disk_mb ? a.disk_mb : b.disk_mb);
+  }
+
+  bool operator==(const Resource& o) const {
+    return cpu == o.cpu && ram_mb == o.ram_mb && disk_mb == o.disk_mb;
+  }
+
+  std::string ToString() const {
+    return StrFormat("{cpu=%.2f, ram=%lldMB, disk=%lldMB}", cpu,
+                     static_cast<long long>(ram_mb),
+                     static_cast<long long>(disk_mb));
+  }
+};
+
+}  // namespace heron
+
+#endif  // HERON_COMMON_RESOURCE_H_

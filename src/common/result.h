@@ -1,0 +1,90 @@
+#ifndef HERON_COMMON_RESULT_H_
+#define HERON_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace heron {
+
+/// \brief A value-or-error holder in the Arrow style.
+///
+/// A Result<T> holds either a T (success) or a non-OK Status. Accessing the
+/// value of a failed result aborts, so callers are expected to check ok()
+/// or use HERON_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result. Aborts if `status` is OK, since an OK
+  /// result must carry a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      internal::AbortWithStatus(
+          Status::Internal("Result constructed from OK status"), __FILE__,
+          __LINE__);
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the status: OK() if this result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the contained value; aborts if this result holds an error.
+  const T& ValueOrDie() const& {
+    CheckValue();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    CheckValue();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    CheckValue();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Returns the contained value, or `fallback` if this result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void CheckValue() const {
+    if (!ok()) {
+      internal::AbortWithStatus(std::get<Status>(repr_), __FILE__, __LINE__);
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs`. `lhs` may include a declaration, e.g.
+///   HERON_ASSIGN_OR_RETURN(auto plan, packing->Pack());
+#define HERON_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define HERON_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define HERON_ASSIGN_OR_RETURN_CONCAT(x, y) HERON_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define HERON_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  HERON_ASSIGN_OR_RETURN_IMPL(                                               \
+      HERON_ASSIGN_OR_RETURN_CONCAT(_heron_result_, __COUNTER__), lhs, rexpr)
+
+}  // namespace heron
+
+#endif  // HERON_COMMON_RESULT_H_

@@ -1,0 +1,91 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace heron {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_unique<State>(State{code, std::move(msg)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.state_ != nullptr) {
+    state_ = std::make_unique<State>(*other.state_);
+  }
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return state_ ? state_->msg : kEmptyString;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message();
+  return Status(code(), std::move(msg));
+}
+
+namespace internal {
+
+void AbortWithStatus(const Status& st, const char* file, int line) {
+  std::fprintf(stderr, "HERON_CHECK_OK failed at %s:%d: %s\n", file, line,
+               st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace heron

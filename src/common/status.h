@@ -1,0 +1,153 @@
+#ifndef HERON_COMMON_STATUS_H_
+#define HERON_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace heron {
+
+/// \brief Error category carried by a Status.
+///
+/// The set mirrors the failure classes that appear across the engine:
+/// user errors (kInvalidArgument), lookup failures (kNotFound), resource
+/// exhaustion from packing and flow control (kResourceExhausted), transport
+/// and framework failures (kUnavailable, kTimeout, kIOError), and internal
+/// invariant violations (kInternal).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kResourceExhausted = 4,
+  kFailedPrecondition = 5,
+  kUnavailable = 6,
+  kTimeout = 7,
+  kCancelled = 8,
+  kNotImplemented = 9,
+  kIOError = 10,
+  kInternal = 11,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Cheap, movable success/error value used on every fallible path.
+///
+/// The data plane never throws; functions that can fail return Status (or
+/// Result<T>). The OK state is represented by a null internal pointer so
+/// that passing around successful statuses costs one word.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+  /// Constructs a status with the given code and message. A kOk code yields
+  /// an OK status regardless of the message.
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  /// Formats as "<code name>: <message>" (or "OK").
+  std::string ToString() const;
+
+  /// Prefixes the existing message with `context`, preserving the code.
+  /// Used when propagating errors upward to record the call site.
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define HERON_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::heron::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Aborts the process if `expr` returns a non-OK Status. For use in tests,
+/// examples, and initialization code where failure is unrecoverable.
+#define HERON_CHECK_OK(expr)                                            \
+  do {                                                                  \
+    ::heron::Status _st = (expr);                                       \
+    if (!_st.ok()) {                                                    \
+      ::heron::internal::AbortWithStatus(_st, __FILE__, __LINE__);      \
+    }                                                                   \
+  } while (0)
+
+namespace internal {
+[[noreturn]] void AbortWithStatus(const Status& st, const char* file, int line);
+}  // namespace internal
+
+}  // namespace heron
+
+#endif  // HERON_COMMON_STATUS_H_

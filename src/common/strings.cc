@@ -1,0 +1,105 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace heron {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> StrSplit(std::string_view input, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      break;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  s = StripWhitespace(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = StripWhitespace(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseBool(std::string_view s, bool* out) {
+  s = StripWhitespace(s);
+  if (s == "true" || s == "1" || s == "yes") {
+    *out = true;
+    return true;
+  }
+  if (s == "false" || s == "0" || s == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace heron

@@ -1,0 +1,35 @@
+#ifndef HERON_COMMON_STRINGS_H_
+#define HERON_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heron {
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// \brief Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view input, char delim);
+
+/// \brief Joins `parts` with `delim`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view delim);
+
+/// \brief True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// \brief Parses integers/doubles/bools with full-string validation.
+/// Returns false (leaving *out untouched) on any trailing garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+bool ParseBool(std::string_view s, bool* out);
+
+}  // namespace heron
+
+#endif  // HERON_COMMON_STRINGS_H_

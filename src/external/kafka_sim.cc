@@ -1,0 +1,68 @@
+#include "external/kafka_sim.h"
+
+#include <chrono>
+
+#include "common/strings.h"
+
+namespace heron {
+namespace external {
+
+void BurnCpu(int64_t nanos) {
+  if (nanos <= 0) return;
+  const auto start = std::chrono::steady_clock::now();
+  // Volatile sink defeats the optimizer; the loop re-checks the clock in
+  // chunks to keep the overshoot small without a syscall per iteration.
+  volatile uint64_t sink = 0;
+  while (true) {
+    for (int i = 0; i < 64; ++i) {
+      sink = sink + static_cast<uint64_t>(i) * 2654435761u;
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    if (elapsed >= nanos) break;
+  }
+}
+
+SimKafka::SimKafka(const Options& options) : options_(options) {
+  for (int p = 0; p < options_.partitions; ++p) {
+    auto partition = std::make_unique<Partition>();
+    partition->rng = Random(options_.seed + static_cast<uint64_t>(p) * 131);
+    partitions_.push_back(std::move(partition));
+  }
+}
+
+Status SimKafka::Fetch(int partition, int max_events,
+                       std::vector<KafkaEvent>* out) {
+  if (partition < 0 || partition >= options_.partitions) {
+    return Status::InvalidArgument(
+        StrFormat("no partition %d (have %d)", partition,
+                  options_.partitions));
+  }
+  if (max_events <= 0) {
+    return Status::InvalidArgument("max_events must be positive");
+  }
+  Partition& p = *partitions_[static_cast<size_t>(partition)];
+  std::lock_guard<std::mutex> lock(p.mutex);
+  BurnCpu(options_.fetch_cost_per_batch_ns +
+          options_.fetch_cost_per_event_ns * max_events);
+  out->clear();
+  out->reserve(static_cast<size_t>(max_events));
+  for (int i = 0; i < max_events; ++i) {
+    KafkaEvent event;
+    event.offset = p.next_offset++;
+    event.key = StrFormat(
+        "user-%llu", static_cast<unsigned long long>(p.rng.NextBelow(
+                         static_cast<uint64_t>(options_.key_cardinality))));
+    event.value = StrFormat(
+        "event-%llu-%llu", static_cast<unsigned long long>(event.offset),
+        static_cast<unsigned long long>(p.rng.NextUint64() & 0xFFFF));
+    out->push_back(std::move(event));
+  }
+  total_fetched_.fetch_add(static_cast<uint64_t>(max_events),
+                           std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace external
+}  // namespace heron

@@ -1,0 +1,54 @@
+#include "external/redis_sim.h"
+
+#include "common/strings.h"
+#include "external/kafka_sim.h"  // BurnCpu.
+
+namespace heron {
+namespace external {
+
+Status SimRedis::Set(const std::string& key, const std::string& value) {
+  BurnCpu(options_.op_cost_ns);
+  std::lock_guard<std::mutex> lock(mutex_);
+  strings_[key] = value;
+  total_ops_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<std::string> SimRedis::Get(const std::string& key) const {
+  BurnCpu(options_.op_cost_ns);
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_ops_.fetch_add(1, std::memory_order_relaxed);
+  const auto it = strings_.find(key);
+  if (it == strings_.end()) {
+    return Status::NotFound(StrFormat("no key '%s'", key.c_str()));
+  }
+  return it->second;
+}
+
+Result<int64_t> SimRedis::IncrBy(const std::string& key, int64_t delta) {
+  BurnCpu(options_.op_cost_ns);
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_ops_.fetch_add(1, std::memory_order_relaxed);
+  return counters_[key] += delta;
+}
+
+Status SimRedis::PipelineIncr(
+    const std::vector<std::pair<std::string, int64_t>>& ops) {
+  if (ops.empty()) return Status::OK();
+  BurnCpu(options_.pipeline_flush_cost_ns +
+          options_.pipelined_op_cost_ns * static_cast<int64_t>(ops.size()));
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, delta] : ops) {
+    counters_[key] += delta;
+  }
+  total_ops_.fetch_add(ops.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+size_t SimRedis::key_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return strings_.size() + counters_.size();
+}
+
+}  // namespace external
+}  // namespace heron

@@ -1,0 +1,56 @@
+#ifndef HERON_EXTERNAL_REDIS_SIM_H_
+#define HERON_EXTERNAL_REDIS_SIM_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace heron {
+namespace external {
+
+/// \brief Simulated Redis: a key-value store with per-operation costs.
+///
+/// Substitute for the Fig. 14 topology's sink ("after performing
+/// aggregation, stores the data in Redis"). Supports the operations the
+/// aggregator bolt uses — SET, GET, INCRBY, and pipelined MSET — each
+/// burning a modeled CPU cost (encoding, socket write, response parse).
+/// Writes are typically pipelined/batched, which is why the paper's write
+/// share (8%) is small relative to fetch.
+class SimRedis {
+ public:
+  struct Options {
+    int64_t op_cost_ns = 1500;              ///< Single-command round trip.
+    int64_t pipelined_op_cost_ns = 600;     ///< Per command when pipelined.
+    int64_t pipeline_flush_cost_ns = 6000;  ///< Per pipeline round trip.
+  };
+
+  explicit SimRedis(const Options& options) : options_(options) {}
+
+  Status Set(const std::string& key, const std::string& value);
+  Result<std::string> Get(const std::string& key) const;
+  Result<int64_t> IncrBy(const std::string& key, int64_t delta);
+
+  /// Pipelined write of many (key, increment) pairs in one round trip.
+  Status PipelineIncr(const std::vector<std::pair<std::string, int64_t>>& ops);
+
+  uint64_t total_ops() const {
+    return total_ops_.load(std::memory_order_relaxed);
+  }
+  size_t key_count() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, int64_t> counters_;
+  mutable std::atomic<uint64_t> total_ops_{0};
+};
+
+}  // namespace external
+}  // namespace heron
+
+#endif  // HERON_EXTERNAL_REDIS_SIM_H_

@@ -1,0 +1,44 @@
+#include "frameworks/aurora_like_framework.h"
+
+#include "common/logging.h"
+
+namespace heron {
+namespace frameworks {
+
+namespace {
+Status CheckHomogeneous(const Resource& reference,
+                        const std::vector<Resource>& demands) {
+  for (const auto& demand : demands) {
+    if (!(demand == reference)) {
+      return Status::InvalidArgument(
+          "aurora requires homogeneous containers; demand " +
+          demand.ToString() + " differs from " + reference.ToString());
+    }
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status AuroraLikeFramework::ValidateSubmit(const JobSpec& spec) const {
+  return CheckHomogeneous(spec.containers.front(), spec.containers);
+}
+
+Status AuroraLikeFramework::ValidateAdd(
+    const Job& job, const std::vector<Resource>& demands) const {
+  if (job.containers.empty()) return Status::OK();
+  return CheckHomogeneous(job.containers.begin()->second.demand, demands);
+}
+
+void AuroraLikeFramework::OnContainerFailed(const JobId& job, int index) {
+  const Status st = StartContainerSlot(job, index);
+  if (!st.ok()) {
+    HLOG(ERROR) << "aurora auto-restart of container " << index << " in "
+                << job << " failed: " << st.ToString();
+  } else {
+    HLOG(INFO) << "aurora auto-restarted container " << index << " of "
+               << job;
+  }
+}
+
+}  // namespace frameworks
+}  // namespace heron

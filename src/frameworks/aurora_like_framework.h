@@ -1,0 +1,36 @@
+#ifndef HERON_FRAMEWORKS_AURORA_LIKE_FRAMEWORK_H_
+#define HERON_FRAMEWORKS_AURORA_LIKE_FRAMEWORK_H_
+
+#include "frameworks/base_sim_framework.h"
+
+namespace heron {
+namespace frameworks {
+
+/// \brief Aurora-semantics framework: containers must be homogeneous
+/// ("Aurora can only allocate homogeneous containers for a given packing
+/// plan", §IV-B) and the framework itself recovers failed containers ("In
+/// case of a container failure, Aurora invokes the appropriate command to
+/// restart the container and its corresponding tasks") — which is why the
+/// Heron Scheduler can be *stateless* on Aurora.
+class AuroraLikeFramework final : public BaseSimFramework {
+ public:
+  explicit AuroraLikeFramework(SimCluster* cluster)
+      : BaseSimFramework(cluster) {}
+
+  std::string Name() const override { return "aurora"; }
+  bool SupportsHeterogeneousContainers() const override { return false; }
+  bool AutoRestartsFailedContainers() const override { return true; }
+
+ protected:
+  Status ValidateSubmit(const JobSpec& spec) const override;
+  Status ValidateAdd(const Job& job,
+                     const std::vector<Resource>& demands) const override;
+
+  /// Aurora's executor brings the task back up on its own.
+  void OnContainerFailed(const JobId& job, int index) override;
+};
+
+}  // namespace frameworks
+}  // namespace heron
+
+#endif  // HERON_FRAMEWORKS_AURORA_LIKE_FRAMEWORK_H_

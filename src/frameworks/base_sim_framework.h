@@ -1,0 +1,83 @@
+#ifndef HERON_FRAMEWORKS_BASE_SIM_FRAMEWORK_H_
+#define HERON_FRAMEWORKS_BASE_SIM_FRAMEWORK_H_
+
+#include <map>
+#include <mutex>
+
+#include "frameworks/framework.h"
+
+namespace heron {
+namespace frameworks {
+
+/// \brief Shared machinery of the simulated frameworks: job table,
+/// allocation against a SimCluster, start/stop command invocation, event
+/// delivery. Subclasses differ only where YARN and Aurora actually differ:
+/// admission rules and failure handling.
+class BaseSimFramework : public ISchedulingFramework {
+ public:
+  explicit BaseSimFramework(SimCluster* cluster) : cluster_(cluster) {}
+
+  Result<JobId> SubmitJob(const JobSpec& spec) override;
+  Status KillJob(const JobId& job) override;
+  Result<std::vector<ContainerStatus>> JobStatus(
+      const JobId& job) const override;
+  Status RestartContainer(const JobId& job, int index) override;
+  Result<std::vector<int>> AddContainers(
+      const JobId& job, const std::vector<Resource>& demands,
+      const std::function<void(const std::vector<int>&)>& on_registered =
+          nullptr) override;
+  Status RemoveContainer(const JobId& job, int index) override;
+  void SetEventCallback(FrameworkEventCallback callback) override;
+  Status InjectContainerFailure(const JobId& job, int index) override;
+
+  std::string Url() const override {
+    return "sim://" + Name() + ".cluster.local";
+  }
+
+  /// Total jobs currently registered (live).
+  size_t num_jobs() const;
+
+ protected:
+  struct Container {
+    Resource demand;
+    ContainerStatus status;
+  };
+  struct Job {
+    JobSpec spec;
+    std::map<int, Container> containers;  ///< index → container.
+    int next_index = 0;
+  };
+
+  /// Admission hook: subclasses reject specs their real counterpart would
+  /// (Aurora: heterogeneous containers).
+  virtual Status ValidateSubmit(const JobSpec& spec) const {
+    return Status::OK();
+  }
+  virtual Status ValidateAdd(const Job& job,
+                             const std::vector<Resource>& demands) const {
+    return Status::OK();
+  }
+
+  /// Failure hook: called with the lock *released* after a container has
+  /// been marked failed and its allocation dropped. Auto-restarting
+  /// frameworks bring it back here.
+  virtual void OnContainerFailed(const JobId& job, int index) = 0;
+
+  /// Allocates + starts one container slot. Caller holds no lock.
+  Status StartContainerSlot(const JobId& job, int index);
+  /// Stops + releases one container slot. Caller holds no lock.
+  Status StopContainerSlot(const JobId& job, int index, ContainerState final_state);
+
+  void EmitEvent(const JobId& job, const ContainerStatus& status);
+
+  SimCluster* cluster_;
+  mutable std::mutex mutex_;
+  std::map<JobId, Job> jobs_;
+  FrameworkEventCallback callback_;
+  uint64_t next_job_ = 1;
+};
+
+}  // namespace frameworks
+}  // namespace heron
+
+#endif  // HERON_FRAMEWORKS_BASE_SIM_FRAMEWORK_H_

@@ -1,0 +1,116 @@
+#ifndef HERON_FRAMEWORKS_FRAMEWORK_H_
+#define HERON_FRAMEWORKS_FRAMEWORK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/resource.h"
+#include "common/result.h"
+#include "frameworks/sim_cluster.h"
+
+namespace heron {
+namespace frameworks {
+
+using JobId = std::string;
+
+enum class ContainerState : uint8_t {
+  kPending = 0,
+  kRunning = 1,
+  kFailed = 2,
+  kStopped = 3,
+};
+
+struct ContainerStatus {
+  int index = -1;
+  ContainerState state = ContainerState::kPending;
+  AllocationId allocation = 0;
+  int restarts = 0;
+};
+
+/// \brief A job submitted to a scheduling framework: one container per
+/// entry of `containers`, plus the "command" the framework runs in each.
+///
+/// In a real deployment the command is the heron-executor launch line; in
+/// this substrate it is a callback pair the Heron Scheduler wires to the
+/// runtime's container launcher. The framework invokes `start` whenever a
+/// container (re)starts and `stop` when one is torn down.
+struct JobSpec {
+  std::string name;
+  std::vector<Resource> containers;
+  std::function<void(int container_index)> start;
+  std::function<void(int container_index)> stop;
+};
+
+/// \brief Lifecycle event delivered to the framework's client (the Heron
+/// Scheduler, when it is stateful).
+struct FrameworkEvent {
+  JobId job;
+  ContainerStatus container;
+};
+using FrameworkEventCallback = std::function<void(const FrameworkEvent&)>;
+
+/// \brief The underlying scheduling framework the Heron Scheduler talks to
+/// (§IV-B) — YARN/Aurora/Mesos in the paper, simulated substrates here.
+///
+/// The two capability bits drive the Scheduler's behaviour exactly as the
+/// paper describes:
+///  - SupportsHeterogeneousContainers: "YARN can allocate heterogeneous
+///    containers whereas Aurora can only allocate homogeneous containers".
+///  - AutoRestartsFailedContainers: with Aurora "the underlying scheduling
+///    framework ... take[s] the necessary actions" on container failure
+///    (stateless Heron Scheduler); with YARN the Heron Scheduler monitors
+///    and restarts (stateful).
+class ISchedulingFramework {
+ public:
+  virtual ~ISchedulingFramework() = default;
+
+  virtual std::string Name() const = 0;
+  /// Endpoint string stored in the State Manager as "the URL of the
+  /// underlying scheduling framework".
+  virtual std::string Url() const = 0;
+
+  virtual bool SupportsHeterogeneousContainers() const = 0;
+  virtual bool AutoRestartsFailedContainers() const = 0;
+
+  /// Submits a job; all containers are allocated (atomically — on any
+  /// admission failure nothing is left allocated) and started.
+  virtual Result<JobId> SubmitJob(const JobSpec& spec) = 0;
+
+  /// Stops and deallocates every container of the job.
+  virtual Status KillJob(const JobId& job) = 0;
+
+  /// Current status of every container.
+  virtual Result<std::vector<ContainerStatus>> JobStatus(
+      const JobId& job) const = 0;
+
+  /// Restarts one container (used by stateful clients after a failure and
+  /// by topology restart requests).
+  virtual Status RestartContainer(const JobId& job, int index) = 0;
+
+  /// Grows a job by `demands.size()` containers (topology scaling).
+  /// Returns the indices of the new containers. `on_registered` (optional)
+  /// is invoked with those indices after allocation but before the start
+  /// commands run, so the client can map framework slots to its own
+  /// container ids without racing the start hook.
+  virtual Result<std::vector<int>> AddContainers(
+      const JobId& job, const std::vector<Resource>& demands,
+      const std::function<void(const std::vector<int>&)>& on_registered =
+          nullptr) = 0;
+
+  /// Stops and removes one container (scale-down).
+  virtual Status RemoveContainer(const JobId& job, int index) = 0;
+
+  /// Registers the client event callback (container failed/restarted).
+  virtual void SetEventCallback(FrameworkEventCallback callback) = 0;
+
+  /// Failure injection: kills the container's process and marks the slot
+  /// failed. Auto-restarting frameworks then recover it themselves;
+  /// others emit a kFailed event and wait for the client.
+  virtual Status InjectContainerFailure(const JobId& job, int index) = 0;
+};
+
+}  // namespace frameworks
+}  // namespace heron
+
+#endif  // HERON_FRAMEWORKS_FRAMEWORK_H_

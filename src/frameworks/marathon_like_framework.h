@@ -1,0 +1,61 @@
+#ifndef HERON_FRAMEWORKS_MARATHON_LIKE_FRAMEWORK_H_
+#define HERON_FRAMEWORKS_MARATHON_LIKE_FRAMEWORK_H_
+
+#include "frameworks/base_sim_framework.h"
+
+namespace heron {
+namespace frameworks {
+
+/// \brief Marathon-semantics framework (Mesos' long-running-app layer) —
+/// another §IV-B roadmap integration, demonstrating the pluggability
+/// claim from the framework side.
+///
+/// Marathon traits modeled:
+///  - An "app" runs N identical instances (homogeneous, like Aurora).
+///  - Marathon supervises its apps: a failed instance is relaunched by
+///    the framework, so the Heron Scheduler runs *stateless*.
+///  - Unlike Aurora in this substrate, apps scale by changing the
+///    instance count — AddContainers with the app's size is accepted.
+class MarathonLikeFramework final : public BaseSimFramework {
+ public:
+  explicit MarathonLikeFramework(SimCluster* cluster)
+      : BaseSimFramework(cluster) {}
+
+  std::string Name() const override { return "marathon"; }
+  bool SupportsHeterogeneousContainers() const override { return false; }
+  bool AutoRestartsFailedContainers() const override { return true; }
+
+ protected:
+  Status ValidateSubmit(const JobSpec& spec) const override {
+    for (const auto& demand : spec.containers) {
+      if (!(demand == spec.containers.front())) {
+        return Status::InvalidArgument(
+            "marathon apps run identical instances; demands must match");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ValidateAdd(const Job& job,
+                     const std::vector<Resource>& demands) const override {
+    if (job.containers.empty()) return Status::OK();
+    const Resource& reference = job.containers.begin()->second.demand;
+    for (const auto& demand : demands) {
+      if (!(demand == reference)) {
+        return Status::InvalidArgument(
+            "marathon scale-out keeps the app's instance size");
+      }
+    }
+    return Status::OK();
+  }
+
+  void OnContainerFailed(const JobId& job, int index) override {
+    // Marathon relaunches failed instances on its own.
+    StartContainerSlot(job, index).ok();
+  }
+};
+
+}  // namespace frameworks
+}  // namespace heron
+
+#endif  // HERON_FRAMEWORKS_MARATHON_LIKE_FRAMEWORK_H_

@@ -1,0 +1,49 @@
+#ifndef HERON_FRAMEWORKS_SLURM_LIKE_FRAMEWORK_H_
+#define HERON_FRAMEWORKS_SLURM_LIKE_FRAMEWORK_H_
+
+#include "frameworks/base_sim_framework.h"
+
+namespace heron {
+namespace frameworks {
+
+/// \brief Slurm-semantics framework — one of the integrations §IV-B says
+/// the community was building ("various other frameworks such as Mesos,
+/// Slurm and Marathon"). Implemented here to demonstrate that a new
+/// framework plugs into the same FrameworkScheduler with zero engine
+/// changes.
+///
+/// Slurm traits modeled:
+///  - *Gang admission*: a job is admitted only if every container fits
+///    simultaneously (inherited from BaseSimFramework's all-or-nothing
+///    allocation) and, unlike YARN, the job cannot grow afterwards —
+///    Slurm allocations are fixed at sbatch time.
+///  - Heterogeneous steps are fine (packed job steps).
+///  - No automatic requeue by default: a failed step stays failed until
+///    the client acts, so the Heron Scheduler runs *stateful* on Slurm.
+class SlurmLikeFramework final : public BaseSimFramework {
+ public:
+  explicit SlurmLikeFramework(SimCluster* cluster)
+      : BaseSimFramework(cluster) {}
+
+  std::string Name() const override { return "slurm"; }
+  bool SupportsHeterogeneousContainers() const override { return true; }
+  bool AutoRestartsFailedContainers() const override { return false; }
+
+  /// Slurm allocations are sized at submission; growth is refused and the
+  /// client must resubmit (Heron surfaces this as a topology restart).
+  Result<std::vector<int>> AddContainers(
+      const JobId& job, const std::vector<Resource>& demands,
+      const std::function<void(const std::vector<int>&)>& on_registered =
+          nullptr) override {
+    return Status::FailedPrecondition(
+        "slurm allocations are fixed at submission; resubmit to resize");
+  }
+
+ protected:
+  void OnContainerFailed(const JobId& job, int index) override {}
+};
+
+}  // namespace frameworks
+}  // namespace heron
+
+#endif  // HERON_FRAMEWORKS_SLURM_LIKE_FRAMEWORK_H_

@@ -1,0 +1,3 @@
+#include "frameworks/yarn_like_framework.h"
+
+// Behaviour is fully declared in the header; this TU anchors the target.

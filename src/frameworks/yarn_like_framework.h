@@ -1,0 +1,32 @@
+#ifndef HERON_FRAMEWORKS_YARN_LIKE_FRAMEWORK_H_
+#define HERON_FRAMEWORKS_YARN_LIKE_FRAMEWORK_H_
+
+#include "frameworks/base_sim_framework.h"
+
+namespace heron {
+namespace frameworks {
+
+/// \brief YARN-semantics framework: heterogeneous containers are fine,
+/// but a failed container stays failed until the client restarts it —
+/// which is why the Heron Scheduler is *stateful* on YARN (§IV-B: "the
+/// Heron Scheduler monitors the state of the containers ... When a
+/// container failure is detected, the Scheduler invokes the appropriate
+/// commands to restart the container").
+class YarnLikeFramework final : public BaseSimFramework {
+ public:
+  explicit YarnLikeFramework(SimCluster* cluster)
+      : BaseSimFramework(cluster) {}
+
+  std::string Name() const override { return "yarn"; }
+  bool SupportsHeterogeneousContainers() const override { return true; }
+  bool AutoRestartsFailedContainers() const override { return false; }
+
+ protected:
+  /// YARN leaves recovery to the application master: just notify.
+  void OnContainerFailed(const JobId& job, int index) override {}
+};
+
+}  // namespace frameworks
+}  // namespace heron
+
+#endif  // HERON_FRAMEWORKS_YARN_LIKE_FRAMEWORK_H_

@@ -1,0 +1,292 @@
+#include "instance/instance.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace heron {
+namespace instance {
+
+/// Spout-side emission: every tracked emit creates one root, keyed so any
+/// SMGR can route its acks home (proto::MakeRootKey).
+class HeronInstance::SpoutCollector final : public api::ISpoutOutputCollector {
+ public:
+  explicit SpoutCollector(HeronInstance* owner) : owner_(owner) {}
+
+  void Emit(const StreamId& stream, api::Values values,
+            std::optional<int64_t> message_id) override {
+    HeronInstance* in = owner_;
+    proto::TupleDataMsg msg;
+    msg.emit_time_nanos = in->clock_->NowNanos();
+    if (in->options_.acking && message_id.has_value()) {
+      const api::TupleKey root = proto::MakeRootKey(
+          in->options_.task, in->rng_.NextUint64());
+      msg.tuple_key = root;
+      msg.roots.push_back(root);
+      in->pending_roots_[root] = {*message_id, msg.emit_time_nanos};
+      in->pending_count_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      msg.tuple_key = in->rng_.NextUint64();
+    }
+    msg.values = std::move(values);
+    in->outbox_->EmitTuple(stream, msg);
+    in->emitted_->Increment();
+  }
+
+ private:
+  HeronInstance* owner_;
+};
+
+/// Bolt-side emission and acking: accumulates the XOR contribution of the
+/// children anchored to each (input tuple, root) pair, so Ack can send the
+/// classic k_in ^ XOR(k_children) update in one message.
+class HeronInstance::BoltCollector final : public api::IBoltOutputCollector {
+ public:
+  explicit BoltCollector(HeronInstance* owner) : owner_(owner) {}
+
+  void Emit(const StreamId& stream, const std::vector<const api::Tuple*>& anchors,
+            api::Values values) override {
+    HeronInstance* in = owner_;
+    proto::TupleDataMsg msg;
+    msg.tuple_key = in->rng_.NextUint64();
+    msg.emit_time_nanos = anchors.empty()
+                              ? in->clock_->NowNanos()
+                              : anchors.front()->emit_time_nanos();
+    if (in->options_.acking) {
+      for (const api::Tuple* anchor : anchors) {
+        auto& per_root = children_xor_[anchor->tuple_key()];
+        for (const api::TupleKey root : anchor->roots()) {
+          per_root[root] ^= msg.tuple_key;
+          // Deduplicate roots across anchors.
+          bool seen = false;
+          for (const api::TupleKey r : msg.roots) seen |= (r == root);
+          if (!seen) msg.roots.push_back(root);
+        }
+      }
+    }
+    msg.values = std::move(values);
+    in->outbox_->EmitTuple(stream, msg);
+    in->emitted_->Increment();
+  }
+
+  void Ack(const api::Tuple& tuple) override {
+    HeronInstance* in = owner_;
+    if (!in->options_.acking || tuple.roots().empty()) return;
+    const auto it = children_xor_.find(tuple.tuple_key());
+    for (const api::TupleKey root : tuple.roots()) {
+      api::TupleKey xor_value = tuple.tuple_key();
+      if (it != children_xor_.end()) {
+        const auto rit = it->second.find(root);
+        if (rit != it->second.end()) xor_value ^= rit->second;
+      }
+      in->outbox_->AddAckUpdate(proto::RootKeyTask(root),
+                                {root, xor_value, false});
+    }
+    if (it != children_xor_.end()) children_xor_.erase(it);
+  }
+
+  void Fail(const api::Tuple& tuple) override {
+    HeronInstance* in = owner_;
+    if (!in->options_.acking || tuple.roots().empty()) return;
+    for (const api::TupleKey root : tuple.roots()) {
+      in->outbox_->AddAckUpdate(proto::RootKeyTask(root), {root, 0, true});
+    }
+    children_xor_.erase(tuple.tuple_key());
+  }
+
+ private:
+  HeronInstance* owner_;
+  /// input tuple key → (root → XOR of anchored children keys).
+  std::map<api::TupleKey, std::map<api::TupleKey, api::TupleKey>>
+      children_xor_;
+};
+
+HeronInstance::HeronInstance(const Options& options,
+                             std::shared_ptr<const proto::PhysicalPlan> plan,
+                             smgr::Transport* transport, const Clock* clock,
+                             smgr::StreamManager* local_smgr)
+    : options_(options),
+      plan_(std::move(plan)),
+      transport_(transport),
+      clock_(clock),
+      local_smgr_(local_smgr),
+      inbound_(options.inbound_capacity),
+      rng_(options.seed ^ (static_cast<uint64_t>(options.task) << 17)) {
+  emitted_ = metrics_.GetCounter("instance.emitted");
+  executed_ = metrics_.GetCounter("instance.executed");
+  acked_ = metrics_.GetCounter("instance.acked");
+  failed_ = metrics_.GetCounter("instance.failed");
+  complete_latency_ = metrics_.GetHistogram("instance.complete.latency.ns");
+}
+
+HeronInstance::~HeronInstance() { Stop(); }
+
+Status HeronInstance::Start() {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("instance already running");
+  }
+  const packing::InstancePlan* inst = plan_->FindInstance(options_.task);
+  const api::ComponentDef* def = plan_->ComponentOfTask(options_.task);
+  if (inst == nullptr || def == nullptr) {
+    running_.store(false);
+    return Status::NotFound(
+        StrFormat("task %d not in physical plan", options_.task));
+  }
+  component_ = inst->component;
+  HERON_ASSIGN_OR_RETURN(container_, plan_->ContainerOfTask(options_.task));
+  is_spout_ = def->kind == api::ComponentKind::kSpout;
+
+  context_ = std::make_unique<api::TopologyContext>(
+      plan_->topology().name(), component_, options_.task,
+      inst->component_index,
+      static_cast<int>(plan_->TasksOfComponent(component_).size()));
+  outbox_ = std::make_unique<Outbox>(options_.task, component_, container_,
+                                     transport_, options_.emit_batch_tuples);
+
+  if (is_spout_) {
+    spout_ = def->spout_factory();
+    spout_collector_ = std::make_unique<SpoutCollector>(this);
+  } else {
+    bolt_ = def->bolt_factory();
+    bolt_collector_ = std::make_unique<BoltCollector>(this);
+  }
+
+  HERON_RETURN_NOT_OK(transport_->RegisterInstance(options_.task, &inbound_));
+  registered_ = true;
+  started_ = true;
+  thread_ = std::thread([this] {
+    if (is_spout_) {
+      SpoutLoop();
+    } else {
+      BoltLoop();
+    }
+  });
+  return Status::OK();
+}
+
+void HeronInstance::Stop() {
+  if (registered_) {
+    transport_->UnregisterInstance(options_.task).ok();
+    registered_ = false;
+  }
+  running_.store(false);
+  inbound_.Close();
+  if (thread_.joinable()) thread_.join();
+  if (started_) {
+    if (spout_ != nullptr) spout_->Close();
+    if (bolt_ != nullptr) bolt_->Cleanup();
+    started_ = false;
+  }
+}
+
+void HeronInstance::HandleRootEvent(const serde::Buffer& payload) {
+  proto::RootEventMsg msg;
+  if (!msg.ParseFromBytes(payload).ok()) return;
+  const auto it = pending_roots_.find(msg.root);
+  if (it == pending_roots_.end()) return;  // Stale (e.g. double timeout).
+  const PendingRoot pending = it->second;
+  pending_roots_.erase(it);
+  pending_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (msg.fail) {
+    failed_->Increment();
+    spout_->Fail(pending.message_id);
+  } else {
+    acked_->Increment();
+    complete_latency_->Record(static_cast<uint64_t>(
+        std::max<int64_t>(clock_->NowNanos() - pending.emit_time_nanos, 0)));
+    spout_->Ack(pending.message_id);
+  }
+}
+
+void HeronInstance::SpoutLoop() {
+  metrics::Gauge* thread_cpu = metrics_.GetGauge("instance.thread.cpu.ns");
+  uint64_t iterations = 0;
+  spout_->Open(options_.config, context_.get(), spout_collector_.get());
+  while (true) {
+    if ((++iterations & 1023) == 0) thread_cpu->Set(ThreadCpuNanos());
+    // Acks first: they free pending slots.
+    for (int i = 0; i < 256; ++i) {
+      auto env = inbound_.TryRecv();
+      if (!env.has_value()) break;
+      if (env->type == proto::MessageType::kRootEvent) {
+        HandleRootEvent(env->payload);
+        transport_->buffer_pool()->Release(std::move(env->payload));
+      }
+    }
+    if (inbound_.closed()) break;
+
+    bool can_emit = true;
+    if (local_smgr_ != nullptr && local_smgr_->backpressure()) {
+      can_emit = false;  // Container-local spout back pressure.
+    }
+    if (options_.acking && options_.max_spout_pending > 0 &&
+        pending_count_.load(std::memory_order_relaxed) >=
+            options_.max_spout_pending) {
+      can_emit = false;  // §V-B flow control.
+    }
+
+    if (can_emit) {
+      const uint64_t before = emitted_->value();
+      spout_->NextTuple();
+      outbox_->Flush();
+      if (emitted_->value() == before) {
+        // Idle spout: wait briefly for acks instead of spinning.
+        auto env = inbound_.RecvFor(std::chrono::microseconds(200));
+        if (env.has_value() &&
+            env->type == proto::MessageType::kRootEvent) {
+          HandleRootEvent(env->payload);
+          transport_->buffer_pool()->Release(std::move(env->payload));
+        }
+      }
+    } else {
+      outbox_->Flush();
+      // Blocked: wait for an ack (or back-pressure relief) briefly.
+      auto env = inbound_.RecvFor(std::chrono::microseconds(500));
+      if (env.has_value() && env->type == proto::MessageType::kRootEvent) {
+        HandleRootEvent(env->payload);
+        transport_->buffer_pool()->Release(std::move(env->payload));
+      }
+    }
+  }
+  outbox_->Flush();
+  thread_cpu->Set(ThreadCpuNanos());
+}
+
+void HeronInstance::ProcessRoutedBatch(const serde::Buffer& payload) {
+  proto::TupleBatchMsg batch;
+  if (!batch.ParseFromBytes(payload).ok()) {
+    HLOG(ERROR) << "task " << options_.task << " dropping malformed batch";
+    return;
+  }
+  api::Tuple tuple;
+  proto::TupleDataMsg msg;
+  for (const serde::Buffer& tuple_bytes : batch.tuples) {
+    msg.Clear();
+    if (!msg.ParseFromBytes(tuple_bytes).ok()) continue;
+    msg.ToTuple(batch.src_component, batch.stream, batch.src_task, &tuple);
+    executed_->Increment();
+    bolt_->Execute(tuple);
+  }
+}
+
+void HeronInstance::BoltLoop() {
+  metrics::Gauge* thread_cpu = metrics_.GetGauge("instance.thread.cpu.ns");
+  uint64_t iterations = 0;
+  bolt_->Prepare(options_.config, context_.get(), bolt_collector_.get());
+  while (true) {
+    auto env = inbound_.Recv();
+    if (!env.has_value()) break;  // Closed and drained.
+    if (env->type == proto::MessageType::kTupleBatchRouted) {
+      ProcessRoutedBatch(env->payload);
+      transport_->buffer_pool()->Release(std::move(env->payload));
+    }
+    outbox_->Flush();
+    if ((++iterations & 255) == 0) thread_cpu->Set(ThreadCpuNanos());
+  }
+  outbox_->Flush();
+  thread_cpu->Set(ThreadCpuNanos());
+}
+
+}  // namespace instance
+}  // namespace heron

@@ -1,0 +1,128 @@
+#ifndef HERON_INSTANCE_INSTANCE_H_
+#define HERON_INSTANCE_INSTANCE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "api/bolt.h"
+#include "api/context.h"
+#include "api/spout.h"
+#include "instance/outbox.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "metrics/metrics.h"
+#include "proto/physical_plan.h"
+#include "smgr/stream_manager.h"
+#include "smgr/transport.h"
+
+namespace heron {
+namespace instance {
+
+/// \brief A Heron Instance: one spout or bolt task on its own execution
+/// unit (§II: spouts and bolts "run on their own JVM"; §III-A: "every
+/// spout and bolt run as separate Heron Instances" for isolation).
+///
+/// The instance shares nothing with its peers: it constructs its own user
+/// object from the component factory, talks to the world only through the
+/// serialized instance ↔ SMGR wire, and runs on its own thread. Spouts
+/// additionally enforce the §V-B flow-control knob `max_spout_pending`
+/// ("the maximum number of tuples that can be pending on a spout task at
+/// any given time") and pause on the local SMGR's back-pressure flag.
+class HeronInstance {
+ public:
+  struct Options {
+    TaskId task = -1;
+    /// Merged topology + cluster configuration handed to user code.
+    Config config;
+    bool acking = false;
+    /// Maximum outstanding (unacked) spout roots; 0 = unbounded. Only
+    /// meaningful with acking.
+    int64_t max_spout_pending = 0;
+    size_t inbound_capacity = 1 << 16;
+    size_t emit_batch_tuples = 64;
+    uint64_t seed = 7;
+  };
+
+  /// \param local_smgr  the container's SMGR, for the back-pressure flag
+  ///        (may be null in unit tests; spouts then never pause).
+  HeronInstance(const Options& options,
+                std::shared_ptr<const proto::PhysicalPlan> plan,
+                smgr::Transport* transport, const Clock* clock,
+                smgr::StreamManager* local_smgr);
+  ~HeronInstance();
+
+  HeronInstance(const HeronInstance&) = delete;
+  HeronInstance& operator=(const HeronInstance&) = delete;
+
+  /// Creates the user spout/bolt, registers the inbound channel, spawns
+  /// the executor thread.
+  Status Start();
+  /// Closes the channel, joins, runs user Close/Cleanup. Idempotent.
+  void Stop();
+
+  smgr::EnvelopeChannel* inbound() { return &inbound_; }
+  metrics::MetricsRegistry* metrics() { return &metrics_; }
+  TaskId task() const { return options_.task; }
+  const ComponentId& component() const { return component_; }
+
+  /// Outstanding spout roots (acking mode); for tests and flow control.
+  int64_t pending_count() const {
+    return pending_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class SpoutCollector;
+  class BoltCollector;
+
+  void SpoutLoop();
+  void BoltLoop();
+  void HandleRootEvent(const serde::Buffer& payload);
+  void ProcessRoutedBatch(const serde::Buffer& payload);
+
+  Options options_;
+  std::shared_ptr<const proto::PhysicalPlan> plan_;
+  smgr::Transport* transport_;
+  const Clock* clock_;
+  smgr::StreamManager* local_smgr_;
+
+  ComponentId component_;
+  ContainerId container_ = -1;
+  bool is_spout_ = false;
+
+  smgr::EnvelopeChannel inbound_;
+  std::unique_ptr<Outbox> outbox_;
+  std::unique_ptr<api::TopologyContext> context_;
+  std::unique_ptr<api::ISpout> spout_;
+  std::unique_ptr<api::IBolt> bolt_;
+  std::unique_ptr<SpoutCollector> spout_collector_;
+  std::unique_ptr<BoltCollector> bolt_collector_;
+  Random rng_;
+  metrics::MetricsRegistry metrics_;
+
+  /// Spout bookkeeping: root → (user message id, emit time).
+  struct PendingRoot {
+    int64_t message_id = 0;
+    int64_t emit_time_nanos = 0;
+  };
+  std::map<api::TupleKey, PendingRoot> pending_roots_;
+  std::atomic<int64_t> pending_count_{0};
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  bool registered_ = false;
+  bool started_ = false;
+
+  // Hot-path metric handles.
+  metrics::Counter* emitted_;
+  metrics::Counter* executed_;
+  metrics::Counter* acked_;
+  metrics::Counter* failed_;
+  metrics::Histogram* complete_latency_;
+};
+
+}  // namespace instance
+}  // namespace heron
+
+#endif  // HERON_INSTANCE_INSTANCE_H_

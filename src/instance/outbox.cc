@@ -1,0 +1,88 @@
+#include "instance/outbox.h"
+
+#include "common/logging.h"
+
+namespace heron {
+namespace instance {
+
+namespace tbf = proto::tuple_batch_fields;
+
+Outbox::Outbox(TaskId task, ComponentId component, ContainerId container,
+               smgr::Transport* transport, size_t flush_tuples)
+    : task_(task),
+      component_(component),
+      container_(container),
+      transport_(transport),
+      flush_tuples_(flush_tuples == 0 ? 1 : flush_tuples) {}
+
+void Outbox::EmitTuple(const StreamId& stream,
+                       const proto::TupleDataMsg& msg) {
+  auto it = pending_.find(stream);
+  if (it == pending_.end()) {
+    PendingBatch fresh;
+    fresh.buffer = transport_->buffer_pool()->Acquire();
+    serde::WireEncoder enc(&fresh.buffer);
+    enc.WriteInt32Field(tbf::kSrcTask, task_);
+    // dest_task is routed by the SMGR; -1 marks the batch unrouted.
+    enc.WriteInt32Field(tbf::kDestTask, -1);
+    enc.WriteBytesField(tbf::kStream, stream);
+    enc.WriteBytesField(tbf::kSrcComponent, component_);
+    it = pending_.emplace(stream, std::move(fresh)).first;
+  }
+  PendingBatch& batch = it->second;
+  serde::WireEncoder enc(&batch.buffer);
+  const size_t mark = enc.BeginLengthDelimited(tbf::kTuple);
+  msg.SerializeTo(&enc);
+  enc.EndLengthDelimited(mark);
+  ++batch.count;
+  ++tuples_emitted_;
+  if (batch.count >= flush_tuples_) {
+    FlushStream(stream, &batch);
+  }
+}
+
+void Outbox::AddAckUpdate(TaskId owner_task, const proto::AckUpdate& update) {
+  proto::AckBatchMsg& batch = pending_acks_[owner_task];
+  batch.dest_task = owner_task;
+  batch.updates.push_back(update);
+}
+
+void Outbox::FlushStream(const StreamId& stream, PendingBatch* batch) {
+  if (batch->count == 0) return;
+  smgr::EnvelopeChannel* channel = transport_->SmgrChannel(container_);
+  if (channel == nullptr) {
+    HLOG(WARNING) << "task " << task_
+                  << " has no local smgr; dropping batch";
+  } else {
+    const Status st = channel->Send(proto::Envelope(
+        proto::MessageType::kTupleBatch, std::move(batch->buffer)));
+    if (st.ok()) ++batches_sent_;
+  }
+  batch->buffer = serde::Buffer();
+  batch->count = 0;
+  pending_.erase(stream);
+}
+
+void Outbox::Flush() {
+  while (!pending_.empty()) {
+    auto it = pending_.begin();
+    const StreamId stream = it->first;
+    FlushStream(stream, &it->second);
+  }
+  if (!pending_acks_.empty()) {
+    smgr::EnvelopeChannel* channel = transport_->SmgrChannel(container_);
+    for (auto& [owner, batch] : pending_acks_) {
+      if (channel == nullptr) break;
+      serde::Buffer payload = transport_->buffer_pool()->Acquire();
+      serde::WireEncoder enc(&payload);
+      batch.SerializeTo(&enc);
+      channel->Send(
+          proto::Envelope(proto::MessageType::kAckBatch, std::move(payload)))
+          .ok();
+    }
+    pending_acks_.clear();
+  }
+}
+
+}  // namespace instance
+}  // namespace heron

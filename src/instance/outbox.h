@@ -1,0 +1,66 @@
+#ifndef HERON_INSTANCE_OUTBOX_H_
+#define HERON_INSTANCE_OUTBOX_H_
+
+#include <map>
+#include <string>
+
+#include "common/ids.h"
+#include "proto/messages.h"
+#include "smgr/transport.h"
+
+namespace heron {
+namespace instance {
+
+/// \brief The instance-side half of the instance → Stream Manager wire:
+/// serializes emitted tuples into per-stream batches and ack updates into
+/// per-owner batches, and ships them to the local SMGR.
+///
+/// Tuples leave the instance as bytes — the executor serializes exactly
+/// once, the SMGR routes the serialized form (§V-A), and only the
+/// receiving instance deserializes. Sends block when the SMGR inbound is
+/// full; that is safe because the SMGR loop never blocks, so it always
+/// drains.
+class Outbox {
+ public:
+  /// \param flush_tuples  per-stream batch size that triggers a flush
+  Outbox(TaskId task, ComponentId component, ContainerId container,
+         smgr::Transport* transport, size_t flush_tuples = 64);
+
+  /// Serializes and stages one tuple on `stream`; auto-flushes the stream's
+  /// batch at the threshold.
+  void EmitTuple(const StreamId& stream, const proto::TupleDataMsg& msg);
+
+  /// Stages one ack update toward `owner_task`'s container.
+  void AddAckUpdate(TaskId owner_task, const proto::AckUpdate& update);
+
+  /// Ships every staged batch. Called by the executor at the end of each
+  /// loop iteration so nothing lingers while the instance waits for input.
+  void Flush();
+
+  uint64_t tuples_emitted() const { return tuples_emitted_; }
+  uint64_t batches_sent() const { return batches_sent_; }
+
+ private:
+  struct PendingBatch {
+    serde::Buffer buffer;  ///< TupleBatchMsg header + appended tuples.
+    size_t count = 0;
+  };
+
+  void FlushStream(const StreamId& stream, PendingBatch* batch);
+
+  TaskId task_;
+  ComponentId component_;
+  ContainerId container_;
+  smgr::Transport* transport_;
+  size_t flush_tuples_;
+
+  std::map<StreamId, PendingBatch> pending_;
+  std::map<TaskId, proto::AckBatchMsg> pending_acks_;
+  uint64_t tuples_emitted_ = 0;
+  uint64_t batches_sent_ = 0;
+};
+
+}  // namespace instance
+}  // namespace heron
+
+#endif  // HERON_INSTANCE_OUTBOX_H_

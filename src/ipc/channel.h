@@ -1,0 +1,140 @@
+#ifndef HERON_IPC_CHANNEL_H_
+#define HERON_IPC_CHANNEL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/status.h"
+
+namespace heron {
+namespace ipc {
+
+/// \brief Bounded multi-producer/multi-consumer message channel — the IPC
+/// kernel of Fig. 1.
+///
+/// In the paper's deployment the modules are separate processes connected
+/// by sockets; here each module runs on its own thread and a Channel is
+/// the socket stand-in. The semantics that matter for fidelity are
+/// preserved: payloads cross the boundary only as serialized bytes
+/// (enforced by the Envelope discipline, not by this class), and capacity
+/// is bounded so a slow consumer exerts back pressure on producers exactly
+/// as a full TCP window would.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(size_t capacity) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks until space is available (back pressure) or the channel is
+  /// closed. kCancelled after Close.
+  Status Send(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return Status::Cancelled("channel closed");
+    queue_.push_back(std::move(item));
+    ++total_enqueued_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return Status::OK();
+  }
+
+  /// Non-blocking send; kResourceExhausted when full, kCancelled when
+  /// closed. Takes an rvalue reference and moves only on success, so the
+  /// caller keeps the item (and can park it for retry) on failure.
+  Status TrySend(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return Status::Cancelled("channel closed");
+      if (queue_.size() >= capacity_) {
+        return Status::ResourceExhausted("channel full");
+      }
+      queue_.push_back(std::move(item));
+      ++total_enqueued_;
+    }
+    not_empty_.notify_one();
+    return Status::OK();
+  }
+
+  /// Blocks until an item arrives or the channel is closed *and* drained.
+  /// std::nullopt signals end of stream.
+  std::optional<T> Recv() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    return PopLocked(&lock);
+  }
+
+  /// Like Recv but gives up after `timeout`; std::nullopt on timeout or
+  /// end of stream (check closed() to distinguish).
+  std::optional<T> RecvFor(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !queue_.empty(); })) {
+      return std::nullopt;
+    }
+    return PopLocked(&lock);
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> TryRecv() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    return PopLocked(&lock);
+  }
+
+  /// Closes the channel: senders fail immediately; receivers drain the
+  /// remaining items and then see end of stream.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Total items ever enqueued; a cheap throughput probe for tests.
+  uint64_t total_enqueued() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_enqueued_;
+  }
+
+ private:
+  std::optional<T> PopLocked(std::unique_lock<std::mutex>* lock) {
+    if (queue_.empty()) return std::nullopt;  // Closed and drained.
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    lock->unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+  uint64_t total_enqueued_ = 0;
+};
+
+}  // namespace ipc
+}  // namespace heron
+
+#endif  // HERON_IPC_CHANNEL_H_

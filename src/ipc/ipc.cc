@@ -1,0 +1,3 @@
+#include "ipc/channel.h"
+
+// Channel is a header-only template; this TU anchors the heron_ipc target.

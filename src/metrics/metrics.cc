@@ -1,0 +1,118 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/strings.h"
+
+namespace heron {
+namespace metrics {
+
+int Histogram::BucketOf(uint64_t value) {
+  return value == 0 ? 0 : 64 - std::countl_zero(value);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[std::min(BucketOf(value), 63)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (value < prev_min &&
+         !min_.compare_exchange_weak(prev_min, value,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (value > prev_max &&
+         !max_.compare_exchange_weak(prev_max, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1));
+  uint64_t seen = 0;
+  for (int b = 0; b < 64; ++b) {
+    const uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (seen + in_bucket > rank) {
+      // Interpolate within [2^(b-1), 2^b).
+      const uint64_t lo = b == 0 ? 0 : (1ULL << (b - 1));
+      const uint64_t hi = b == 0 ? 1 : (b >= 63 ? UINT64_MAX : (1ULL << b));
+      const double frac = in_bucket == 0
+                              ? 0.0
+                              : static_cast<double>(rank - seen) /
+                                    static_cast<double>(in_bucket);
+      const uint64_t est =
+          lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+      return std::clamp(est, min(), max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+uint64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<Sample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Sample> out;
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, static_cast<double>(g->value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back({name + ".count", static_cast<double>(h->count())});
+    out.push_back({name + ".mean", h->Mean()});
+    out.push_back({name + ".p50", static_cast<double>(h->Quantile(0.5))});
+    out.push_back({name + ".p99", static_cast<double>(h->Quantile(0.99))});
+    out.push_back({name + ".max", static_cast<double>(h->max())});
+  }
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace heron

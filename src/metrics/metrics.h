@@ -1,0 +1,98 @@
+#ifndef HERON_METRICS_METRICS_H_
+#define HERON_METRICS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace heron {
+namespace metrics {
+
+/// \brief Monotonic event counter. Lock-free increments; safe from any
+/// thread on the data plane.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins level metric (queue depth, pending tuples, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Log2-bucketed latency/size histogram with approximate quantiles.
+///
+/// 64 buckets cover the full uint64 range; Record is wait-free. Quantile
+/// reads interpolate within the winning bucket, which is accurate to the
+/// bucket resolution — sufficient for the latency *shapes* the paper's
+/// figures report (tens of ms with 2-4x deltas).
+class Histogram {
+ public:
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  /// q in [0,1]; returns 0 when empty.
+  uint64_t Quantile(double q) const;
+  uint64_t min() const;
+  uint64_t max() const;
+  void Reset();
+
+ private:
+  static int BucketOf(uint64_t value);
+
+  std::atomic<uint64_t> buckets_[64] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// \brief One flattened metric sample.
+struct Sample {
+  std::string name;
+  double value = 0;
+};
+
+/// \brief Named metric registry, one per module instance (each Heron
+/// Instance, each SMGR). Creation is synchronized; hot-path access goes
+/// through the returned stable pointers.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Flattens every metric into samples (histograms expand into
+  /// .count/.mean/.p50/.p99/.max).
+  std::vector<Sample> Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace metrics
+}  // namespace heron
+
+#endif  // HERON_METRICS_METRICS_H_

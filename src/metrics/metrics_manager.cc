@@ -1,0 +1,97 @@
+#include "metrics/metrics_manager.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace heron {
+namespace metrics {
+
+void InMemorySink::Flush(const std::string& source,
+                         const std::vector<Sample>& samples,
+                         int64_t collected_at_nanos) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back({source, samples, collected_at_nanos});
+}
+
+std::vector<InMemorySink::Entry> InMemorySink::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+double InMemorySink::Latest(const std::string& source, const std::string& name,
+                            double fallback) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->source != source) continue;
+    for (const auto& s : it->samples) {
+      if (s.name == name) return s.value;
+    }
+  }
+  return fallback;
+}
+
+void ConsoleSink::Flush(const std::string& source,
+                        const std::vector<Sample>& samples,
+                        int64_t collected_at_nanos) {
+  for (const auto& s : samples) {
+    std::fprintf(stderr, "[metrics %lld] %s %s = %.3f\n",
+                 static_cast<long long>(collected_at_nanos / 1000000),
+                 source.c_str(), s.name.c_str(), s.value);
+  }
+}
+
+Status MetricsManager::RegisterSource(const std::string& source,
+                                      MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("null metrics registry");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!sources_.emplace(source, registry).second) {
+    return Status::AlreadyExists(
+        StrFormat("metrics source '%s' already registered", source.c_str()));
+  }
+  return Status::OK();
+}
+
+Status MetricsManager::RemoveSource(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sources_.erase(source) == 0) {
+    return Status::NotFound(
+        StrFormat("metrics source '%s' not registered", source.c_str()));
+  }
+  return Status::OK();
+}
+
+void MetricsManager::AddSink(std::shared_ptr<IMetricsSink> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.push_back(std::move(sink));
+}
+
+void MetricsManager::Collect() {
+  std::map<std::string, MetricsRegistry*> sources;
+  std::vector<std::shared_ptr<IMetricsSink>> sinks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sources = sources_;
+    sinks = sinks_;
+  }
+  const int64_t now = clock_->NowNanos();
+  for (const auto& [source, registry] : sources) {
+    const auto samples = registry->Snapshot();
+    for (const auto& sink : sinks) {
+      sink->Flush(source, samples, now);
+    }
+  }
+}
+
+std::vector<std::string> MetricsManager::Sources() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const auto& [name, _] : sources_) names.push_back(name);
+  return names;
+}
+
+}  // namespace metrics
+}  // namespace heron

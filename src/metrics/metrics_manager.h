@@ -1,0 +1,92 @@
+#ifndef HERON_METRICS_METRICS_MANAGER_H_
+#define HERON_METRICS_METRICS_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "metrics/metrics.h"
+
+namespace heron {
+namespace metrics {
+
+/// \brief Destination for collected metrics; pluggable like every other
+/// Heron module.
+class IMetricsSink {
+ public:
+  virtual ~IMetricsSink() = default;
+  /// Receives one collection round: (source process name, samples).
+  virtual void Flush(const std::string& source,
+                     const std::vector<Sample>& samples,
+                     int64_t collected_at_nanos) = 0;
+};
+
+/// \brief Sink that retains everything in memory; used by tests and by the
+/// benchmark harness to read back component breakdowns (Fig. 14).
+class InMemorySink final : public IMetricsSink {
+ public:
+  struct Entry {
+    std::string source;
+    std::vector<Sample> samples;
+    int64_t collected_at_nanos;
+  };
+
+  void Flush(const std::string& source, const std::vector<Sample>& samples,
+             int64_t collected_at_nanos) override;
+
+  std::vector<Entry> entries() const;
+  /// Latest value of `source`/`name`, or fallback.
+  double Latest(const std::string& source, const std::string& name,
+                double fallback = 0) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+/// \brief Sink that prints one line per sample to stderr; for examples.
+class ConsoleSink final : public IMetricsSink {
+ public:
+  void Flush(const std::string& source, const std::vector<Sample>& samples,
+             int64_t collected_at_nanos) override;
+};
+
+/// \brief The per-container Metrics Manager (§II: "collects several
+/// metrics about the status of the processes in a container").
+///
+/// Processes in the container (the SMGR, each Heron Instance) register
+/// their MetricsRegistry under a source name; Collect() snapshots every
+/// registry and forwards to the configured sinks. The container runtime
+/// calls Collect on its housekeeping interval; tests call it directly.
+class MetricsManager {
+ public:
+  explicit MetricsManager(const Clock* clock) : clock_(clock) {}
+
+  /// Registers a process's registry under `source`. The registry must
+  /// outlive the manager or be removed first.
+  Status RegisterSource(const std::string& source, MetricsRegistry* registry);
+  Status RemoveSource(const std::string& source);
+
+  void AddSink(std::shared_ptr<IMetricsSink> sink);
+
+  /// Snapshots every source into every sink.
+  void Collect();
+
+  std::vector<std::string> Sources() const;
+
+ private:
+  const Clock* clock_;
+  mutable std::mutex mutex_;
+  std::map<std::string, MetricsRegistry*> sources_;
+  std::vector<std::shared_ptr<IMetricsSink>> sinks_;
+};
+
+}  // namespace metrics
+}  // namespace heron
+
+#endif  // HERON_METRICS_METRICS_MANAGER_H_

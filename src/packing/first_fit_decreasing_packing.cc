@@ -1,0 +1,94 @@
+#include "packing/first_fit_decreasing_packing.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace heron {
+namespace packing {
+
+Status FirstFitDecreasingPacking::Initialize(
+    const Config& config, std::shared_ptr<const api::Topology> topology) {
+  if (topology == nullptr) {
+    return Status::InvalidArgument("FirstFitDecreasingPacking: null topology");
+  }
+  config_ = config.MergedWith(topology->config());
+  topology_ = std::move(topology);
+  return Status::OK();
+}
+
+Result<PackingPlan> FirstFitDecreasingPacking::Pack() {
+  if (topology_ == nullptr) {
+    return Status::FailedPrecondition(
+        "FirstFitDecreasingPacking not initialized");
+  }
+  const Resource capacity = internal::ContainerCapacityFromConfig(config_);
+  const Resource usable = capacity - ContainerOverhead();
+
+  std::vector<InstancePlan> instances =
+      internal::EnumerateInstances(*topology_);
+  // Decreasing by RAM (the typically binding dimension), then CPU; ties
+  // broken by task id for determinism.
+  std::stable_sort(instances.begin(), instances.end(),
+                   [](const InstancePlan& a, const InstancePlan& b) {
+                     if (a.resources.ram_mb != b.resources.ram_mb) {
+                       return a.resources.ram_mb > b.resources.ram_mb;
+                     }
+                     if (a.resources.cpu != b.resources.cpu) {
+                       return a.resources.cpu > b.resources.cpu;
+                     }
+                     return a.task_id < b.task_id;
+                   });
+
+  std::vector<ContainerPlan> containers;
+  for (auto& inst : instances) {
+    if (!usable.Fits(inst.resources)) {
+      return Status::ResourceExhausted(StrFormat(
+          "instance of '%s' demands %s, beyond usable container capacity %s",
+          inst.component.c_str(), inst.resources.ToString().c_str(),
+          usable.ToString().c_str()));
+    }
+    bool placed = false;
+    for (auto& c : containers) {
+      const Resource free = usable - c.InstanceTotal();
+      if (free.Fits(inst.resources)) {
+        c.instances.push_back(inst);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      ContainerPlan fresh;
+      fresh.id = static_cast<ContainerId>(containers.size());
+      fresh.instances.push_back(inst);
+      containers.push_back(std::move(fresh));
+    }
+  }
+  for (auto& c : containers) {
+    c.required = c.InstanceTotal() + ContainerOverhead();
+    // Instances within a container in task order, for readable plans.
+    std::sort(c.instances.begin(), c.instances.end(),
+              [](const InstancePlan& a, const InstancePlan& b) {
+                return a.task_id < b.task_id;
+              });
+  }
+
+  PackingPlan plan(topology_->name(), std::move(containers));
+  HERON_RETURN_NOT_OK(plan.Validate(/*require_dense_task_ids=*/true));
+  return plan;
+}
+
+Result<PackingPlan> FirstFitDecreasingPacking::Repack(
+    const PackingPlan& current,
+    const std::map<ComponentId, int>& parallelism_changes) {
+  if (topology_ == nullptr) {
+    return Status::FailedPrecondition(
+        "FirstFitDecreasingPacking not initialized");
+  }
+  return internal::RepackMinimalDisruption(
+      *topology_, current, parallelism_changes,
+      internal::ContainerCapacityFromConfig(config_));
+}
+
+}  // namespace packing
+}  // namespace heron

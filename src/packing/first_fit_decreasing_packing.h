@@ -1,0 +1,39 @@
+#ifndef HERON_PACKING_FIRST_FIT_DECREASING_PACKING_H_
+#define HERON_PACKING_FIRST_FIT_DECREASING_PACKING_H_
+
+#include <memory>
+
+#include "packing/packing.h"
+
+namespace heron {
+namespace packing {
+
+/// \brief First-Fit-Decreasing bin packing (§IV-A: "a user who wants to
+/// reduce the total cost of running a topology in a pay-as-you-go
+/// environment can choose a Bin Packing algorithm that produces a packing
+/// plan with the minimum number of containers").
+///
+/// Containers are bins of the configured capacity
+/// (`heron.packing.container.{cpu,ram.mb,disk.mb}`); instances are sorted
+/// by RAM then CPU descending and placed into the first container that
+/// fits. FFD uses at most 11/9·OPT + 1 bins.
+class FirstFitDecreasingPacking final : public IPacking {
+ public:
+  Status Initialize(const Config& config,
+                    std::shared_ptr<const api::Topology> topology) override;
+  Result<PackingPlan> Pack() override;
+  Result<PackingPlan> Repack(
+      const PackingPlan& current,
+      const std::map<ComponentId, int>& parallelism_changes) override;
+  void Close() override {}
+  std::string Name() const override { return "FIRST_FIT_DECREASING"; }
+
+ private:
+  Config config_;
+  std::shared_ptr<const api::Topology> topology_;
+};
+
+}  // namespace packing
+}  // namespace heron
+
+#endif  // HERON_PACKING_FIRST_FIT_DECREASING_PACKING_H_

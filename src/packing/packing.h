@@ -1,0 +1,84 @@
+#ifndef HERON_PACKING_PACKING_H_
+#define HERON_PACKING_PACKING_H_
+
+#include <map>
+#include <memory>
+
+#include "api/topology.h"
+#include "common/config.h"
+#include "packing/packing_plan.h"
+
+namespace heron {
+namespace packing {
+
+/// \brief The Resource Manager's pluggable packing policy (§IV-A).
+///
+/// Direct C++ rendering of the paper's interface:
+///
+///   public interface ResourceManager {
+///     void initialize(Configuration conf, Topology topology)
+///     PackingPlan pack()
+///     PackingPlan repack(PackingPlan currentPlan, Map parallelismChanges)
+///     void close()
+///   }
+///
+/// "The Resource Manager is not a long-running Heron process but is
+/// invoked on-demand": implementations are constructed, initialized, asked
+/// for a plan, and closed. Different topologies on the same cluster may use
+/// different implementations.
+class IPacking {
+ public:
+  virtual ~IPacking() = default;
+
+  /// Binds the policy to a topology and its configuration. Must be called
+  /// exactly once before Pack/Repack.
+  virtual Status Initialize(const Config& config,
+                            std::shared_ptr<const api::Topology> topology) = 0;
+
+  /// Generates the initial packing plan for the topology ("invoked the
+  /// first time a topology is submitted").
+  virtual Result<PackingPlan> Pack() = 0;
+
+  /// Adjusts `current` for the requested parallelism deltas ("invoked
+  /// during topology scaling operations"). `parallelism_changes` maps
+  /// component id → *new absolute parallelism*. The built-in policies
+  /// minimize disruption: surviving instances keep their container and
+  /// task id; new instances first exploit free space in provisioned
+  /// containers.
+  virtual Result<PackingPlan> Repack(
+      const PackingPlan& current,
+      const std::map<ComponentId, int>& parallelism_changes) = 0;
+
+  virtual void Close() {}
+
+  /// Human-readable policy name ("ROUND_ROBIN", ...).
+  virtual std::string Name() const = 0;
+};
+
+namespace internal {
+
+/// Shared Repack implementation used by the built-in policies.
+///
+/// Keeps every surviving instance in place; removes scaled-down instances
+/// highest component_index first (so indices stay dense); places added
+/// instances into the container with the most free headroom under
+/// `capacity`, opening fresh containers when none fits. New task ids
+/// continue after the current maximum.
+Result<PackingPlan> RepackMinimalDisruption(
+    const api::Topology& topology, const PackingPlan& current,
+    const std::map<ComponentId, int>& parallelism_changes,
+    const Resource& capacity);
+
+/// Builds the flat instance list (task ids dense from 0, component
+/// declaration order) that initial packers distribute.
+std::vector<InstancePlan> EnumerateInstances(const api::Topology& topology);
+
+/// Reads per-container capacity hints from config with engine defaults.
+Resource ContainerCapacityFromConfig(const Config& config);
+
+}  // namespace internal
+
+}  // namespace packing
+}  // namespace heron
+
+#endif  // HERON_PACKING_PACKING_H_

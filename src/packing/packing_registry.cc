@@ -1,0 +1,62 @@
+#include "packing/packing_registry.h"
+
+#include "common/strings.h"
+#include "packing/first_fit_decreasing_packing.h"
+#include "packing/resource_compliant_rr_packing.h"
+#include "packing/round_robin_packing.h"
+
+namespace heron {
+namespace packing {
+
+PackingRegistry::PackingRegistry() {
+  factories_.emplace_back("ROUND_ROBIN", [] {
+    return std::make_unique<RoundRobinPacking>();
+  });
+  factories_.emplace_back("FIRST_FIT_DECREASING", [] {
+    return std::make_unique<FirstFitDecreasingPacking>();
+  });
+  factories_.emplace_back("RESOURCE_COMPLIANT_RR", [] {
+    return std::make_unique<ResourceCompliantRRPacking>();
+  });
+}
+
+PackingRegistry* PackingRegistry::Global() {
+  static PackingRegistry registry;
+  return &registry;
+}
+
+Status PackingRegistry::Register(const std::string& name, Factory factory) {
+  for (const auto& [existing, _] : factories_) {
+    if (existing == name) {
+      return Status::AlreadyExists(
+          StrFormat("packing policy '%s' already registered", name.c_str()));
+    }
+  }
+  factories_.emplace_back(name, std::move(factory));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<IPacking>> PackingRegistry::Create(
+    const std::string& name) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (existing == name) return factory();
+  }
+  return Status::NotFound(
+      StrFormat("no packing policy registered as '%s'", name.c_str()));
+}
+
+Result<std::unique_ptr<IPacking>> PackingRegistry::CreateFromConfig(
+    const Config& config) const {
+  return Create(
+      config.GetStringOr(config_keys::kPackingAlgorithm, "ROUND_ROBIN"));
+}
+
+std::vector<std::string> PackingRegistry::RegisteredNames() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace packing
+}  // namespace heron

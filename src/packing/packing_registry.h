@@ -1,0 +1,52 @@
+#ifndef HERON_PACKING_PACKING_REGISTRY_H_
+#define HERON_PACKING_PACKING_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "packing/packing.h"
+
+namespace heron {
+namespace packing {
+
+/// \brief Name → factory registry for packing policies.
+///
+/// The extensibility point of §IV-A: "Heron allows the application
+/// developer or the system administrator to create a new implementation
+/// for a specific Heron module ... and plug it in the system". Topologies
+/// choose their policy with `heron.packing.algorithm`; different
+/// topologies on the same cluster may name different policies. Built-ins
+/// (ROUND_ROBIN, FIRST_FIT_DECREASING, RESOURCE_COMPLIANT_RR) are
+/// pre-registered; user policies register at startup.
+class PackingRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<IPacking>()>;
+
+  /// The process-wide registry.
+  static PackingRegistry* Global();
+
+  /// Registers `factory` under `name`; kAlreadyExists if taken.
+  Status Register(const std::string& name, Factory factory);
+
+  /// Instantiates the policy registered as `name`.
+  Result<std::unique_ptr<IPacking>> Create(const std::string& name) const;
+
+  /// Instantiates the policy selected by `heron.packing.algorithm`
+  /// (default ROUND_ROBIN).
+  Result<std::unique_ptr<IPacking>> CreateFromConfig(
+      const Config& config) const;
+
+  std::vector<std::string> RegisteredNames() const;
+
+ private:
+  PackingRegistry();
+
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+}  // namespace packing
+}  // namespace heron
+
+#endif  // HERON_PACKING_PACKING_REGISTRY_H_

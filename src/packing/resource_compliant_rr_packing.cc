@@ -1,0 +1,95 @@
+#include "packing/resource_compliant_rr_packing.h"
+
+#include "common/strings.h"
+
+namespace heron {
+namespace packing {
+
+Status ResourceCompliantRRPacking::Initialize(
+    const Config& config, std::shared_ptr<const api::Topology> topology) {
+  if (topology == nullptr) {
+    return Status::InvalidArgument("ResourceCompliantRRPacking: null topology");
+  }
+  config_ = config.MergedWith(topology->config());
+  topology_ = std::move(topology);
+  return Status::OK();
+}
+
+Result<PackingPlan> ResourceCompliantRRPacking::Pack() {
+  if (topology_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ResourceCompliantRRPacking not initialized");
+  }
+  const Resource capacity = internal::ContainerCapacityFromConfig(config_);
+  const Resource usable = capacity - ContainerOverhead();
+  const auto instances = internal::EnumerateInstances(*topology_);
+  const int64_t default_containers =
+      (static_cast<int64_t>(instances.size()) + 3) / 4;
+  const size_t initial = static_cast<size_t>(std::max<int64_t>(
+      1, config_.GetIntOr(config_keys::kNumContainersHint,
+                          default_containers)));
+
+  std::vector<ContainerPlan> containers(std::min(initial, instances.size()));
+  for (size_t c = 0; c < containers.size(); ++c) {
+    containers[c].id = static_cast<ContainerId>(c);
+  }
+
+  size_t cursor = 0;
+  for (const auto& inst : instances) {
+    if (!usable.Fits(inst.resources)) {
+      return Status::ResourceExhausted(StrFormat(
+          "instance of '%s' demands %s, beyond usable container capacity %s",
+          inst.component.c_str(), inst.resources.ToString().c_str(),
+          usable.ToString().c_str()));
+    }
+    // Probe one full rotation starting at the cursor; grow the ring when
+    // every container is full.
+    bool placed = false;
+    for (size_t probe = 0; probe < containers.size(); ++probe) {
+      ContainerPlan& c = containers[(cursor + probe) % containers.size()];
+      const Resource free = usable - c.InstanceTotal();
+      if (free.Fits(inst.resources)) {
+        c.instances.push_back(inst);
+        cursor = (cursor + probe + 1) % containers.size();
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      ContainerPlan fresh;
+      fresh.id = static_cast<ContainerId>(containers.size());
+      fresh.instances.push_back(inst);
+      containers.push_back(std::move(fresh));
+      cursor = 0;
+    }
+  }
+
+  // Drop containers that received nothing (possible when the hint exceeds
+  // the instance count after capacity-driven growth reshuffles placement).
+  std::vector<ContainerPlan> live;
+  for (auto& c : containers) {
+    if (!c.instances.empty()) {
+      c.required = c.InstanceTotal() + ContainerOverhead();
+      live.push_back(std::move(c));
+    }
+  }
+
+  PackingPlan plan(topology_->name(), std::move(live));
+  HERON_RETURN_NOT_OK(plan.Validate(/*require_dense_task_ids=*/true));
+  return plan;
+}
+
+Result<PackingPlan> ResourceCompliantRRPacking::Repack(
+    const PackingPlan& current,
+    const std::map<ComponentId, int>& parallelism_changes) {
+  if (topology_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ResourceCompliantRRPacking not initialized");
+  }
+  return internal::RepackMinimalDisruption(
+      *topology_, current, parallelism_changes,
+      internal::ContainerCapacityFromConfig(config_));
+}
+
+}  // namespace packing
+}  // namespace heron

@@ -1,0 +1,40 @@
+#ifndef HERON_PACKING_RESOURCE_COMPLIANT_RR_PACKING_H_
+#define HERON_PACKING_RESOURCE_COMPLIANT_RR_PACKING_H_
+
+#include <memory>
+
+#include "packing/packing.h"
+
+namespace heron {
+namespace packing {
+
+/// \brief Round robin constrained by container capacity.
+///
+/// The middle ground between the two §IV-A extremes: instances rotate over
+/// an open set of containers (balance, like ROUND_ROBIN) but a container is
+/// skipped once the next instance would overflow the configured capacity
+/// (compliance, like bin packing). Starts from a container-count hint and
+/// grows the ring only when every container is full. This mirrors Heron's
+/// ResourceCompliantRRPacking and exercises user-defined policies beyond
+/// the two the paper names ("Heron's architecture is flexible enough to
+/// incorporate user-defined resource management policies").
+class ResourceCompliantRRPacking final : public IPacking {
+ public:
+  Status Initialize(const Config& config,
+                    std::shared_ptr<const api::Topology> topology) override;
+  Result<PackingPlan> Pack() override;
+  Result<PackingPlan> Repack(
+      const PackingPlan& current,
+      const std::map<ComponentId, int>& parallelism_changes) override;
+  void Close() override {}
+  std::string Name() const override { return "RESOURCE_COMPLIANT_RR"; }
+
+ private:
+  Config config_;
+  std::shared_ptr<const api::Topology> topology_;
+};
+
+}  // namespace packing
+}  // namespace heron
+
+#endif  // HERON_PACKING_RESOURCE_COMPLIANT_RR_PACKING_H_

@@ -1,0 +1,67 @@
+#include "packing/round_robin_packing.h"
+
+#include "common/strings.h"
+
+namespace heron {
+namespace packing {
+
+Status RoundRobinPacking::Initialize(
+    const Config& config, std::shared_ptr<const api::Topology> topology) {
+  if (topology == nullptr) {
+    return Status::InvalidArgument("RoundRobinPacking: null topology");
+  }
+  config_ = config.MergedWith(topology->config());
+  topology_ = std::move(topology);
+  return Status::OK();
+}
+
+Result<PackingPlan> RoundRobinPacking::Pack() {
+  if (topology_ == nullptr) {
+    return Status::FailedPrecondition("RoundRobinPacking not initialized");
+  }
+  const auto instances = internal::EnumerateInstances(*topology_);
+  const int64_t default_containers =
+      (static_cast<int64_t>(instances.size()) + 3) / 4;
+  const int64_t num_containers = config_.GetIntOr(
+      config_keys::kNumContainersHint, default_containers);
+  if (num_containers < 1) {
+    return Status::InvalidArgument(StrFormat(
+        "number of containers must be >= 1, got %lld",
+        static_cast<long long>(num_containers)));
+  }
+  const size_t n = std::min<size_t>(static_cast<size_t>(num_containers),
+                                    instances.size());
+
+  std::vector<ContainerPlan> containers(n);
+  for (size_t c = 0; c < n; ++c) {
+    containers[c].id = static_cast<ContainerId>(c);
+  }
+  for (size_t i = 0; i < instances.size(); ++i) {
+    containers[i % n].instances.push_back(instances[i]);
+  }
+  for (auto& c : containers) {
+    c.required = c.InstanceTotal() + ContainerOverhead();
+  }
+
+  PackingPlan plan(topology_->name(), std::move(containers));
+  HERON_RETURN_NOT_OK(plan.Validate(/*require_dense_task_ids=*/true));
+  return plan;
+}
+
+Result<PackingPlan> RoundRobinPacking::Repack(
+    const PackingPlan& current,
+    const std::map<ComponentId, int>& parallelism_changes) {
+  if (topology_ == nullptr) {
+    return Status::FailedPrecondition("RoundRobinPacking not initialized");
+  }
+  // Free space in existing containers is bounded by the largest container
+  // already provisioned, so scaling up prefers balance over growth.
+  Resource capacity =
+      Resource::Max(current.MaxContainerResource(),
+                    internal::ContainerCapacityFromConfig(config_));
+  return internal::RepackMinimalDisruption(*topology_, current,
+                                           parallelism_changes, capacity);
+}
+
+}  // namespace packing
+}  // namespace heron

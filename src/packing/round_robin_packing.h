@@ -1,0 +1,38 @@
+#ifndef HERON_PACKING_ROUND_ROBIN_PACKING_H_
+#define HERON_PACKING_ROUND_ROBIN_PACKING_H_
+
+#include <memory>
+
+#include "packing/packing.h"
+
+namespace heron {
+namespace packing {
+
+/// \brief Round-robin packing (§IV-A: "a user who wants to optimize for
+/// load balancing can use a simple Round Robin algorithm to assign Heron
+/// Instances to containers").
+///
+/// Distributes instances cyclically over a fixed number of containers
+/// (config `heron.packing.num.containers`, defaulting to
+/// ceil(instances / 4)). Containers come out balanced in instance count;
+/// per-container resources are the sum of what landed there plus overhead.
+class RoundRobinPacking final : public IPacking {
+ public:
+  Status Initialize(const Config& config,
+                    std::shared_ptr<const api::Topology> topology) override;
+  Result<PackingPlan> Pack() override;
+  Result<PackingPlan> Repack(
+      const PackingPlan& current,
+      const std::map<ComponentId, int>& parallelism_changes) override;
+  void Close() override {}
+  std::string Name() const override { return "ROUND_ROBIN"; }
+
+ private:
+  Config config_;
+  std::shared_ptr<const api::Topology> topology_;
+};
+
+}  // namespace packing
+}  // namespace heron
+
+#endif  // HERON_PACKING_ROUND_ROBIN_PACKING_H_

@@ -1,0 +1,477 @@
+#include "proto/messages.h"
+
+#include "common/strings.h"
+
+namespace heron {
+namespace proto {
+
+namespace {
+// TupleDataMsg fields.
+constexpr uint32_t kTdKey = 1;
+constexpr uint32_t kTdRoot = 2;
+constexpr uint32_t kTdEmitTime = 3;
+constexpr uint32_t kTdValues = 4;
+// TupleBatchMsg fields (public: tuple_batch_fields in the header).
+constexpr uint32_t kTbSrcTask = tuple_batch_fields::kSrcTask;
+constexpr uint32_t kTbDestTask = tuple_batch_fields::kDestTask;
+constexpr uint32_t kTbStream = tuple_batch_fields::kStream;
+constexpr uint32_t kTbSrcComponent = tuple_batch_fields::kSrcComponent;
+constexpr uint32_t kTbTuple = tuple_batch_fields::kTuple;
+// AckBatchMsg fields.
+constexpr uint32_t kAbDestTask = 1;
+constexpr uint32_t kAbUpdate = 2;
+// AckUpdate fields.
+constexpr uint32_t kAuRoot = 1;
+constexpr uint32_t kAuXor = 2;
+constexpr uint32_t kAuFail = 3;
+// RootEventMsg fields.
+constexpr uint32_t kReRoot = 1;
+constexpr uint32_t kReFail = 2;
+// TMasterLocationMsg fields.
+constexpr uint32_t kTmTopology = 1;
+constexpr uint32_t kTmHost = 2;
+constexpr uint32_t kTmPort = 3;
+constexpr uint32_t kTmControllerPort = 4;
+}  // namespace
+
+void TupleDataMsg::SerializeTo(serde::WireEncoder* enc) const {
+  enc->WriteUint64Field(kTdKey, tuple_key);
+  for (const api::TupleKey root : roots) {
+    enc->WriteUint64Field(kTdRoot, root);
+  }
+  enc->WriteInt64Field(kTdEmitTime, emit_time_nanos);
+  const size_t mark = enc->BeginLengthDelimited(kTdValues);
+  enc->WriteVarint(values.size());
+  for (const auto& v : values) {
+    api::EncodeValue(v, enc);
+  }
+  enc->EndLengthDelimited(mark);
+}
+
+Status TupleDataMsg::ParseFrom(serde::WireDecoder* dec) {
+  while (!dec->AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec->ReadTag());
+    if (tag == 0) break;
+    switch (serde::TagFieldNumber(tag)) {
+      case kTdKey: {
+        HERON_ASSIGN_OR_RETURN(tuple_key, dec->ReadUint64());
+        break;
+      }
+      case kTdRoot: {
+        HERON_ASSIGN_OR_RETURN(api::TupleKey root, dec->ReadUint64());
+        roots.push_back(root);
+        break;
+      }
+      case kTdEmitTime: {
+        HERON_ASSIGN_OR_RETURN(emit_time_nanos, dec->ReadInt64());
+        break;
+      }
+      case kTdValues: {
+        HERON_ASSIGN_OR_RETURN(serde::BytesView blob, dec->ReadBytes());
+        serde::WireDecoder inner(blob);
+        HERON_ASSIGN_OR_RETURN(uint64_t count, inner.ReadVarint());
+        values.reserve(values.size() + count);
+        for (uint64_t i = 0; i < count; ++i) {
+          HERON_ASSIGN_OR_RETURN(api::Value v, api::DecodeValue(&inner));
+          values.push_back(std::move(v));
+        }
+        break;
+      }
+      default:
+        HERON_RETURN_NOT_OK(dec->SkipField(serde::TagWireType(tag)));
+    }
+  }
+  return Status::OK();
+}
+
+void TupleDataMsg::Clear() {
+  tuple_key = 0;
+  roots.clear();
+  emit_time_nanos = 0;
+  values.clear();
+}
+
+void TupleDataMsg::FromTuple(const api::Tuple& tuple) {
+  tuple_key = tuple.tuple_key();
+  roots = tuple.roots();
+  emit_time_nanos = tuple.emit_time_nanos();
+  values = tuple.values();
+}
+
+void TupleDataMsg::ToTuple(ComponentId source_component, StreamId stream,
+                           TaskId source_task, api::Tuple* out) const {
+  *out = api::Tuple(std::move(source_component), std::move(stream),
+                    source_task, values);
+  out->set_tuple_key(tuple_key);
+  out->set_roots(roots);
+  out->set_emit_time_nanos(emit_time_nanos);
+}
+
+void TupleBatchMsg::SerializeTo(serde::WireEncoder* enc) const {
+  enc->WriteInt32Field(kTbSrcTask, src_task);
+  enc->WriteInt32Field(kTbDestTask, dest_task);
+  enc->WriteStringField(kTbStream, stream);
+  enc->WriteStringField(kTbSrcComponent, src_component);
+  for (const auto& t : tuples) {
+    enc->WriteBytesField(kTbTuple, t);
+  }
+}
+
+Status TupleBatchMsg::ParseFrom(serde::WireDecoder* dec) {
+  while (!dec->AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec->ReadTag());
+    if (tag == 0) break;
+    switch (serde::TagFieldNumber(tag)) {
+      case kTbSrcTask: {
+        HERON_ASSIGN_OR_RETURN(src_task, dec->ReadInt32());
+        break;
+      }
+      case kTbDestTask: {
+        HERON_ASSIGN_OR_RETURN(dest_task, dec->ReadInt32());
+        break;
+      }
+      case kTbStream: {
+        HERON_ASSIGN_OR_RETURN(serde::BytesView v, dec->ReadBytes());
+        stream = std::string(v);
+        break;
+      }
+      case kTbSrcComponent: {
+        HERON_ASSIGN_OR_RETURN(serde::BytesView v, dec->ReadBytes());
+        src_component = std::string(v);
+        break;
+      }
+      case kTbTuple: {
+        HERON_ASSIGN_OR_RETURN(serde::BytesView v, dec->ReadBytes());
+        tuples.emplace_back(v);
+        break;
+      }
+      default:
+        HERON_RETURN_NOT_OK(dec->SkipField(serde::TagWireType(tag)));
+    }
+  }
+  return Status::OK();
+}
+
+void TupleBatchMsg::Clear() {
+  src_task = -1;
+  dest_task = -1;
+  stream = kDefaultStreamId;
+  src_component.clear();
+  tuples.clear();
+}
+
+Result<TaskId> PeekDestTask(serde::BytesView batch_bytes) {
+  serde::WireDecoder dec(batch_bytes);
+  while (!dec.AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec.ReadTag());
+    if (tag == 0) break;
+    if (serde::TagFieldNumber(tag) == kTbDestTask) {
+      return dec.ReadInt32();
+    }
+    HERON_RETURN_NOT_OK(dec.SkipField(serde::TagWireType(tag)));
+  }
+  return Status::NotFound("serialized batch has no dest_task field");
+}
+
+bool OverwriteDestTaskInPlace(serde::Buffer* batch_bytes, TaskId new_dest) {
+  serde::WireDecoder dec(*batch_bytes);
+  while (!dec.AtEnd()) {
+    auto tag = dec.ReadTag();
+    if (!tag.ok() || *tag == 0) return false;
+    if (serde::TagFieldNumber(*tag) == kTbDestTask) {
+      const size_t value_pos = dec.position();
+      auto old_val = dec.ReadVarint();
+      if (!old_val.ok()) return false;
+      const size_t old_width = dec.position() - value_pos;
+      // Encode the replacement and compare widths.
+      serde::Buffer scratch;
+      serde::WireEncoder enc(&scratch);
+      enc.WriteVarint(serde::ZigZagEncode(new_dest));
+      if (scratch.size() != old_width) return false;
+      batch_bytes->replace(value_pos, old_width, scratch);
+      return true;
+    }
+    if (!dec.SkipField(serde::TagWireType(*tag)).ok()) return false;
+  }
+  return false;
+}
+
+void AckBatchMsg::SerializeTo(serde::WireEncoder* enc) const {
+  enc->WriteInt32Field(kAbDestTask, dest_task);
+  for (const auto& u : updates) {
+    const size_t mark = enc->BeginLengthDelimited(kAbUpdate);
+    enc->WriteUint64Field(kAuRoot, u.root);
+    enc->WriteUint64Field(kAuXor, u.xor_value);
+    enc->WriteBoolField(kAuFail, u.fail);
+    enc->EndLengthDelimited(mark);
+  }
+}
+
+Status AckBatchMsg::ParseFrom(serde::WireDecoder* dec) {
+  while (!dec->AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec->ReadTag());
+    if (tag == 0) break;
+    switch (serde::TagFieldNumber(tag)) {
+      case kAbDestTask: {
+        HERON_ASSIGN_OR_RETURN(dest_task, dec->ReadInt32());
+        break;
+      }
+      case kAbUpdate: {
+        HERON_ASSIGN_OR_RETURN(serde::BytesView blob, dec->ReadBytes());
+        serde::WireDecoder inner(blob);
+        AckUpdate u;
+        while (!inner.AtEnd()) {
+          HERON_ASSIGN_OR_RETURN(uint32_t itag, inner.ReadTag());
+          if (itag == 0) break;
+          switch (serde::TagFieldNumber(itag)) {
+            case kAuRoot: {
+              HERON_ASSIGN_OR_RETURN(u.root, inner.ReadUint64());
+              break;
+            }
+            case kAuXor: {
+              HERON_ASSIGN_OR_RETURN(u.xor_value, inner.ReadUint64());
+              break;
+            }
+            case kAuFail: {
+              HERON_ASSIGN_OR_RETURN(u.fail, inner.ReadBool());
+              break;
+            }
+            default:
+              HERON_RETURN_NOT_OK(inner.SkipField(serde::TagWireType(itag)));
+          }
+        }
+        updates.push_back(u);
+        break;
+      }
+      default:
+        HERON_RETURN_NOT_OK(dec->SkipField(serde::TagWireType(tag)));
+    }
+  }
+  return Status::OK();
+}
+
+void AckBatchMsg::Clear() {
+  dest_task = -1;
+  updates.clear();
+}
+
+void RootEventMsg::SerializeTo(serde::WireEncoder* enc) const {
+  enc->WriteUint64Field(kReRoot, root);
+  enc->WriteBoolField(kReFail, fail);
+}
+
+Status RootEventMsg::ParseFrom(serde::WireDecoder* dec) {
+  while (!dec->AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec->ReadTag());
+    if (tag == 0) break;
+    switch (serde::TagFieldNumber(tag)) {
+      case kReRoot: {
+        HERON_ASSIGN_OR_RETURN(root, dec->ReadUint64());
+        break;
+      }
+      case kReFail: {
+        HERON_ASSIGN_OR_RETURN(fail, dec->ReadBool());
+        break;
+      }
+      default:
+        HERON_RETURN_NOT_OK(dec->SkipField(serde::TagWireType(tag)));
+    }
+  }
+  return Status::OK();
+}
+
+void RootEventMsg::Clear() {
+  root = 0;
+  fail = false;
+}
+
+void TMasterLocationMsg::SerializeTo(serde::WireEncoder* enc) const {
+  enc->WriteStringField(kTmTopology, topology);
+  enc->WriteStringField(kTmHost, host);
+  enc->WriteInt32Field(kTmPort, port);
+  enc->WriteInt32Field(kTmControllerPort, controller_port);
+}
+
+Status TMasterLocationMsg::ParseFrom(serde::WireDecoder* dec) {
+  while (!dec->AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec->ReadTag());
+    if (tag == 0) break;
+    switch (serde::TagFieldNumber(tag)) {
+      case kTmTopology: {
+        HERON_ASSIGN_OR_RETURN(serde::BytesView v, dec->ReadBytes());
+        topology = std::string(v);
+        break;
+      }
+      case kTmHost: {
+        HERON_ASSIGN_OR_RETURN(serde::BytesView v, dec->ReadBytes());
+        host = std::string(v);
+        break;
+      }
+      case kTmPort: {
+        HERON_ASSIGN_OR_RETURN(port, dec->ReadInt32());
+        break;
+      }
+      case kTmControllerPort: {
+        HERON_ASSIGN_OR_RETURN(controller_port, dec->ReadInt32());
+        break;
+      }
+      default:
+        HERON_RETURN_NOT_OK(dec->SkipField(serde::TagWireType(tag)));
+    }
+  }
+  return Status::OK();
+}
+
+void TMasterLocationMsg::Clear() {
+  topology.clear();
+  host.clear();
+  port = 0;
+  controller_port = 0;
+}
+
+api::TupleKey MakeRootKey(TaskId spout_task, uint64_t random48) {
+  return (static_cast<uint64_t>(static_cast<uint16_t>(spout_task)) << 48) |
+         (random48 & 0x0000FFFFFFFFFFFFULL);
+}
+
+TaskId RootKeyTask(api::TupleKey root) {
+  return static_cast<TaskId>(static_cast<uint16_t>(root >> 48));
+}
+
+Status ParseTupleBatchView(serde::BytesView batch_bytes, TupleBatchView* out) {
+  out->tuples.clear();
+  serde::WireDecoder dec(batch_bytes);
+  while (!dec.AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec.ReadTag());
+    if (tag == 0) break;
+    switch (serde::TagFieldNumber(tag)) {
+      case kTbSrcTask: {
+        HERON_ASSIGN_OR_RETURN(out->src_task, dec.ReadInt32());
+        break;
+      }
+      case kTbDestTask: {
+        HERON_ASSIGN_OR_RETURN(out->dest_task, dec.ReadInt32());
+        break;
+      }
+      case kTbStream: {
+        HERON_ASSIGN_OR_RETURN(out->stream, dec.ReadBytes());
+        break;
+      }
+      case kTbSrcComponent: {
+        HERON_ASSIGN_OR_RETURN(out->src_component, dec.ReadBytes());
+        break;
+      }
+      case kTbTuple: {
+        HERON_ASSIGN_OR_RETURN(serde::BytesView v, dec.ReadBytes());
+        out->tuples.push_back(v);
+        break;
+      }
+      default:
+        HERON_RETURN_NOT_OK(dec.SkipField(serde::TagWireType(tag)));
+    }
+  }
+  return Status::OK();
+}
+
+Status PeekTupleKeyAndRoots(serde::BytesView tuple_bytes, api::TupleKey* key,
+                            std::vector<api::TupleKey>* roots) {
+  roots->clear();
+  *key = 0;
+  serde::WireDecoder dec(tuple_bytes);
+  while (!dec.AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec.ReadTag());
+    if (tag == 0) break;
+    const uint32_t field = serde::TagFieldNumber(tag);
+    if (field == kTdKey) {
+      HERON_ASSIGN_OR_RETURN(*key, dec.ReadUint64());
+    } else if (field == kTdRoot) {
+      HERON_ASSIGN_OR_RETURN(api::TupleKey root, dec.ReadUint64());
+      roots->push_back(root);
+    } else {
+      // tuple_key and roots are fields 1-2; anything later means both are
+      // done (serialization writes fields in order).
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Advances `dec` past one serialized value, returning the byte extent
+/// [start, end) of its canonical encoding within the parent buffer.
+Status SkipOneValue(serde::WireDecoder* dec, size_t* start, size_t* end) {
+  *start = dec->position();
+  HERON_ASSIGN_OR_RETURN(uint64_t kind_raw, dec->ReadVarint());
+  switch (static_cast<api::ValueKind>(kind_raw)) {
+    case api::ValueKind::kInt64:
+    case api::ValueKind::kBool: {
+      HERON_RETURN_NOT_OK(dec->ReadVarint().status());
+      break;
+    }
+    case api::ValueKind::kDouble: {
+      HERON_RETURN_NOT_OK(dec->ReadDouble().status());
+      break;
+    }
+    case api::ValueKind::kString: {
+      HERON_RETURN_NOT_OK(dec->ReadBytes().status());
+      break;
+    }
+    default:
+      return Status::IOError("unknown value kind in serialized tuple");
+  }
+  *end = dec->position();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<uint64_t> PeekFieldsHash(serde::BytesView tuple_bytes,
+                                const std::vector<int>& sorted_field_indices) {
+  serde::WireDecoder dec(tuple_bytes);
+  while (!dec.AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec.ReadTag());
+    if (tag == 0) break;
+    if (serde::TagFieldNumber(tag) != kTdValues) {
+      HERON_RETURN_NOT_OK(dec.SkipField(serde::TagWireType(tag)));
+      continue;
+    }
+    HERON_ASSIGN_OR_RETURN(serde::BytesView blob, dec.ReadBytes());
+    serde::WireDecoder values(blob);
+    HERON_ASSIGN_OR_RETURN(uint64_t count, values.ReadVarint());
+    uint64_t hash = 0;
+    size_t want = 0;
+    for (uint64_t i = 0; i < count && want < sorted_field_indices.size();
+         ++i) {
+      size_t start = 0;
+      size_t end = 0;
+      HERON_RETURN_NOT_OK(SkipOneValue(&values, &start, &end));
+      if (static_cast<int>(i) == sorted_field_indices[want]) {
+        hash = api::HashCombine(
+            hash, api::HashSerializedBytes(blob.data() + start, end - start));
+        ++want;
+      }
+    }
+    if (want != sorted_field_indices.size()) {
+      return Status::IOError("grouping field index beyond tuple arity");
+    }
+    return hash;
+  }
+  return Status::IOError("serialized tuple has no values field");
+}
+
+Result<TaskId> PeekAckBatchDest(serde::BytesView ack_bytes) {
+  serde::WireDecoder dec(ack_bytes);
+  while (!dec.AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec.ReadTag());
+    if (tag == 0) break;
+    if (serde::TagFieldNumber(tag) == kAbDestTask) {
+      return dec.ReadInt32();
+    }
+    HERON_RETURN_NOT_OK(dec.SkipField(serde::TagWireType(tag)));
+  }
+  return Status::NotFound("serialized ack batch has no dest_task field");
+}
+
+}  // namespace proto
+}  // namespace heron

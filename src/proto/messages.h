@@ -1,0 +1,219 @@
+#ifndef HERON_PROTO_MESSAGES_H_
+#define HERON_PROTO_MESSAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "api/tuple.h"
+#include "api/values.h"
+#include "common/ids.h"
+#include "serde/message.h"
+
+namespace heron {
+namespace proto {
+
+/// Message kind carried in transport envelopes so receivers can dispatch
+/// without parsing the payload.
+enum class MessageType : uint8_t {
+  kTupleBatch = 1,        ///< Unrouted tuples, instance → its local SMGR.
+  kAckBatch = 2,          ///< XOR ack updates toward the root owner's SMGR.
+  kRootEvent = 3,         ///< SMGR → spout instance: tree completed/failed.
+  kControl = 4,           ///< Control-plane payloads (plan updates, ...).
+  kTupleBatchRouted = 5,  ///< Routed tuples, SMGR → SMGR or SMGR → instance.
+};
+
+/// \brief A typed, serialized payload as it crosses the IPC kernel.
+///
+/// The payload buffer is pooled by the sending side and recycled by the
+/// receiver, so steady-state transport performs no allocation (§V-A).
+struct Envelope {
+  MessageType type = MessageType::kControl;
+  serde::Buffer payload;
+
+  Envelope() = default;
+  Envelope(MessageType t, serde::Buffer p) : type(t), payload(std::move(p)) {}
+};
+
+/// \brief Wire form of one data tuple.
+///
+/// Field layout (proto-style numbers):
+///   1  tuple_key        varint (uint64)
+///   2  root             varint, repeated
+///   3  emit_time_nanos  zigzag varint
+///   4  values           length-delimited: varint count + EncodeValue * count
+class TupleDataMsg final : public serde::Message {
+ public:
+  api::TupleKey tuple_key = 0;
+  std::vector<api::TupleKey> roots;
+  int64_t emit_time_nanos = 0;
+  api::Values values;
+
+  void SerializeTo(serde::WireEncoder* enc) const override;
+  Status ParseFrom(serde::WireDecoder* dec) override;
+  void Clear() override;
+
+  /// Fills from / copies into the user-facing Tuple representation.
+  void FromTuple(const api::Tuple& tuple);
+  void ToTuple(ComponentId source_component, StreamId stream,
+               TaskId source_task, api::Tuple* out) const;
+};
+
+/// \brief Wire form of a batch of tuples flowing on one (source task →
+/// destination task, stream) edge.
+///
+/// Field layout:
+///   1  src_task       zigzag varint
+///   2  dest_task      zigzag varint   <- the only field the lazy path reads
+///   3  stream         string
+///   4  src_component  string
+///   5  tuple          length-delimited TupleDataMsg, repeated
+///
+/// dest_task is deliberately early in the layout: the receiving Stream
+/// Manager "parses only the destination field that determines the
+/// particular Heron Instance that must receive the tuple. The tuple is not
+/// deserialized but is forwarded as a serialized byte array" (§V-A).
+class TupleBatchMsg final : public serde::Message {
+ public:
+  TaskId src_task = -1;
+  TaskId dest_task = -1;
+  StreamId stream{kDefaultStreamId};
+  ComponentId src_component;
+  /// Serialized TupleDataMsg payloads. Kept serialized so a routing SMGR
+  /// can append/forward without touching tuple internals.
+  std::vector<serde::Buffer> tuples;
+
+  void SerializeTo(serde::WireEncoder* enc) const override;
+  Status ParseFrom(serde::WireDecoder* dec) override;
+  void Clear() override;
+};
+
+/// \brief Lazy/partial parse: extracts only dest_task from a serialized
+/// TupleBatchMsg, skipping everything else (§V-A optimization 2). The
+/// eager alternative — full TupleBatchMsg::ParseFromBytes — is the
+/// ablation baseline.
+Result<TaskId> PeekDestTask(serde::BytesView batch_bytes);
+
+/// \brief In-place update (§V-A: "performs in-place updates of Protocol
+/// Buffer objects"): rewrites dest_task inside serialized batch bytes
+/// without reserializing the tuples. Requires the new id to occupy the
+/// same zigzag-varint width as the old; returns false otherwise (caller
+/// falls back to reserialization).
+bool OverwriteDestTaskInPlace(serde::Buffer* batch_bytes, TaskId new_dest);
+
+/// \brief One XOR update toward a tracked root (ack management).
+///
+/// Field layout: 1 root varint, 2 xor_value varint, 3 fail bool.
+struct AckUpdate {
+  api::TupleKey root = 0;
+  api::TupleKey xor_value = 0;
+  bool fail = false;
+
+  bool operator==(const AckUpdate& o) const {
+    return root == o.root && xor_value == o.xor_value && fail == o.fail;
+  }
+};
+
+/// \brief A batch of ack updates routed to the SMGR owning the roots'
+/// spout task.
+///
+/// Field layout: 1 dest_task zigzag (the spout task that emitted the
+/// roots), 2 update (length-delimited AckUpdate), repeated.
+class AckBatchMsg final : public serde::Message {
+ public:
+  TaskId dest_task = -1;
+  std::vector<AckUpdate> updates;
+
+  void SerializeTo(serde::WireEncoder* enc) const override;
+  Status ParseFrom(serde::WireDecoder* dec) override;
+  void Clear() override;
+};
+
+/// \brief SMGR → spout instance notification that a tuple tree finished.
+///
+/// Field layout: 1 root varint (uint64), 2 fail bool. The spout executor
+/// maps the root back to the user message id and the emit timestamp it
+/// recorded at emission time.
+class RootEventMsg final : public serde::Message {
+ public:
+  api::TupleKey root = 0;
+  bool fail = false;
+
+  void SerializeTo(serde::WireEncoder* enc) const override;
+  Status ParseFrom(serde::WireDecoder* dec) override;
+  void Clear() override;
+};
+
+/// \brief Location advertisement the Topology Master writes into the
+/// State Manager (§IV-C: "the Topology Master advertises its location
+/// through the State Manager to the Stream Manager processes").
+///
+/// Field layout: 1 topology string, 2 host string, 3 port zigzag,
+/// 4 controller_port zigzag.
+class TMasterLocationMsg final : public serde::Message {
+ public:
+  std::string topology;
+  std::string host;
+  int32_t port = 0;
+  int32_t controller_port = 0;
+
+  void SerializeTo(serde::WireEncoder* enc) const override;
+  Status ParseFrom(serde::WireDecoder* dec) override;
+  void Clear() override;
+
+  bool operator==(const TMasterLocationMsg& o) const {
+    return topology == o.topology && host == o.host && port == o.port &&
+           controller_port == o.controller_port;
+  }
+};
+
+/// TupleBatchMsg wire field numbers, exported so components that build
+/// batches incrementally (the Stream Manager tuple cache) write the exact
+/// same layout the parsers read.
+namespace tuple_batch_fields {
+inline constexpr uint32_t kSrcTask = 1;
+inline constexpr uint32_t kDestTask = 2;
+inline constexpr uint32_t kStream = 3;
+inline constexpr uint32_t kSrcComponent = 4;
+inline constexpr uint32_t kTuple = 5;
+}  // namespace tuple_batch_fields
+
+/// Root keys embed the emitting spout's task id in the top 16 bits so any
+/// SMGR can route an ack update to the owner container with no extra
+/// lookup state.
+api::TupleKey MakeRootKey(TaskId spout_task, uint64_t random48);
+TaskId RootKeyTask(api::TupleKey root);
+
+/// \brief Zero-copy view of a serialized TupleBatchMsg: header fields plus
+/// views into each serialized tuple. Valid only while the underlying
+/// buffer lives. This is the optimized Stream Manager's working form — it
+/// never materializes tuple objects for routing (§V-A).
+struct TupleBatchView {
+  TaskId src_task = -1;
+  TaskId dest_task = -1;
+  serde::BytesView stream;
+  serde::BytesView src_component;
+  std::vector<serde::BytesView> tuples;
+};
+
+/// Parses a serialized TupleBatchMsg into views (no payload copies).
+Status ParseTupleBatchView(serde::BytesView batch_bytes, TupleBatchView* out);
+
+/// \brief Lazy ack-metadata peek: reads only tuple_key and roots from a
+/// serialized TupleDataMsg, stopping before the values blob.
+Status PeekTupleKeyAndRoots(serde::BytesView tuple_bytes, api::TupleKey* key,
+                            std::vector<api::TupleKey>* roots);
+
+/// \brief Lazy fields-grouping hash: walks the serialized values of a
+/// TupleDataMsg and folds the byte ranges of the values at
+/// `sorted_field_indices` (ascending) with api::HashCombine — yielding
+/// exactly Router::KeyHash of the decoded tuple, without decoding.
+Result<uint64_t> PeekFieldsHash(serde::BytesView tuple_bytes,
+                                const std::vector<int>& sorted_field_indices);
+
+/// \brief Lazy dest peek for serialized AckBatchMsg (field 1).
+Result<TaskId> PeekAckBatchDest(serde::BytesView ack_bytes);
+
+}  // namespace proto
+}  // namespace heron
+
+#endif  // HERON_PROTO_MESSAGES_H_

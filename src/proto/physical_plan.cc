@@ -1,0 +1,115 @@
+#include "proto/physical_plan.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace heron {
+namespace proto {
+
+namespace {
+const std::vector<TaskId> kNoTasks;
+const std::vector<PhysicalPlan::Subscription> kNoSubscriptions;
+}  // namespace
+
+Result<std::shared_ptr<const PhysicalPlan>> PhysicalPlan::Build(
+    std::shared_ptr<const api::Topology> topology,
+    const packing::PackingPlan& packing) {
+  if (topology == nullptr) {
+    return Status::InvalidArgument("PhysicalPlan: null topology");
+  }
+  HERON_RETURN_NOT_OK(packing.Validate());
+
+  auto plan = std::shared_ptr<PhysicalPlan>(new PhysicalPlan());
+  plan->topology_ = topology;
+  plan->packing_ = packing;
+
+  // Index the placement. Pointers into plan->packing_ stay valid because
+  // the plan is immutable after Build.
+  for (const auto& c : plan->packing_.containers()) {
+    for (const auto& inst : c.instances) {
+      if (topology->FindComponent(inst.component) == nullptr) {
+        return Status::InvalidArgument(StrFormat(
+            "packing plan places unknown component '%s'",
+            inst.component.c_str()));
+      }
+      plan->task_to_container_[inst.task_id] = c.id;
+      plan->task_to_instance_[inst.task_id] = &inst;
+      plan->component_tasks_[inst.component].push_back(inst.task_id);
+      plan->container_tasks_[c.id].push_back(inst.task_id);
+      plan->all_tasks_.push_back(inst.task_id);
+    }
+  }
+  for (auto& [_, tasks] : plan->component_tasks_) {
+    std::sort(tasks.begin(), tasks.end());
+  }
+  for (auto& [_, tasks] : plan->container_tasks_) {
+    std::sort(tasks.begin(), tasks.end());
+  }
+  std::sort(plan->all_tasks_.begin(), plan->all_tasks_.end());
+
+  // Every topology component must be fully placed.
+  for (const auto& comp : topology->components()) {
+    const auto it = plan->component_tasks_.find(comp.id);
+    const int placed =
+        it == plan->component_tasks_.end() ? 0
+                                           : static_cast<int>(it->second.size());
+    if (placed == 0) {
+      return Status::InvalidArgument(StrFormat(
+          "packing plan places no instance of component '%s'",
+          comp.id.c_str()));
+    }
+  }
+
+  // Wire stream subscriptions.
+  for (const auto& comp : topology->components()) {
+    for (const auto& in : comp.inputs) {
+      Subscription sub;
+      sub.consumer = comp.id;
+      sub.spec = in;
+      sub.consumer_tasks = plan->component_tasks_[comp.id];
+      plan->subscriptions_[{in.source, in.stream}].push_back(std::move(sub));
+    }
+  }
+
+  return std::shared_ptr<const PhysicalPlan>(plan);
+}
+
+Result<ContainerId> PhysicalPlan::ContainerOfTask(TaskId task) const {
+  const auto it = task_to_container_.find(task);
+  if (it == task_to_container_.end()) {
+    return Status::NotFound(StrFormat("task %d not in physical plan", task));
+  }
+  return it->second;
+}
+
+const packing::InstancePlan* PhysicalPlan::FindInstance(TaskId task) const {
+  const auto it = task_to_instance_.find(task);
+  return it == task_to_instance_.end() ? nullptr : it->second;
+}
+
+const api::ComponentDef* PhysicalPlan::ComponentOfTask(TaskId task) const {
+  const packing::InstancePlan* inst = FindInstance(task);
+  return inst == nullptr ? nullptr : topology_->FindComponent(inst->component);
+}
+
+const std::vector<TaskId>& PhysicalPlan::TasksOfComponent(
+    const ComponentId& id) const {
+  const auto it = component_tasks_.find(id);
+  return it == component_tasks_.end() ? kNoTasks : it->second;
+}
+
+const std::vector<TaskId>& PhysicalPlan::TasksInContainer(
+    ContainerId id) const {
+  const auto it = container_tasks_.find(id);
+  return it == container_tasks_.end() ? kNoTasks : it->second;
+}
+
+const std::vector<PhysicalPlan::Subscription>& PhysicalPlan::SubscribersOf(
+    const ComponentId& producer, const StreamId& stream) const {
+  const auto it = subscriptions_.find({producer, stream});
+  return it == subscriptions_.end() ? kNoSubscriptions : it->second;
+}
+
+}  // namespace proto
+}  // namespace heron

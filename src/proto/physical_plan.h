@@ -1,0 +1,86 @@
+#ifndef HERON_PROTO_PHYSICAL_PLAN_H_
+#define HERON_PROTO_PHYSICAL_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "api/topology.h"
+#include "packing/packing_plan.h"
+
+namespace heron {
+namespace proto {
+
+/// \brief The runtime shape of a topology: the logical graph joined with
+/// the Resource Manager's placement.
+///
+/// Built once per (re)deployment from the Topology and the PackingPlan and
+/// distributed (via the State Manager / TMaster) to every Stream Manager
+/// and Heron Instance. All lookups the data plane needs — task → container,
+/// component → tasks, stream subscriptions — are precomputed here so the
+/// hot path never searches.
+class PhysicalPlan {
+ public:
+  /// One consumer edge of a producer stream.
+  struct Subscription {
+    ComponentId consumer;
+    api::InputSpec spec;
+    std::vector<TaskId> consumer_tasks;  ///< Ascending.
+  };
+
+  /// Joins `topology` with `packing`. Fails if the packing plan does not
+  /// cover exactly the topology's components.
+  static Result<std::shared_ptr<const PhysicalPlan>> Build(
+      std::shared_ptr<const api::Topology> topology,
+      const packing::PackingPlan& packing);
+
+  const api::Topology& topology() const { return *topology_; }
+  std::shared_ptr<const api::Topology> topology_ptr() const {
+    return topology_;
+  }
+  const packing::PackingPlan& packing() const { return packing_; }
+
+  int num_tasks() const { return static_cast<int>(task_to_container_.size()); }
+  int num_containers() const { return packing_.NumContainers(); }
+
+  /// Container hosting `task`; kNotFound for unknown tasks.
+  Result<ContainerId> ContainerOfTask(TaskId task) const;
+
+  /// The placement record of `task`; nullptr for unknown tasks.
+  const packing::InstancePlan* FindInstance(TaskId task) const;
+
+  /// The logical component of `task`; nullptr for unknown tasks.
+  const api::ComponentDef* ComponentOfTask(TaskId task) const;
+
+  /// Task ids of `component`, ascending (empty when unknown).
+  const std::vector<TaskId>& TasksOfComponent(const ComponentId& id) const;
+
+  /// Task ids hosted in `container`, ascending (empty when unknown).
+  const std::vector<TaskId>& TasksInContainer(ContainerId id) const;
+
+  /// Consumers subscribed to (producer, stream); empty when none.
+  const std::vector<Subscription>& SubscribersOf(const ComponentId& producer,
+                                                 const StreamId& stream) const;
+
+  /// Every task id, ascending.
+  const std::vector<TaskId>& all_tasks() const { return all_tasks_; }
+
+ private:
+  PhysicalPlan() = default;
+
+  std::shared_ptr<const api::Topology> topology_;
+  packing::PackingPlan packing_;
+
+  std::map<TaskId, ContainerId> task_to_container_;
+  std::map<TaskId, const packing::InstancePlan*> task_to_instance_;
+  std::map<ComponentId, std::vector<TaskId>> component_tasks_;
+  std::map<ContainerId, std::vector<TaskId>> container_tasks_;
+  std::map<std::pair<ComponentId, StreamId>, std::vector<Subscription>>
+      subscriptions_;
+  std::vector<TaskId> all_tasks_;
+};
+
+}  // namespace proto
+}  // namespace heron
+
+#endif  // HERON_PROTO_PHYSICAL_PLAN_H_

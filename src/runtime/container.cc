@@ -1,0 +1,121 @@
+#include "runtime/container.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace heron {
+namespace runtime {
+
+Container::Container(const packing::ContainerPlan& plan,
+                     std::shared_ptr<const proto::PhysicalPlan> physical_plan,
+                     const Config& config, smgr::Transport* transport,
+                     const Clock* clock)
+    : plan_(plan),
+      physical_plan_(std::move(physical_plan)),
+      config_(config),
+      transport_(transport),
+      clock_(clock),
+      metrics_manager_(clock) {}
+
+Container::~Container() { Stop(); }
+
+Status Container::Start() {
+  if (started_) {
+    return Status::FailedPrecondition(
+        StrFormat("container %d already started", plan_.id));
+  }
+
+  smgr::StreamManager::Options smgr_options;
+  smgr_options.container = plan_.id;
+  smgr_options.acking =
+      config_.GetBoolOr(config_keys::kAckingEnabled, false);
+  smgr_options.optimizations =
+      config_.GetBoolOr(config_keys::kSmgrOptimizationsEnabled, true);
+  smgr_options.cache_drain_frequency_ms =
+      config_.GetIntOr(config_keys::kCacheDrainFrequencyMs, 10);
+  smgr_options.cache_drain_size_bytes = static_cast<size_t>(
+      config_.GetIntOr(config_keys::kCacheDrainSizeBytes, 1 << 20));
+  smgr_options.message_timeout_ms =
+      config_.GetIntOr(config_keys::kMessageTimeoutMs, 30000);
+  smgr_options.seed = 42 + static_cast<uint64_t>(plan_.id);
+  smgr_ = std::make_unique<smgr::StreamManager>(smgr_options, physical_plan_,
+                                                transport_, clock_);
+  HERON_RETURN_NOT_OK(smgr_->Start());
+  metrics_manager_
+      .RegisterSource(StrFormat("smgr-%d", plan_.id), smgr_->metrics())
+      .ok();
+
+  for (const auto& inst : plan_.instances) {
+    instance::HeronInstance::Options options;
+    options.task = inst.task_id;
+    options.config = config_;
+    options.acking = smgr_options.acking;
+    options.max_spout_pending =
+        config_.GetIntOr(config_keys::kMaxSpoutPending, 0);
+    options.seed = 1000 + static_cast<uint64_t>(inst.task_id);
+    auto instance = std::make_unique<instance::HeronInstance>(
+        options, physical_plan_, transport_, clock_, smgr_.get());
+    const Status st = instance->Start();
+    if (!st.ok()) {
+      Stop();
+      return st.WithContext(
+          StrFormat("starting task %d in container %d", inst.task_id,
+                    plan_.id));
+    }
+    metrics_manager_
+        .RegisterSource(StrFormat("task-%d", inst.task_id),
+                        instance->metrics())
+        .ok();
+    instances_.push_back(std::move(instance));
+  }
+
+  started_ = true;
+  HLOG(INFO) << "container " << plan_.id << " up: smgr + "
+             << instances_.size() << " instances";
+  return Status::OK();
+}
+
+void Container::Stop() {
+  for (auto& instance : instances_) {
+    instance->Stop();
+  }
+  instances_.clear();
+  if (smgr_ != nullptr) {
+    smgr_->Stop();
+    smgr_.reset();
+  }
+  started_ = false;
+}
+
+int64_t Container::SumInstanceGauge(const std::string& name) const {
+  int64_t total = 0;
+  for (const auto& instance : instances_) {
+    total += const_cast<instance::HeronInstance*>(instance.get())
+                 ->metrics()
+                 ->GetGauge(name)
+                 ->value();
+  }
+  return total;
+}
+
+int64_t Container::SmgrGauge(const std::string& name) const {
+  if (smgr_ == nullptr) return 0;
+  return const_cast<smgr::StreamManager*>(smgr_.get())
+      ->metrics()
+      ->GetGauge(name)
+      ->value();
+}
+
+uint64_t Container::SumInstanceCounter(const std::string& name) const {
+  uint64_t total = 0;
+  for (const auto& instance : instances_) {
+    total += const_cast<instance::HeronInstance*>(instance.get())
+                 ->metrics()
+                 ->GetCounter(name)
+                 ->value();
+  }
+  return total;
+}
+
+}  // namespace runtime
+}  // namespace heron

@@ -1,0 +1,75 @@
+#ifndef HERON_RUNTIME_CONTAINER_H_
+#define HERON_RUNTIME_CONTAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "instance/instance.h"
+#include "metrics/metrics_manager.h"
+#include "packing/packing_plan.h"
+#include "proto/physical_plan.h"
+#include "smgr/stream_manager.h"
+
+namespace heron {
+namespace runtime {
+
+/// \brief One running container: "the remaining containers each run a
+/// Stream Manager, a Metrics Manager and a set of Heron Instances" (§II).
+///
+/// Owns the three process kinds, wires them to the topology transport,
+/// and tears them down in dependency order. The Scheduler starts and
+/// stops Containers through the launcher.
+class Container {
+ public:
+  /// \param config  merged topology + cluster config, source of the SMGR
+  ///        tuning knobs (§V-B) and the acking switch
+  Container(const packing::ContainerPlan& plan,
+            std::shared_ptr<const proto::PhysicalPlan> physical_plan,
+            const Config& config, smgr::Transport* transport,
+            const Clock* clock);
+  ~Container();
+
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  /// Starts the SMGR first (instances need a routable container), then
+  /// every instance, and registers all metric sources.
+  Status Start();
+  /// Stops instances first, then the SMGR. Idempotent.
+  void Stop();
+
+  ContainerId id() const { return plan_.id; }
+  smgr::StreamManager* stream_manager() { return smgr_.get(); }
+  metrics::MetricsManager* metrics_manager() { return &metrics_manager_; }
+  const std::vector<std::unique_ptr<instance::HeronInstance>>& instances()
+      const {
+    return instances_;
+  }
+
+  /// Sums a counter across this container's instances.
+  uint64_t SumInstanceCounter(const std::string& name) const;
+
+  /// Sums a gauge across this container's instances.
+  int64_t SumInstanceGauge(const std::string& name) const;
+
+  /// Reads a gauge from this container's Stream Manager (0 when absent).
+  int64_t SmgrGauge(const std::string& name) const;
+
+ private:
+  packing::ContainerPlan plan_;
+  std::shared_ptr<const proto::PhysicalPlan> physical_plan_;
+  Config config_;
+  smgr::Transport* transport_;
+  const Clock* clock_;
+
+  std::unique_ptr<smgr::StreamManager> smgr_;
+  std::vector<std::unique_ptr<instance::HeronInstance>> instances_;
+  metrics::MetricsManager metrics_manager_;
+  bool started_ = false;
+};
+
+}  // namespace runtime
+}  // namespace heron
+
+#endif  // HERON_RUNTIME_CONTAINER_H_

@@ -1,0 +1,260 @@
+#include "runtime/local_cluster.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace heron {
+namespace runtime {
+
+LocalCluster::LocalCluster(Config cluster_config)
+    : cluster_config_(std::move(cluster_config)),
+      transport_(cluster_config_.GetBoolOr(
+          config_keys::kSmgrOptimizationsEnabled, true)),
+      clock_(RealClock::Get()) {
+  HERON_CHECK_OK(state_.Initialize(cluster_config_));
+}
+
+LocalCluster::~LocalCluster() {
+  if (running()) Kill().ok();
+}
+
+Status LocalCluster::BuildAndInstallPhysicalPlan(
+    const packing::PackingPlan& plan) {
+  HERON_ASSIGN_OR_RETURN(auto physical,
+                         proto::PhysicalPlan::Build(topology_, plan));
+  std::lock_guard<std::mutex> lock(mutex_);
+  physical_plan_ = physical;
+  return Status::OK();
+}
+
+Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
+  if (topology == nullptr) {
+    return Status::InvalidArgument("null topology");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) {
+      return Status::FailedPrecondition(
+          "local cluster already runs a topology");
+    }
+  }
+  topology_ = topology;
+  merged_config_ = cluster_config_.MergedWith(topology->config());
+
+  // 1. Resource Manager: "first determines how many containers should be
+  //    allocated for the topology" (§II).
+  HERON_ASSIGN_OR_RETURN(
+      packing_,
+      packing::PackingRegistry::Global()->CreateFromConfig(merged_config_));
+  HERON_RETURN_NOT_OK(packing_->Initialize(merged_config_, topology_));
+  HERON_ASSIGN_OR_RETURN(packing::PackingPlan plan, packing_->Pack());
+
+  // 2. State Manager: register the topology and its metadata (§IV-C).
+  HERON_RETURN_NOT_OK(statemgr::RegisterTopology(&state_, topology->name()));
+  HERON_RETURN_NOT_OK(statemgr::SetSchedulerLocation(
+      &state_, topology->name(), "local://localhost"));
+
+  // 3. TMaster in (alongside) container 0.
+  tmaster::TopologyMaster::Options tm_options;
+  tm_options.topology = topology->name();
+  tmaster_ = std::make_unique<tmaster::TopologyMaster>(tm_options, &state_,
+                                                       clock_);
+  HERON_RETURN_NOT_OK(tmaster_->Start());
+  HERON_RETURN_NOT_OK(tmaster_->PublishPackingPlan(plan));
+
+  // 4. Physical plan, then Scheduler starts every container.
+  HERON_RETURN_NOT_OK(BuildAndInstallPhysicalPlan(plan));
+  scheduler_ = std::make_unique<scheduler::LocalScheduler>(this);
+  HERON_RETURN_NOT_OK(scheduler_->Initialize(merged_config_));
+  HERON_RETURN_NOT_OK(scheduler_->OnSchedule(plan));
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = true;
+  }
+  HLOG(INFO) << "topology '" << topology->name() << "' running locally ("
+             << plan.NumContainers() << " containers, "
+             << plan.NumInstances() << " instances)";
+  return Status::OK();
+}
+
+Status LocalCluster::Kill() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return Status::FailedPrecondition("nothing running");
+    running_ = false;
+  }
+  const Status st = scheduler_->OnKill({topology_->name()});
+  tmaster_->Stop().ok();
+  statemgr::UnregisterTopology(&state_, topology_->name()).ok();
+  packing_->Close();
+  return st;
+}
+
+Status LocalCluster::Scale(const ComponentId& component,
+                           int new_parallelism) {
+  if (!running()) return Status::FailedPrecondition("nothing running");
+
+  // TMaster coordinates the repack (§IV-A) and publishes the plan.
+  HERON_ASSIGN_OR_RETURN(
+      packing::PackingPlan new_plan,
+      tmaster_->ScaleTopology(packing_.get(), {{component, new_parallelism}}));
+
+  // The topology object must reflect the new parallelism so the physical
+  // plan validates and instances get the right context.
+  HERON_ASSIGN_OR_RETURN(api::Topology scaled,
+                         topology_->WithParallelism(component,
+                                                    new_parallelism));
+  topology_ = std::make_shared<const api::Topology>(std::move(scaled));
+
+  // Survivors must restart onto the new physical plan (routing tables are
+  // per-plan); capture them before the scheduler applies the diff.
+  std::vector<ContainerId> survivors;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, _] : containers_) {
+      if (new_plan.FindContainer(id) != nullptr) survivors.push_back(id);
+    }
+  }
+
+  HERON_RETURN_NOT_OK(BuildAndInstallPhysicalPlan(new_plan));
+
+  // Scheduler applies the container diff (§IV-B onUpdate): stops removed,
+  // starts added (on the new plan).
+  HERON_RETURN_NOT_OK(
+      scheduler_->OnUpdate({topology_->name(), new_plan}));
+
+  for (const ContainerId id : survivors) {
+    HERON_RETURN_NOT_OK(StopContainer(id));
+    const packing::ContainerPlan* c = new_plan.FindContainer(id);
+    HERON_RETURN_NOT_OK(StartContainer(*c));
+  }
+  return Status::OK();
+}
+
+Status LocalCluster::RestartContainer(ContainerId id) {
+  if (!running()) return Status::FailedPrecondition("nothing running");
+  return scheduler_->OnRestart({topology_->name(), id});
+}
+
+Status LocalCluster::StartContainer(const packing::ContainerPlan& container) {
+  std::shared_ptr<const proto::PhysicalPlan> plan = physical_plan();
+  if (plan == nullptr) {
+    return Status::FailedPrecondition("no physical plan installed");
+  }
+  auto live = std::make_unique<Container>(container, plan, merged_config_,
+                                          &transport_, clock_);
+  HERON_RETURN_NOT_OK(live->Start());
+  std::lock_guard<std::mutex> lock(mutex_);
+  containers_[container.id] = std::move(live);
+  return Status::OK();
+}
+
+Status LocalCluster::StopContainer(ContainerId id) {
+  std::unique_ptr<Container> victim;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = containers_.find(id);
+    if (it == containers_.end()) {
+      return Status::NotFound(StrFormat("container %d not live", id));
+    }
+    victim = std::move(it->second);
+    containers_.erase(it);
+  }
+  victim->Stop();
+  return Status::OK();
+}
+
+bool LocalCluster::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+std::shared_ptr<const proto::PhysicalPlan> LocalCluster::physical_plan()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return physical_plan_;
+}
+
+packing::PackingPlan LocalCluster::current_packing_plan() const {
+  auto plan = physical_plan();
+  return plan == nullptr ? packing::PackingPlan() : plan->packing();
+}
+
+Container* LocalCluster::GetContainer(ContainerId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = containers_.find(id);
+  return it == containers_.end() ? nullptr : it->second.get();
+}
+
+int LocalCluster::num_live_containers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(containers_.size());
+}
+
+uint64_t LocalCluster::SumCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [_, container] : containers_) {
+    total += container->SumInstanceCounter(name);
+  }
+  return total;
+}
+
+int64_t LocalCluster::SumInstanceGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [_, container] : containers_) {
+    total += container->SumInstanceGauge(name);
+  }
+  return total;
+}
+
+int64_t LocalCluster::SumSmgrGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [_, container] : containers_) {
+    total += container->SmgrGauge(name);
+  }
+  return total;
+}
+
+Status LocalCluster::WaitForCounter(const std::string& name, uint64_t target,
+                                    int64_t timeout_ms) {
+  const int64_t deadline = clock_->NowNanos() + timeout_ms * 1000000;
+  while (SumCounter(name) < target) {
+    if (clock_->NowNanos() > deadline) {
+      return Status::Timeout(StrFormat(
+          "counter '%s' reached %llu of %llu within %lld ms", name.c_str(),
+          static_cast<unsigned long long>(SumCounter(name)),
+          static_cast<unsigned long long>(target),
+          static_cast<long long>(timeout_ms)));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return Status::OK();
+}
+
+uint64_t LocalCluster::CompleteLatencyQuantile(double q) const {
+  // Merge is approximate: take the max of per-instance quantiles weighted
+  // by presence; adequate for shape-level assertions.
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t worst = 0;
+  for (const auto& [_, container] : containers_) {
+    for (const auto& instance : container->instances()) {
+      auto* h = const_cast<instance::HeronInstance*>(instance.get())
+                    ->metrics()
+                    ->GetHistogram("instance.complete.latency.ns");
+      if (h->count() > 0) {
+        worst = std::max(worst, h->Quantile(q));
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace runtime
+}  // namespace heron

@@ -1,0 +1,105 @@
+#ifndef HERON_RUNTIME_LOCAL_CLUSTER_H_
+#define HERON_RUNTIME_LOCAL_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "packing/packing_registry.h"
+#include "runtime/container.h"
+#include "scheduler/local_scheduler.h"
+#include "statemgr/in_memory_state_manager.h"
+#include "tmaster/tmaster.h"
+
+namespace heron {
+namespace runtime {
+
+/// \brief Local-mode Heron: the full submission pipeline of §II on one
+/// machine, with real Stream Managers, Heron Instances and Metrics
+/// Managers on live threads.
+///
+/// Submit() runs exactly the paper's flow: "the Resource Manager first
+/// determines how many containers should be allocated ... It then passes
+/// this information to the Scheduler which is responsible for allocating
+/// the required resources ... The Scheduler is also responsible for
+/// starting all the Heron processes assigned to the container." The
+/// TMaster runs alongside container 0 and owns the packing-plan record in
+/// the State Manager.
+///
+/// One topology per LocalCluster (local mode is single-topology by
+/// nature); clusters are independent, so tests run several side by side.
+class LocalCluster final : public scheduler::IContainerLauncher {
+ public:
+  /// \param cluster_config  cluster-level defaults; the topology's own
+  ///        config overrides per key
+  explicit LocalCluster(Config cluster_config = Config());
+  ~LocalCluster() override;
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  /// Packs, registers, starts the TMaster and schedules every container.
+  Status Submit(std::shared_ptr<const api::Topology> topology);
+
+  /// Stops everything and unregisters the topology.
+  Status Kill();
+
+  /// Adjusts one component's parallelism on the running topology (§IV-A
+  /// repack → §IV-B onUpdate). Containers restart on the new plan.
+  Status Scale(const ComponentId& component, int new_parallelism);
+
+  /// Restarts one container (all its Heron processes).
+  Status RestartContainer(ContainerId id);
+
+  // -- IContainerLauncher (called by the Scheduler). --
+  Status StartContainer(const packing::ContainerPlan& container) override;
+  Status StopContainer(ContainerId id) override;
+
+  // -- Introspection for tests, examples and benches. --
+  bool running() const;
+  std::shared_ptr<const proto::PhysicalPlan> physical_plan() const;
+  packing::PackingPlan current_packing_plan() const;
+  statemgr::IStateManager* state_manager() { return &state_; }
+  smgr::Transport* transport() { return &transport_; }
+  tmaster::TopologyMaster* tmaster() { return tmaster_.get(); }
+  Container* GetContainer(ContainerId id);
+  int num_live_containers() const;
+
+  /// Sums an instance counter across every live container.
+  uint64_t SumCounter(const std::string& name) const;
+  /// Sums an instance gauge across every live container.
+  int64_t SumInstanceGauge(const std::string& name) const;
+  /// Sums an SMGR gauge across every live container.
+  int64_t SumSmgrGauge(const std::string& name) const;
+  /// Blocks until SumCounter(name) >= target or the deadline passes.
+  Status WaitForCounter(const std::string& name, uint64_t target,
+                        int64_t timeout_ms);
+  /// Aggregated end-to-end (spout complete) latency quantile in nanos.
+  uint64_t CompleteLatencyQuantile(double q) const;
+
+ private:
+  Status BuildAndInstallPhysicalPlan(const packing::PackingPlan& plan);
+
+  Config cluster_config_;
+  Config merged_config_;
+
+  statemgr::InMemoryStateManager state_;
+  smgr::Transport transport_;
+  const Clock* clock_;
+
+  std::shared_ptr<const api::Topology> topology_;
+  std::unique_ptr<packing::IPacking> packing_;
+  std::unique_ptr<tmaster::TopologyMaster> tmaster_;
+  std::unique_ptr<scheduler::LocalScheduler> scheduler_;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const proto::PhysicalPlan> physical_plan_;
+  std::map<ContainerId, std::unique_ptr<Container>> containers_;
+  bool running_ = false;
+};
+
+}  // namespace runtime
+}  // namespace heron
+
+#endif  // HERON_RUNTIME_LOCAL_CLUSTER_H_

@@ -1,0 +1,302 @@
+#include "scheduler/framework_scheduler.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace heron {
+namespace scheduler {
+
+FrameworkScheduler::FrameworkScheduler(
+    frameworks::ISchedulingFramework* framework, IContainerLauncher* launcher)
+    : framework_(framework), launcher_(launcher) {}
+
+Status FrameworkScheduler::Initialize(const Config& conf) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (framework_ == nullptr || launcher_ == nullptr) {
+    return Status::InvalidArgument(
+        "FrameworkScheduler needs a framework and a launcher");
+  }
+  if (initialized_) {
+    return Status::FailedPrecondition("scheduler already initialized");
+  }
+  config_ = conf;
+  initialized_ = true;
+  return Status::OK();
+}
+
+ContainerId FrameworkScheduler::PlanContainerAt(int slot) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slot_to_container_.find(slot);
+  return it == slot_to_container_.end() ? -1 : it->second;
+}
+
+Status FrameworkScheduler::StartSlot(int slot) {
+  const ContainerId id = PlanContainerAt(slot);
+  packing::PackingPlan plan = current_plan();
+  const packing::ContainerPlan* container = plan.FindContainer(id);
+  if (container == nullptr) {
+    return Status::NotFound(
+        StrFormat("no plan container for framework slot %d", slot));
+  }
+  return launcher_->StartContainer(*container);
+}
+
+Status FrameworkScheduler::StopSlot(int slot) {
+  const ContainerId id = PlanContainerAt(slot);
+  if (id < 0) {
+    return Status::NotFound(
+        StrFormat("no plan container for framework slot %d", slot));
+  }
+  return launcher_->StopContainer(id);
+}
+
+Status FrameworkScheduler::OnSchedule(
+    const packing::PackingPlan& initial_plan) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!initialized_) {
+      return Status::FailedPrecondition("scheduler not initialized");
+    }
+    if (!job_.empty()) {
+      return Status::FailedPrecondition(
+          StrFormat("topology '%s' already scheduled as job '%s'",
+                    initial_plan.topology_name().c_str(), job_.c_str()));
+    }
+    HERON_RETURN_NOT_OK(initial_plan.Validate());
+    plan_ = initial_plan;
+    slot_to_container_.clear();
+    int slot = 0;
+    for (const auto& c : initial_plan.containers()) {
+      slot_to_container_[slot++] = c.id;
+    }
+  }
+
+  // "Depending on the framework used, the Heron Scheduler determines
+  // whether homogeneous or heterogeneous containers should be allocated."
+  std::vector<Resource> demands;
+  if (framework_->SupportsHeterogeneousContainers()) {
+    for (const auto& c : initial_plan.containers()) {
+      demands.push_back(c.required);
+    }
+  } else {
+    const Resource uniform = initial_plan.MaxContainerResource();
+    demands.assign(initial_plan.containers().size(), uniform);
+  }
+
+  if (IsStateful()) {
+    framework_->SetEventCallback(
+        [this](const frameworks::FrameworkEvent& event) {
+          HandleFrameworkEvent(event);
+        });
+  }
+
+  frameworks::JobSpec spec;
+  spec.name = initial_plan.topology_name();
+  spec.containers = std::move(demands);
+  spec.start = [this](int slot) {
+    const Status st = StartSlot(slot);
+    if (!st.ok()) {
+      HLOG(ERROR) << "container start for slot " << slot
+                  << " failed: " << st.ToString();
+    }
+  };
+  spec.stop = [this](int slot) {
+    const Status st = StopSlot(slot);
+    if (!st.ok() && !st.IsNotFound()) {
+      HLOG(WARNING) << "container stop for slot " << slot
+                    << " failed: " << st.ToString();
+    }
+  };
+
+  HERON_ASSIGN_OR_RETURN(frameworks::JobId job, framework_->SubmitJob(spec));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+  }
+  HLOG(INFO) << Name() << " scheduled '" << initial_plan.topology_name()
+             << "' (" << initial_plan.NumContainers() << " containers, "
+             << (IsStateful() ? "stateful" : "stateless") << " mode)";
+  return Status::OK();
+}
+
+void FrameworkScheduler::HandleFrameworkEvent(
+    const frameworks::FrameworkEvent& event) {
+  if (event.container.state != frameworks::ContainerState::kFailed) return;
+  // Stateful mode (§IV-B, YARN): "When a container failure is detected,
+  // the Scheduler invokes the appropriate commands to restart the
+  // container and its associated tasks."
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (event.job != job_) return;
+    ++failovers_;
+  }
+  const Status st =
+      framework_->RestartContainer(event.job, event.container.index);
+  if (!st.ok()) {
+    HLOG(ERROR) << Name() << " failed to recover container "
+                << event.container.index << ": " << st.ToString();
+  } else {
+    HLOG(INFO) << Name() << " recovered failed container "
+               << event.container.index;
+  }
+}
+
+Status FrameworkScheduler::OnKill(const KillTopologyRequest& request) {
+  frameworks::JobId job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (request.topology != plan_.topology_name()) {
+      return Status::NotFound(StrFormat(
+          "topology '%s' is not managed by this scheduler",
+          request.topology.c_str()));
+    }
+    job = job_;
+    job_.clear();
+  }
+  if (job.empty()) {
+    return Status::FailedPrecondition("topology not scheduled");
+  }
+  return framework_->KillJob(job);
+}
+
+Status FrameworkScheduler::OnRestart(const RestartTopologyRequest& request) {
+  frameworks::JobId job = job_id();
+  if (job.empty()) {
+    return Status::FailedPrecondition("topology not scheduled");
+  }
+  if (request.container >= 0) {
+    std::vector<int> slots;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& [slot, cid] : slot_to_container_) {
+        if (cid == request.container) slots.push_back(slot);
+      }
+    }
+    if (slots.empty()) {
+      return Status::NotFound(
+          StrFormat("container %d not deployed", request.container));
+    }
+    return framework_->RestartContainer(job, slots.front());
+  }
+  // Restart everything.
+  HERON_ASSIGN_OR_RETURN(auto statuses, framework_->JobStatus(job));
+  for (const auto& s : statuses) {
+    HERON_RETURN_NOT_OK(framework_->RestartContainer(job, s.index));
+  }
+  return Status::OK();
+}
+
+Status FrameworkScheduler::OnUpdate(const UpdateTopologyRequest& request) {
+  frameworks::JobId job = job_id();
+  if (job.empty()) {
+    return Status::FailedPrecondition("topology not scheduled");
+  }
+  HERON_RETURN_NOT_OK(request.new_plan.Validate());
+
+  // Diff old vs new container sets. "The Scheduler might remove existing
+  // containers or request new containers from the underlying scheduling
+  // framework."
+  std::set<ContainerId> old_ids;
+  std::set<ContainerId> new_ids;
+  packing::PackingPlan old_plan = current_plan();
+  for (const auto& c : old_plan.containers()) old_ids.insert(c.id);
+  for (const auto& c : request.new_plan.containers()) new_ids.insert(c.id);
+
+  std::vector<ContainerId> added;
+  std::vector<ContainerId> removed;
+  for (const ContainerId id : new_ids) {
+    if (old_ids.count(id) == 0) added.push_back(id);
+  }
+  for (const ContainerId id : old_ids) {
+    if (new_ids.count(id) == 0) removed.push_back(id);
+  }
+
+  // Install the new plan first so start hooks see it.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = request.new_plan;
+  }
+
+  // Remove dropped containers.
+  for (const ContainerId id : removed) {
+    int slot = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& [s, cid] : slot_to_container_) {
+        if (cid == id) {
+          slot = s;
+          break;
+        }
+      }
+    }
+    if (slot < 0) continue;
+    HERON_RETURN_NOT_OK(framework_->RemoveContainer(job, slot));
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot_to_container_.erase(slot);
+  }
+
+  // Grow for new containers. A homogeneous framework (Aurora) can only
+  // hand out more containers of the size the job already runs with; if
+  // the new plan demands more than that, the topology must be restarted
+  // rather than updated in place.
+  if (!added.empty()) {
+    std::vector<Resource> demands;
+    if (framework_->SupportsHeterogeneousContainers()) {
+      for (const ContainerId id : added) {
+        demands.push_back(request.new_plan.FindContainer(id)->required);
+      }
+    } else {
+      const Resource deployed = old_plan.MaxContainerResource();
+      for (const ContainerId id : added) {
+        if (!deployed.Fits(request.new_plan.FindContainer(id)->required)) {
+          return Status::FailedPrecondition(StrFormat(
+              "new container %d needs more than the deployed homogeneous "
+              "size %s; restart the topology to resize",
+              id, deployed.ToString().c_str()));
+        }
+      }
+      demands.assign(added.size(), deployed);
+    }
+    // Map framework slots to plan containers before the start hooks run.
+    HERON_ASSIGN_OR_RETURN(
+        std::vector<int> slots,
+        framework_->AddContainers(
+            job, demands, [this, &added](const std::vector<int>& s) {
+              std::lock_guard<std::mutex> lock(mutex_);
+              for (size_t i = 0; i < s.size(); ++i) {
+                slot_to_container_[s[i]] = added[i];
+              }
+            }));
+    (void)slots;
+  }
+
+  HLOG(INFO) << Name() << " updated '" << request.topology << "': +"
+             << added.size() << " / -" << removed.size() << " containers";
+  return Status::OK();
+}
+
+void FrameworkScheduler::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  initialized_ = false;
+}
+
+frameworks::JobId FrameworkScheduler::job_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return job_;
+}
+
+packing::PackingPlan FrameworkScheduler::current_plan() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_;
+}
+
+int FrameworkScheduler::failovers_handled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failovers_;
+}
+
+}  // namespace scheduler
+}  // namespace heron

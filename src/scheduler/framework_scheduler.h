@@ -1,0 +1,76 @@
+#ifndef HERON_SCHEDULER_FRAMEWORK_SCHEDULER_H_
+#define HERON_SCHEDULER_FRAMEWORK_SCHEDULER_H_
+
+#include <map>
+#include <mutex>
+
+#include "frameworks/framework.h"
+#include "scheduler/scheduler.h"
+
+namespace heron {
+namespace scheduler {
+
+/// \brief Scheduler over any ISchedulingFramework — the single class that
+/// serves as both the "Aurora scheduler" and the "YARN scheduler" of the
+/// paper, because the behavioural differences derive entirely from the
+/// framework's capability bits (§IV-B):
+///
+///  - Homogeneous-only frameworks (Aurora) get every container sized to
+///    the packing plan's max requirement; heterogeneous frameworks (YARN)
+///    get exactly what each container needs. "This architecture abstracts
+///    all the low level details from the Resource Manager."
+///  - If the framework auto-restarts failures (Aurora), the scheduler is
+///    stateless and ignores failure events. Otherwise (YARN) it is
+///    stateful: it subscribes to container events and restarts failed
+///    containers itself.
+class FrameworkScheduler final : public IScheduler {
+ public:
+  /// \param framework  the underlying scheduling framework (not owned)
+  /// \param launcher   starts/stops Heron processes per container (not owned)
+  FrameworkScheduler(frameworks::ISchedulingFramework* framework,
+                     IContainerLauncher* launcher);
+
+  Status Initialize(const Config& conf) override;
+  Status OnSchedule(const packing::PackingPlan& initial_plan) override;
+  Status OnKill(const KillTopologyRequest& request) override;
+  Status OnRestart(const RestartTopologyRequest& request) override;
+  Status OnUpdate(const UpdateTopologyRequest& request) override;
+  void Close() override;
+
+  bool IsStateful() const override {
+    return !framework_->AutoRestartsFailedContainers();
+  }
+  std::string Name() const override {
+    return "framework:" + framework_->Name();
+  }
+
+  /// The framework job backing the topology (empty before OnSchedule).
+  frameworks::JobId job_id() const;
+  /// The plan currently deployed.
+  packing::PackingPlan current_plan() const;
+  /// Stateful-mode recoveries performed so far.
+  int failovers_handled() const;
+
+ private:
+  /// Framework slot index → heron container id, for the start/stop hooks.
+  ContainerId PlanContainerAt(int slot) const;
+  void HandleFrameworkEvent(const frameworks::FrameworkEvent& event);
+  Status StartSlot(int slot);
+  Status StopSlot(int slot);
+
+  frameworks::ISchedulingFramework* framework_;
+  IContainerLauncher* launcher_;
+
+  mutable std::mutex mutex_;
+  bool initialized_ = false;
+  Config config_;
+  frameworks::JobId job_;
+  packing::PackingPlan plan_;
+  std::map<int, ContainerId> slot_to_container_;
+  int failovers_ = 0;
+};
+
+}  // namespace scheduler
+}  // namespace heron
+
+#endif  // HERON_SCHEDULER_FRAMEWORK_SCHEDULER_H_

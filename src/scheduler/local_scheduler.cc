@@ -1,0 +1,131 @@
+#include "scheduler/local_scheduler.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace heron {
+namespace scheduler {
+
+Status LocalScheduler::Initialize(const Config& conf) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (launcher_ == nullptr) {
+    return Status::InvalidArgument("LocalScheduler needs a launcher");
+  }
+  if (initialized_) {
+    return Status::FailedPrecondition("scheduler already initialized");
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status LocalScheduler::OnSchedule(const packing::PackingPlan& initial_plan) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!initialized_) {
+      return Status::FailedPrecondition("scheduler not initialized");
+    }
+    if (scheduled_) {
+      return Status::FailedPrecondition("topology already scheduled");
+    }
+    HERON_RETURN_NOT_OK(initial_plan.Validate());
+    plan_ = initial_plan;
+    scheduled_ = true;
+  }
+  for (const auto& c : initial_plan.containers()) {
+    const Status st = launcher_->StartContainer(c);
+    if (!st.ok()) {
+      // Roll back what already started.
+      for (const auto& started : initial_plan.containers()) {
+        if (started.id == c.id) break;
+        launcher_->StopContainer(started.id).ok();
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      scheduled_ = false;
+      return st.WithContext(
+          StrFormat("starting local container %d", c.id));
+    }
+  }
+  HLOG(INFO) << "local scheduler started '" << initial_plan.topology_name()
+             << "' with " << initial_plan.NumContainers() << " containers";
+  return Status::OK();
+}
+
+Status LocalScheduler::OnKill(const KillTopologyRequest& request) {
+  packing::PackingPlan plan;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!scheduled_ || request.topology != plan_.topology_name()) {
+      return Status::NotFound(StrFormat(
+          "topology '%s' is not running locally", request.topology.c_str()));
+    }
+    plan = plan_;
+    scheduled_ = false;
+  }
+  Status last = Status::OK();
+  for (const auto& c : plan.containers()) {
+    const Status st = launcher_->StopContainer(c.id);
+    if (!st.ok()) last = st;
+  }
+  return last;
+}
+
+Status LocalScheduler::OnRestart(const RestartTopologyRequest& request) {
+  packing::PackingPlan plan = current_plan();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!scheduled_) {
+      return Status::FailedPrecondition("topology not scheduled");
+    }
+  }
+  for (const auto& c : plan.containers()) {
+    if (request.container >= 0 && c.id != request.container) continue;
+    HERON_RETURN_NOT_OK(launcher_->StopContainer(c.id));
+    HERON_RETURN_NOT_OK(launcher_->StartContainer(c));
+  }
+  return Status::OK();
+}
+
+Status LocalScheduler::OnUpdate(const UpdateTopologyRequest& request) {
+  HERON_RETURN_NOT_OK(request.new_plan.Validate());
+  packing::PackingPlan old_plan;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!scheduled_) {
+      return Status::FailedPrecondition("topology not scheduled");
+    }
+    old_plan = plan_;
+    plan_ = request.new_plan;
+  }
+
+  std::set<ContainerId> new_ids;
+  for (const auto& c : request.new_plan.containers()) new_ids.insert(c.id);
+  std::set<ContainerId> old_ids;
+  for (const auto& c : old_plan.containers()) old_ids.insert(c.id);
+
+  for (const auto& c : old_plan.containers()) {
+    if (new_ids.count(c.id) == 0) {
+      HERON_RETURN_NOT_OK(launcher_->StopContainer(c.id));
+    }
+  }
+  for (const auto& c : request.new_plan.containers()) {
+    if (old_ids.count(c.id) == 0) {
+      HERON_RETURN_NOT_OK(launcher_->StartContainer(c));
+    }
+  }
+  return Status::OK();
+}
+
+void LocalScheduler::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  initialized_ = false;
+}
+
+packing::PackingPlan LocalScheduler::current_plan() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_;
+}
+
+}  // namespace scheduler
+}  // namespace heron

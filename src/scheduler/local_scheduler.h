@@ -1,0 +1,46 @@
+#ifndef HERON_SCHEDULER_LOCAL_SCHEDULER_H_
+#define HERON_SCHEDULER_LOCAL_SCHEDULER_H_
+
+#include <mutex>
+#include <set>
+
+#include "scheduler/scheduler.h"
+
+namespace heron {
+namespace scheduler {
+
+/// \brief Scheduler for local mode (§III-A: Heron "can also run on local
+/// mode"): no scheduling framework underneath — containers start directly
+/// through the launcher on the local machine. Stateless by construction;
+/// there is nothing to monitor because local container "failures" are
+/// process exits the user observes directly.
+class LocalScheduler final : public IScheduler {
+ public:
+  explicit LocalScheduler(IContainerLauncher* launcher)
+      : launcher_(launcher) {}
+
+  Status Initialize(const Config& conf) override;
+  Status OnSchedule(const packing::PackingPlan& initial_plan) override;
+  Status OnKill(const KillTopologyRequest& request) override;
+  Status OnRestart(const RestartTopologyRequest& request) override;
+  Status OnUpdate(const UpdateTopologyRequest& request) override;
+  void Close() override;
+
+  bool IsStateful() const override { return false; }
+  std::string Name() const override { return "local"; }
+
+  packing::PackingPlan current_plan() const;
+
+ private:
+  IContainerLauncher* launcher_;
+
+  mutable std::mutex mutex_;
+  bool initialized_ = false;
+  bool scheduled_ = false;
+  packing::PackingPlan plan_;
+};
+
+}  // namespace scheduler
+}  // namespace heron
+
+#endif  // HERON_SCHEDULER_LOCAL_SCHEDULER_H_

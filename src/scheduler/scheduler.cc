@@ -1,0 +1,4 @@
+#include "scheduler/scheduler.h"
+
+// The IScheduler interface and request types are declared in scheduler.h;
+// this TU anchors the heron_scheduler target.

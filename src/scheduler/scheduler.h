@@ -1,0 +1,82 @@
+#ifndef HERON_SCHEDULER_SCHEDULER_H_
+#define HERON_SCHEDULER_SCHEDULER_H_
+
+#include <string>
+
+#include "common/config.h"
+#include "packing/packing_plan.h"
+
+namespace heron {
+namespace scheduler {
+
+/// Control-plane requests, mirroring the paper's API surface.
+struct KillTopologyRequest {
+  std::string topology;
+};
+
+struct RestartTopologyRequest {
+  std::string topology;
+  /// Specific container to restart, or -1 for every container.
+  ContainerId container = -1;
+};
+
+struct UpdateTopologyRequest {
+  std::string topology;
+  /// The new plan produced by the Resource Manager's repack (§IV-A);
+  /// "the Scheduler might remove existing containers or request new
+  /// containers from the underlying scheduling framework".
+  packing::PackingPlan new_plan;
+};
+
+/// \brief Starts and stops the Heron processes of a container.
+///
+/// "The Scheduler is also responsible for starting all the Heron
+/// processes assigned to the container" (§II) — the runtime implements
+/// this to spin up the container's Stream Manager, Metrics Manager and
+/// Heron Instances; schedulers call it whenever the underlying framework
+/// (re)starts a container slot.
+class IContainerLauncher {
+ public:
+  virtual ~IContainerLauncher() = default;
+  virtual Status StartContainer(const packing::ContainerPlan& container) = 0;
+  virtual Status StopContainer(ContainerId id) = 0;
+};
+
+/// \brief The pluggable Scheduler module (§IV-B). Direct C++ rendering of
+/// the paper's interface:
+///
+///   public interface Scheduler {
+///     void initialize(Configuration conf)
+///     void onSchedule(PackingPlan initialPlan);
+///     void onKill(KillTopologyRequest request);
+///     void onRestart(RestartTopologyRequest request);
+///     void onUpdate(UpdateTopologyRequest request);
+///     void close()
+///   }
+///
+/// "The Scheduler can be either stateful or stateless depending on the
+/// capabilities of the underlying scheduling framework": IsStateful()
+/// reports which mode a concrete scheduler is operating in.
+class IScheduler {
+ public:
+  virtual ~IScheduler() = default;
+
+  virtual Status Initialize(const Config& conf) = 0;
+
+  /// Receives the initial packing plan from the Resource Manager and
+  /// allocates the specified resources from the underlying framework.
+  virtual Status OnSchedule(const packing::PackingPlan& initial_plan) = 0;
+
+  virtual Status OnKill(const KillTopologyRequest& request) = 0;
+  virtual Status OnRestart(const RestartTopologyRequest& request) = 0;
+  virtual Status OnUpdate(const UpdateTopologyRequest& request) = 0;
+  virtual void Close() = 0;
+
+  virtual bool IsStateful() const = 0;
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace scheduler
+}  // namespace heron
+
+#endif  // HERON_SCHEDULER_SCHEDULER_H_

@@ -1,0 +1,49 @@
+#ifndef HERON_SERDE_MESSAGE_H_
+#define HERON_SERDE_MESSAGE_H_
+
+#include <string>
+
+#include "serde/wire.h"
+
+namespace heron {
+namespace serde {
+
+/// \brief Base class for every wire message in the system.
+///
+/// Concrete messages (TupleSet, PhysicalPlan, control messages, ...) live
+/// in src/proto. The contract is protobuf-like:
+///  - SerializeTo appends fields to an encoder (never clears the buffer);
+///  - ParseFrom fully overwrites the message from bytes, tolerating and
+///    skipping unknown fields so that module implementations can evolve
+///    independently — the extensibility requirement of §II;
+///  - Clear resets to the default state so instances can be pooled and
+///    reused (§V-A optimization 1).
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  virtual void SerializeTo(WireEncoder* enc) const = 0;
+  virtual Status ParseFrom(WireDecoder* dec) = 0;
+  virtual void Clear() = 0;
+
+  /// Serializes into a fresh buffer. Convenience for control-plane paths;
+  /// the data plane serializes into pooled buffers instead.
+  Buffer SerializeAsBuffer() const {
+    Buffer out;
+    WireEncoder enc(&out);
+    SerializeTo(&enc);
+    return out;
+  }
+
+  /// Parses the full contents of `data`.
+  Status ParseFromBytes(BytesView data) {
+    Clear();
+    WireDecoder dec(data);
+    return ParseFrom(&dec);
+  }
+};
+
+}  // namespace serde
+}  // namespace heron
+
+#endif  // HERON_SERDE_MESSAGE_H_

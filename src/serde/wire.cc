@@ -1,0 +1,162 @@
+#include "serde/wire.h"
+
+#include <cstring>
+
+namespace heron {
+namespace serde {
+
+void WireEncoder::WriteVarint(uint64_t value) {
+  while (value >= 0x80) {
+    out_->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out_->push_back(static_cast<char>(value));
+}
+
+void WireEncoder::WriteUint64Field(uint32_t field, uint64_t value) {
+  WriteTag(field, WireType::kVarint);
+  WriteVarint(value);
+}
+
+void WireEncoder::WriteInt64Field(uint32_t field, int64_t value) {
+  WriteTag(field, WireType::kVarint);
+  WriteVarint(ZigZagEncode(value));
+}
+
+void WireEncoder::WriteInt32Field(uint32_t field, int32_t value) {
+  WriteInt64Field(field, value);
+}
+
+void WireEncoder::WriteBoolField(uint32_t field, bool value) {
+  WriteTag(field, WireType::kVarint);
+  WriteVarint(value ? 1 : 0);
+}
+
+void WireEncoder::WriteDoubleField(uint32_t field, double value) {
+  WriteTag(field, WireType::kFixed64);
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out_->push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+void WireEncoder::WriteBytesField(uint32_t field, BytesView value) {
+  WriteTag(field, WireType::kLengthDelimited);
+  WriteVarint(value.size());
+  out_->append(value.data(), value.size());
+}
+
+size_t WireEncoder::BeginLengthDelimited(uint32_t field) {
+  WriteTag(field, WireType::kLengthDelimited);
+  // Reserve one byte for the common case of payloads < 128 bytes; the
+  // payload is shifted right when the final varint is longer.
+  out_->push_back('\0');
+  return out_->size();
+}
+
+void WireEncoder::EndLengthDelimited(size_t mark) {
+  const size_t payload_len = out_->size() - mark;
+  // Encode the length varint into a scratch array.
+  char scratch[10];
+  size_t n = 0;
+  uint64_t v = payload_len;
+  while (v >= 0x80) {
+    scratch[n++] = static_cast<char>((v & 0x7F) | 0x80);
+    v >>= 7;
+  }
+  scratch[n++] = static_cast<char>(v);
+  if (n == 1) {
+    (*out_)[mark - 1] = scratch[0];
+    return;
+  }
+  // Rare path: shift the payload to make room for the longer varint.
+  out_->insert(mark, n - 1, '\0');
+  std::memcpy(out_->data() + mark - 1, scratch, n);
+}
+
+Result<uint64_t> WireDecoder::ReadVarint() {
+  uint64_t value = 0;
+  int shift = 0;
+  while (pos_ < data_.size()) {
+    const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (shift >= 64) {
+      return Status::IOError("varint too long");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Truncated();
+}
+
+Result<uint32_t> WireDecoder::ReadTag() {
+  if (AtEnd()) return static_cast<uint32_t>(0);
+  HERON_ASSIGN_OR_RETURN(uint64_t tag, ReadVarint());
+  if (tag == 0 || tag > UINT32_MAX) {
+    return Status::IOError("invalid wire tag");
+  }
+  return static_cast<uint32_t>(tag);
+}
+
+Result<uint64_t> WireDecoder::ReadUint64() { return ReadVarint(); }
+
+Result<int64_t> WireDecoder::ReadInt64() {
+  HERON_ASSIGN_OR_RETURN(uint64_t raw, ReadVarint());
+  return ZigZagDecode(raw);
+}
+
+Result<int32_t> WireDecoder::ReadInt32() {
+  HERON_ASSIGN_OR_RETURN(int64_t v, ReadInt64());
+  if (v < INT32_MIN || v > INT32_MAX) {
+    return Status::IOError("int32 field out of range");
+  }
+  return static_cast<int32_t>(v);
+}
+
+Result<bool> WireDecoder::ReadBool() {
+  HERON_ASSIGN_OR_RETURN(uint64_t raw, ReadVarint());
+  return raw != 0;
+}
+
+Result<double> WireDecoder::ReadDouble() {
+  if (pos_ + 8 > data_.size()) return Truncated();
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+  }
+  pos_ += 8;
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Result<BytesView> WireDecoder::ReadBytes() {
+  HERON_ASSIGN_OR_RETURN(uint64_t len, ReadVarint());
+  if (pos_ + len > data_.size()) return Truncated();
+  BytesView view = data_.substr(pos_, len);
+  pos_ += len;
+  return view;
+}
+
+Status WireDecoder::SkipField(WireType type) {
+  switch (type) {
+    case WireType::kVarint:
+      return ReadVarint().status();
+    case WireType::kFixed64:
+      if (pos_ + 8 > data_.size()) return Truncated();
+      pos_ += 8;
+      return Status::OK();
+    case WireType::kLengthDelimited:
+      return ReadBytes().status();
+    case WireType::kFixed32:
+      if (pos_ + 4 > data_.size()) return Truncated();
+      pos_ += 4;
+      return Status::OK();
+  }
+  return Status::IOError("unknown wire type");
+}
+
+}  // namespace serde
+}  // namespace heron

@@ -1,0 +1,125 @@
+#ifndef HERON_SERDE_WIRE_H_
+#define HERON_SERDE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace heron {
+namespace serde {
+
+/// Serialized bytes are carried in std::string buffers; views are
+/// std::string_view. This keeps the transport layer allocation-friendly
+/// (buffers are recycled through BufferPool) and zero-copy on the read
+/// path (decoders never copy payload bytes).
+using Buffer = std::string;
+using BytesView = std::string_view;
+
+/// \brief Wire types, following the Protocol Buffers encoding.
+enum class WireType : uint8_t {
+  kVarint = 0,
+  kFixed64 = 1,
+  kLengthDelimited = 2,
+  kFixed32 = 5,
+};
+
+/// Combines a field number and wire type into a tag varint.
+constexpr uint32_t MakeTag(uint32_t field_number, WireType type) {
+  return (field_number << 3) | static_cast<uint32_t>(type);
+}
+constexpr uint32_t TagFieldNumber(uint32_t tag) { return tag >> 3; }
+constexpr WireType TagWireType(uint32_t tag) {
+  return static_cast<WireType>(tag & 0x7);
+}
+
+/// ZigZag mapping for signed varints.
+constexpr uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+constexpr int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// \brief Appends protobuf-encoded fields to a Buffer.
+///
+/// The encoder never owns its buffer: the Stream Manager hands it pooled
+/// buffers so that steady-state serialization performs no heap allocation
+/// (§V-A optimization 1).
+class WireEncoder {
+ public:
+  explicit WireEncoder(Buffer* out) : out_(out) {}
+
+  void WriteVarint(uint64_t value);
+  void WriteTag(uint32_t field_number, WireType type) {
+    WriteVarint(MakeTag(field_number, type));
+  }
+
+  /// Field writers: tag + payload.
+  void WriteUint64Field(uint32_t field, uint64_t value);
+  void WriteInt64Field(uint32_t field, int64_t value);  // ZigZag.
+  void WriteInt32Field(uint32_t field, int32_t value);  // ZigZag.
+  void WriteBoolField(uint32_t field, bool value);
+  void WriteDoubleField(uint32_t field, double value);  // Fixed64.
+  void WriteBytesField(uint32_t field, BytesView value);
+  void WriteStringField(uint32_t field, std::string_view value) {
+    WriteBytesField(field, value);
+  }
+
+  /// Nested messages are written via a length-prefixed scope: call
+  /// BeginLengthDelimited, write the nested fields, then EndLengthDelimited
+  /// with the returned mark. The length prefix is patched in place (moving
+  /// the payload when the varint needs more than one reserved byte).
+  size_t BeginLengthDelimited(uint32_t field);
+  void EndLengthDelimited(size_t mark);
+
+  size_t size() const { return out_->size(); }
+  Buffer* buffer() { return out_; }
+
+ private:
+  Buffer* out_;
+};
+
+/// \brief Cursor over serialized bytes; reads fields without copying.
+///
+/// Decoding errors (truncation, wire-type mismatches) surface as Status —
+/// a malformed message from a remote Stream Manager must never crash the
+/// process.
+class WireDecoder {
+ public:
+  explicit WireDecoder(BytesView data) : data_(data), pos_(0) {}
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+
+  Result<uint64_t> ReadVarint();
+  /// Reads the next tag; returns 0 at end of input.
+  Result<uint32_t> ReadTag();
+
+  Result<uint64_t> ReadUint64();
+  Result<int64_t> ReadInt64();  // ZigZag.
+  Result<int32_t> ReadInt32();  // ZigZag.
+  Result<bool> ReadBool();
+  Result<double> ReadDouble();
+  /// Returns a view into the underlying buffer (no copy).
+  Result<BytesView> ReadBytes();
+
+  /// Skips a field of the given wire type; used by lazy/partial parsing to
+  /// hop over everything except the fields of interest (§V-A optimization 2).
+  Status SkipField(WireType type);
+
+ private:
+  Status Truncated() const {
+    return Status::IOError("wire decode past end of buffer");
+  }
+
+  BytesView data_;
+  size_t pos_;
+};
+
+}  // namespace serde
+}  // namespace heron
+
+#endif  // HERON_SERDE_WIRE_H_

@@ -1,0 +1,4 @@
+#include "sim/cost_model.h"
+
+// Cost tables are plain data; defaults live in the header. This TU
+// anchors the target and leaves room for file-based table loading.

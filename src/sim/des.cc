@@ -1,0 +1,43 @@
+#include "sim/des.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace heron {
+namespace sim {
+
+void Des::ScheduleAt(double t_sec, EventFn fn) {
+  HERON_DCHECK(t_sec >= now_) << "event scheduled in the past";
+  queue_.push(Event{t_sec, next_seq_++, std::move(fn)});
+}
+
+void Des::RunUntil(double t_end_sec) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > t_end_sec) break;
+    // Moving out of the priority queue requires a const_cast; the element
+    // is popped immediately after.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.fn();
+  }
+  now_ = std::max(now_, t_end_sec);
+}
+
+void SimServer::Submit(double work_sec, Des::EventFn on_done) {
+  const double scaled = work_sec * speed_;
+  const double start = std::max(des_->now(), next_free_);
+  next_free_ = start + scaled;
+  busy_time_ += scaled;
+  des_->ScheduleAt(next_free_, std::move(on_done));
+}
+
+double SimServer::Backlog() const {
+  const double backlog = next_free_ - des_->now();
+  return backlog > 0 ? backlog : 0;
+}
+
+}  // namespace sim
+}  // namespace heron

@@ -1,0 +1,92 @@
+#ifndef HERON_SIM_DES_H_
+#define HERON_SIM_DES_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace heron {
+namespace sim {
+
+/// \brief A minimal discrete-event simulation core.
+///
+/// The figure-scale experiments (parallelism 25-200, hundreds of millions
+/// of tuples per minute) cannot run as real threads on one box, so the
+/// benchmark harness replays the engine's behaviour — batching, routing,
+/// cache drains, acking, flow control — against simulated time, with
+/// per-operation costs calibrated from microbenchmarks of the real
+/// components (bench/micro_*). Events are simulated at *batch*
+/// granularity, which keeps tens of millions of simulated tuples per
+/// second tractable.
+class Des {
+ public:
+  using EventFn = std::function<void()>;
+
+  /// Current simulated time in seconds.
+  double now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `t_sec` (>= now).
+  void ScheduleAt(double t_sec, EventFn fn);
+  /// Schedules `fn` `dt_sec` from now.
+  void ScheduleAfter(double dt_sec, EventFn fn) {
+    ScheduleAt(now_ + dt_sec, std::move(fn));
+  }
+
+  /// Runs events in time order until the queue empties or simulated time
+  /// passes `t_end_sec`.
+  void RunUntil(double t_end_sec);
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;  ///< FIFO tie-break for simultaneous events.
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// \brief A single-threaded resource (one core running one process loop):
+/// work submitted to it completes FIFO, one piece at a time.
+///
+/// Models a Heron Instance thread, a Stream Manager loop, a Storm
+/// executor/transfer thread. Utilization and queue depth are tracked for
+/// the per-core throughput accounting (Fig. 6/8).
+class SimServer {
+ public:
+  /// \param speed_factor  >1 slows all service (used to model thread
+  ///        oversubscription inside Storm workers)
+  SimServer(Des* des, double speed_factor = 1.0)
+      : des_(des), speed_(speed_factor) {}
+
+  /// Enqueues `work_sec` of service; `on_done` fires at completion.
+  void Submit(double work_sec, Des::EventFn on_done);
+
+  /// Seconds of queued-but-unfinished work (backlog).
+  double Backlog() const;
+  /// Total service time performed.
+  double busy_time() const { return busy_time_; }
+
+ private:
+  Des* des_;
+  double speed_;
+  double next_free_ = 0;
+  double busy_time_ = 0;
+};
+
+}  // namespace sim
+}  // namespace heron
+
+#endif  // HERON_SIM_DES_H_

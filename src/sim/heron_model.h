@@ -1,0 +1,55 @@
+#ifndef HERON_SIM_HERON_MODEL_H_
+#define HERON_SIM_HERON_MODEL_H_
+
+#include <cstdint>
+
+#include "sim/cost_model.h"
+
+namespace heron {
+namespace sim {
+
+/// \brief Configuration of one simulated WordCount run on the Heron
+/// engine model — the knobs the paper's evaluation sweeps.
+struct HeronSimConfig {
+  int spouts = 25;
+  int bolts = 25;
+  int instances_per_container = 4;
+  bool acking = false;
+  /// Outstanding roots allowed per spout (§V-B); 0 = unbounded.
+  int64_t max_spout_pending = 20000;
+  double cache_drain_frequency_ms = 10;   ///< §V-B knob (Figs. 12-13).
+  double cache_drain_size_bytes = 1 << 20;
+  bool optimizations = true;              ///< §V-A toggle (Figs. 5-9).
+  int spout_batch = 64;                   ///< Outbox flush threshold.
+  double warmup_sec = 0.5;
+  double measure_sec = 1.0;
+  uint64_t seed = 2017;
+};
+
+/// \brief What one simulated run reports — the quantities the paper's
+/// figures plot.
+struct SimResult {
+  double tuples_per_min = 0;          ///< Figs. 2, 4, 5, 7, 10, 12.
+  double latency_ms_mean = 0;         ///< Figs. 3, 9, 11, 13.
+  double latency_ms_p50 = 0;
+  double latency_ms_p99 = 0;
+  double cpu_cores_provisioned = 0;   ///< Instances + SMGRs.
+  double tuples_per_min_per_core = 0; ///< Figs. 6, 8.
+  uint64_t tuples_delivered = 0;
+  uint64_t tuples_acked = 0;
+  double max_smgr_utilization = 0;    ///< Diagnostic: bottleneck check.
+  uint64_t sim_events = 0;
+};
+
+/// \brief Simulates the WordCount topology on the Heron architecture:
+/// per-instance emit batching, SMGR routing with the §V-A optimization
+/// toggle, TupleCache timer/size drains, inter-container transit with the
+/// lazy destination peek, XOR ack tracking and max-spout-pending flow
+/// control. Placement comes from the real RoundRobinPacking.
+SimResult RunHeronSim(const HeronSimConfig& config,
+                      const HeronCostModel& costs);
+
+}  // namespace sim
+}  // namespace heron
+
+#endif  // HERON_SIM_HERON_MODEL_H_

@@ -1,0 +1,37 @@
+#ifndef HERON_SIM_STORM_MODEL_H_
+#define HERON_SIM_STORM_MODEL_H_
+
+#include "sim/cost_model.h"
+#include "sim/heron_model.h"  // SimResult.
+
+namespace heron {
+namespace sim {
+
+/// \brief Configuration of one simulated WordCount run on the Storm-style
+/// specialized architecture (§III-A).
+struct StormSimConfig {
+  int spouts = 25;
+  int bolts = 25;
+  int tasks_per_executor = 2;
+  int tasks_per_worker = 4;  ///< Worker slots sized like Heron containers.
+  bool acking = false;
+  int num_ackers = 0;  ///< 0 → one acker task per worker (Storm default-ish).
+  int64_t max_spout_pending = 20000;
+  double warmup_sec = 0.5;
+  double measure_sec = 1.0;
+  uint64_t seed = 2013;
+};
+
+/// \brief Simulates WordCount on the Storm model: tasks multiplexed onto
+/// executor threads, per-tuple inter-worker serialization through a
+/// per-worker transfer thread that shares the worker's cores with the
+/// executors, and acker tasks riding the same queues as data. The
+/// structural choices are the ones §III-A names; the per-operation costs
+/// come from StormCostModel.
+SimResult RunStormSim(const StormSimConfig& config,
+                      const StormCostModel& costs);
+
+}  // namespace sim
+}  // namespace heron
+
+#endif  // HERON_SIM_STORM_MODEL_H_

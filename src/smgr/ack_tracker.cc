@@ -1,0 +1,62 @@
+#include "smgr/ack_tracker.h"
+
+#include <limits>
+
+namespace heron {
+namespace smgr {
+
+void AckTracker::Register(api::TupleKey root, api::TupleKey spout_tuple_key,
+                          int64_t now_nanos) {
+  auto [it, inserted] = entries_.try_emplace(root);
+  it->second.xor_state ^= spout_tuple_key;
+  if (inserted) {
+    it->second.deadline_nanos = now_nanos + timeout_nanos_;
+    by_deadline_.emplace(it->second.deadline_nanos, root);
+  }
+}
+
+std::optional<AckTracker::Completion> AckTracker::Update(
+    api::TupleKey root, api::TupleKey xor_value, bool fail) {
+  const auto it = entries_.find(root);
+  if (it == entries_.end()) return std::nullopt;  // Stale update.
+  if (fail) {
+    entries_.erase(it);
+    return Completion{root, true};
+  }
+  it->second.xor_state ^= xor_value;
+  if (it->second.xor_state == 0) {
+    entries_.erase(it);
+    return Completion{root, false};
+  }
+  return std::nullopt;
+}
+
+std::vector<AckTracker::Completion> AckTracker::ExpireTimeouts(
+    int64_t now_nanos) {
+  std::vector<Completion> expired;
+  auto it = by_deadline_.begin();
+  while (it != by_deadline_.end() && it->first <= now_nanos) {
+    const api::TupleKey root = it->second;
+    it = by_deadline_.erase(it);
+    if (entries_.erase(root) != 0) {
+      expired.push_back({root, true});
+    }
+    // Roots already completed leave stale deadline records; skipping them
+    // here is what keeps Update O(log n) without deadline-index surgery.
+  }
+  return expired;
+}
+
+int64_t AckTracker::NextDeadlineNanos() {
+  // Drop stale deadline records for completed roots as they surface, so
+  // repeated calls stay O(1) amortized instead of rescanning the backlog.
+  while (!by_deadline_.empty()) {
+    const auto it = by_deadline_.begin();
+    if (entries_.count(it->second) != 0) return it->first;
+    by_deadline_.erase(it);
+  }
+  return std::numeric_limits<int64_t>::max();
+}
+
+}  // namespace smgr
+}  // namespace heron

@@ -1,0 +1,73 @@
+#ifndef HERON_SMGR_ACK_TRACKER_H_
+#define HERON_SMGR_ACK_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "api/tuple.h"
+
+namespace heron {
+namespace smgr {
+
+/// \brief XOR-rotation ack tracking for the tuple trees rooted at this
+/// container's spouts.
+///
+/// The classic Storm/Heron algorithm: every tuple key is folded into its
+/// root's XOR state exactly twice — once when the tuple enters the tree
+/// (spout registration for roots, anchored-emit contribution inside the
+/// acking bolt's update) and once when it is acked. The state returns to
+/// zero exactly when every tuple in the tree has been acked, regardless
+/// of order or interleaving. A `fail` update or a timeout completes the
+/// root immediately with fail=true.
+///
+/// Single-threaded by design: owned and driven by one Stream Manager loop.
+class AckTracker {
+ public:
+  struct Completion {
+    api::TupleKey root = 0;
+    bool fail = false;
+  };
+
+  /// \param timeout_nanos  per-root deadline from registration; a root not
+  ///        completing in time is failed (topology message timeout, §V-B).
+  explicit AckTracker(int64_t timeout_nanos) : timeout_nanos_(timeout_nanos) {}
+
+  /// Starts tracking `root` with the spout tuple's key folded in.
+  void Register(api::TupleKey root, api::TupleKey spout_tuple_key,
+                int64_t now_nanos);
+
+  /// Applies one XOR update; returns the completion when the tree closed
+  /// (XOR hit zero) or the update carried fail. Stale updates for unknown
+  /// roots (already completed / timed out) are ignored.
+  std::optional<Completion> Update(api::TupleKey root, api::TupleKey xor_value,
+                                   bool fail);
+
+  /// Fails every root whose deadline passed.
+  std::vector<Completion> ExpireTimeouts(int64_t now_nanos);
+
+  /// Earliest pending deadline, or INT64_MAX when nothing is tracked.
+  /// Prunes stale deadline records as a side effect.
+  int64_t NextDeadlineNanos();
+
+  size_t pending() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    api::TupleKey xor_state = 0;
+    int64_t deadline_nanos = 0;
+  };
+
+  int64_t timeout_nanos_;
+  std::map<api::TupleKey, Entry> entries_;
+  // Deadlines are monotone in registration order, so expiry scans the map
+  // insertion side; with random 48-bit suffixes the key order is not
+  // registration order, so a deadline index keeps expiry O(expired).
+  std::multimap<int64_t, api::TupleKey> by_deadline_;
+};
+
+}  // namespace smgr
+}  // namespace heron
+
+#endif  // HERON_SMGR_ACK_TRACKER_H_

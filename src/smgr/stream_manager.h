@@ -1,0 +1,178 @@
+#ifndef HERON_SMGR_STREAM_MANAGER_H_
+#define HERON_SMGR_STREAM_MANAGER_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/grouping.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "metrics/metrics.h"
+#include "proto/physical_plan.h"
+#include "smgr/ack_tracker.h"
+#include "smgr/transport.h"
+#include "smgr/tuple_cache.h"
+
+namespace heron {
+namespace smgr {
+
+/// \brief The Stream Manager: "the process responsible for routing tuples
+/// among Heron Instances" (§II), one per container.
+///
+/// Receives unrouted tuple batches from the container's local instances,
+/// resolves every subscriber's grouping, batches per destination in the
+/// TupleCache, and ships batches — still serialized — to local instances
+/// or peer Stream Managers. Also owns ack tracking for the roots of the
+/// spouts it hosts.
+///
+/// The §V-A optimizations are a single toggle (`optimizations`):
+///  - ON: routing works on serialized views (ParseTupleBatchView /
+///    PeekFieldsHash / PeekDestTask); transit batches are forwarded as
+///    byte arrays; buffers come from the shared pool.
+///  - OFF (the ablation baseline): every hop fully deserializes tuple
+///    objects, rebuilds and reserializes them, and allocates fresh
+///    buffers/messages — the naive implementation the paper's
+///    "without optimizations" bars measure.
+///
+/// Threading: Start() spawns the event loop; everything else runs on it.
+/// The loop never blocks on a send — undeliverable envelopes park in a
+/// retry queue and the `backpressure` flag throttles local spouts, which
+/// is the container-local rendering of Heron's spout back-pressure
+/// protocol.
+class StreamManager {
+ public:
+  struct Options {
+    ContainerId container = 0;
+    bool acking = false;
+    bool optimizations = true;
+    int64_t cache_drain_frequency_ms = 10;
+    size_t cache_drain_size_bytes = 1 << 20;
+    int64_t message_timeout_ms = 30000;
+    size_t inbound_capacity = 8192;
+    size_t backpressure_high_water = 4096;  ///< Retry entries that trip it.
+    uint64_t seed = 42;
+  };
+
+  StreamManager(const Options& options,
+                std::shared_ptr<const proto::PhysicalPlan> plan,
+                Transport* transport, const Clock* clock);
+  ~StreamManager();
+
+  StreamManager(const StreamManager&) = delete;
+  StreamManager& operator=(const StreamManager&) = delete;
+
+  /// Registers the inbound channel with the transport and spawns the loop.
+  Status Start();
+  /// Drains, deregisters and joins. Idempotent.
+  void Stop();
+
+  EnvelopeChannel* inbound() { return &inbound_; }
+  metrics::MetricsRegistry* metrics() { return &metrics_; }
+  const Options& options() const { return options_; }
+
+  /// True while the retry queue is above water — local spouts pause
+  /// NextTuple (§ back pressure).
+  bool backpressure() const {
+    return backpressure_.load(std::memory_order_relaxed);
+  }
+
+  // -- Single-step interface (used by the loop and by deterministic tests;
+  //    call only when the loop thread is not running). --
+
+  /// Processes one envelope end to end.
+  void ProcessEnvelope(proto::Envelope env);
+  /// Flushes the tuple cache and dispatches the batches.
+  void DrainCacheNow(bool timer_drain = true);
+  /// Expires overdue roots and notifies spouts.
+  void ExpireAcksNow();
+  /// Attempts queued re-deliveries; returns entries still parked.
+  size_t FlushRetries();
+
+  const TupleCache::Stats& cache_stats() const { return cache_.stats(); }
+  size_t acks_pending() const { return tracker_.pending(); }
+
+ private:
+  struct Edge {
+    api::GroupingKind kind;
+    std::vector<int> sorted_field_indices;  ///< kFields.
+    std::vector<TaskId> tasks;              ///< Ascending consumer tasks.
+    api::CustomGroupingFn custom_fn;        ///< kCustom.
+    api::Fields schema;                     ///< kCustom decode path.
+  };
+
+  void Loop();
+
+  /// Routes every tuple of an unrouted batch from a local instance.
+  void HandleInstanceBatch(const serde::Buffer& payload);
+  /// Forwards / delivers a routed batch (from a peer SMGR).
+  void HandleRoutedBatch(proto::Envelope env);
+  /// Applies or forwards ack updates.
+  void HandleAckBatch(proto::Envelope env);
+
+  /// Routes one serialized tuple along every subscribed edge.
+  void RouteTuple(const std::vector<Edge>* edges, TaskId src_task,
+                  serde::BytesView stream, serde::BytesView src_component,
+                  serde::BytesView tuple_bytes);
+
+  /// Registers spout roots when acking (lazy peek on the serialized tuple).
+  void MaybeRegisterRoots(TaskId src_task, serde::BytesView tuple_bytes);
+
+  void SendToInstance(TaskId task, proto::Envelope env);
+  void SendToContainer(ContainerId container, proto::Envelope env);
+  void TrySendOrPark(EnvelopeChannel* channel, proto::Envelope env);
+  void EmitRootEvent(const AckTracker::Completion& completion);
+
+  /// The ablation path: full deserialize + rebuild + reserialize of a
+  /// routed batch before delivery.
+  serde::Buffer ReserializeBatch(const serde::Buffer& payload);
+
+  Options options_;
+  std::shared_ptr<const proto::PhysicalPlan> plan_;
+  Transport* transport_;
+  const Clock* clock_;
+
+  EnvelopeChannel inbound_;
+  TupleCache cache_;
+  AckTracker tracker_;
+  Random rng_;
+  metrics::MetricsRegistry metrics_;
+
+  /// (component, stream) → subscriber edges; resolved once at startup.
+  std::map<std::pair<ComponentId, StreamId>, std::vector<Edge>> edges_;
+  /// Components hosted in this container that are spouts (root owners).
+  std::map<TaskId, bool> local_task_is_spout_;
+
+  struct Parked {
+    EnvelopeChannel* channel;
+    proto::Envelope env;
+  };
+  std::deque<Parked> retry_;
+  std::atomic<bool> backpressure_{false};
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  bool registered_ = false;
+
+  // Hot-path metric handles.
+  metrics::Counter* tuples_routed_;
+  metrics::Counter* batches_out_;
+  metrics::Counter* bytes_out_;
+  metrics::Counter* acks_applied_;
+  metrics::Counter* roots_completed_;
+  metrics::Counter* roots_failed_;
+  metrics::Counter* roots_timeout_;
+  metrics::Gauge* retry_depth_;
+
+  // Scratch reused across envelopes (object-reuse discipline, §V-A).
+  std::vector<TaskId> route_scratch_;
+  proto::TupleBatchView view_scratch_;
+};
+
+}  // namespace smgr
+}  // namespace heron
+
+#endif  // HERON_SMGR_STREAM_MANAGER_H_

@@ -1,0 +1,63 @@
+#include "smgr/transport.h"
+
+#include "common/strings.h"
+
+namespace heron {
+namespace smgr {
+
+Status Transport::RegisterInstance(TaskId task, EnvelopeChannel* channel) {
+  if (channel == nullptr) {
+    return Status::InvalidArgument("null instance channel");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!instances_.emplace(task, channel).second) {
+    return Status::AlreadyExists(
+        StrFormat("task %d already registered", task));
+  }
+  return Status::OK();
+}
+
+Status Transport::UnregisterInstance(TaskId task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (instances_.erase(task) == 0) {
+    return Status::NotFound(StrFormat("task %d not registered", task));
+  }
+  return Status::OK();
+}
+
+Status Transport::RegisterSmgr(ContainerId container,
+                               EnvelopeChannel* channel) {
+  if (channel == nullptr) {
+    return Status::InvalidArgument("null smgr channel");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!smgrs_.emplace(container, channel).second) {
+    return Status::AlreadyExists(
+        StrFormat("container %d smgr already registered", container));
+  }
+  return Status::OK();
+}
+
+Status Transport::UnregisterSmgr(ContainerId container) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (smgrs_.erase(container) == 0) {
+    return Status::NotFound(
+        StrFormat("container %d smgr not registered", container));
+  }
+  return Status::OK();
+}
+
+EnvelopeChannel* Transport::InstanceChannel(TaskId task) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = instances_.find(task);
+  return it == instances_.end() ? nullptr : it->second;
+}
+
+EnvelopeChannel* Transport::SmgrChannel(ContainerId container) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = smgrs_.find(container);
+  return it == smgrs_.end() ? nullptr : it->second;
+}
+
+}  // namespace smgr
+}  // namespace heron

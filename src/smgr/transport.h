@@ -1,0 +1,56 @@
+#ifndef HERON_SMGR_TRANSPORT_H_
+#define HERON_SMGR_TRANSPORT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/ids.h"
+#include "ipc/channel.h"
+#include "proto/messages.h"
+#include "serde/message_pool.h"
+
+namespace heron {
+namespace smgr {
+
+using EnvelopeChannel = ipc::Channel<proto::Envelope>;
+
+/// \brief The topology's endpoint directory: which channel reaches each
+/// Heron Instance and each container's Stream Manager.
+///
+/// Stands in for the host:port registry Heron keeps in the State Manager
+/// plus the connected sockets. Components register at startup and
+/// unregister on teardown (container restart re-registers fresh
+/// channels). Also owns the shared BufferPool through which transport
+/// buffers are recycled across senders and receivers (§V-A optimization 1
+/// — when pooling is disabled, every Acquire is a fresh allocation, the
+/// naive baseline).
+class Transport {
+ public:
+  /// \param pooling_enabled  buffer recycling on/off (ablation toggle)
+  explicit Transport(bool pooling_enabled = true)
+      : buffer_pool_(pooling_enabled, /*max_idle=*/65536) {}
+
+  Status RegisterInstance(TaskId task, EnvelopeChannel* channel);
+  Status UnregisterInstance(TaskId task);
+  Status RegisterSmgr(ContainerId container, EnvelopeChannel* channel);
+  Status UnregisterSmgr(ContainerId container);
+
+  /// nullptr when the endpoint is not (currently) registered — e.g. its
+  /// container is being restarted; senders retry.
+  EnvelopeChannel* InstanceChannel(TaskId task) const;
+  EnvelopeChannel* SmgrChannel(ContainerId container) const;
+
+  serde::BufferPool* buffer_pool() { return &buffer_pool_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<TaskId, EnvelopeChannel*> instances_;
+  std::map<ContainerId, EnvelopeChannel*> smgrs_;
+  serde::BufferPool buffer_pool_;
+};
+
+}  // namespace smgr
+}  // namespace heron
+
+#endif  // HERON_SMGR_TRANSPORT_H_

@@ -1,0 +1,71 @@
+#include "smgr/tuple_cache.h"
+
+namespace heron {
+namespace smgr {
+
+namespace tbf = proto::tuple_batch_fields;
+
+bool TupleCache::Add(TaskId dest, TaskId src_task, serde::BytesView stream,
+                     serde::BytesView src_component,
+                     serde::BytesView tuple_bytes) {
+  const uint64_t key = KeyOf(dest, src_task);
+  auto it = pending_.find(key);
+  if (it != pending_.end() && it->second.stream != stream) {
+    // Same (dest, src) pair on a different stream: flush the old batch
+    // eagerly rather than widen the key space for a rare case.
+    Pending& old = it->second;
+    pending_bytes_ -= old.buffer.size();
+    stats_.bytes_drained += old.buffer.size();
+    ++stats_.batches_drained;
+    eager_.push_back({dest, std::move(old.buffer), old.tuple_count});
+    pending_.erase(it);
+    it = pending_.end();
+  }
+  if (it == pending_.end()) {
+    Pending fresh;
+    fresh.buffer = pool_->Acquire();
+    fresh.stream = std::string(stream);
+    serde::WireEncoder enc(&fresh.buffer);
+    enc.WriteInt32Field(tbf::kSrcTask, src_task);
+    enc.WriteInt32Field(tbf::kDestTask, dest);
+    enc.WriteBytesField(tbf::kStream, stream);
+    enc.WriteBytesField(tbf::kSrcComponent, src_component);
+    pending_bytes_ += fresh.buffer.size();
+    it = pending_.emplace(key, std::move(fresh)).first;
+  }
+  Pending& p = it->second;
+  const size_t before = p.buffer.size();
+  serde::WireEncoder enc(&p.buffer);
+  enc.WriteBytesField(tbf::kTuple, tuple_bytes);
+  pending_bytes_ += p.buffer.size() - before;
+  ++p.tuple_count;
+  ++stats_.tuples_added;
+  return pending_bytes_ >= options_.drain_size_bytes;
+}
+
+std::vector<TupleCache::Batch> TupleCache::DrainAll(bool timer_drain) {
+  std::vector<Batch> out = std::move(eager_);
+  eager_.clear();
+  for (auto& [key, p] : pending_) {
+    Batch b;
+    b.dest = static_cast<TaskId>(static_cast<int32_t>(key >> 32));
+    b.bytes = std::move(p.buffer);
+    b.tuple_count = p.tuple_count;
+    stats_.bytes_drained += b.bytes.size();
+    ++stats_.batches_drained;
+    out.push_back(std::move(b));
+  }
+  pending_.clear();
+  pending_bytes_ = 0;
+  if (!out.empty()) {
+    if (timer_drain) {
+      ++stats_.timer_drains;
+    } else {
+      ++stats_.size_drains;
+    }
+  }
+  return out;
+}
+
+}  // namespace smgr
+}  // namespace heron

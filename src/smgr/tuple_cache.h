@@ -1,0 +1,97 @@
+#ifndef HERON_SMGR_TUPLE_CACHE_H_
+#define HERON_SMGR_TUPLE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "proto/messages.h"
+#include "serde/message_pool.h"
+#include "serde/wire.h"
+
+namespace heron {
+namespace smgr {
+
+/// \brief The Stream Manager tuple cache (§V-B): "a cache that temporarily
+/// stores the incoming and outgoing data tuples before routing them to the
+/// appropriate Heron Instances. The cache stores tuples in batches along
+/// with the Heron Instance id that is the recipient of the batch."
+///
+/// Tuples are appended — still serialized — to a per-(destination, source,
+/// stream) batch buffer whose TupleBatchMsg header was written up front,
+/// so draining is a buffer handoff, not a serialization pass. The cache is
+/// flushed every `drain_frequency_ms` (the §V-B tuning knob swept in
+/// Figs. 12-13) or earlier when the buffered bytes cross
+/// `drain_size_bytes`. Single-threaded: owned by one SMGR loop.
+class TupleCache {
+ public:
+  struct Options {
+    int64_t drain_frequency_ms = 10;
+    size_t drain_size_bytes = 1 << 20;
+  };
+
+  struct Stats {
+    uint64_t tuples_added = 0;
+    uint64_t batches_drained = 0;
+    uint64_t timer_drains = 0;
+    uint64_t size_drains = 0;
+    uint64_t bytes_drained = 0;
+  };
+
+  /// \param pool  transport buffer pool batches are built in (not owned)
+  TupleCache(const Options& options, serde::BufferPool* pool)
+      : options_(options), pool_(pool) {}
+
+  /// Appends one serialized tuple for `dest`. Returns true when the size
+  /// threshold tripped and the caller should DrainAll now.
+  bool Add(TaskId dest, TaskId src_task, serde::BytesView stream,
+           serde::BytesView src_component, serde::BytesView tuple_bytes);
+
+  struct Batch {
+    TaskId dest = -1;
+    serde::Buffer bytes;  ///< A complete serialized TupleBatchMsg.
+    size_t tuple_count = 0;
+  };
+
+  /// Flushes every pending batch. `timer_drain` attributes the drain in
+  /// stats (timer vs size trigger).
+  std::vector<Batch> DrainAll(bool timer_drain = true);
+
+  /// Re-arms the drain timer relative to `now_nanos`.
+  void ArmTimer(int64_t now_nanos) {
+    next_drain_nanos_ = now_nanos + options_.drain_frequency_ms * 1000000;
+  }
+  int64_t next_drain_nanos() const { return next_drain_nanos_; }
+
+  size_t pending_bytes() const { return pending_bytes_; }
+  size_t pending_batches() const { return pending_.size(); }
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Pending {
+    serde::Buffer buffer;  ///< Header already encoded; tuples appended.
+    size_t tuple_count = 0;
+    std::string stream;    ///< Header stream, to detect key collisions.
+  };
+
+  /// (dest, src) packed; stream collisions on the same pair flush eagerly.
+  static uint64_t KeyOf(TaskId dest, TaskId src) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(dest)) << 32) |
+           static_cast<uint32_t>(src);
+  }
+
+  Options options_;
+  serde::BufferPool* pool_;
+  std::map<uint64_t, Pending> pending_;
+  size_t pending_bytes_ = 0;
+  int64_t next_drain_nanos_ = 0;
+  Stats stats_;
+  std::vector<Batch> eager_;  ///< Batches flushed early (stream collision).
+};
+
+}  // namespace smgr
+}  // namespace heron
+
+#endif  // HERON_SMGR_TUPLE_CACHE_H_

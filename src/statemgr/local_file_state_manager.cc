@@ -1,0 +1,279 @@
+#include "statemgr/local_file_state_manager.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace fs = std::filesystem;
+
+namespace heron {
+namespace statemgr {
+
+namespace {
+constexpr char kDataFile[] = "__data__";
+constexpr char kEphemeralMarker[] = "__ephemeral__";
+
+bool IsReservedName(const std::string& name) {
+  return name == kDataFile || name == kEphemeralMarker;
+}
+
+Status WriteFileAtomic(const fs::path& file, serde::BytesView data) {
+  const fs::path tmp = file.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError(
+          StrFormat("cannot open '%s' for writing", tmp.c_str()));
+    }
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      return Status::IOError(StrFormat("short write to '%s'", tmp.c_str()));
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, file, ec);
+  if (ec) {
+    return Status::IOError(StrFormat("rename '%s' failed: %s", tmp.c_str(),
+                                     ec.message().c_str()));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+std::string LocalFileStateManager::DirOf(const std::string& path) const {
+  if (path == "/") return root_;
+  return root_ + path;
+}
+
+Status LocalFileStateManager::Initialize(const Config& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (initialized_) {
+    return Status::FailedPrecondition("state manager already initialized");
+  }
+  HERON_ASSIGN_OR_RETURN(
+      root_, config.GetString(config_keys::kStateManagerRoot));
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    return Status::IOError(StrFormat("cannot create root '%s': %s",
+                                     root_.c_str(), ec.message().c_str()));
+  }
+  // Sweep ephemeral leftovers from a previous crashed run.
+  std::vector<fs::path> stale;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file() && it->path().filename() == kEphemeralMarker) {
+      stale.push_back(it->path().parent_path());
+    }
+  }
+  for (const auto& dir : stale) {
+    fs::remove_all(dir, ec);
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status LocalFileStateManager::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Remove ephemerals owned by still-open sessions.
+  for (const auto& [_, paths] : session_nodes_) {
+    for (const auto& path : paths) {
+      std::error_code ec;
+      fs::remove_all(DirOf(path), ec);
+    }
+  }
+  session_nodes_.clear();
+  watches_.clear();
+  initialized_ = false;
+  return Status::OK();
+}
+
+void LocalFileStateManager::CollectWatchesLocked(
+    const std::string& path, WatchEventType type,
+    std::vector<std::pair<WatchCallback, WatchEvent>>* out) {
+  auto [begin, end] = watches_.equal_range(path);
+  for (auto it = begin; it != end; ++it) {
+    out->emplace_back(std::move(it->second), WatchEvent{type, path});
+  }
+  watches_.erase(begin, end);
+}
+
+Status LocalFileStateManager::CreateNode(const std::string& path,
+                                         serde::BytesView data,
+                                         SessionId session) {
+  HERON_RETURN_NOT_OK(ValidatePath(path));
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!initialized_) {
+    return Status::FailedPrecondition("state manager not initialized");
+  }
+  const fs::path dir = DirOf(path);
+  std::error_code ec;
+  if (fs::exists(dir, ec)) {
+    return Status::AlreadyExists(
+        StrFormat("node '%s' already exists", path.c_str()));
+  }
+  const std::string parent = ParentPath(path);
+  if (!fs::exists(DirOf(parent), ec)) {
+    return Status::NotFound(
+        StrFormat("parent '%s' does not exist", parent.c_str()));
+  }
+  if (session != kNoSession && session_nodes_.count(session) == 0) {
+    return Status::NotFound(StrFormat(
+        "session %llu is not open", static_cast<unsigned long long>(session)));
+  }
+  fs::create_directory(dir, ec);
+  if (ec) {
+    return Status::IOError(StrFormat("cannot create '%s': %s",
+                                     dir.c_str(), ec.message().c_str()));
+  }
+  HERON_RETURN_NOT_OK(WriteFileAtomic(dir / kDataFile, data));
+  if (session != kNoSession) {
+    HERON_RETURN_NOT_OK(WriteFileAtomic(dir / kEphemeralMarker, ""));
+    session_nodes_[session].insert(path);
+  }
+  std::vector<std::pair<WatchCallback, WatchEvent>> fired;
+  CollectWatchesLocked(path, WatchEventType::kCreated, &fired);
+  CollectWatchesLocked(parent, WatchEventType::kChildrenChanged, &fired);
+  lock.unlock();
+  for (auto& [cb, event] : fired) cb(event);
+  return Status::OK();
+}
+
+Status LocalFileStateManager::SetNodeData(const std::string& path,
+                                          serde::BytesView data) {
+  HERON_RETURN_NOT_OK(ValidatePath(path));
+  std::unique_lock<std::mutex> lock(mutex_);
+  const fs::path dir = DirOf(path);
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) {
+    return Status::NotFound(StrFormat("node '%s' not found", path.c_str()));
+  }
+  HERON_RETURN_NOT_OK(WriteFileAtomic(dir / kDataFile, data));
+  std::vector<std::pair<WatchCallback, WatchEvent>> fired;
+  CollectWatchesLocked(path, WatchEventType::kDataChanged, &fired);
+  lock.unlock();
+  for (auto& [cb, event] : fired) cb(event);
+  return Status::OK();
+}
+
+Result<serde::Buffer> LocalFileStateManager::GetNodeData(
+    const std::string& path) const {
+  HERON_RETURN_NOT_OK(ValidatePath(path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const fs::path file = fs::path(DirOf(path)) / kDataFile;
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(StrFormat("node '%s' not found", path.c_str()));
+  }
+  serde::Buffer data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  return data;
+}
+
+Status LocalFileStateManager::DeleteNode(const std::string& path) {
+  HERON_RETURN_NOT_OK(ValidatePath(path));
+  std::unique_lock<std::mutex> lock(mutex_);
+  const fs::path dir = DirOf(path);
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) {
+    return Status::NotFound(StrFormat("node '%s' not found", path.c_str()));
+  }
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_directory()) {
+      return Status::FailedPrecondition(
+          StrFormat("node '%s' has children", path.c_str()));
+    }
+  }
+  fs::remove_all(dir, ec);
+  if (ec) {
+    return Status::IOError(StrFormat("cannot delete '%s': %s", dir.c_str(),
+                                     ec.message().c_str()));
+  }
+  for (auto& [_, paths] : session_nodes_) paths.erase(path);
+  std::vector<std::pair<WatchCallback, WatchEvent>> fired;
+  CollectWatchesLocked(path, WatchEventType::kDeleted, &fired);
+  CollectWatchesLocked(ParentPath(path), WatchEventType::kChildrenChanged,
+                       &fired);
+  lock.unlock();
+  for (auto& [cb, event] : fired) cb(event);
+  return Status::OK();
+}
+
+Result<bool> LocalFileStateManager::ExistsNode(const std::string& path) const {
+  HERON_RETURN_NOT_OK(ValidatePath(path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  return fs::exists(DirOf(path), ec);
+}
+
+Result<std::vector<std::string>> LocalFileStateManager::ListChildren(
+    const std::string& path) const {
+  HERON_RETURN_NOT_OK(ValidatePath(path == "/" ? "/x" : path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const fs::path dir = DirOf(path);
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) {
+    return Status::NotFound(StrFormat("node '%s' not found", path.c_str()));
+  }
+  std::vector<std::string> children;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_directory() && !IsReservedName(name)) {
+      children.push_back(name);
+    }
+  }
+  std::sort(children.begin(), children.end());
+  return children;
+}
+
+Status LocalFileStateManager::Watch(const std::string& path,
+                                    WatchCallback callback) {
+  HERON_RETURN_NOT_OK(ValidatePath(path));
+  if (callback == nullptr) {
+    return Status::InvalidArgument("null watch callback");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  watches_.emplace(path, std::move(callback));
+  return Status::OK();
+}
+
+Result<SessionId> LocalFileStateManager::OpenSession() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!initialized_) {
+    return Status::FailedPrecondition("state manager not initialized");
+  }
+  const SessionId id = next_session_++;
+  session_nodes_[id];
+  return id;
+}
+
+Status LocalFileStateManager::CloseSession(SessionId session) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = session_nodes_.find(session);
+  if (it == session_nodes_.end()) {
+    return Status::NotFound(StrFormat(
+        "session %llu is not open", static_cast<unsigned long long>(session)));
+  }
+  // Deepest first so directories empty out bottom-up.
+  std::vector<std::string> paths(it->second.begin(), it->second.end());
+  std::sort(paths.begin(), paths.end(),
+            [](const std::string& a, const std::string& b) {
+              return a.size() > b.size();
+            });
+  std::vector<std::pair<WatchCallback, WatchEvent>> fired;
+  for (const auto& path : paths) {
+    std::error_code ec;
+    fs::remove_all(DirOf(path), ec);
+    CollectWatchesLocked(path, WatchEventType::kDeleted, &fired);
+    CollectWatchesLocked(ParentPath(path), WatchEventType::kChildrenChanged,
+                         &fired);
+  }
+  session_nodes_.erase(it);
+  lock.unlock();
+  for (auto& [cb, event] : fired) cb(event);
+  return Status::OK();
+}
+
+}  // namespace statemgr
+}  // namespace heron

@@ -1,0 +1,64 @@
+#ifndef HERON_STATEMGR_LOCAL_FILE_STATE_MANAGER_H_
+#define HERON_STATEMGR_LOCAL_FILE_STATE_MANAGER_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "statemgr/state_manager.h"
+
+namespace heron {
+namespace statemgr {
+
+/// \brief State manager persisted on the local filesystem (§IV-C: "an
+/// implementation on the local file system for running locally in a
+/// single server").
+///
+/// Each state node maps to a directory containing a `__data__` file; the
+/// tree root lives under `heron.statemgr.root.path`. Watches are served
+/// in-process (mutations through this instance fire them); a multi-process
+/// deployment would poll, which single-server local mode does not need.
+/// Ephemeral nodes are tracked in-process and removed on session close or
+/// Close(), so a crashed local run leaves them behind exactly like a real
+/// local-mode Heron — stale-node cleanup happens at Initialize via an
+/// optional sweep of `__ephemeral__` markers.
+class LocalFileStateManager final : public IStateManager {
+ public:
+  Status Initialize(const Config& config) override;
+  Status Close() override;
+
+  Status CreateNode(const std::string& path, serde::BytesView data,
+                    SessionId session = kNoSession) override;
+  Status SetNodeData(const std::string& path, serde::BytesView data) override;
+  Result<serde::Buffer> GetNodeData(const std::string& path) const override;
+  Status DeleteNode(const std::string& path) override;
+  Result<bool> ExistsNode(const std::string& path) const override;
+  Result<std::vector<std::string>> ListChildren(
+      const std::string& path) const override;
+  Status Watch(const std::string& path, WatchCallback callback) override;
+  Result<SessionId> OpenSession() override;
+  Status CloseSession(SessionId session) override;
+  std::string Name() const override { return "LOCAL_FILE"; }
+
+  const std::string& root_dir() const { return root_; }
+
+ private:
+  /// Filesystem directory corresponding to a state path.
+  std::string DirOf(const std::string& path) const;
+  void CollectWatchesLocked(
+      const std::string& path, WatchEventType type,
+      std::vector<std::pair<WatchCallback, WatchEvent>>* out);
+
+  mutable std::mutex mutex_;
+  bool initialized_ = false;
+  std::string root_;
+  std::multimap<std::string, WatchCallback> watches_;
+  std::map<SessionId, std::set<std::string>> session_nodes_;
+  SessionId next_session_ = 1;
+};
+
+}  // namespace statemgr
+}  // namespace heron
+
+#endif  // HERON_STATEMGR_LOCAL_FILE_STATE_MANAGER_H_

@@ -1,0 +1,123 @@
+#include "statemgr/topology_state.h"
+
+#include "common/strings.h"
+
+namespace heron {
+namespace statemgr {
+
+namespace {
+std::string TopologyRoot(const std::string& topology) {
+  return paths::Topologies() + "/" + topology;
+}
+}  // namespace
+
+Status RegisterTopology(IStateManager* sm, const std::string& topology) {
+  if (topology.empty() || topology.find('/') != std::string::npos) {
+    return Status::InvalidArgument(
+        StrFormat("bad topology name '%s'", topology.c_str()));
+  }
+  HERON_ASSIGN_OR_RETURN(bool exists,
+                         sm->ExistsNode(TopologyRoot(topology)));
+  if (exists) {
+    return Status::AlreadyExists(
+        StrFormat("topology '%s' already registered", topology.c_str()));
+  }
+  HERON_RETURN_NOT_OK(EnsurePath(sm, TopologyRoot(topology), ""));
+  return sm->CreateNode(paths::Containers(topology), "");
+}
+
+Status UnregisterTopology(IStateManager* sm, const std::string& topology) {
+  // Delete leaves first; ignore NotFound so partial registrations clean up.
+  auto drop = [&](const std::string& path) {
+    const Status st = sm->DeleteNode(path);
+    if (!st.ok() && !st.IsNotFound()) return st;
+    return Status::OK();
+  };
+  auto children = sm->ListChildren(paths::Containers(topology));
+  if (children.ok()) {
+    for (const auto& child : *children) {
+      HERON_RETURN_NOT_OK(drop(paths::Containers(topology) + "/" + child));
+    }
+  }
+  HERON_RETURN_NOT_OK(drop(paths::Containers(topology)));
+  HERON_RETURN_NOT_OK(drop(paths::TopologyDef(topology)));
+  HERON_RETURN_NOT_OK(drop(paths::PackingPlan(topology)));
+  HERON_RETURN_NOT_OK(drop(paths::TMasterLocation(topology)));
+  HERON_RETURN_NOT_OK(drop(paths::SchedulerLocation(topology)));
+  return drop(TopologyRoot(topology));
+}
+
+Result<bool> TopologyExists(IStateManager* sm, const std::string& topology) {
+  return sm->ExistsNode(TopologyRoot(topology));
+}
+
+Status SetPackingPlan(IStateManager* sm, const packing::PackingPlan& plan) {
+  if (plan.topology_name().empty()) {
+    return Status::InvalidArgument("packing plan has no topology name");
+  }
+  return EnsurePath(sm, paths::PackingPlan(plan.topology_name()),
+                    plan.SerializeAsBuffer());
+}
+
+Result<packing::PackingPlan> GetPackingPlan(const IStateManager& sm,
+                                            const std::string& topology) {
+  HERON_ASSIGN_OR_RETURN(serde::Buffer data,
+                         sm.GetNodeData(paths::PackingPlan(topology)));
+  packing::PackingPlan plan;
+  HERON_RETURN_NOT_OK(plan.ParseFromBytes(data));
+  return plan;
+}
+
+Status SetTMasterLocation(IStateManager* sm,
+                          const proto::TMasterLocationMsg& location,
+                          SessionId session) {
+  if (location.topology.empty()) {
+    return Status::InvalidArgument("TMaster location has no topology name");
+  }
+  const std::string path = paths::TMasterLocation(location.topology);
+  HERON_ASSIGN_OR_RETURN(bool exists, sm->ExistsNode(path));
+  if (exists) {
+    // A live advertisement exists; a new TMaster must not clobber it.
+    return Status::AlreadyExists(StrFormat(
+        "TMaster already advertised for '%s'", location.topology.c_str()));
+  }
+  return sm->CreateNode(path, location.SerializeAsBuffer(), session);
+}
+
+Result<proto::TMasterLocationMsg> GetTMasterLocation(
+    const IStateManager& sm, const std::string& topology) {
+  HERON_ASSIGN_OR_RETURN(serde::Buffer data,
+                         sm.GetNodeData(paths::TMasterLocation(topology)));
+  proto::TMasterLocationMsg msg;
+  HERON_RETURN_NOT_OK(msg.ParseFromBytes(data));
+  return msg;
+}
+
+Status SetSchedulerLocation(IStateManager* sm, const std::string& topology,
+                            const std::string& url) {
+  return EnsurePath(sm, paths::SchedulerLocation(topology), url);
+}
+
+Result<std::string> GetSchedulerLocation(const IStateManager& sm,
+                                         const std::string& topology) {
+  HERON_ASSIGN_OR_RETURN(serde::Buffer data,
+                         sm.GetNodeData(paths::SchedulerLocation(topology)));
+  return std::string(data);
+}
+
+Status SetContainerInfo(IStateManager* sm, const std::string& topology,
+                        int container, const std::string& host_port) {
+  return EnsurePath(sm, paths::ContainerInfo(topology, container), host_port);
+}
+
+Result<std::string> GetContainerInfo(const IStateManager& sm,
+                                     const std::string& topology,
+                                     int container) {
+  HERON_ASSIGN_OR_RETURN(
+      serde::Buffer data,
+      sm.GetNodeData(paths::ContainerInfo(topology, container)));
+  return std::string(data);
+}
+
+}  // namespace statemgr
+}  // namespace heron

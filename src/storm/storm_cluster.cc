@@ -1,0 +1,647 @@
+#include "storm/storm_cluster.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "api/context.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace heron {
+namespace storm {
+
+namespace {
+constexpr char kAckerComponent[] = "__acker";
+}  // namespace
+
+/// Everything that moves between executors. Data tuples travel as live
+/// objects inside a worker and as serialized bytes between workers — the
+/// Storm model. Acker traffic uses the same struct and the same queues,
+/// which is precisely the §III-A coupling the paper criticizes.
+struct StormCluster::Message {
+  enum class Kind : uint8_t {
+    kData = 0,
+    kAckerInit = 1,
+    kAckerAck = 2,
+    kAckerFail = 3,
+    kSpoutAck = 4,
+    kSpoutFail = 5,
+  };
+
+  Kind kind = Kind::kData;
+  TaskId dest = -1;
+  api::Tuple tuple;                ///< kData (object form).
+  serde::Buffer serialized;        ///< kData in transit between workers.
+  ComponentId src_component;       ///< kData provenance.
+  StreamId stream{kDefaultStreamId};
+  TaskId src_task = -1;
+  api::TupleKey root = 0;          ///< Acker protocol.
+  api::TupleKey xor_value = 0;
+  TaskId spout_task = -1;          ///< kAckerInit.
+};
+
+/// A worker "process": the thread group of a Storm worker slot — its
+/// executors plus the transfer and receive threads that do communication
+/// inside the same process.
+class StormCluster::Worker {
+ public:
+  Worker(int id, size_t queue_capacity, StormCluster* cluster)
+      : id_(id),
+        cluster_(cluster),
+        transfer_(queue_capacity),
+        receive_(queue_capacity) {}
+
+  void Start() {
+    transfer_thread_ = std::thread([this] { TransferLoop(); });
+    receive_thread_ = std::thread([this] { ReceiveLoop(); });
+  }
+
+  void Stop() {
+    transfer_.Close();
+    receive_.Close();
+    if (transfer_thread_.joinable()) transfer_thread_.join();
+    if (receive_thread_.joinable()) receive_thread_.join();
+  }
+
+  ipc::Channel<Message>* transfer() { return &transfer_; }
+  ipc::Channel<Message>* receive() { return &receive_; }
+  int id() const { return id_; }
+
+ private:
+  void TransferLoop();
+  void ReceiveLoop();
+
+  int id_;
+  StormCluster* cluster_;
+  /// Outbound serialized tuples from this worker's executors.
+  ipc::Channel<Message> transfer_;
+  /// Inbound serialized tuples from peer workers.
+  ipc::Channel<Message> receive_;
+  std::thread transfer_thread_;
+  std::thread receive_thread_;
+};
+
+/// An executor thread multiplexing several tasks, Storm style.
+class StormCluster::Executor {
+ public:
+  Executor(int id, const Options& options, StormCluster* cluster)
+      : id_(id),
+        cluster_(cluster),
+        inbound_(options.queue_capacity),
+        rng_(options.seed + static_cast<uint64_t>(id) * 31) {}
+
+  void AddTask(const TaskInfo& info) { task_ids_.push_back(info.task); }
+
+  void Start() { thread_ = std::thread([this] { Loop(); }); }
+
+  void Stop() {
+    inbound_.Close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  ipc::Channel<Message>* inbound() { return &inbound_; }
+  Random* rng() { return &rng_; }
+  int id() const { return id_; }
+
+ private:
+  friend class StormCluster;
+  class SpoutCollector;
+  class BoltCollector;
+
+  struct SpoutState {
+    std::unique_ptr<api::ISpout> spout;
+    std::unique_ptr<SpoutCollector> collector;
+    std::unique_ptr<api::TopologyContext> context;
+    /// root → (message id, emit time).
+    std::map<api::TupleKey, std::pair<int64_t, int64_t>> pending;
+    int64_t next_message_id = 1;
+  };
+  struct BoltState {
+    std::unique_ptr<api::IBolt> bolt;
+    std::unique_ptr<BoltCollector> collector;
+    std::unique_ptr<api::TopologyContext> context;
+  };
+  /// Acker task state: root → (xor, spout task).
+  struct AckerState {
+    std::map<api::TupleKey, std::pair<api::TupleKey, TaskId>> roots;
+  };
+
+  void Loop();
+  void Dispatch(Message message);
+  bool CanEmit(const SpoutState& state) const;
+
+  int id_;
+  StormCluster* cluster_;
+  ipc::Channel<Message> inbound_;
+  Random rng_;
+  std::vector<TaskId> task_ids_;
+  std::map<TaskId, SpoutState> spouts_;
+  std::map<TaskId, BoltState> bolts_;
+  std::map<TaskId, AckerState> ackers_;
+  std::thread thread_;
+};
+
+/// Spout collector: routes inline on the executor thread (no separate
+/// routing process — the Storm way).
+class StormCluster::Executor::SpoutCollector final
+    : public api::ISpoutOutputCollector {
+ public:
+  SpoutCollector(Executor* executor, TaskId task, ComponentId component)
+      : executor_(executor), task_(task), component_(std::move(component)) {}
+
+  void Emit(const StreamId& stream, api::Values values,
+            std::optional<int64_t> message_id) override {
+    StormCluster* cluster = executor_->cluster_;
+    api::Tuple tuple(component_, stream, task_, std::move(values));
+    tuple.set_emit_time_nanos(cluster->clock_->NowNanos());
+    auto& state = executor_->spouts_[task_];
+    if (cluster->options_.acking && message_id.has_value()) {
+      const api::TupleKey root =
+          proto::MakeRootKey(task_, executor_->rng_.NextUint64());
+      tuple.set_tuple_key(root);
+      tuple.set_roots({root});
+      state.pending[root] = {*message_id, tuple.emit_time_nanos()};
+      // Init the acker — one more message through the shared queues.
+      Message init;
+      init.kind = Message::Kind::kAckerInit;
+      init.dest = cluster->AckerOf(root);
+      init.root = root;
+      init.xor_value = root;
+      init.spout_task = task_;
+      cluster->Deliver(std::move(init), executor_->id_);
+    } else {
+      tuple.set_tuple_key(executor_->rng_.NextUint64());
+    }
+    cluster->emitted_->Increment();
+    cluster->RouteData(std::move(tuple), executor_->id_);
+  }
+
+ private:
+  Executor* executor_;
+  TaskId task_;
+  ComponentId component_;
+};
+
+/// Bolt collector with the XOR bookkeeping (same algebra as Heron's, but
+/// updates flow to acker *tasks* over the data queues).
+class StormCluster::Executor::BoltCollector final
+    : public api::IBoltOutputCollector {
+ public:
+  BoltCollector(Executor* executor, TaskId task, ComponentId component)
+      : executor_(executor), task_(task), component_(std::move(component)) {}
+
+  void Emit(const StreamId& stream, const std::vector<const api::Tuple*>& anchors,
+            api::Values values) override {
+    StormCluster* cluster = executor_->cluster_;
+    api::Tuple tuple(component_, stream, task_, std::move(values));
+    tuple.set_tuple_key(executor_->rng_.NextUint64());
+    tuple.set_emit_time_nanos(anchors.empty()
+                                  ? cluster->clock_->NowNanos()
+                                  : anchors.front()->emit_time_nanos());
+    if (cluster->options_.acking) {
+      std::vector<api::TupleKey> roots;
+      for (const api::Tuple* anchor : anchors) {
+        auto& per_root = children_xor_[anchor->tuple_key()];
+        for (const api::TupleKey root : anchor->roots()) {
+          per_root[root] ^= tuple.tuple_key();
+          if (std::find(roots.begin(), roots.end(), root) == roots.end()) {
+            roots.push_back(root);
+          }
+        }
+      }
+      tuple.set_roots(std::move(roots));
+    }
+    cluster->emitted_->Increment();
+    cluster->RouteData(std::move(tuple), executor_->id_);
+  }
+
+  void Ack(const api::Tuple& tuple) override {
+    StormCluster* cluster = executor_->cluster_;
+    if (!cluster->options_.acking || tuple.roots().empty()) return;
+    const auto it = children_xor_.find(tuple.tuple_key());
+    for (const api::TupleKey root : tuple.roots()) {
+      api::TupleKey xor_value = tuple.tuple_key();
+      if (it != children_xor_.end()) {
+        const auto rit = it->second.find(root);
+        if (rit != it->second.end()) xor_value ^= rit->second;
+      }
+      Message ack;
+      ack.kind = Message::Kind::kAckerAck;
+      ack.dest = cluster->AckerOf(root);
+      ack.root = root;
+      ack.xor_value = xor_value;
+      cluster->Deliver(std::move(ack), executor_->id_);
+    }
+    if (it != children_xor_.end()) children_xor_.erase(it);
+  }
+
+  void Fail(const api::Tuple& tuple) override {
+    StormCluster* cluster = executor_->cluster_;
+    if (!cluster->options_.acking || tuple.roots().empty()) return;
+    for (const api::TupleKey root : tuple.roots()) {
+      Message fail;
+      fail.kind = Message::Kind::kAckerFail;
+      fail.dest = cluster->AckerOf(root);
+      fail.root = root;
+      cluster->Deliver(std::move(fail), executor_->id_);
+    }
+    children_xor_.erase(tuple.tuple_key());
+  }
+
+ private:
+  Executor* executor_;
+  TaskId task_;
+  ComponentId component_;
+  std::map<api::TupleKey, std::map<api::TupleKey, api::TupleKey>>
+      children_xor_;
+};
+
+bool StormCluster::Executor::CanEmit(const SpoutState& state) const {
+  const auto& options = cluster_->options_;
+  if (!options.acking || options.max_spout_pending <= 0) return true;
+  return static_cast<int64_t>(state.pending.size()) <
+         options.max_spout_pending;
+}
+
+void StormCluster::Executor::Loop() {
+  // Instantiate user objects on the executor thread.
+  for (const TaskId task : task_ids_) {
+    const TaskInfo& info = cluster_->tasks_[static_cast<size_t>(task)];
+    if (info.is_acker) {
+      ackers_[task];
+      continue;
+    }
+    const api::ComponentDef* def =
+        cluster_->topology_->FindComponent(info.component);
+    auto context = std::make_unique<api::TopologyContext>(
+        cluster_->topology_->name(), info.component, task,
+        info.component_index, def->parallelism);
+    if (info.is_spout) {
+      SpoutState state;
+      state.spout = def->spout_factory();
+      state.collector =
+          std::make_unique<SpoutCollector>(this, task, info.component);
+      state.context = std::move(context);
+      state.spout->Open(cluster_->topology_->config(), state.context.get(),
+                        state.collector.get());
+      spouts_[task] = std::move(state);
+    } else {
+      BoltState state;
+      state.bolt = def->bolt_factory();
+      state.collector =
+          std::make_unique<BoltCollector>(this, task, info.component);
+      state.context = std::move(context);
+      state.bolt->Prepare(cluster_->topology_->config(), state.context.get(),
+                          state.collector.get());
+      bolts_[task] = std::move(state);
+    }
+  }
+
+  while (true) {
+    bool progressed = false;
+    // Round-robin the spout tasks multiplexed on this executor.
+    for (auto& [task, state] : spouts_) {
+      if (CanEmit(state)) {
+        state.spout->NextTuple();
+        progressed = true;
+      }
+    }
+    // Then drain a bounded burst of inbound messages.
+    for (int i = 0; i < 256; ++i) {
+      auto message = inbound_.TryRecv();
+      if (!message.has_value()) break;
+      Dispatch(std::move(*message));
+      progressed = true;
+    }
+    if (inbound_.closed()) break;
+    if (!progressed) {
+      auto message = inbound_.RecvFor(std::chrono::microseconds(200));
+      if (message.has_value()) Dispatch(std::move(*message));
+    }
+  }
+
+  for (auto& [_, state] : spouts_) state.spout->Close();
+  for (auto& [_, state] : bolts_) state.bolt->Cleanup();
+}
+
+void StormCluster::Executor::Dispatch(Message message) {
+  StormCluster* cluster = cluster_;
+  switch (message.kind) {
+    case Message::Kind::kData: {
+      const auto it = bolts_.find(message.dest);
+      if (it == bolts_.end()) return;
+      cluster->executed_->Increment();
+      it->second.bolt->Execute(message.tuple);
+      return;
+    }
+    case Message::Kind::kAckerInit: {
+      auto& state = ackers_[message.dest];
+      auto& entry = state.roots[message.root];
+      entry.first ^= message.xor_value;
+      entry.second = message.spout_task;
+      return;
+    }
+    case Message::Kind::kAckerAck: {
+      auto& state = ackers_[message.dest];
+      const auto it = state.roots.find(message.root);
+      if (it == state.roots.end()) return;  // Stale.
+      it->second.first ^= message.xor_value;
+      if (it->second.first == 0) {
+        Message done;
+        done.kind = Message::Kind::kSpoutAck;
+        done.dest = it->second.second;
+        done.root = message.root;
+        state.roots.erase(it);
+        cluster->Deliver(std::move(done), id_);
+      }
+      return;
+    }
+    case Message::Kind::kAckerFail: {
+      auto& state = ackers_[message.dest];
+      const auto it = state.roots.find(message.root);
+      if (it == state.roots.end()) return;
+      Message failed;
+      failed.kind = Message::Kind::kSpoutFail;
+      failed.dest = it->second.second;
+      failed.root = message.root;
+      state.roots.erase(it);
+      cluster->Deliver(std::move(failed), id_);
+      return;
+    }
+    case Message::Kind::kSpoutAck:
+    case Message::Kind::kSpoutFail: {
+      const auto it = spouts_.find(message.dest);
+      if (it == spouts_.end()) return;
+      auto& pending = it->second.pending;
+      const auto pit = pending.find(message.root);
+      if (pit == pending.end()) return;
+      const auto [message_id, emit_time] = pit->second;
+      pending.erase(pit);
+      if (message.kind == Message::Kind::kSpoutAck) {
+        cluster->acked_->Increment();
+        cluster->complete_latency_->Record(static_cast<uint64_t>(
+            std::max<int64_t>(cluster->clock_->NowNanos() - emit_time, 0)));
+        it->second.spout->Ack(message_id);
+      } else {
+        cluster->failed_->Increment();
+        it->second.spout->Fail(message_id);
+      }
+      return;
+    }
+  }
+}
+
+void StormCluster::Worker::TransferLoop() {
+  // "The threads that perform the communication operations and the actual
+  // processing tasks share the same JVM": this thread contends with the
+  // worker's executors for the same cores.
+  while (true) {
+    auto message = transfer_.Recv();
+    if (!message.has_value()) break;
+    const int dest_worker =
+        cluster_->tasks_[static_cast<size_t>(message->dest)].worker;
+    Worker* peer = cluster_->workers_[static_cast<size_t>(dest_worker)].get();
+    peer->receive()->Send(std::move(*message)).ok();
+  }
+}
+
+void StormCluster::Worker::ReceiveLoop() {
+  while (true) {
+    auto message = receive_.Recv();
+    if (!message.has_value()) break;
+    if (message->kind == Message::Kind::kData) {
+      // The naive hop: full per-tuple deserialization, fresh allocations.
+      proto::TupleDataMsg msg;
+      if (!msg.ParseFromBytes(message->serialized).ok()) continue;
+      msg.ToTuple(message->src_component, message->stream, message->src_task,
+                  &message->tuple);
+      message->serialized.clear();
+    }
+    cluster_->DeliverLocal(std::move(*message));
+  }
+}
+
+StormCluster::StormCluster(const Options& options)
+    : options_(options), clock_(RealClock::Get()) {
+  emitted_ = metrics_.GetCounter("storm.emitted");
+  executed_ = metrics_.GetCounter("storm.executed");
+  acked_ = metrics_.GetCounter("storm.acked");
+  failed_ = metrics_.GetCounter("storm.failed");
+  dropped_ = metrics_.GetCounter("storm.dropped");
+  complete_latency_ = metrics_.GetHistogram("storm.complete.latency.ns");
+}
+
+StormCluster::~StormCluster() {
+  if (running()) Kill().ok();
+}
+
+TaskId StormCluster::AckerOf(api::TupleKey root) const {
+  return acker_tasks_[root % acker_tasks_.size()];
+}
+
+void StormCluster::RouteData(api::Tuple tuple, int src_executor) {
+  const auto it = edges_.find({tuple.source_component(), tuple.stream()});
+  if (it == edges_.end()) return;
+  Executor* executor = executors_[static_cast<size_t>(src_executor)].get();
+  for (const EdgeInfo& edge : it->second) {
+    std::vector<TaskId> dests;
+    switch (edge.kind) {
+      case api::GroupingKind::kShuffle:
+        dests.push_back(edge.consumer_tasks[executor->rng()->NextBelow(
+            edge.consumer_tasks.size())]);
+        break;
+      case api::GroupingKind::kFields: {
+        uint64_t hash = 0;
+        for (const int idx : edge.sorted_field_indices) {
+          hash = api::HashCombine(
+              hash,
+              api::HashValue(tuple.values()[static_cast<size_t>(idx)]));
+        }
+        dests.push_back(edge.consumer_tasks[hash % edge.consumer_tasks.size()]);
+        break;
+      }
+      case api::GroupingKind::kGlobal:
+        dests.push_back(edge.consumer_tasks.front());
+        break;
+      case api::GroupingKind::kAll:
+        dests = edge.consumer_tasks;
+        break;
+      case api::GroupingKind::kCustom: {
+        const auto picks = edge.custom_fn(
+            tuple.values(), static_cast<int>(edge.consumer_tasks.size()));
+        for (const int p : picks) {
+          dests.push_back(edge.consumer_tasks[static_cast<size_t>(p)]);
+        }
+        break;
+      }
+      case api::GroupingKind::kDirect:
+        continue;
+    }
+    for (const TaskId dest : dests) {
+      Message message;
+      message.kind = Message::Kind::kData;
+      message.dest = dest;
+      message.tuple = tuple;  // Per-destination copy, Storm style.
+      message.src_component = tuple.source_component();
+      message.stream = tuple.stream();
+      message.src_task = tuple.source_task();
+      Deliver(std::move(message), src_executor);
+    }
+  }
+}
+
+void StormCluster::Deliver(Message message, int src_executor) {
+  const TaskInfo& dest_info = tasks_[static_cast<size_t>(message.dest)];
+  const int src_worker =
+      src_executor < 0
+          ? dest_info.worker
+          : executor_worker_[static_cast<size_t>(src_executor)];
+  if (dest_info.worker == src_worker) {
+    DeliverLocal(std::move(message));
+    return;
+  }
+  // Inter-worker: serialize data tuples per tuple (acker messages are tiny
+  // and ride as-is) and push through this worker's transfer thread.
+  if (message.kind == Message::Kind::kData) {
+    proto::TupleDataMsg msg;
+    msg.FromTuple(message.tuple);
+    message.serialized = msg.SerializeAsBuffer();
+    message.tuple = api::Tuple();
+  }
+  workers_[static_cast<size_t>(src_worker)]
+      ->transfer()
+      ->Send(std::move(message))
+      .ok();
+}
+
+void StormCluster::DeliverLocal(Message message) {
+  const TaskInfo& info = tasks_[static_cast<size_t>(message.dest)];
+  ipc::Channel<Message>* queue =
+      executors_[static_cast<size_t>(info.executor)]->inbound();
+  // Bounded retry, then shed load: executors must never block each other
+  // into a cycle.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const Status st = queue->TrySend(std::move(message));
+    if (st.ok() || st.IsCancelled()) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  dropped_->Increment();
+}
+
+Status StormCluster::Submit(std::shared_ptr<const api::Topology> topology) {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("storm cluster already running");
+  }
+  if (topology == nullptr) {
+    return Status::InvalidArgument("null topology");
+  }
+  topology_ = std::move(topology);
+
+  // Enumerate tasks: topology components, then acker tasks.
+  TaskId next_task = 0;
+  for (const auto& component : topology_->components()) {
+    for (int i = 0; i < component.parallelism; ++i) {
+      TaskInfo info;
+      info.task = next_task++;
+      info.component = component.id;
+      info.component_index = i;
+      info.is_spout = component.kind == api::ComponentKind::kSpout;
+      tasks_.push_back(std::move(info));
+    }
+  }
+  if (options_.acking) {
+    for (int i = 0; i < options_.num_ackers; ++i) {
+      TaskInfo info;
+      info.task = next_task++;
+      info.component = kAckerComponent;
+      info.component_index = i;
+      info.is_acker = true;
+      acker_tasks_.push_back(info.task);
+      tasks_.push_back(std::move(info));
+    }
+  }
+
+  // Executors multiplex tasks_per_executor tasks; executors round-robin
+  // over the pre-acquired workers.
+  const int num_executors =
+      (static_cast<int>(tasks_.size()) + options_.tasks_per_executor - 1) /
+      options_.tasks_per_executor;
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_.push_back(
+        std::make_unique<Worker>(w, options_.queue_capacity, this));
+  }
+  for (int e = 0; e < num_executors; ++e) {
+    executors_.push_back(std::make_unique<Executor>(e, options_, this));
+    executor_worker_.push_back(e % options_.num_workers);
+  }
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    const int executor = static_cast<int>(t) / options_.tasks_per_executor;
+    tasks_[t].executor = executor;
+    tasks_[t].worker = executor_worker_[static_cast<size_t>(executor)];
+    executors_[static_cast<size_t>(executor)]->AddTask(tasks_[t]);
+  }
+
+  // Resolve routing edges.
+  for (const auto& component : topology_->components()) {
+    for (const auto& in : component.inputs) {
+      EdgeInfo edge;
+      edge.kind = in.grouping;
+      edge.custom_fn = in.custom_fn;
+      const api::Fields* schema =
+          topology_->OutputSchema(in.source, in.stream);
+      if (schema == nullptr) {
+        return Status::NotFound(StrFormat(
+            "stream '%s' of '%s' not declared", in.stream.c_str(),
+            in.source.c_str()));
+      }
+      if (edge.kind == api::GroupingKind::kFields) {
+        for (const auto& name : in.grouping_fields.names()) {
+          edge.sorted_field_indices.push_back(schema->IndexOf(name));
+        }
+        std::sort(edge.sorted_field_indices.begin(),
+                  edge.sorted_field_indices.end());
+      }
+      for (const auto& info : tasks_) {
+        if (info.component == component.id) {
+          edge.consumer_tasks.push_back(info.task);
+        }
+      }
+      edges_[{in.source, in.stream}].push_back(std::move(edge));
+    }
+  }
+
+  for (auto& worker : workers_) worker->Start();
+  for (auto& executor : executors_) executor->Start();
+  HLOG(INFO) << "storm cluster running '" << topology_->name() << "': "
+             << tasks_.size() << " tasks on " << executors_.size()
+             << " executors / " << workers_.size() << " workers";
+  return Status::OK();
+}
+
+Status StormCluster::Kill() {
+  if (!running_.exchange(false)) {
+    return Status::FailedPrecondition("nothing running");
+  }
+  for (auto& executor : executors_) executor->Stop();
+  for (auto& worker : workers_) worker->Stop();
+  executors_.clear();
+  workers_.clear();
+  tasks_.clear();
+  edges_.clear();
+  acker_tasks_.clear();
+  executor_worker_.clear();
+  return Status::OK();
+}
+
+uint64_t StormCluster::TotalEmitted() const { return emitted_->value(); }
+uint64_t StormCluster::TotalExecuted() const { return executed_->value(); }
+uint64_t StormCluster::TotalAcked() const { return acked_->value(); }
+uint64_t StormCluster::TotalFailed() const { return failed_->value(); }
+
+uint64_t StormCluster::CompleteLatencyQuantile(double q) const {
+  return complete_latency_->Quantile(q);
+}
+
+}  // namespace storm
+}  // namespace heron

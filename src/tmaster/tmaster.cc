@@ -1,0 +1,97 @@
+#include "tmaster/tmaster.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "proto/messages.h"
+
+namespace heron {
+namespace tmaster {
+
+TopologyMaster::TopologyMaster(const Options& options,
+                               statemgr::IStateManager* state,
+                               const Clock* clock)
+    : options_(options), state_(state), clock_(clock) {}
+
+TopologyMaster::~TopologyMaster() { Stop().ok(); }
+
+Status TopologyMaster::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ != statemgr::kNoSession) {
+    return Status::FailedPrecondition("TMaster already started");
+  }
+  if (options_.topology.empty()) {
+    return Status::InvalidArgument("TMaster has no topology name");
+  }
+  HERON_ASSIGN_OR_RETURN(statemgr::SessionId session, state_->OpenSession());
+
+  proto::TMasterLocationMsg location;
+  location.topology = options_.topology;
+  location.host = options_.host;
+  location.port = options_.port;
+  location.controller_port = options_.controller_port;
+  const Status st = statemgr::SetTMasterLocation(state_, location, session);
+  if (!st.ok()) {
+    state_->CloseSession(session).ok();
+    return st;  // kAlreadyExists: another TMaster is alive.
+  }
+  session_ = session;
+  HLOG(INFO) << "TMaster for '" << options_.topology << "' active at "
+             << options_.host << ":" << options_.port;
+  return Status::OK();
+}
+
+Status TopologyMaster::Stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ == statemgr::kNoSession) return Status::OK();
+  const Status st = state_->CloseSession(session_);
+  session_ = statemgr::kNoSession;
+  return st;
+}
+
+Status TopologyMaster::Crash() {
+  // Identical to Stop at this layer: a dead process's session expires and
+  // the ephemeral advertisement vanishes. Kept separate so tests document
+  // intent.
+  return Stop();
+}
+
+bool TopologyMaster::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return session_ != statemgr::kNoSession;
+}
+
+Status TopologyMaster::PublishPackingPlan(const packing::PackingPlan& plan) {
+  if (plan.topology_name() != options_.topology) {
+    return Status::InvalidArgument(StrFormat(
+        "plan for '%s' submitted to TMaster of '%s'",
+        plan.topology_name().c_str(), options_.topology.c_str()));
+  }
+  HERON_RETURN_NOT_OK(plan.Validate());
+  return statemgr::SetPackingPlan(state_, plan);
+}
+
+Result<packing::PackingPlan> TopologyMaster::CurrentPackingPlan() const {
+  return statemgr::GetPackingPlan(*state_, options_.topology);
+}
+
+Result<packing::PackingPlan> TopologyMaster::ScaleTopology(
+    packing::IPacking* packing,
+    const std::map<ComponentId, int>& parallelism_changes) {
+  if (!active()) {
+    return Status::FailedPrecondition("TMaster is not active");
+  }
+  if (packing == nullptr) {
+    return Status::InvalidArgument("null packing policy");
+  }
+  HERON_ASSIGN_OR_RETURN(packing::PackingPlan current, CurrentPackingPlan());
+  HERON_ASSIGN_OR_RETURN(packing::PackingPlan next,
+                         packing->Repack(current, parallelism_changes));
+  HERON_RETURN_NOT_OK(PublishPackingPlan(next));
+  HLOG(INFO) << "TMaster scaled '" << options_.topology << "' to "
+             << next.NumContainers() << " containers / "
+             << next.NumInstances() << " instances";
+  return next;
+}
+
+}  // namespace tmaster
+}  // namespace heron

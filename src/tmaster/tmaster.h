@@ -1,0 +1,82 @@
+#ifndef HERON_TMASTER_TMASTER_H_
+#define HERON_TMASTER_TMASTER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "packing/packing.h"
+#include "statemgr/state_manager.h"
+#include "statemgr/topology_state.h"
+
+namespace heron {
+namespace tmaster {
+
+/// \brief The Topology Master: "the process responsible for managing the
+/// topology throughout its existence" (§II), running in container 0.
+///
+/// Responsibilities implemented here, each through the State Manager
+/// exactly as §IV-C describes:
+///  - advertises its location as an ephemeral node, so when it dies "all
+///    the Stream Managers become immediately aware of the event";
+///  - owns the authoritative packing plan record;
+///  - coordinates topology scaling: takes the user's parallelism changes,
+///    drives the Resource Manager's repack, and publishes the new plan.
+///
+/// Exactly one TMaster may be active per topology: a second Start() races
+/// on the ephemeral advertisement and loses with kAlreadyExists — the
+/// standby pattern used for TMaster failover.
+class TopologyMaster {
+ public:
+  struct Options {
+    std::string topology;
+    std::string host = "localhost";
+    int32_t port = 0;
+    int32_t controller_port = 0;
+  };
+
+  TopologyMaster(const Options& options, statemgr::IStateManager* state,
+                 const Clock* clock);
+  ~TopologyMaster();
+
+  /// Opens a session and advertises the location ephemerally.
+  /// kAlreadyExists when another TMaster is alive for the topology.
+  Status Start();
+
+  /// Withdraws the advertisement (closes the session). Idempotent.
+  Status Stop();
+
+  /// Simulates a TMaster crash for failover tests: drops the session
+  /// without orderly teardown; ephemeral cleanup does the rest.
+  Status Crash();
+
+  bool active() const;
+
+  /// Publishes `plan` as the topology's authoritative packing plan.
+  Status PublishPackingPlan(const packing::PackingPlan& plan);
+  Result<packing::PackingPlan> CurrentPackingPlan() const;
+
+  /// Scaling coordination (§IV-A): applies the user's absolute
+  /// parallelism targets via `packing->Repack` against the current plan,
+  /// publishes, and returns the new plan for the Scheduler's OnUpdate.
+  Result<packing::PackingPlan> ScaleTopology(
+      packing::IPacking* packing,
+      const std::map<ComponentId, int>& parallelism_changes);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  statemgr::IStateManager* state_;
+  const Clock* clock_;
+
+  mutable std::mutex mutex_;
+  statemgr::SessionId session_ = statemgr::kNoSession;
+};
+
+}  // namespace tmaster
+}  // namespace heron
+
+#endif  // HERON_TMASTER_TMASTER_H_

@@ -1,0 +1,59 @@
+#include "tuning/auto_tuner.h"
+
+#include "common/strings.h"
+
+namespace heron {
+namespace tuning {
+
+Result<TuningResult> AutoTune(const sim::HeronSimConfig& base,
+                              const sim::HeronCostModel& costs,
+                              const TuningGoal& goal) {
+  if (!base.acking) {
+    return Status::InvalidArgument(
+        "max_spout_pending only acts with acking enabled; nothing to tune");
+  }
+  if (goal.max_spout_pending_grid.empty() ||
+      goal.drain_frequency_grid_ms.empty()) {
+    return Status::InvalidArgument("empty tuning grid");
+  }
+
+  TuningResult result;
+  // Winner tracked by index: `evaluated` reallocates as it grows.
+  ptrdiff_t winner = -1;
+  for (const int64_t msp : goal.max_spout_pending_grid) {
+    for (const double drain : goal.drain_frequency_grid_ms) {
+      sim::HeronSimConfig config = base;
+      config.max_spout_pending = msp;
+      config.cache_drain_frequency_ms = drain;
+      Candidate candidate;
+      candidate.max_spout_pending = msp;
+      candidate.cache_drain_frequency_ms = drain;
+      candidate.result = RunHeronSim(config, costs);
+      candidate.feasible =
+          candidate.result.latency_ms_mean <= goal.max_latency_ms;
+      result.evaluated.push_back(std::move(candidate));
+      const Candidate& added = result.evaluated.back();
+      if (added.feasible &&
+          (winner < 0 ||
+           added.result.tuples_per_min >
+               result.evaluated[static_cast<size_t>(winner)]
+                   .result.tuples_per_min)) {
+        winner = static_cast<ptrdiff_t>(result.evaluated.size()) - 1;
+      }
+    }
+  }
+
+  if (winner < 0) {
+    return Status::NotFound(StrFormat(
+        "no configuration in the grid meets the %.1f ms latency objective",
+        goal.max_latency_ms));
+  }
+  const Candidate& best = result.evaluated[static_cast<size_t>(winner)];
+  result.max_spout_pending = best.max_spout_pending;
+  result.cache_drain_frequency_ms = best.cache_drain_frequency_ms;
+  result.best = best.result;
+  return result;
+}
+
+}  // namespace tuning
+}  // namespace heron

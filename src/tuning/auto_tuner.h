@@ -1,0 +1,61 @@
+#ifndef HERON_TUNING_AUTO_TUNER_H_
+#define HERON_TUNING_AUTO_TUNER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "sim/heron_model.h"
+
+namespace heron {
+namespace tuning {
+
+/// \brief The operator's objective for the §V-B knobs.
+///
+/// The paper: "As part of future work, we plan to automate the process of
+/// configuring the values for these parameters based on real-time
+/// observations of the workload performance." This module implements that
+/// plan: it searches the (max_spout_pending, cache_drain_frequency) space
+/// with the calibrated engine model and returns the throughput-maximizing
+/// setting that honours a latency objective — the tradeoff Figs. 10-13
+/// chart by hand.
+struct TuningGoal {
+  /// Upper bound on acceptable mean end-to-end latency; the tuner rejects
+  /// configurations above it.
+  double max_latency_ms = 50.0;
+  /// Candidate grids. Defaults cover the ranges the paper sweeps.
+  std::vector<int64_t> max_spout_pending_grid = {2000,  5000,  10000,
+                                                 20000, 40000, 60000};
+  std::vector<double> drain_frequency_grid_ms = {2, 5, 10, 20, 30};
+};
+
+/// One evaluated configuration.
+struct Candidate {
+  int64_t max_spout_pending = 0;
+  double cache_drain_frequency_ms = 0;
+  sim::SimResult result;
+  bool feasible = false;  ///< Met the latency objective.
+};
+
+/// The tuner's verdict: the winning knob values plus the full search
+/// record (so operators can see the frontier, not just the point).
+struct TuningResult {
+  int64_t max_spout_pending = 0;
+  double cache_drain_frequency_ms = 0;
+  sim::SimResult best;
+  std::vector<Candidate> evaluated;
+};
+
+/// Searches the grid for the feasible configuration with the highest
+/// throughput. `base` fixes everything except the two knobs (parallelism,
+/// acking, optimization toggle, simulation windows).
+///
+/// Returns kNotFound when no grid point meets the latency objective —
+/// the honest answer when the SLO is tighter than the topology's floor.
+Result<TuningResult> AutoTune(const sim::HeronSimConfig& base,
+                              const sim::HeronCostModel& costs,
+                              const TuningGoal& goal);
+
+}  // namespace tuning
+}  // namespace heron
+
+#endif  // HERON_TUNING_AUTO_TUNER_H_

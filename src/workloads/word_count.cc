@@ -1,0 +1,77 @@
+#include "workloads/word_count.h"
+
+#include "api/context.h"
+#include "common/strings.h"
+
+namespace heron {
+namespace workloads {
+
+WordDictionary::WordDictionary(size_t size, uint64_t seed) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  Random rng(seed);
+  words_.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    const size_t length = 4 + rng.NextBelow(9);
+    std::string word;
+    word.reserve(length);
+    for (size_t c = 0; c < length; ++c) {
+      word.push_back(kAlphabet[rng.NextBelow(26)]);
+    }
+    words_.push_back(std::move(word));
+  }
+}
+
+const WordDictionary& WordDictionary::Default() {
+  static const WordDictionary dictionary;
+  return dictionary;
+}
+
+void WordSpout::Open(const Config& config, api::TopologyContext* context,
+                     api::ISpoutOutputCollector* collector) {
+  collector_ = collector;
+  acking_ = config.GetBoolOr(config_keys::kAckingEnabled, false);
+  if (options_.dictionary_size == 450000) {
+    dictionary_ = &WordDictionary::Default();
+  } else {
+    owned_dictionary_ =
+        std::make_unique<WordDictionary>(options_.dictionary_size);
+    dictionary_ = owned_dictionary_.get();
+  }
+  // Decorrelate instances of the spout without losing determinism.
+  rng_ = Random(2017 + static_cast<uint64_t>(context->task_id()) * 7919);
+}
+
+void WordSpout::NextTuple() {
+  for (int i = 0; i < options_.words_per_call; ++i) {
+    if (options_.emit_limit != 0 && emitted_ >= options_.emit_limit) return;
+    const std::string& word =
+        dictionary_->WordAt(rng_.NextBelow(dictionary_->size()));
+    if (acking_) {
+      collector_->Emit({api::Value(word)}, next_message_id_++);
+    } else {
+      collector_->Emit({api::Value(word)}, std::nullopt);
+    }
+    ++emitted_;
+  }
+}
+
+Result<std::shared_ptr<const api::Topology>> BuildWordCountTopology(
+    const std::string& name, int spouts, int bolts,
+    const WordSpout::Options& spout_options, const Config& topology_config) {
+  api::TopologyBuilder builder(name);
+  *builder.mutable_config() = topology_config;
+  builder
+      .SetSpout(
+          "word",
+          [spout_options] { return std::make_unique<WordSpout>(spout_options); },
+          spouts)
+      .OutputFields({"word"});
+  builder
+      .SetBolt(
+          "count", [] { return std::make_unique<CountBolt>(); }, bolts)
+      .FieldsGrouping("word", {"word"});
+  return builder.Build();
+}
+
+}  // namespace workloads
+}  // namespace heron

@@ -1,0 +1,112 @@
+#ifndef HERON_WORKLOADS_WORD_COUNT_H_
+#define HERON_WORKLOADS_WORD_COUNT_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/context.h"
+#include "api/topology.h"
+#include "common/random.h"
+
+namespace heron {
+namespace workloads {
+
+/// \brief The paper's benchmark workload (§VI-A): "the spout picks a word
+/// at random from a set of 450K English words and emits it. ... The spouts
+/// use hash partitioning to distribute the words to the bolts which in
+/// turn count the number of times each word was encountered."
+///
+/// The dictionary is synthetic (the paper's word list is not published):
+/// `dictionary_size` pseudo-words of length 4-12, generated from a fixed
+/// seed so every run and every instance draws from the same set.
+class WordDictionary {
+ public:
+  explicit WordDictionary(size_t size = 450000, uint64_t seed = 2017);
+
+  const std::string& WordAt(size_t index) const { return words_[index]; }
+  size_t size() const { return words_.size(); }
+
+  /// Shared 450K-word instance (built once, ~5MB).
+  static const WordDictionary& Default();
+
+ private:
+  std::vector<std::string> words_;
+};
+
+/// \brief The word-emitting spout. "Spouts are extremely fast, if left
+/// unrestricted" — NextTuple emits `words_per_call` words per invocation.
+class WordSpout final : public api::ISpout {
+ public:
+  struct Options {
+    size_t dictionary_size = 450000;
+    int words_per_call = 1;
+    /// Stop after this many emits; 0 = unbounded. Used by tests that need
+    /// a finite stream.
+    uint64_t emit_limit = 0;
+  };
+
+  explicit WordSpout(const Options& options) : options_(options) {}
+
+  void Open(const Config& config, api::TopologyContext* context,
+            api::ISpoutOutputCollector* collector) override;
+  void NextTuple() override;
+  void Ack(int64_t message_id) override { ++acked_; }
+  void Fail(int64_t message_id) override { ++failed_; }
+
+  uint64_t emitted() const { return emitted_; }
+  uint64_t acked() const { return acked_; }
+  uint64_t failed() const { return failed_; }
+
+ private:
+  Options options_;
+  api::ISpoutOutputCollector* collector_ = nullptr;
+  const WordDictionary* dictionary_ = nullptr;
+  std::unique_ptr<WordDictionary> owned_dictionary_;
+  Random rng_{2017};
+  bool acking_ = false;
+  uint64_t emitted_ = 0;
+  uint64_t acked_ = 0;
+  uint64_t failed_ = 0;
+  int64_t next_message_id_ = 1;
+};
+
+/// \brief The counting bolt: tallies words and acks every input.
+class CountBolt final : public api::IBolt {
+ public:
+  void Prepare(const Config& config, api::TopologyContext* context,
+               api::IBoltOutputCollector* collector) override {
+    collector_ = collector;
+  }
+
+  void Execute(const api::Tuple& input) override {
+    ++counts_[input.GetString(0)];
+    ++executed_;
+    collector_->Ack(input);
+  }
+
+  uint64_t executed() const { return executed_; }
+  const std::unordered_map<std::string, uint64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  api::IBoltOutputCollector* collector_ = nullptr;
+  std::unordered_map<std::string, uint64_t> counts_;
+  uint64_t executed_ = 0;
+};
+
+/// \brief Assembles the WordCount topology at the given parallelism:
+/// `spouts` WordSpout instances, fields-grouped ("hash partitioning") into
+/// `bolts` CountBolt instances.
+Result<std::shared_ptr<const api::Topology>> BuildWordCountTopology(
+    const std::string& name, int spouts, int bolts,
+    const WordSpout::Options& spout_options = {},
+    const Config& topology_config = Config());
+
+}  // namespace workloads
+}  // namespace heron
+
+#endif  // HERON_WORKLOADS_WORD_COUNT_H_

@@ -1,0 +1,169 @@
+#include "api/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "api/context.h"
+
+namespace heron {
+namespace api {
+namespace {
+
+class NoopSpout final : public ISpout {
+ public:
+  void Open(const Config&, TopologyContext*, ISpoutOutputCollector*) override {}
+  void NextTuple() override {}
+};
+
+class NoopBolt final : public IBolt {
+ public:
+  void Prepare(const Config&, TopologyContext*, IBoltOutputCollector*) override {}
+  void Execute(const Tuple&) override {}
+};
+
+SpoutFactory Spout() {
+  return [] { return std::make_unique<NoopSpout>(); };
+}
+BoltFactory Bolt() {
+  return [] { return std::make_unique<NoopBolt>(); };
+}
+
+TEST(TopologyBuilderTest, BuildsValidTopology) {
+  TopologyBuilder b("wc");
+  b.SetSpout("spout", Spout(), 3).OutputFields({"word"});
+  b.SetBolt("bolt", Bolt(), 2).FieldsGrouping("spout", {"word"});
+  auto t = b.Build();
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ((*t)->name(), "wc");
+  EXPECT_EQ((*t)->TotalInstances(), 5);
+  EXPECT_EQ((*t)->components().size(), 2u);
+  EXPECT_NE((*t)->FindComponent("spout"), nullptr);
+  EXPECT_EQ((*t)->FindComponent("nope"), nullptr);
+  const Fields* schema = (*t)->OutputSchema("spout", kDefaultStreamId);
+  ASSERT_NE(schema, nullptr);
+  EXPECT_TRUE(schema->Contains("word"));
+}
+
+TEST(TopologyBuilderTest, RejectsEmptyName) {
+  TopologyBuilder b("");
+  b.SetSpout("s", Spout(), 1);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(TopologyBuilderTest, RejectsNoComponents) {
+  TopologyBuilder b("t");
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(TopologyBuilderTest, RejectsNoSpout) {
+  TopologyBuilder b("t");
+  b.SetBolt("b", Bolt(), 1);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(TopologyBuilderTest, RejectsDuplicateIds) {
+  TopologyBuilder b("t");
+  b.SetSpout("x", Spout(), 1);
+  b.SetBolt("x", Bolt(), 1);
+  EXPECT_TRUE(b.Build().status().IsAlreadyExists());
+}
+
+TEST(TopologyBuilderTest, RejectsNonPositiveParallelism) {
+  TopologyBuilder b("t");
+  b.SetSpout("s", Spout(), 0);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(TopologyBuilderTest, RejectsUnknownInputComponent) {
+  TopologyBuilder b("t");
+  b.SetSpout("s", Spout(), 1);
+  b.SetBolt("b", Bolt(), 1).ShuffleGrouping("ghost");
+  EXPECT_TRUE(b.Build().status().IsNotFound());
+}
+
+TEST(TopologyBuilderTest, RejectsUndeclaredStream) {
+  TopologyBuilder b("t");
+  b.SetSpout("s", Spout(), 1);
+  b.SetBolt("b", Bolt(), 1).ShuffleGrouping("s", "sidestream");
+  EXPECT_TRUE(b.Build().status().IsNotFound());
+}
+
+TEST(TopologyBuilderTest, RejectsGroupingOnMissingField) {
+  TopologyBuilder b("t");
+  b.SetSpout("s", Spout(), 1).OutputFields({"word"});
+  b.SetBolt("b", Bolt(), 1).FieldsGrouping("s", {"nope"});
+  EXPECT_TRUE(b.Build().status().IsNotFound());
+}
+
+TEST(TopologyBuilderTest, RejectsEmptyFieldsGrouping) {
+  TopologyBuilder b("t");
+  b.SetSpout("s", Spout(), 1).OutputFields({"word"});
+  b.SetBolt("b", Bolt(), 1).FieldsGrouping("s", Fields{});
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(TopologyBuilderTest, RejectsCycles) {
+  TopologyBuilder cyclic("cyc");
+  cyclic.SetSpout("s", Spout(), 1).OutputFields({"w"});
+  cyclic.SetBolt("a", Bolt(), 1).OutputFields({"w"}).ShuffleGrouping("b");
+  cyclic.SetBolt("b", Bolt(), 1).OutputFields({"w"}).ShuffleGrouping("a");
+  EXPECT_TRUE(cyclic.Build().status().IsInvalidArgument());
+}
+
+TEST(TopologyBuilderTest, DiamondIsAcceptedAsDag) {
+  TopologyBuilder b("diamond");
+  b.SetSpout("s", Spout(), 1).OutputFields({"w"});
+  b.SetBolt("l", Bolt(), 1).OutputFields({"w"}).ShuffleGrouping("s");
+  b.SetBolt("r", Bolt(), 1).OutputFields({"w"}).ShuffleGrouping("s");
+  b.SetBolt("join", Bolt(), 1).ShuffleGrouping("l").ShuffleGrouping("r");
+  EXPECT_TRUE(b.Build().ok());
+}
+
+TEST(TopologyBuilderTest, MultipleStreamsPerComponent) {
+  TopologyBuilder b("multi");
+  b.SetSpout("s", Spout(), 1)
+      .OutputFields({"w"})
+      .OutputFields({"err"}, "errors");
+  b.SetBolt("main", Bolt(), 1).ShuffleGrouping("s");
+  b.SetBolt("errors", Bolt(), 1).ShuffleGrouping("s", "errors");
+  auto t = b.Build();
+  ASSERT_TRUE(t.ok());
+  EXPECT_NE((*t)->OutputSchema("s", "errors"), nullptr);
+}
+
+TEST(TopologyTest, WithParallelismProducesScaledCopy) {
+  TopologyBuilder b("t");
+  b.SetSpout("s", Spout(), 2).OutputFields({"w"});
+  b.SetBolt("b", Bolt(), 3).ShuffleGrouping("s");
+  auto t = b.Build();
+  ASSERT_TRUE(t.ok());
+  auto scaled = (*t)->WithParallelism("b", 7);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(scaled->FindComponent("b")->parallelism, 7);
+  EXPECT_EQ((*t)->FindComponent("b")->parallelism, 3);  // Original intact.
+  EXPECT_TRUE((*t)->WithParallelism("ghost", 2).status().IsNotFound());
+  EXPECT_TRUE((*t)->WithParallelism("b", 0).status().IsInvalidArgument());
+}
+
+TEST(TopologyTest, ResourcesDeclaredPerInstance) {
+  TopologyBuilder b("t");
+  b.SetSpout("s", Spout(), 1)
+      .OutputFields({"w"})
+      .SetResources(Resource(2.0, 2048));
+  b.SetBolt("b", Bolt(), 1).ShuffleGrouping("s");
+  auto t = b.Build();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->FindComponent("s")->resources, Resource(2.0, 2048));
+}
+
+TEST(TopologyContextTest, ExposesIdentity) {
+  TopologyContext ctx("topo", "comp", 5, 2, 8);
+  EXPECT_EQ(ctx.topology_name(), "topo");
+  EXPECT_EQ(ctx.component(), "comp");
+  EXPECT_EQ(ctx.task_id(), 5);
+  EXPECT_EQ(ctx.component_index(), 2);
+  EXPECT_EQ(ctx.parallelism(), 8);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace heron

@@ -1,0 +1,103 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace heron {
+namespace {
+
+TEST(ConfigTest, TypedRoundTrips) {
+  Config c;
+  c.SetInt("int", -42);
+  c.SetDouble("dbl", 2.5);
+  c.SetBool("yes", true);
+  c.Set("str", "value");
+  EXPECT_EQ(*c.GetInt("int"), -42);
+  EXPECT_DOUBLE_EQ(*c.GetDouble("dbl"), 2.5);
+  EXPECT_TRUE(*c.GetBool("yes"));
+  EXPECT_EQ(*c.GetString("str"), "value");
+}
+
+TEST(ConfigTest, MissingKeyIsNotFound) {
+  Config c;
+  EXPECT_TRUE(c.GetInt("nope").status().IsNotFound());
+  EXPECT_FALSE(c.Has("nope"));
+}
+
+TEST(ConfigTest, WrongTypeIsInvalidArgument) {
+  Config c;
+  c.Set("k", "not-a-number");
+  EXPECT_TRUE(c.GetInt("k").status().IsInvalidArgument());
+  EXPECT_TRUE(c.GetDouble("k").status().IsInvalidArgument());
+  EXPECT_TRUE(c.GetBool("k").status().IsInvalidArgument());
+}
+
+TEST(ConfigTest, IntIsValidDouble) {
+  Config c;
+  c.SetInt("k", 7);
+  EXPECT_DOUBLE_EQ(*c.GetDouble("k"), 7.0);
+}
+
+TEST(ConfigTest, FallbackGetters) {
+  Config c;
+  c.SetInt("present", 1);
+  EXPECT_EQ(c.GetIntOr("present", 9), 1);
+  EXPECT_EQ(c.GetIntOr("absent", 9), 9);
+  EXPECT_EQ(c.GetStringOr("absent", "d"), "d");
+  EXPECT_TRUE(c.GetBoolOr("absent", true));
+  EXPECT_DOUBLE_EQ(c.GetDoubleOr("absent", 1.5), 1.5);
+}
+
+TEST(ConfigTest, OverwriteWins) {
+  Config c;
+  c.SetInt("k", 1);
+  c.SetInt("k", 2);
+  EXPECT_EQ(*c.GetInt("k"), 2);
+}
+
+TEST(ConfigTest, MergeOverridesWin) {
+  Config base;
+  base.SetInt("a", 1);
+  base.SetInt("b", 2);
+  Config overrides;
+  overrides.SetInt("b", 20);
+  overrides.SetInt("c", 30);
+  const Config merged = base.MergedWith(overrides);
+  EXPECT_EQ(*merged.GetInt("a"), 1);
+  EXPECT_EQ(*merged.GetInt("b"), 20);
+  EXPECT_EQ(*merged.GetInt("c"), 30);
+  // Inputs untouched.
+  EXPECT_EQ(*base.GetInt("b"), 2);
+}
+
+TEST(ConfigTest, ParsesKeyValueText) {
+  auto parsed = Config::FromKeyValueText(
+      "# comment\n"
+      "heron.topology.acking = true\n"
+      "\n"
+      "  heron.packing.num.containers=4  \n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(*parsed->GetBool("heron.topology.acking"));
+  EXPECT_EQ(*parsed->GetInt("heron.packing.num.containers"), 4);
+}
+
+TEST(ConfigTest, ParseRejectsGarbage) {
+  EXPECT_TRUE(Config::FromKeyValueText("no equals sign")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Config::FromKeyValueText("=value").status().IsInvalidArgument());
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  Config c;
+  for (const char* spelling : {"true", "1", "yes"}) {
+    c.Set("k", spelling);
+    EXPECT_TRUE(*c.GetBool("k")) << spelling;
+  }
+  for (const char* spelling : {"false", "0", "no"}) {
+    c.Set("k", spelling);
+    EXPECT_FALSE(*c.GetBool("k")) << spelling;
+  }
+}
+
+}  // namespace
+}  // namespace heron

@@ -1,0 +1,140 @@
+// Clock, Resource, Random and IdGenerator coverage.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/random.h"
+#include "common/resource.h"
+
+namespace heron {
+namespace {
+
+TEST(ClockTest, RealClockIsMonotonic) {
+  RealClock* clock = RealClock::Get();
+  const int64_t a = clock->NowNanos();
+  const int64_t b = clock->NowNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock clock(1000);
+  EXPECT_EQ(clock.NowNanos(), 1000);
+  clock.AdvanceNanos(500);
+  EXPECT_EQ(clock.NowNanos(), 1500);
+  clock.AdvanceMillis(1);
+  EXPECT_EQ(clock.NowNanos(), 1001500);
+  EXPECT_EQ(clock.NowMicros(), 1001);
+  EXPECT_EQ(clock.NowMillis(), 1);
+}
+
+TEST(ClockTest, VirtualClockNeverGoesBackwards) {
+  VirtualClock clock(100);
+  clock.AdvanceTo(50);
+  EXPECT_EQ(clock.NowNanos(), 100);
+  clock.AdvanceTo(200);
+  EXPECT_EQ(clock.NowNanos(), 200);
+}
+
+TEST(ClockTest, StopwatchMeasuresVirtualTime) {
+  VirtualClock clock;
+  Stopwatch watch(&clock);
+  clock.AdvanceMillis(3);
+  EXPECT_EQ(watch.ElapsedNanos(), 3000000);
+  EXPECT_DOUBLE_EQ(watch.ElapsedMillis(), 3.0);
+  watch.Reset();
+  EXPECT_EQ(watch.ElapsedNanos(), 0);
+}
+
+TEST(ClockTest, ThreadCpuNanosGrowsUnderWork) {
+  const int64_t before = ThreadCpuNanos();
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + static_cast<uint64_t>(i);
+  EXPECT_GT(ThreadCpuNanos(), before);
+}
+
+TEST(ResourceTest, ArithmeticAndFits) {
+  const Resource a(2.0, 1024, 512);
+  const Resource b(1.0, 512, 256);
+  EXPECT_EQ(a + b, Resource(3.0, 1536, 768));
+  EXPECT_EQ(a - b, Resource(1.0, 512, 256));
+  EXPECT_TRUE(a.Fits(b));
+  EXPECT_FALSE(b.Fits(a));
+  EXPECT_TRUE(a.Fits(a));  // Boundary: equal fits (with epsilon).
+}
+
+TEST(ResourceTest, FitsIsPerDimension) {
+  const Resource big_cpu(10.0, 100, 0);
+  const Resource big_ram(1.0, 10000, 0);
+  EXPECT_FALSE(big_cpu.Fits(big_ram));
+  EXPECT_FALSE(big_ram.Fits(big_cpu));
+}
+
+TEST(ResourceTest, MaxIsElementwise) {
+  const Resource m = Resource::Max(Resource(1, 2048, 10), Resource(4, 512, 20));
+  EXPECT_EQ(m, Resource(4, 2048, 20));
+}
+
+TEST(ResourceTest, CompoundAssignment) {
+  Resource r(1.0, 100, 0);
+  r += Resource(0.5, 50, 10);
+  EXPECT_EQ(r, Resource(1.5, 150, 10));
+  r -= Resource(0.5, 50, 10);
+  EXPECT_EQ(r, Resource(1.0, 100, 0));
+  EXPECT_FALSE(r.IsZero());
+  EXPECT_TRUE(Resource().IsZero());
+}
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, BoundsRespected) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+    const int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, RoughlyUniform) {
+  Random rng(99);
+  int buckets[10] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.NextBelow(10)];
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 50);
+  }
+}
+
+TEST(IdGeneratorTest, UniqueAcrossThreads) {
+  std::set<std::string> ids;
+  std::mutex mutex;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        const std::string id = IdGenerator::Next("t");
+        std::lock_guard<std::mutex> lock(mutex);
+        ids.insert(id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ids.size(), 400u);
+}
+
+}  // namespace
+}  // namespace heron

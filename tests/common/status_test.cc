@@ -1,0 +1,115 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace heron {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, EveryFactoryProducesItsCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, MessageAndToString) {
+  const Status st = Status::NotFound("missing node");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "missing node");
+  EXPECT_EQ(st.ToString(), "Not found: missing node");
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status original = Status::Timeout("deadline");
+  Status copy = original;
+  EXPECT_TRUE(copy.IsTimeout());
+  EXPECT_EQ(copy.message(), "deadline");
+  EXPECT_TRUE(original.IsTimeout());  // Copy did not steal.
+
+  Status moved = std::move(original);
+  EXPECT_TRUE(moved.IsTimeout());
+  EXPECT_EQ(moved.message(), "deadline");
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  const Status st = Status::IOError("disk full").WithContext("writing plan");
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.message(), "writing plan: disk full");
+  EXPECT_TRUE(Status::OK().WithContext("anything").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  const auto fails = []() -> Status {
+    HERON_RETURN_NOT_OK(Status::Unavailable("nope"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsUnavailable());
+  const auto succeeds = []() -> Status {
+    HERON_RETURN_NOT_OK(Status::OK());
+    return Status::Internal("reached");
+  };
+  EXPECT_TRUE(succeeds().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  const auto add_one = [](Result<int> in) -> Result<int> {
+    HERON_ASSIGN_OR_RETURN(int v, std::move(in));
+    return v + 1;
+  };
+  EXPECT_EQ(*add_one(Result<int>(1)), 2);
+  EXPECT_TRUE(add_one(Status::Timeout("t")).status().IsTimeout());
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("heron"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+}  // namespace
+}  // namespace heron

@@ -1,0 +1,88 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace heron {
+namespace {
+
+TEST(StringsTest, FormatBasics) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 5, "z"), "x=5 y=z");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StringsTest, FormatLongOutput) {
+  const std::string big(1000, 'a');
+  EXPECT_EQ(StrFormat("%s!", big.c_str()).size(), 1001u);
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, "/"), "x/y/z");
+  EXPECT_EQ(StrSplit(StrJoin(parts, "/"), '/'), parts);
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("heron.topology", "heron."));
+  EXPECT_FALSE(StartsWith("heron", "heron."));
+  EXPECT_TRUE(EndsWith("plan.bin", ".bin"));
+  EXPECT_FALSE(EndsWith("bin", ".bin"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace("\t\n x y \r"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, ParseInt64Strict) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("42x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("4 2", &v));
+}
+
+TEST(StringsTest, ParseDoubleStrict) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("2.5", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("2.5zz", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+/// Property sweep: int64 print/parse round-trips across magnitudes.
+class Int64RoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(Int64RoundTrip, PrintParse) {
+  const int64_t original = GetParam();
+  int64_t parsed = 0;
+  ASSERT_TRUE(ParseInt64(
+      StrFormat("%lld", static_cast<long long>(original)), &parsed));
+  EXPECT_EQ(parsed, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, Int64RoundTrip,
+                         ::testing::Values(0, 1, -1, 63, -64, 4096, -4097,
+                                           1ll << 31, -(1ll << 31),
+                                           (1ll << 62), -(1ll << 62)));
+
+}  // namespace
+}  // namespace heron

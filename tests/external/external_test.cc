@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "external/kafka_sim.h"
+#include "external/pipeline_workload.h"
+#include "external/redis_sim.h"
+
+namespace heron {
+namespace external {
+namespace {
+
+TEST(SimKafkaTest, FetchAdvancesOffsetsPerPartition) {
+  SimKafka::Options options;
+  options.partitions = 2;
+  options.fetch_cost_per_event_ns = 0;  // Fast test.
+  options.fetch_cost_per_batch_ns = 0;
+  SimKafka kafka(options);
+
+  std::vector<KafkaEvent> events;
+  ASSERT_TRUE(kafka.Fetch(0, 10, &events).ok());
+  ASSERT_EQ(events.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(events[static_cast<size_t>(i)].offset, i);
+
+  ASSERT_TRUE(kafka.Fetch(0, 5, &events).ok());
+  EXPECT_EQ(events.front().offset, 10);  // Continues where it left off.
+
+  // Partitions are independent.
+  ASSERT_TRUE(kafka.Fetch(1, 3, &events).ok());
+  EXPECT_EQ(events.front().offset, 0);
+  EXPECT_EQ(kafka.total_fetched(), 18u);
+}
+
+TEST(SimKafkaTest, RejectsBadArguments) {
+  SimKafka kafka(SimKafka::Options{});
+  std::vector<KafkaEvent> events;
+  EXPECT_TRUE(kafka.Fetch(-1, 1, &events).IsInvalidArgument());
+  EXPECT_TRUE(kafka.Fetch(99, 1, &events).IsInvalidArgument());
+  EXPECT_TRUE(kafka.Fetch(0, 0, &events).IsInvalidArgument());
+}
+
+TEST(SimKafkaTest, EventsCarryBoundedKeyCardinality) {
+  SimKafka::Options options;
+  options.key_cardinality = 4;
+  options.fetch_cost_per_event_ns = 0;
+  options.fetch_cost_per_batch_ns = 0;
+  SimKafka kafka(options);
+  std::vector<KafkaEvent> events;
+  ASSERT_TRUE(kafka.Fetch(0, 200, &events).ok());
+  std::set<std::string> keys;
+  for (const auto& e : events) keys.insert(e.key);
+  EXPECT_LE(keys.size(), 4u);
+}
+
+TEST(SimRedisTest, BasicOps) {
+  SimRedis::Options options;
+  options.op_cost_ns = 0;
+  options.pipelined_op_cost_ns = 0;
+  options.pipeline_flush_cost_ns = 0;
+  SimRedis redis(options);
+  ASSERT_TRUE(redis.Set("k", "v").ok());
+  EXPECT_EQ(*redis.Get("k"), "v");
+  EXPECT_TRUE(redis.Get("missing").status().IsNotFound());
+  EXPECT_EQ(*redis.IncrBy("count", 5), 5);
+  EXPECT_EQ(*redis.IncrBy("count", 2), 7);
+}
+
+TEST(SimRedisTest, PipelineAppliesEveryIncrement) {
+  SimRedis::Options options;
+  options.pipelined_op_cost_ns = 0;
+  options.pipeline_flush_cost_ns = 0;
+  SimRedis redis(options);
+  ASSERT_TRUE(
+      redis.PipelineIncr({{"a", 1}, {"b", 2}, {"a", 3}}).ok());
+  EXPECT_EQ(*redis.IncrBy("a", 0), 4);
+  EXPECT_EQ(*redis.IncrBy("b", 0), 2);
+  EXPECT_EQ(redis.total_ops(), 5u);  // 3 pipelined + 2 reads.
+  EXPECT_TRUE(redis.PipelineIncr({}).ok());
+}
+
+TEST(BurnCpuTest, ConsumesCpuTime) {
+  // BurnCpu targets ~2 ms of wall time spent spinning; under contention
+  // the thread may be descheduled for part of it, so assert only that a
+  // meaningful amount of CPU was genuinely consumed.
+  const int64_t start = ThreadCpuNanos();
+  BurnCpu(2000000);  // 2 ms.
+  const int64_t burned = ThreadCpuNanos() - start;
+  EXPECT_GT(burned, 100000);  // >= 0.1 ms of real CPU.
+  EXPECT_GE(ThreadCpuNanos() - start, burned);  // Clock is monotone.
+}
+
+TEST(PipelineWorkloadTest, TopologyBuildsWithThreeStages) {
+  auto kafka = std::make_shared<SimKafka>(SimKafka::Options{});
+  auto redis = std::make_shared<SimRedis>(SimRedis::Options{});
+  auto recorder = std::make_shared<CostRecorder>();
+  PipelineWorkloadOptions options;
+  auto topology =
+      BuildPipelineTopology("pipe", options, kafka, redis, recorder);
+  ASSERT_TRUE(topology.ok()) << topology.status().ToString();
+  EXPECT_EQ((*topology)->components().size(), 3u);
+  EXPECT_NE((*topology)->FindComponent("kafka-events"), nullptr);
+  EXPECT_NE((*topology)->FindComponent("filter"), nullptr);
+  EXPECT_NE((*topology)->FindComponent("aggregate"), nullptr);
+}
+
+TEST(PipelineWorkloadTest, RejectsMissingServices) {
+  EXPECT_TRUE(BuildPipelineTopology("pipe", PipelineWorkloadOptions{},
+                                    nullptr, nullptr, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace external
+}  // namespace heron

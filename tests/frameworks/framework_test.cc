@@ -1,0 +1,239 @@
+// Scheduling-framework substrate tests: SimCluster admission accounting
+// and the YARN-like / Aurora-like capability contracts of §IV-B.
+
+#include "frameworks/framework.h"
+
+#include <gtest/gtest.h>
+
+#include "frameworks/aurora_like_framework.h"
+#include "frameworks/yarn_like_framework.h"
+
+namespace heron {
+namespace frameworks {
+namespace {
+
+TEST(SimClusterTest, FirstFitAllocationAndRelease) {
+  SimCluster cluster;
+  cluster.AddNodes(2, Resource(8, 8192, 0));
+  auto a = cluster.Allocate(Resource(6, 4096, 0));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*cluster.NodeOf(*a), 0);
+  auto b = cluster.Allocate(Resource(6, 4096, 0));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*cluster.NodeOf(*b), 1);  // Did not fit next to the first.
+  EXPECT_EQ(cluster.num_allocations(), 2u);
+
+  // Full: a third large ask fails.
+  EXPECT_TRUE(
+      cluster.Allocate(Resource(6, 4096, 0)).status().IsResourceExhausted());
+
+  ASSERT_TRUE(cluster.Release(*a).ok());
+  EXPECT_TRUE(cluster.Allocate(Resource(6, 4096, 0)).ok());
+  EXPECT_TRUE(cluster.Release(12345).IsNotFound());
+}
+
+TEST(SimClusterTest, AccountingBalances) {
+  SimCluster cluster;
+  cluster.AddNode(Resource(4, 4096, 0));
+  auto a = cluster.Allocate(Resource(1, 1024, 0));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(cluster.TotalUsed(), Resource(1, 1024, 0));
+  ASSERT_TRUE(cluster.Release(*a).ok());
+  EXPECT_TRUE(cluster.TotalUsed().IsZero());
+  EXPECT_EQ(*cluster.FreeOn(0), Resource(4, 4096, 0));
+}
+
+class CountingCommands {
+ public:
+  JobSpec Spec(const std::string& name, std::vector<Resource> demands) {
+    JobSpec spec;
+    spec.name = name;
+    spec.containers = std::move(demands);
+    spec.start = [this](int i) { starts.push_back(i); };
+    spec.stop = [this](int i) { stops.push_back(i); };
+    return spec;
+  }
+  std::vector<int> starts;
+  std::vector<int> stops;
+};
+
+class FrameworkContractTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    cluster_.AddNodes(8, Resource(16, 32768, 0));
+    if (GetParam() == "yarn") {
+      framework_ = std::make_unique<YarnLikeFramework>(&cluster_);
+    } else {
+      framework_ = std::make_unique<AuroraLikeFramework>(&cluster_);
+    }
+  }
+
+  SimCluster cluster_;
+  std::unique_ptr<BaseSimFramework> framework_;
+  CountingCommands commands_;
+};
+
+TEST_P(FrameworkContractTest, SubmitStartsEveryContainer) {
+  auto job = framework_->SubmitJob(
+      commands_.Spec("t", {Resource(2, 2048, 0), Resource(2, 2048, 0)}));
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  EXPECT_EQ(commands_.starts, (std::vector<int>{0, 1}));
+  auto status = framework_->JobStatus(*job);
+  ASSERT_TRUE(status.ok());
+  for (const auto& c : *status) {
+    EXPECT_EQ(c.state, ContainerState::kRunning);
+  }
+  EXPECT_EQ(cluster_.num_allocations(), 2u);
+}
+
+TEST_P(FrameworkContractTest, KillStopsAndReleasesEverything) {
+  auto job = framework_->SubmitJob(
+      commands_.Spec("t", {Resource(2, 2048, 0), Resource(2, 2048, 0)}));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(framework_->KillJob(*job).ok());
+  EXPECT_EQ(commands_.stops.size(), 2u);
+  EXPECT_EQ(cluster_.num_allocations(), 0u);
+  EXPECT_TRUE(framework_->JobStatus(*job).status().IsNotFound());
+  EXPECT_TRUE(framework_->KillJob(*job).IsNotFound());
+}
+
+TEST_P(FrameworkContractTest, AdmissionFailureLeavesNothingBehind) {
+  // Ask for more than the cluster holds; everything must roll back.
+  std::vector<Resource> demands(40, Resource(8, 8192, 0));
+  EXPECT_TRUE(framework_->SubmitJob(commands_.Spec("big", demands))
+                  .status()
+                  .IsResourceExhausted());
+  EXPECT_EQ(cluster_.num_allocations(), 0u);
+  EXPECT_TRUE(commands_.starts.empty());
+}
+
+TEST_P(FrameworkContractTest, RestartCyclesTheContainer) {
+  auto job = framework_->SubmitJob(
+      commands_.Spec("t", {Resource(2, 2048, 0), Resource(2, 2048, 0)}));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(framework_->RestartContainer(*job, 1).ok());
+  EXPECT_EQ(commands_.stops, (std::vector<int>{1}));
+  EXPECT_EQ(commands_.starts, (std::vector<int>{0, 1, 1}));
+  auto status = framework_->JobStatus(*job);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ((*status)[1].restarts, 1);
+}
+
+TEST_P(FrameworkContractTest, RemoveContainerShrinks) {
+  auto job = framework_->SubmitJob(
+      commands_.Spec("t", {Resource(2, 2048, 0), Resource(2, 2048, 0)}));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(framework_->RemoveContainer(*job, 0).ok());
+  EXPECT_EQ(framework_->JobStatus(*job)->size(), 1u);
+  EXPECT_EQ(cluster_.num_allocations(), 1u);
+}
+
+TEST_P(FrameworkContractTest, AddContainersRegistersBeforeStart) {
+  auto job = framework_->SubmitJob(
+      commands_.Spec("t", {Resource(2, 2048, 0)}));
+  ASSERT_TRUE(job.ok());
+  bool registered_before_start = false;
+  size_t starts_at_registration = 0;
+  auto added = framework_->AddContainers(
+      *job, {Resource(2, 2048, 0)},
+      [&](const std::vector<int>& indices) {
+        registered_before_start = true;
+        starts_at_registration = commands_.starts.size();
+        EXPECT_EQ(indices, (std::vector<int>{1}));
+      });
+  ASSERT_TRUE(added.ok());
+  EXPECT_TRUE(registered_before_start);
+  EXPECT_EQ(starts_at_registration, 1u);  // Only the original start.
+  EXPECT_EQ(commands_.starts, (std::vector<int>{0, 1}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Frameworks, FrameworkContractTest,
+                         ::testing::Values("yarn", "aurora"));
+
+// ---------------------------------------------------------------------
+// The §IV-B capability differences.
+// ---------------------------------------------------------------------
+
+TEST(YarnLikeTest, AcceptsHeterogeneousContainers) {
+  SimCluster cluster;
+  cluster.AddNodes(4, Resource(16, 32768, 0));
+  YarnLikeFramework yarn(&cluster);
+  EXPECT_TRUE(yarn.SupportsHeterogeneousContainers());
+  EXPECT_FALSE(yarn.AutoRestartsFailedContainers());
+  CountingCommands commands;
+  EXPECT_TRUE(yarn.SubmitJob(commands.Spec(
+                     "t", {Resource(1, 1024, 0), Resource(8, 8192, 0)}))
+                  .ok());
+}
+
+TEST(AuroraLikeTest, RejectsHeterogeneousContainers) {
+  SimCluster cluster;
+  cluster.AddNodes(4, Resource(16, 32768, 0));
+  AuroraLikeFramework aurora(&cluster);
+  EXPECT_FALSE(aurora.SupportsHeterogeneousContainers());
+  EXPECT_TRUE(aurora.AutoRestartsFailedContainers());
+  CountingCommands commands;
+  EXPECT_TRUE(aurora
+                  .SubmitJob(commands.Spec(
+                      "t", {Resource(1, 1024, 0), Resource(8, 8192, 0)}))
+                  .status()
+                  .IsInvalidArgument());
+  // Homogeneous is fine; growing with a different size is not.
+  auto job = aurora.SubmitJob(
+      commands.Spec("t", {Resource(2, 2048, 0), Resource(2, 2048, 0)}));
+  ASSERT_TRUE(job.ok());
+  EXPECT_TRUE(aurora.AddContainers(*job, {Resource(4, 4096, 0)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(aurora.AddContainers(*job, {Resource(2, 2048, 0)}).ok());
+}
+
+TEST(AuroraLikeTest, AutoRestartsFailedContainer) {
+  SimCluster cluster;
+  cluster.AddNodes(2, Resource(16, 32768, 0));
+  AuroraLikeFramework aurora(&cluster);
+  CountingCommands commands;
+  std::vector<FrameworkEvent> events;
+  aurora.SetEventCallback(
+      [&events](const FrameworkEvent& e) { events.push_back(e); });
+  auto job = aurora.SubmitJob(
+      commands.Spec("t", {Resource(2, 2048, 0), Resource(2, 2048, 0)}));
+  ASSERT_TRUE(job.ok());
+
+  ASSERT_TRUE(aurora.InjectContainerFailure(*job, 0).ok());
+  // "Aurora invokes the appropriate command to restart the container."
+  auto status = aurora.JobStatus(*job);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ((*status)[0].state, ContainerState::kRunning);
+  EXPECT_EQ((*status)[0].restarts, 1);
+  EXPECT_EQ(commands.starts.size(), 3u);  // 2 initial + 1 restart.
+  EXPECT_EQ(cluster.num_allocations(), 2u);
+}
+
+TEST(YarnLikeTest, FailureStaysDownUntilClientActs) {
+  SimCluster cluster;
+  cluster.AddNodes(2, Resource(16, 32768, 0));
+  YarnLikeFramework yarn(&cluster);
+  CountingCommands commands;
+  std::vector<FrameworkEvent> events;
+  yarn.SetEventCallback(
+      [&events](const FrameworkEvent& e) { events.push_back(e); });
+  auto job = yarn.SubmitJob(
+      commands.Spec("t", {Resource(2, 2048, 0), Resource(2, 2048, 0)}));
+  ASSERT_TRUE(job.ok());
+
+  ASSERT_TRUE(yarn.InjectContainerFailure(*job, 1).ok());
+  auto status = yarn.JobStatus(*job);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ((*status)[1].state, ContainerState::kFailed);
+  // The client was told.
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().container.state, ContainerState::kFailed);
+  // The stateful client recovers it explicitly.
+  ASSERT_TRUE(yarn.RestartContainer(*job, 1).ok());
+  EXPECT_EQ((*yarn.JobStatus(*job))[1].state, ContainerState::kRunning);
+}
+
+}  // namespace
+}  // namespace frameworks
+}  // namespace heron

@@ -1,0 +1,202 @@
+// HeronInstance executor tests with a stubbed SMGR endpoint: the spout
+// loop's emission/ack/flow-control behaviour and the bolt loop's
+// execute/ack behaviour, observed at the serialized wire.
+
+#include "instance/instance.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "packing/round_robin_packing.h"
+#include "workloads/word_count.h"
+
+namespace heron {
+namespace instance {
+namespace {
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logging::SetLevel(LogLevel::kWarning);
+    workloads::WordSpout::Options spout_options;
+    spout_options.dictionary_size = 50;
+    auto topology = workloads::BuildWordCountTopology("inst-test", 1, 1,
+                                                      spout_options);
+    ASSERT_TRUE(topology.ok());
+    packing::RoundRobinPacking packer;
+    Config config;
+    config.SetInt(config_keys::kNumContainersHint, 1);
+    ASSERT_TRUE(packer.Initialize(config, *topology).ok());
+    auto plan = packer.Pack();
+    ASSERT_TRUE(plan.ok());
+    physical_ = *proto::PhysicalPlan::Build(*topology, *plan);
+
+    transport_ = std::make_unique<smgr::Transport>(true);
+    smgr_inbound_ = std::make_unique<smgr::EnvelopeChannel>(1 << 14);
+    ASSERT_TRUE(transport_->RegisterSmgr(0, smgr_inbound_.get()).ok());
+  }
+
+  /// Waits until `predicate` or the deadline.
+  void WaitFor(const std::function<bool()>& predicate, int64_t timeout_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (!predicate() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  std::shared_ptr<const proto::PhysicalPlan> physical_;
+  std::unique_ptr<smgr::Transport> transport_;
+  std::unique_ptr<smgr::EnvelopeChannel> smgr_inbound_;
+};
+
+TEST_F(InstanceTest, SpoutEmitsSerializedBatchesToLocalSmgr) {
+  HeronInstance::Options options;
+  options.task = 0;  // The spout.
+  HeronInstance spout(options, physical_, transport_.get(),
+                      RealClock::Get(), nullptr);
+  ASSERT_TRUE(spout.Start().ok());
+  WaitFor([&] { return smgr_inbound_->size() >= 3; }, 10000);
+  spout.Stop();
+
+  auto env = smgr_inbound_->TryRecv();
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->type, proto::MessageType::kTupleBatch);
+  proto::TupleBatchMsg batch;
+  ASSERT_TRUE(batch.ParseFromBytes(env->payload).ok());
+  EXPECT_EQ(batch.src_task, 0);
+  EXPECT_EQ(batch.src_component, "word");
+  EXPECT_EQ(batch.dest_task, -1);  // Routing is the SMGR's job.
+  ASSERT_FALSE(batch.tuples.empty());
+  proto::TupleDataMsg msg;
+  ASSERT_TRUE(msg.ParseFromBytes(batch.tuples[0]).ok());
+  EXPECT_TRUE(msg.roots.empty());  // Acking off: untracked emission.
+  EXPECT_GT(spout.metrics()->GetCounter("instance.emitted")->value(), 0u);
+}
+
+TEST_F(InstanceTest, AckedSpoutStopsAtMaxPendingAndResumesOnRootEvents) {
+  HeronInstance::Options options;
+  options.task = 0;
+  options.acking = true;
+  options.max_spout_pending = 100;
+  options.config.SetBool(config_keys::kAckingEnabled, true);
+  HeronInstance spout(options, physical_, transport_.get(),
+                      RealClock::Get(), nullptr);
+  ASSERT_TRUE(spout.Start().ok());
+
+  // With nobody acking, emission halts at the cap.
+  WaitFor([&] { return spout.pending_count() >= 100; }, 10000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(spout.pending_count(), 100);
+
+  // Collect the roots actually emitted, ack half of them.
+  std::vector<api::TupleKey> roots;
+  while (auto env = smgr_inbound_->TryRecv()) {
+    proto::TupleBatchMsg batch;
+    ASSERT_TRUE(batch.ParseFromBytes(env->payload).ok());
+    for (const auto& bytes : batch.tuples) {
+      proto::TupleDataMsg msg;
+      ASSERT_TRUE(msg.ParseFromBytes(bytes).ok());
+      for (const api::TupleKey root : msg.roots) roots.push_back(root);
+    }
+  }
+  ASSERT_EQ(roots.size(), 100u);
+  for (size_t i = 0; i < 50; ++i) {
+    proto::RootEventMsg event;
+    event.root = roots[i];
+    event.fail = (i % 10 == 9);  // A few failures among the acks.
+    ASSERT_TRUE(spout.inbound()
+                    ->TrySend(proto::Envelope(
+                        proto::MessageType::kRootEvent,
+                        event.SerializeAsBuffer()))
+                    .ok());
+  }
+
+  // The freed slots refill: new emissions arrive.
+  WaitFor([&] { return smgr_inbound_->size() > 0; }, 10000);
+  EXPECT_GT(smgr_inbound_->size(), 0u);
+  spout.Stop();
+  EXPECT_EQ(spout.metrics()->GetCounter("instance.acked")->value(), 45u);
+  EXPECT_EQ(spout.metrics()->GetCounter("instance.failed")->value(), 5u);
+  EXPECT_GT(
+      spout.metrics()->GetHistogram("instance.complete.latency.ns")->count(),
+      0u);
+}
+
+TEST_F(InstanceTest, BoltExecutesRoutedBatchesAndAcksUpstream) {
+  HeronInstance::Options options;
+  options.task = 1;  // The count bolt.
+  options.acking = true;
+  options.config.SetBool(config_keys::kAckingEnabled, true);
+  HeronInstance bolt(options, physical_, transport_.get(),
+                     RealClock::Get(), nullptr);
+  ASSERT_TRUE(bolt.Start().ok());
+
+  // Hand it a routed batch of three tracked words.
+  proto::TupleBatchMsg batch;
+  batch.src_task = 0;
+  batch.dest_task = 1;
+  batch.src_component = "word";
+  std::vector<api::TupleKey> roots;
+  for (int i = 0; i < 3; ++i) {
+    proto::TupleDataMsg msg;
+    const api::TupleKey root =
+        proto::MakeRootKey(0, 100 + static_cast<uint64_t>(i));
+    msg.tuple_key = root;
+    msg.roots.push_back(root);
+    msg.values.emplace_back(std::string("hello"));
+    batch.tuples.push_back(msg.SerializeAsBuffer());
+    roots.push_back(root);
+  }
+  ASSERT_TRUE(bolt.inbound()
+                  ->TrySend(proto::Envelope(
+                      proto::MessageType::kTupleBatchRouted,
+                      batch.SerializeAsBuffer()))
+                  .ok());
+
+  WaitFor([&] { return smgr_inbound_->size() > 0; }, 10000);
+  bolt.Stop();
+  EXPECT_EQ(bolt.metrics()->GetCounter("instance.executed")->value(), 3u);
+
+  // The CountBolt acks every input: one ack update per root must have
+  // reached the SMGR, each carrying xor == tuple key (leaf tuples).
+  std::map<api::TupleKey, api::TupleKey> updates;
+  while (auto env = smgr_inbound_->TryRecv()) {
+    if (env->type != proto::MessageType::kAckBatch) continue;
+    proto::AckBatchMsg acks;
+    ASSERT_TRUE(acks.ParseFromBytes(env->payload).ok());
+    EXPECT_EQ(acks.dest_task, 0);  // Root owner.
+    for (const auto& u : acks.updates) updates[u.root] = u.xor_value;
+  }
+  ASSERT_EQ(updates.size(), 3u);
+  for (const api::TupleKey root : roots) {
+    EXPECT_EQ(updates[root], root);
+  }
+}
+
+TEST_F(InstanceTest, StartRejectsUnknownTask) {
+  HeronInstance::Options options;
+  options.task = 42;
+  HeronInstance ghost(options, physical_, transport_.get(),
+                      RealClock::Get(), nullptr);
+  EXPECT_TRUE(ghost.Start().IsNotFound());
+}
+
+TEST_F(InstanceTest, StopIsIdempotentAndUnregisters) {
+  HeronInstance::Options options;
+  options.task = 0;
+  HeronInstance spout(options, physical_, transport_.get(),
+                      RealClock::Get(), nullptr);
+  ASSERT_TRUE(spout.Start().ok());
+  EXPECT_NE(transport_->InstanceChannel(0), nullptr);
+  spout.Stop();
+  spout.Stop();
+  EXPECT_EQ(transport_->InstanceChannel(0), nullptr);
+}
+
+}  // namespace
+}  // namespace instance
+}  // namespace heron

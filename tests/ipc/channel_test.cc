@@ -1,0 +1,97 @@
+#include "ipc/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace heron {
+namespace ipc {
+namespace {
+
+TEST(ChannelTest, FifoOrder) {
+  Channel<int> channel(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(channel.TrySend(int(i)).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto v = channel.TryRecv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(channel.TryRecv().has_value());
+}
+
+TEST(ChannelTest, TrySendFullKeepsItem) {
+  Channel<std::string> channel(1);
+  ASSERT_TRUE(channel.TrySend(std::string("first")).ok());
+  std::string second = "second";
+  const Status st = channel.TrySend(std::move(second));
+  EXPECT_TRUE(st.IsResourceExhausted());
+  EXPECT_EQ(second, "second");  // Not consumed on failure.
+  EXPECT_EQ(channel.size(), 1u);
+}
+
+TEST(ChannelTest, CloseUnblocksAndDrains) {
+  Channel<int> channel(8);
+  ASSERT_TRUE(channel.TrySend(1).ok());
+  ASSERT_TRUE(channel.TrySend(2).ok());
+  channel.Close();
+  EXPECT_TRUE(channel.TrySend(3).IsCancelled());
+  // Remaining items drain before end-of-stream.
+  EXPECT_EQ(*channel.Recv(), 1);
+  EXPECT_EQ(*channel.Recv(), 2);
+  EXPECT_FALSE(channel.Recv().has_value());
+  EXPECT_TRUE(channel.closed());
+}
+
+TEST(ChannelTest, RecvForTimesOut) {
+  Channel<int> channel(8);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(channel.RecvFor(std::chrono::milliseconds(20)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(15));
+}
+
+TEST(ChannelTest, BlockingSendAppliesBackpressure) {
+  Channel<int> channel(2);
+  ASSERT_TRUE(channel.Send(1).ok());
+  ASSERT_TRUE(channel.Send(2).ok());
+  std::atomic<bool> third_sent{false};
+  std::thread producer([&] {
+    channel.Send(3).ok();  // Blocks until a slot frees.
+    third_sent.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_sent.load());
+  EXPECT_EQ(*channel.Recv(), 1);
+  producer.join();
+  EXPECT_TRUE(third_sent.load());
+}
+
+TEST(ChannelTest, CrossThreadThroughputIsLossless) {
+  Channel<uint64_t> channel(64);
+  constexpr uint64_t kItems = 50000;
+  uint64_t sum = 0;
+  std::thread consumer([&] {
+    while (auto v = channel.Recv()) sum += *v;
+  });
+  for (uint64_t i = 1; i <= kItems; ++i) {
+    ASSERT_TRUE(channel.Send(uint64_t(i)).ok());
+  }
+  channel.Close();
+  consumer.join();
+  EXPECT_EQ(sum, kItems * (kItems + 1) / 2);
+  EXPECT_EQ(channel.total_enqueued(), kItems);
+}
+
+TEST(ChannelTest, MoveOnlyPayloads) {
+  Channel<std::unique_ptr<int>> channel(4);
+  ASSERT_TRUE(channel.Send(std::make_unique<int>(7)).ok());
+  auto v = channel.Recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+}  // namespace
+}  // namespace ipc
+}  // namespace heron

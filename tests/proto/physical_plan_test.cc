@@ -1,0 +1,100 @@
+#include "proto/physical_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "packing/round_robin_packing.h"
+#include "workloads/word_count.h"
+
+namespace heron {
+namespace proto {
+namespace {
+
+class PhysicalPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = workloads::BuildWordCountTopology("pp", 3, 5);
+    ASSERT_TRUE(t.ok());
+    topology_ = *t;
+    packing::RoundRobinPacking packer;
+    Config config;
+    config.SetInt(config_keys::kNumContainersHint, 2);
+    ASSERT_TRUE(packer.Initialize(config, topology_).ok());
+    auto plan = packer.Pack();
+    ASSERT_TRUE(plan.ok());
+    packing_ = *plan;
+  }
+
+  std::shared_ptr<const api::Topology> topology_;
+  packing::PackingPlan packing_;
+};
+
+TEST_F(PhysicalPlanTest, BuildsAndIndexesEverything) {
+  auto plan = PhysicalPlan::Build(topology_, packing_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->num_tasks(), 8);
+  EXPECT_EQ((*plan)->num_containers(), 2);
+  EXPECT_EQ((*plan)->TasksOfComponent("word").size(), 3u);
+  EXPECT_EQ((*plan)->TasksOfComponent("count").size(), 5u);
+  EXPECT_TRUE((*plan)->TasksOfComponent("ghost").empty());
+
+  // Every task resolves to a container consistent with the packing plan.
+  for (const TaskId t : (*plan)->all_tasks()) {
+    auto container = (*plan)->ContainerOfTask(t);
+    ASSERT_TRUE(container.ok());
+    EXPECT_EQ((*plan)->FindInstance(t)->task_id, t);
+    const auto& in_container = (*plan)->TasksInContainer(*container);
+    EXPECT_NE(std::find(in_container.begin(), in_container.end(), t),
+              in_container.end());
+  }
+  EXPECT_TRUE((*plan)->ContainerOfTask(99).status().IsNotFound());
+  EXPECT_EQ((*plan)->FindInstance(99), nullptr);
+}
+
+TEST_F(PhysicalPlanTest, ComponentOfTaskResolvesKinds) {
+  auto plan = PhysicalPlan::Build(topology_, packing_);
+  ASSERT_TRUE(plan.ok());
+  const api::ComponentDef* spout = (*plan)->ComponentOfTask(0);
+  ASSERT_NE(spout, nullptr);
+  EXPECT_EQ(spout->kind, api::ComponentKind::kSpout);
+  const api::ComponentDef* bolt = (*plan)->ComponentOfTask(5);
+  ASSERT_NE(bolt, nullptr);
+  EXPECT_EQ(bolt->kind, api::ComponentKind::kBolt);
+}
+
+TEST_F(PhysicalPlanTest, SubscriptionsWired) {
+  auto plan = PhysicalPlan::Build(topology_, packing_);
+  ASSERT_TRUE(plan.ok());
+  const auto& subs = (*plan)->SubscribersOf("word", kDefaultStreamId);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].consumer, "count");
+  EXPECT_EQ(subs[0].spec.grouping, api::GroupingKind::kFields);
+  EXPECT_EQ(subs[0].consumer_tasks.size(), 5u);
+  EXPECT_TRUE((*plan)->SubscribersOf("count", kDefaultStreamId).empty());
+}
+
+TEST_F(PhysicalPlanTest, RejectsMismatchedPlans) {
+  EXPECT_TRUE(
+      PhysicalPlan::Build(nullptr, packing_).status().IsInvalidArgument());
+
+  // A packing plan that misses a component.
+  packing::PackingPlan partial = packing_;
+  for (auto& c : *partial.mutable_containers()) {
+    std::erase_if(c.instances, [](const packing::InstancePlan& inst) {
+      return inst.component == "count";
+    });
+  }
+  std::erase_if(*partial.mutable_containers(),
+                [](const packing::ContainerPlan& c) {
+                  return c.instances.empty();
+                });
+  EXPECT_FALSE(PhysicalPlan::Build(topology_, partial).ok());
+
+  // A packing plan with an alien component.
+  packing::PackingPlan alien = packing_;
+  (*alien.mutable_containers())[0].instances[0].component = "ghost";
+  EXPECT_FALSE(PhysicalPlan::Build(topology_, alien).ok());
+}
+
+}  // namespace
+}  // namespace proto
+}  // namespace heron

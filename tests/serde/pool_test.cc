@@ -1,0 +1,120 @@
+#include "serde/message_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "proto/messages.h"
+
+namespace heron {
+namespace serde {
+namespace {
+
+TEST(MessagePoolTest, ReusesReleasedObjects) {
+  MessagePool<proto::TupleDataMsg> pool(/*enabled=*/true);
+  proto::TupleDataMsg* first = pool.Acquire();
+  first->tuple_key = 42;
+  pool.Release(first);
+  proto::TupleDataMsg* second = pool.Acquire();
+  EXPECT_EQ(second, first);          // Same object back.
+  EXPECT_EQ(second->tuple_key, 0u);  // But cleared.
+  pool.Release(second);
+
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.allocations, 1u);
+  EXPECT_EQ(stats.reuses, 1u);
+  EXPECT_EQ(stats.returns, 2u);
+}
+
+TEST(MessagePoolTest, DisabledPoolAlwaysAllocates) {
+  MessagePool<proto::TupleDataMsg> pool(/*enabled=*/false);
+  proto::TupleDataMsg* first = pool.Acquire();
+  pool.Release(first);
+  pool.Release(pool.Acquire());
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.allocations, 2u);
+  EXPECT_EQ(stats.reuses, 0u);
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+TEST(MessagePoolTest, MaxIdleCapsRetention) {
+  MessagePool<proto::TupleDataMsg> pool(/*enabled=*/true, /*max_idle=*/2);
+  std::vector<proto::TupleDataMsg*> objs;
+  for (int i = 0; i < 5; ++i) objs.push_back(pool.Acquire());
+  for (auto* obj : objs) pool.Release(obj);
+  EXPECT_EQ(pool.idle_count(), 2u);
+}
+
+TEST(MessagePoolTest, ReleaseNullIsNoop) {
+  MessagePool<proto::TupleDataMsg> pool;
+  pool.Release(nullptr);
+  EXPECT_EQ(pool.stats().returns, 0u);
+}
+
+TEST(PooledPtrTest, ReleasesOnDestruction) {
+  MessagePool<proto::TupleDataMsg> pool;
+  {
+    PooledPtr<proto::TupleDataMsg> ptr = AcquirePooled(&pool);
+    ptr->tuple_key = 7;
+    EXPECT_TRUE(static_cast<bool>(ptr));
+  }
+  EXPECT_EQ(pool.idle_count(), 1u);
+  EXPECT_EQ(pool.stats().returns, 1u);
+}
+
+TEST(PooledPtrTest, MoveTransfersOwnership) {
+  MessagePool<proto::TupleDataMsg> pool;
+  PooledPtr<proto::TupleDataMsg> a = AcquirePooled(&pool);
+  proto::TupleDataMsg* raw = a.get();
+  PooledPtr<proto::TupleDataMsg> b = std::move(a);
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b.reset();
+  EXPECT_EQ(pool.idle_count(), 1u);
+}
+
+TEST(PooledPtrTest, ReleaseDetaches) {
+  MessagePool<proto::TupleDataMsg> pool;
+  PooledPtr<proto::TupleDataMsg> ptr = AcquirePooled(&pool);
+  proto::TupleDataMsg* raw = ptr.release();
+  EXPECT_FALSE(static_cast<bool>(ptr));
+  EXPECT_EQ(pool.stats().returns, 0u);
+  delete raw;  // Caller owns after release().
+}
+
+TEST(BufferPoolTest, RecyclesCapacity) {
+  BufferPool pool(/*enabled=*/true);
+  Buffer buffer = pool.Acquire();
+  buffer.reserve(4096);
+  const size_t capacity = buffer.capacity();
+  pool.Release(std::move(buffer));
+  Buffer again = pool.Acquire();
+  EXPECT_GE(again.capacity(), capacity);  // Capacity survived the reuse.
+  EXPECT_TRUE(again.empty());             // Contents did not.
+  EXPECT_EQ(pool.stats().reuses, 1u);
+}
+
+TEST(BufferPoolTest, DisabledAllocatesFresh) {
+  BufferPool pool(/*enabled=*/false);
+  pool.Release(pool.Acquire());
+  pool.Release(pool.Acquire());
+  EXPECT_EQ(pool.stats().allocations, 2u);
+  EXPECT_EQ(pool.stats().reuses, 0u);
+}
+
+TEST(BufferPoolTest, SteadyStateStopsAllocating) {
+  BufferPool pool(/*enabled=*/true);
+  // Warm with 8 buffers, then churn: no further allocations.
+  std::vector<Buffer> warm;
+  for (int i = 0; i < 8; ++i) warm.push_back(pool.Acquire());
+  for (auto& b : warm) pool.Release(std::move(b));
+  const uint64_t baseline = pool.stats().allocations;
+  for (int round = 0; round < 100; ++round) {
+    Buffer b = pool.Acquire();
+    b.append(64, 'x');
+    pool.Release(std::move(b));
+  }
+  EXPECT_EQ(pool.stats().allocations, baseline);
+}
+
+}  // namespace
+}  // namespace serde
+}  // namespace heron

@@ -1,0 +1,221 @@
+#include "serde/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace heron {
+namespace serde {
+namespace {
+
+TEST(WireTest, VarintRoundTripEdges) {
+  for (const uint64_t v :
+       std::vector<uint64_t>{0, 1, 127, 128, 16383, 16384, uint64_t{1} << 32,
+                             UINT64_MAX}) {
+    Buffer buf;
+    WireEncoder enc(&buf);
+    enc.WriteVarint(v);
+    WireDecoder dec(buf);
+    EXPECT_EQ(*dec.ReadVarint(), v);
+    EXPECT_TRUE(dec.AtEnd());
+  }
+}
+
+TEST(WireTest, ZigZagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  for (const int64_t v :
+       std::vector<int64_t>{0, 1, -1, INT64_MAX, INT64_MIN, 123456789,
+                            -987654321}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(WireTest, TagPacksFieldAndWireType) {
+  const uint32_t tag = MakeTag(5, WireType::kLengthDelimited);
+  EXPECT_EQ(TagFieldNumber(tag), 5u);
+  EXPECT_EQ(TagWireType(tag), WireType::kLengthDelimited);
+}
+
+TEST(WireTest, AllFieldTypesRoundTrip) {
+  Buffer buf;
+  WireEncoder enc(&buf);
+  enc.WriteUint64Field(1, 999);
+  enc.WriteInt64Field(2, -12345);
+  enc.WriteInt32Field(3, -7);
+  enc.WriteBoolField(4, true);
+  enc.WriteDoubleField(5, 3.14159);
+  enc.WriteBytesField(6, "payload");
+
+  WireDecoder dec(buf);
+  EXPECT_EQ(TagFieldNumber(*dec.ReadTag()), 1u);
+  EXPECT_EQ(*dec.ReadUint64(), 999u);
+  EXPECT_EQ(TagFieldNumber(*dec.ReadTag()), 2u);
+  EXPECT_EQ(*dec.ReadInt64(), -12345);
+  EXPECT_EQ(TagFieldNumber(*dec.ReadTag()), 3u);
+  EXPECT_EQ(*dec.ReadInt32(), -7);
+  EXPECT_EQ(TagFieldNumber(*dec.ReadTag()), 4u);
+  EXPECT_TRUE(*dec.ReadBool());
+  EXPECT_EQ(TagFieldNumber(*dec.ReadTag()), 5u);
+  EXPECT_DOUBLE_EQ(*dec.ReadDouble(), 3.14159);
+  EXPECT_EQ(TagFieldNumber(*dec.ReadTag()), 6u);
+  EXPECT_EQ(*dec.ReadBytes(), "payload");
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(WireTest, ReadBytesIsZeroCopyView) {
+  Buffer buf;
+  WireEncoder enc(&buf);
+  enc.WriteBytesField(1, "abc");
+  WireDecoder dec(buf);
+  dec.ReadTag().ValueOrDie();
+  const BytesView view = *dec.ReadBytes();
+  EXPECT_GE(view.data(), buf.data());
+  EXPECT_LT(view.data(), buf.data() + buf.size());
+}
+
+TEST(WireTest, TruncatedInputsFailCleanly) {
+  Buffer buf;
+  WireEncoder enc(&buf);
+  enc.WriteBytesField(1, std::string(100, 'x'));
+  // Chop the payload.
+  const Buffer truncated = buf.substr(0, buf.size() - 50);
+  WireDecoder dec(truncated);
+  dec.ReadTag().ValueOrDie();
+  EXPECT_TRUE(dec.ReadBytes().status().IsIOError());
+
+  // Truncated varint.
+  const Buffer half_varint("\x80");
+  WireDecoder dec2(half_varint);
+  EXPECT_TRUE(dec2.ReadVarint().status().IsIOError());
+
+  // Truncated fixed64.
+  const Buffer half_fixed("\x01\x02\x03");
+  WireDecoder dec3(half_fixed);
+  EXPECT_TRUE(dec3.ReadDouble().status().IsIOError());
+}
+
+TEST(WireTest, SkipFieldHopsEveryWireType) {
+  Buffer buf;
+  WireEncoder enc(&buf);
+  enc.WriteUint64Field(1, 300);
+  enc.WriteDoubleField(2, 1.5);
+  enc.WriteBytesField(3, "skip me");
+  enc.WriteBoolField(4, true);
+
+  WireDecoder dec(buf);
+  for (int field = 1; field <= 3; ++field) {
+    const uint32_t tag = *dec.ReadTag();
+    EXPECT_EQ(TagFieldNumber(tag), static_cast<uint32_t>(field));
+    ASSERT_TRUE(dec.SkipField(TagWireType(tag)).ok());
+  }
+  EXPECT_EQ(TagFieldNumber(*dec.ReadTag()), 4u);
+  EXPECT_TRUE(*dec.ReadBool());
+}
+
+TEST(WireTest, LengthDelimitedScopeShortPayload) {
+  Buffer buf;
+  WireEncoder enc(&buf);
+  const size_t mark = enc.BeginLengthDelimited(7);
+  enc.WriteVarint(5);
+  enc.EndLengthDelimited(mark);
+
+  WireDecoder dec(buf);
+  EXPECT_EQ(TagFieldNumber(*dec.ReadTag()), 7u);
+  const BytesView nested = *dec.ReadBytes();
+  WireDecoder inner(nested);
+  EXPECT_EQ(*inner.ReadVarint(), 5u);
+}
+
+TEST(WireTest, LengthDelimitedScopeLongPayloadShiftsCorrectly) {
+  // Payload > 127 bytes forces the length varint beyond the reserved byte.
+  Buffer buf;
+  WireEncoder enc(&buf);
+  const size_t mark = enc.BeginLengthDelimited(2);
+  const std::string payload(1000, 'q');
+  enc.buffer()->append(payload);
+  enc.EndLengthDelimited(mark);
+
+  WireDecoder dec(buf);
+  dec.ReadTag().ValueOrDie();
+  const BytesView nested = *dec.ReadBytes();
+  EXPECT_EQ(nested, payload);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(WireTest, EmptyTagAtEndOfInput) {
+  WireDecoder dec(BytesView{});
+  EXPECT_EQ(*dec.ReadTag(), 0u);
+}
+
+/// Property sweep: random field sequences round-trip.
+class WireFuzzRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzzRoundTrip, RandomFieldSequences) {
+  Random rng(GetParam());
+  Buffer buf;
+  WireEncoder enc(&buf);
+  struct Written {
+    int kind;
+    uint64_t u;
+    int64_t i;
+    double d;
+    std::string s;
+  };
+  std::vector<Written> written;
+  for (int f = 1; f <= 50; ++f) {
+    Written w;
+    w.kind = static_cast<int>(rng.NextBelow(4));
+    switch (w.kind) {
+      case 0:
+        w.u = rng.NextUint64();
+        enc.WriteUint64Field(static_cast<uint32_t>(f), w.u);
+        break;
+      case 1:
+        w.i = static_cast<int64_t>(rng.NextUint64());
+        enc.WriteInt64Field(static_cast<uint32_t>(f), w.i);
+        break;
+      case 2:
+        w.d = rng.NextDouble() * 1e6 - 5e5;
+        enc.WriteDoubleField(static_cast<uint32_t>(f), w.d);
+        break;
+      default:
+        w.s = std::string(rng.NextBelow(200), 'a' + (f % 26));
+        enc.WriteBytesField(static_cast<uint32_t>(f), w.s);
+        break;
+    }
+    written.push_back(std::move(w));
+  }
+  WireDecoder dec(buf);
+  for (int f = 1; f <= 50; ++f) {
+    const uint32_t tag = *dec.ReadTag();
+    ASSERT_EQ(TagFieldNumber(tag), static_cast<uint32_t>(f));
+    const Written& w = written[static_cast<size_t>(f - 1)];
+    switch (w.kind) {
+      case 0:
+        EXPECT_EQ(*dec.ReadUint64(), w.u);
+        break;
+      case 1:
+        EXPECT_EQ(*dec.ReadInt64(), w.i);
+        break;
+      case 2:
+        EXPECT_DOUBLE_EQ(*dec.ReadDouble(), w.d);
+        break;
+      default:
+        EXPECT_EQ(*dec.ReadBytes(), w.s);
+        break;
+    }
+  }
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace serde
+}  // namespace heron

@@ -1,0 +1,183 @@
+// DES core tests plus behavioural properties of the engine models — the
+// monotonicities the paper's figures rest on must hold in the simulator.
+
+#include <gtest/gtest.h>
+
+#include "sim/des.h"
+#include "sim/heron_model.h"
+#include "sim/storm_model.h"
+
+namespace heron {
+namespace sim {
+namespace {
+
+TEST(DesTest, EventsRunInTimeOrder) {
+  Des des;
+  std::vector<int> order;
+  des.ScheduleAt(3.0, [&] { order.push_back(3); });
+  des.ScheduleAt(1.0, [&] { order.push_back(1); });
+  des.ScheduleAt(2.0, [&] { order.push_back(2); });
+  des.RunUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(des.events_processed(), 3u);
+  EXPECT_DOUBLE_EQ(des.now(), 10.0);
+}
+
+TEST(DesTest, SimultaneousEventsAreFifo) {
+  Des des;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    des.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  des.RunUntil(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(DesTest, RunUntilStopsAtDeadline) {
+  Des des;
+  bool late_ran = false;
+  des.ScheduleAt(5.0, [&] { late_ran = true; });
+  des.RunUntil(4.0);
+  EXPECT_FALSE(late_ran);
+  des.RunUntil(6.0);
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(DesTest, EventsMayScheduleMoreEvents) {
+  Des des;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 10) des.ScheduleAfter(0.1, chain);
+  };
+  des.ScheduleAfter(0.1, chain);
+  des.RunUntil(100.0);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimServerTest, FifoServiceAccumulatesBacklog) {
+  Des des;
+  SimServer server(&des);
+  std::vector<double> completions;
+  server.Submit(1.0, [&] { completions.push_back(des.now()); });
+  server.Submit(2.0, [&] { completions.push_back(des.now()); });
+  EXPECT_DOUBLE_EQ(server.Backlog(), 3.0);
+  des.RunUntil(10.0);
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 3.0);  // Queued behind the first.
+  EXPECT_DOUBLE_EQ(server.busy_time(), 3.0);
+  EXPECT_DOUBLE_EQ(server.Backlog(), 0.0);
+}
+
+TEST(SimServerTest, SpeedFactorSlowsService) {
+  Des des;
+  SimServer slow(&des, 2.0);
+  double done_at = 0;
+  slow.Submit(1.0, [&] { done_at = des.now(); });
+  des.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(done_at, 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Engine-model properties (fast configurations).
+// ---------------------------------------------------------------------
+
+HeronSimConfig FastHeron(int parallelism, bool acking) {
+  HeronSimConfig config;
+  config.spouts = config.bolts = parallelism;
+  config.acking = acking;
+  config.warmup_sec = 0.05;
+  config.measure_sec = 0.1;
+  return config;
+}
+
+TEST(HeronModelTest, DeterministicForSameSeed) {
+  const HeronCostModel costs;
+  const SimResult a = RunHeronSim(FastHeron(4, true), costs);
+  const SimResult b = RunHeronSim(FastHeron(4, true), costs);
+  EXPECT_EQ(a.tuples_delivered, b.tuples_delivered);
+  EXPECT_EQ(a.tuples_acked, b.tuples_acked);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+TEST(HeronModelTest, OptimizationsNeverHurtThroughput) {
+  const HeronCostModel costs;
+  for (const bool acking : {false, true}) {
+    HeronSimConfig config = FastHeron(8, acking);
+    config.optimizations = true;
+    const SimResult on = RunHeronSim(config, costs);
+    config.optimizations = false;
+    const SimResult off = RunHeronSim(config, costs);
+    EXPECT_GT(on.tuples_per_min, off.tuples_per_min)
+        << "acking=" << acking;
+  }
+}
+
+TEST(HeronModelTest, ThroughputGrowsWithParallelism) {
+  const HeronCostModel costs;
+  const SimResult small = RunHeronSim(FastHeron(4, false), costs);
+  const SimResult large = RunHeronSim(FastHeron(16, false), costs);
+  EXPECT_GT(large.tuples_per_min, small.tuples_per_min * 2);
+}
+
+TEST(HeronModelTest, MaxSpoutPendingThrottles) {
+  const HeronCostModel costs;
+  HeronSimConfig config = FastHeron(4, true);
+  config.max_spout_pending = 200;
+  const SimResult tight = RunHeronSim(config, costs);
+  config.max_spout_pending = 20000;
+  const SimResult loose = RunHeronSim(config, costs);
+  EXPECT_GT(loose.tuples_per_min, tight.tuples_per_min * 1.5);
+  EXPECT_GE(loose.latency_ms_mean, tight.latency_ms_mean);
+}
+
+TEST(HeronModelTest, AckingCostsThroughput) {
+  const HeronCostModel costs;
+  const SimResult without = RunHeronSim(FastHeron(8, false), costs);
+  const SimResult with = RunHeronSim(FastHeron(8, true), costs);
+  EXPECT_GT(without.tuples_per_min, with.tuples_per_min);
+}
+
+TEST(HeronModelTest, ProvisionedCoresAccounting) {
+  const HeronCostModel costs;
+  HeronSimConfig config = FastHeron(8, false);
+  config.instances_per_container = 4;
+  const SimResult r = RunHeronSim(config, costs);
+  // 16 instances + ceil(16/4)=4 SMGRs.
+  EXPECT_DOUBLE_EQ(r.cpu_cores_provisioned, 20.0);
+  EXPECT_NEAR(r.tuples_per_min_per_core * r.cpu_cores_provisioned,
+              r.tuples_per_min, 1e-6);
+}
+
+TEST(StormModelTest, RunsAndAcks) {
+  const StormCostModel costs;
+  StormSimConfig config;
+  config.spouts = config.bolts = 4;
+  config.acking = true;
+  config.warmup_sec = 0.05;
+  config.measure_sec = 0.1;
+  const SimResult r = RunStormSim(config, costs);
+  EXPECT_GT(r.tuples_acked, 0u);
+  EXPECT_GT(r.latency_ms_mean, 0.0);
+}
+
+TEST(ComparisonTest, HeronModelOutperformsStormModel) {
+  // The headline claim, at test scale: who wins must not depend on the
+  // exact parallelism.
+  const HeronCostModel heron_costs;
+  const StormCostModel storm_costs;
+  for (const int p : {4, 8}) {
+    const SimResult h = RunHeronSim(FastHeron(p, false), heron_costs);
+    StormSimConfig sc;
+    sc.spouts = sc.bolts = p;
+    sc.acking = false;
+    sc.warmup_sec = 0.05;
+    sc.measure_sec = 0.1;
+    const SimResult s = RunStormSim(sc, storm_costs);
+    EXPECT_GT(h.tuples_per_min, s.tuples_per_min) << "parallelism " << p;
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace heron

@@ -1,0 +1,360 @@
+// Stream Manager routing tests, single-stepped (no SMGR thread): the
+// §V-A optimized and ablated paths must route identically, acks must
+// close tuple trees, and back pressure must engage without blocking.
+
+#include "smgr/stream_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/logging.h"
+#include "packing/round_robin_packing.h"
+#include "workloads/word_count.h"
+
+namespace heron {
+namespace smgr {
+namespace {
+
+/// 2 spouts + 2 bolts over 2 containers: tasks 0,1 = spouts ("word"),
+/// tasks 2,3 = bolts ("count"); RR puts {0,2} in c0 and {1,3} in c1.
+class StreamManagerTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    heron::Logging::SetLevel(heron::LogLevel::kError);
+    auto topology = workloads::BuildWordCountTopology("smgr-test", 2, 2);
+    ASSERT_TRUE(topology.ok());
+    packing::RoundRobinPacking packer;
+    Config config;
+    config.SetInt(config_keys::kNumContainersHint, 2);
+    ASSERT_TRUE(packer.Initialize(config, *topology).ok());
+    auto plan = packer.Pack();
+    ASSERT_TRUE(plan.ok());
+    physical_ = *proto::PhysicalPlan::Build(*topology, *plan);
+
+    ASSERT_EQ(*physical_->ContainerOfTask(0), 0);
+    ASSERT_EQ(*physical_->ContainerOfTask(2), 0);
+    ASSERT_EQ(*physical_->ContainerOfTask(3), 1);
+  }
+
+  StreamManager::Options BaseOptions(bool acking = false) {
+    StreamManager::Options options;
+    options.container = 0;
+    options.optimizations = GetParam();
+    options.acking = acking;
+    return options;
+  }
+
+  /// Builds an unrouted instance batch carrying `words` from `src_task`.
+  proto::Envelope InstanceBatch(TaskId src_task,
+                                const std::vector<std::string>& words,
+                                api::TupleKey root = 0) {
+    proto::TupleBatchMsg batch;
+    batch.src_task = src_task;
+    batch.dest_task = -1;
+    batch.src_component = "word";
+    for (const auto& word : words) {
+      proto::TupleDataMsg msg;
+      msg.tuple_key = root != 0 ? root : 777;
+      if (root != 0) msg.roots.push_back(root);
+      msg.values.emplace_back(word);
+      batch.tuples.push_back(msg.SerializeAsBuffer());
+    }
+    return proto::Envelope(proto::MessageType::kTupleBatch,
+                           batch.SerializeAsBuffer());
+  }
+
+  /// Collects (dest_task → words) from every envelope in a channel.
+  std::map<TaskId, std::vector<std::string>> DrainChannel(
+      EnvelopeChannel* channel) {
+    std::map<TaskId, std::vector<std::string>> out;
+    while (auto env = channel->TryRecv()) {
+      proto::TupleBatchMsg batch;
+      EXPECT_TRUE(batch.ParseFromBytes(env->payload).ok());
+      for (const auto& tuple_bytes : batch.tuples) {
+        proto::TupleDataMsg msg;
+        EXPECT_TRUE(msg.ParseFromBytes(tuple_bytes).ok());
+        out[batch.dest_task].push_back(
+            std::get<std::string>(msg.values[0]));
+      }
+    }
+    return out;
+  }
+
+  std::shared_ptr<const proto::PhysicalPlan> physical_;
+};
+
+TEST_P(StreamManagerTest, RoutesFieldsGroupingToBothContainers) {
+  Transport transport(GetParam());
+  StreamManager smgr(BaseOptions(), physical_, &transport,
+                     RealClock::Get());
+  EnvelopeChannel bolt2(64), remote_smgr(64);
+  ASSERT_TRUE(transport.RegisterInstance(2, &bolt2).ok());
+  ASSERT_TRUE(transport.RegisterSmgr(1, &remote_smgr).ok());
+
+  // Enough distinct words to hit both bolts with near certainty.
+  std::vector<std::string> words;
+  for (int i = 0; i < 64; ++i) words.push_back("w" + std::to_string(i));
+  smgr.ProcessEnvelope(InstanceBatch(0, words));
+  smgr.DrainCacheNow();
+
+  const auto local = DrainChannel(&bolt2);
+  // The remote SMGR got a routed batch for task 3; peek, then unpack.
+  size_t remote_words = 0;
+  while (auto env = remote_smgr.TryRecv()) {
+    EXPECT_EQ(env->type, proto::MessageType::kTupleBatchRouted);
+    EXPECT_EQ(*proto::PeekDestTask(env->payload), 3);
+    proto::TupleBatchMsg batch;
+    ASSERT_TRUE(batch.ParseFromBytes(env->payload).ok());
+    remote_words += batch.tuples.size();
+  }
+  size_t local_words = 0;
+  for (const auto& [dest, got] : local) {
+    EXPECT_EQ(dest, 2);
+    local_words += got.size();
+  }
+  EXPECT_EQ(local_words + remote_words, words.size());
+  EXPECT_GT(local_words, 0u);
+  EXPECT_GT(remote_words, 0u);
+  EXPECT_EQ(smgr.cache_stats().tuples_added, words.size());
+}
+
+TEST_P(StreamManagerTest, SameWordAlwaysSameDestination) {
+  Transport transport(GetParam());
+  StreamManager smgr(BaseOptions(), physical_, &transport,
+                     RealClock::Get());
+  EnvelopeChannel bolt2(256), remote_smgr(256);
+  ASSERT_TRUE(transport.RegisterInstance(2, &bolt2).ok());
+  ASSERT_TRUE(transport.RegisterSmgr(1, &remote_smgr).ok());
+
+  for (int round = 0; round < 5; ++round) {
+    smgr.ProcessEnvelope(InstanceBatch(0, {"sticky", "sticky", "sticky"}));
+  }
+  smgr.DrainCacheNow();
+  const size_t local = DrainChannel(&bolt2).size();
+  const size_t remote = remote_smgr.size();
+  // All 15 copies went one way — never split.
+  EXPECT_TRUE((local > 0) != (remote > 0));
+}
+
+TEST_P(StreamManagerTest, TransitBatchDeliveredToLocalInstance) {
+  Transport transport(GetParam());
+  StreamManager smgr(BaseOptions(), physical_, &transport,
+                     RealClock::Get());
+  EnvelopeChannel bolt2(64);
+  ASSERT_TRUE(transport.RegisterInstance(2, &bolt2).ok());
+
+  proto::TupleBatchMsg batch;
+  batch.src_task = 1;
+  batch.dest_task = 2;  // Local bolt.
+  batch.src_component = "word";
+  proto::TupleDataMsg msg;
+  msg.values.emplace_back(std::string("transit"));
+  batch.tuples.push_back(msg.SerializeAsBuffer());
+  smgr.ProcessEnvelope(proto::Envelope(proto::MessageType::kTupleBatchRouted,
+                                       batch.SerializeAsBuffer()));
+
+  const auto delivered = DrainChannel(&bolt2);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered.at(2), std::vector<std::string>{"transit"});
+}
+
+TEST_P(StreamManagerTest, TransitBatchForwardedToOwningContainer) {
+  Transport transport(GetParam());
+  StreamManager smgr(BaseOptions(), physical_, &transport,
+                     RealClock::Get());
+  EnvelopeChannel remote_smgr(64);
+  ASSERT_TRUE(transport.RegisterSmgr(1, &remote_smgr).ok());
+
+  proto::TupleBatchMsg batch;
+  batch.src_task = 0;
+  batch.dest_task = 3;  // Lives in container 1.
+  batch.src_component = "word";
+  proto::TupleDataMsg msg;
+  msg.values.emplace_back(std::string("hop"));
+  batch.tuples.push_back(msg.SerializeAsBuffer());
+  smgr.ProcessEnvelope(proto::Envelope(proto::MessageType::kTupleBatchRouted,
+                                       batch.SerializeAsBuffer()));
+  auto env = remote_smgr.TryRecv();
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(*proto::PeekDestTask(env->payload), 3);
+}
+
+TEST_P(StreamManagerTest, AckLifecycleCompletesRoot) {
+  Transport transport(GetParam());
+  StreamManager smgr(BaseOptions(/*acking=*/true), physical_, &transport,
+                     RealClock::Get());
+  EnvelopeChannel spout0(64), bolt2(64), remote_smgr(64);
+  ASSERT_TRUE(transport.RegisterInstance(0, &spout0).ok());
+  ASSERT_TRUE(transport.RegisterInstance(2, &bolt2).ok());
+  ASSERT_TRUE(transport.RegisterSmgr(1, &remote_smgr).ok());
+
+  // Spout task 0 emits a tracked tuple; the SMGR registers its root.
+  const api::TupleKey root = proto::MakeRootKey(0, 0x77);
+  smgr.ProcessEnvelope(InstanceBatch(0, {"tracked"}, root));
+  EXPECT_EQ(smgr.acks_pending(), 1u);
+
+  // A bolt acks it: xor = tuple key (= root here, no children).
+  proto::AckBatchMsg acks;
+  acks.dest_task = 0;
+  acks.updates.push_back({root, root, false});
+  smgr.ProcessEnvelope(proto::Envelope(proto::MessageType::kAckBatch,
+                                       acks.SerializeAsBuffer()));
+  EXPECT_EQ(smgr.acks_pending(), 0u);
+
+  // The spout instance got the completion event.
+  auto env = spout0.TryRecv();
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->type, proto::MessageType::kRootEvent);
+  proto::RootEventMsg event;
+  ASSERT_TRUE(event.ParseFromBytes(env->payload).ok());
+  EXPECT_EQ(event.root, root);
+  EXPECT_FALSE(event.fail);
+}
+
+TEST_P(StreamManagerTest, AckBatchForRemoteSpoutForwarded) {
+  Transport transport(GetParam());
+  StreamManager smgr(BaseOptions(/*acking=*/true), physical_, &transport,
+                     RealClock::Get());
+  EnvelopeChannel remote_smgr(64);
+  ASSERT_TRUE(transport.RegisterSmgr(1, &remote_smgr).ok());
+
+  proto::AckBatchMsg acks;
+  acks.dest_task = 1;  // Spout in container 1.
+  acks.updates.push_back({proto::MakeRootKey(1, 5), 9, false});
+  smgr.ProcessEnvelope(proto::Envelope(proto::MessageType::kAckBatch,
+                                       acks.SerializeAsBuffer()));
+  EXPECT_EQ(remote_smgr.size(), 1u);
+}
+
+TEST_P(StreamManagerTest, ExpiredRootsFailBackToSpout) {
+  VirtualClock clock;
+  Transport transport(GetParam());
+  StreamManager::Options options = BaseOptions(/*acking=*/true);
+  options.message_timeout_ms = 10;
+  StreamManager smgr(options, physical_, &transport, &clock);
+  EnvelopeChannel spout0(64);
+  ASSERT_TRUE(transport.RegisterInstance(0, &spout0).ok());
+
+  const api::TupleKey root = proto::MakeRootKey(0, 0x99);
+  smgr.ProcessEnvelope(InstanceBatch(0, {"doomed"}, root));
+  clock.AdvanceMillis(11);
+  smgr.ExpireAcksNow();
+
+  auto env = spout0.TryRecv();
+  ASSERT_TRUE(env.has_value());
+  proto::RootEventMsg event;
+  ASSERT_TRUE(event.ParseFromBytes(env->payload).ok());
+  EXPECT_EQ(event.root, root);
+  EXPECT_TRUE(event.fail);
+}
+
+TEST_P(StreamManagerTest, FullChannelParksAndSetsBackpressure) {
+  Transport transport(GetParam());
+  StreamManager::Options options = BaseOptions();
+  options.backpressure_high_water = 2;
+  StreamManager smgr(options, physical_, &transport, RealClock::Get());
+  EnvelopeChannel tiny(1);
+  ASSERT_TRUE(transport.RegisterInstance(2, &tiny).ok());
+
+  // Deliver several routed batches to the capacity-1 channel.
+  for (int i = 0; i < 5; ++i) {
+    proto::TupleBatchMsg batch;
+    batch.src_task = 0;
+    batch.dest_task = 2;
+    proto::TupleDataMsg msg;
+    msg.values.emplace_back(std::string("x"));
+    batch.tuples.push_back(msg.SerializeAsBuffer());
+    smgr.ProcessEnvelope(proto::Envelope(
+        proto::MessageType::kTupleBatchRouted, batch.SerializeAsBuffer()));
+  }
+  EXPECT_TRUE(smgr.backpressure());
+
+  // Consumer drains; retries flush; back pressure clears.
+  size_t delivered = tiny.TryRecv().has_value() ? 1 : 0;
+  while (smgr.FlushRetries() > 0 || tiny.size() > 0) {
+    while (tiny.TryRecv().has_value()) ++delivered;
+  }
+  while (tiny.TryRecv().has_value()) ++delivered;
+  EXPECT_EQ(delivered, 5u);
+  EXPECT_FALSE(smgr.backpressure());
+}
+
+INSTANTIATE_TEST_SUITE_P(OptimizationToggle, StreamManagerTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "optimized" : "ablated";
+                         });
+
+/// The central §V-A safety property: the optimized (lazy) and ablated
+/// (eager) Stream Managers route every tuple to the same destination.
+TEST(StreamManagerEquivalenceTest, LazyAndEagerRouteIdentically) {
+  heron::Logging::SetLevel(heron::LogLevel::kError);
+  auto topology = workloads::BuildWordCountTopology("equiv", 2, 8);
+  ASSERT_TRUE(topology.ok());
+  packing::RoundRobinPacking packer;
+  ASSERT_TRUE(packer.Initialize(Config(), *topology).ok());
+  auto plan = packer.Pack();
+  ASSERT_TRUE(plan.ok());
+  auto physical = *proto::PhysicalPlan::Build(*topology, *plan);
+
+  const auto route_words = [&](bool optimized) {
+    Transport transport(optimized);
+    StreamManager::Options options;
+    options.container = 0;
+    options.optimizations = optimized;
+    StreamManager smgr(options, physical, &transport, RealClock::Get());
+    // Register every bolt channel locally; remote containers get stub
+    // SMGR channels whose contents we also unpack.
+    std::vector<std::unique_ptr<EnvelopeChannel>> channels;
+    for (const TaskId t : physical->all_tasks()) {
+      channels.push_back(std::make_unique<EnvelopeChannel>(1024));
+      transport.RegisterInstance(t, channels.back().get()).ok();
+    }
+    std::vector<std::unique_ptr<EnvelopeChannel>> smgrs;
+    for (int c = 1; c < physical->num_containers(); ++c) {
+      smgrs.push_back(std::make_unique<EnvelopeChannel>(1024));
+      transport.RegisterSmgr(c, smgrs.back().get()).ok();
+    }
+
+    proto::TupleBatchMsg batch;
+    batch.src_task = 0;
+    batch.dest_task = -1;
+    batch.src_component = "word";
+    for (int i = 0; i < 200; ++i) {
+      proto::TupleDataMsg msg;
+      msg.values.emplace_back("word-" + std::to_string(i));
+      batch.tuples.push_back(msg.SerializeAsBuffer());
+    }
+    smgr.ProcessEnvelope(proto::Envelope(proto::MessageType::kTupleBatch,
+                                         batch.SerializeAsBuffer()));
+    smgr.DrainCacheNow();
+
+    // Destination per word, regardless of which channel it landed on.
+    std::map<std::string, TaskId> destinations;
+    const auto unpack = [&destinations](EnvelopeChannel* channel) {
+      while (auto env = channel->TryRecv()) {
+        proto::TupleBatchMsg routed;
+        ASSERT_TRUE(routed.ParseFromBytes(env->payload).ok());
+        for (const auto& tuple_bytes : routed.tuples) {
+          proto::TupleDataMsg msg;
+          ASSERT_TRUE(msg.ParseFromBytes(tuple_bytes).ok());
+          destinations[std::get<std::string>(msg.values[0])] =
+              routed.dest_task;
+        }
+      }
+    };
+    for (auto& channel : channels) unpack(channel.get());
+    for (auto& channel : smgrs) unpack(channel.get());
+    return destinations;
+  };
+
+  const auto lazy = route_words(true);
+  const auto eager = route_words(false);
+  ASSERT_EQ(lazy.size(), 200u);
+  EXPECT_EQ(lazy, eager);
+}
+
+}  // namespace
+}  // namespace smgr
+}  // namespace heron

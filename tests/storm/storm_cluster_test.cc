@@ -1,0 +1,97 @@
+// The Storm-style baseline must be a working engine (the comparison in
+// Figs. 2-4 is only meaningful against a functional comparator).
+
+#include "storm/storm_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "workloads/word_count.h"
+
+namespace heron {
+namespace storm {
+namespace {
+
+class StormClusterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { Logging::SetLevel(LogLevel::kWarning); }
+
+  std::shared_ptr<const api::Topology> WordCount(int spouts, int bolts,
+                                                 bool acking) {
+    workloads::WordSpout::Options spout_options;
+    spout_options.dictionary_size = 500;
+    spout_options.words_per_call = 4;
+    Config config;
+    config.SetBool(config_keys::kAckingEnabled, acking);
+    auto topology = workloads::BuildWordCountTopology(
+        "storm-wc", spouts, bolts, spout_options, config);
+    HERON_CHECK_OK(topology.status());
+    return *topology;
+  }
+
+  void WaitFor(const std::function<bool()>& done, int64_t timeout_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (!done() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+};
+
+TEST_F(StormClusterTest, WordCountFlowsWithoutAcks) {
+  StormCluster::Options options;
+  options.num_workers = 2;
+  options.acking = false;
+  StormCluster cluster(options);
+  ASSERT_TRUE(cluster.Submit(WordCount(2, 2, false)).ok());
+  WaitFor([&] { return cluster.TotalExecuted() >= 5000; }, 30000);
+  EXPECT_GE(cluster.TotalExecuted(), 5000u);
+  EXPECT_GE(cluster.TotalEmitted(), cluster.TotalExecuted());
+  ASSERT_TRUE(cluster.Kill().ok());
+  EXPECT_FALSE(cluster.running());
+}
+
+TEST_F(StormClusterTest, AckerTasksCompleteTupleTrees) {
+  StormCluster::Options options;
+  options.num_workers = 2;
+  options.acking = true;
+  options.max_spout_pending = 500;
+  options.num_ackers = 2;
+  StormCluster cluster(options);
+  ASSERT_TRUE(cluster.Submit(WordCount(2, 2, true)).ok());
+  WaitFor([&] { return cluster.TotalAcked() >= 2000; }, 30000);
+  EXPECT_GE(cluster.TotalAcked(), 2000u);
+  EXPECT_EQ(cluster.TotalFailed(), 0u);
+  EXPECT_GT(cluster.CompleteLatencyQuantile(0.5), 0u);
+  ASSERT_TRUE(cluster.Kill().ok());
+}
+
+TEST_F(StormClusterTest, DoubleSubmitRejected) {
+  StormCluster::Options options;
+  options.num_workers = 1;
+  StormCluster cluster(options);
+  ASSERT_TRUE(cluster.Submit(WordCount(1, 1, false)).ok());
+  EXPECT_TRUE(
+      cluster.Submit(WordCount(1, 1, false)).IsFailedPrecondition());
+  ASSERT_TRUE(cluster.Kill().ok());
+  EXPECT_TRUE(cluster.Kill().IsFailedPrecondition());
+}
+
+TEST_F(StormClusterTest, ResubmitAfterKillWorks) {
+  StormCluster::Options options;
+  options.num_workers = 1;
+  StormCluster cluster(options);
+  ASSERT_TRUE(cluster.Submit(WordCount(1, 1, false)).ok());
+  ASSERT_TRUE(cluster.Kill().ok());
+  ASSERT_TRUE(cluster.Submit(WordCount(1, 1, false)).ok());
+  WaitFor([&] { return cluster.TotalExecuted() >= 100; }, 30000);
+  EXPECT_GE(cluster.TotalExecuted(), 100u);
+  ASSERT_TRUE(cluster.Kill().ok());
+}
+
+}  // namespace
+}  // namespace storm
+}  // namespace heron

@@ -1,0 +1,139 @@
+// Topology Master tests: ephemeral advertisement, single-active-master,
+// failover via session expiry, and scaling coordination (§IV-C / §IV-A).
+
+#include "tmaster/tmaster.h"
+
+#include <gtest/gtest.h>
+
+#include "packing/round_robin_packing.h"
+#include "statemgr/in_memory_state_manager.h"
+#include "workloads/word_count.h"
+
+namespace heron {
+namespace tmaster {
+namespace {
+
+class TMasterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(state_.Initialize(Config()).ok());
+    ASSERT_TRUE(statemgr::RegisterTopology(&state_, "wc").ok());
+  }
+
+  TopologyMaster::Options Options(const std::string& host = "h1") {
+    TopologyMaster::Options options;
+    options.topology = "wc";
+    options.host = host;
+    options.port = 9000;
+    return options;
+  }
+
+  statemgr::InMemoryStateManager state_;
+};
+
+TEST_F(TMasterTest, StartAdvertisesLocation) {
+  TopologyMaster tmaster(Options(), &state_, RealClock::Get());
+  ASSERT_TRUE(tmaster.Start().ok());
+  EXPECT_TRUE(tmaster.active());
+  auto location = statemgr::GetTMasterLocation(state_, "wc");
+  ASSERT_TRUE(location.ok());
+  EXPECT_EQ(location->host, "h1");
+  EXPECT_EQ(location->port, 9000);
+}
+
+TEST_F(TMasterTest, SecondMasterLosesTheRace) {
+  TopologyMaster first(Options("h1"), &state_, RealClock::Get());
+  ASSERT_TRUE(first.Start().ok());
+  TopologyMaster second(Options("h2"), &state_, RealClock::Get());
+  EXPECT_TRUE(second.Start().IsAlreadyExists());
+  EXPECT_FALSE(second.active());
+  // The advertisement still names the first.
+  EXPECT_EQ(statemgr::GetTMasterLocation(state_, "wc")->host, "h1");
+}
+
+TEST_F(TMasterTest, FailoverAfterCrash) {
+  auto first = std::make_unique<TopologyMaster>(Options("h1"), &state_,
+                                                RealClock::Get());
+  ASSERT_TRUE(first->Start().ok());
+
+  // Stream Managers watch the location to learn about TMaster death
+  // "immediately" (§IV-C).
+  bool notified = false;
+  ASSERT_TRUE(state_
+                  .Watch(statemgr::paths::TMasterLocation("wc"),
+                         [&notified](const statemgr::WatchEvent& e) {
+                           notified =
+                               e.type == statemgr::WatchEventType::kDeleted;
+                         })
+                  .ok());
+
+  ASSERT_TRUE(first->Crash().ok());
+  EXPECT_TRUE(notified);
+
+  // A standby can now take over.
+  TopologyMaster standby(Options("h2"), &state_, RealClock::Get());
+  ASSERT_TRUE(standby.Start().ok());
+  EXPECT_EQ(statemgr::GetTMasterLocation(state_, "wc")->host, "h2");
+}
+
+TEST_F(TMasterTest, StopIsIdempotent) {
+  TopologyMaster tmaster(Options(), &state_, RealClock::Get());
+  ASSERT_TRUE(tmaster.Start().ok());
+  EXPECT_TRUE(tmaster.Stop().ok());
+  EXPECT_TRUE(tmaster.Stop().ok());
+  EXPECT_FALSE(tmaster.active());
+}
+
+TEST_F(TMasterTest, PublishesAndReadsPackingPlan) {
+  TopologyMaster tmaster(Options(), &state_, RealClock::Get());
+  ASSERT_TRUE(tmaster.Start().ok());
+
+  auto topology = workloads::BuildWordCountTopology("wc", 2, 2);
+  ASSERT_TRUE(topology.ok());
+  packing::RoundRobinPacking packer;
+  ASSERT_TRUE(packer.Initialize(Config(), *topology).ok());
+  auto plan = packer.Pack();
+  ASSERT_TRUE(plan.ok());
+
+  ASSERT_TRUE(tmaster.PublishPackingPlan(*plan).ok());
+  auto loaded = tmaster.CurrentPackingPlan();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, *plan);
+
+  // Wrong-topology plans are rejected.
+  packing::PackingPlan alien = *plan;
+  alien.set_topology_name("other");
+  EXPECT_TRUE(tmaster.PublishPackingPlan(alien).IsInvalidArgument());
+}
+
+TEST_F(TMasterTest, ScaleTopologyRepacksAndPublishes) {
+  TopologyMaster tmaster(Options(), &state_, RealClock::Get());
+  ASSERT_TRUE(tmaster.Start().ok());
+
+  auto topology = workloads::BuildWordCountTopology("wc", 2, 2);
+  ASSERT_TRUE(topology.ok());
+  packing::RoundRobinPacking packer;
+  ASSERT_TRUE(packer.Initialize(Config(), *topology).ok());
+  auto plan = packer.Pack();
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(tmaster.PublishPackingPlan(*plan).ok());
+
+  auto scaled = tmaster.ScaleTopology(&packer, {{"count", 5}});
+  ASSERT_TRUE(scaled.ok()) << scaled.status().ToString();
+  EXPECT_EQ(scaled->TasksOfComponent("count").size(), 5u);
+  // The published record was updated too.
+  EXPECT_EQ(tmaster.CurrentPackingPlan()->TasksOfComponent("count").size(),
+            5u);
+}
+
+TEST_F(TMasterTest, ScaleRequiresActiveMaster) {
+  TopologyMaster tmaster(Options(), &state_, RealClock::Get());
+  packing::RoundRobinPacking packer;
+  EXPECT_TRUE(tmaster.ScaleTopology(&packer, {{"count", 3}})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace tmaster
+}  // namespace heron

@@ -1,0 +1,93 @@
+// Auto-tuner for the §V-B knobs — the paper's stated future work
+// ("automate the process of configuring the values for these
+// parameters"), implemented and property-tested.
+
+#include "tuning/auto_tuner.h"
+
+#include <gtest/gtest.h>
+
+namespace heron {
+namespace tuning {
+namespace {
+
+sim::HeronSimConfig FastBase(int parallelism = 8) {
+  sim::HeronSimConfig base;
+  base.spouts = base.bolts = parallelism;
+  base.acking = true;
+  base.warmup_sec = 0.05;
+  base.measure_sec = 0.1;
+  return base;
+}
+
+TuningGoal SmallGrid(double slo_ms) {
+  TuningGoal goal;
+  goal.max_latency_ms = slo_ms;
+  goal.max_spout_pending_grid = {1000, 5000, 20000};
+  goal.drain_frequency_grid_ms = {2, 10, 25};
+  return goal;
+}
+
+TEST(AutoTunerTest, PicksFeasibleThroughputMaximum) {
+  const sim::HeronCostModel costs;
+  auto tuned = AutoTune(FastBase(), costs, SmallGrid(60.0));
+  ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
+  EXPECT_EQ(tuned->evaluated.size(), 9u);
+
+  // The winner meets the SLO and no feasible candidate beats it.
+  EXPECT_LE(tuned->best.latency_ms_mean, 60.0);
+  for (const Candidate& c : tuned->evaluated) {
+    if (c.feasible) {
+      EXPECT_LE(c.result.tuples_per_min, tuned->best.tuples_per_min);
+    }
+  }
+  // The winning knob values are from the grid.
+  EXPECT_TRUE(tuned->max_spout_pending == 1000 ||
+              tuned->max_spout_pending == 5000 ||
+              tuned->max_spout_pending == 20000);
+}
+
+TEST(AutoTunerTest, TighterSloNeverGainsThroughput) {
+  const sim::HeronCostModel costs;
+  auto loose = AutoTune(FastBase(), costs, SmallGrid(100.0));
+  auto tight = AutoTune(FastBase(), costs, SmallGrid(25.0));
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_LE(tight->best.tuples_per_min, loose->best.tuples_per_min);
+  EXPECT_LE(tight->best.latency_ms_mean, 25.0);
+}
+
+TEST(AutoTunerTest, ImpossibleSloIsNotFound) {
+  const sim::HeronCostModel costs;
+  EXPECT_TRUE(
+      AutoTune(FastBase(), costs, SmallGrid(0.01)).status().IsNotFound());
+}
+
+TEST(AutoTunerTest, RejectsNonAckingBase) {
+  const sim::HeronCostModel costs;
+  sim::HeronSimConfig base = FastBase();
+  base.acking = false;
+  EXPECT_TRUE(
+      AutoTune(base, costs, SmallGrid(60.0)).status().IsInvalidArgument());
+}
+
+TEST(AutoTunerTest, RejectsEmptyGrid) {
+  const sim::HeronCostModel costs;
+  TuningGoal goal;
+  goal.max_spout_pending_grid.clear();
+  EXPECT_TRUE(
+      AutoTune(FastBase(), costs, goal).status().IsInvalidArgument());
+}
+
+TEST(AutoTunerTest, DeterministicAcrossRuns) {
+  const sim::HeronCostModel costs;
+  auto a = AutoTune(FastBase(), costs, SmallGrid(60.0));
+  auto b = AutoTune(FastBase(), costs, SmallGrid(60.0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->max_spout_pending, b->max_spout_pending);
+  EXPECT_EQ(a->cache_drain_frequency_ms, b->cache_drain_frequency_ms);
+}
+
+}  // namespace
+}  // namespace tuning
+}  // namespace heron
