@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_v_b.dir/figures/autotune_v_b.cc.o"
+  "CMakeFiles/autotune_v_b.dir/figures/autotune_v_b.cc.o.d"
+  "autotune_v_b"
+  "autotune_v_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_v_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for autotune_v_b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_03_throughput_latency_acks.dir/figures/fig02_03_throughput_latency_acks.cc.o"
+  "CMakeFiles/fig02_03_throughput_latency_acks.dir/figures/fig02_03_throughput_latency_acks.cc.o.d"
+  "fig02_03_throughput_latency_acks"
+  "fig02_03_throughput_latency_acks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_03_throughput_latency_acks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_throughput_noacks.dir/figures/fig04_throughput_noacks.cc.o"
+  "CMakeFiles/fig04_throughput_noacks.dir/figures/fig04_throughput_noacks.cc.o.d"
+  "fig04_throughput_noacks"
+  "fig04_throughput_noacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_throughput_noacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_06_smgr_opts_noacks.dir/figures/fig05_06_smgr_opts_noacks.cc.o"
+  "CMakeFiles/fig05_06_smgr_opts_noacks.dir/figures/fig05_06_smgr_opts_noacks.cc.o.d"
+  "fig05_06_smgr_opts_noacks"
+  "fig05_06_smgr_opts_noacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_06_smgr_opts_noacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

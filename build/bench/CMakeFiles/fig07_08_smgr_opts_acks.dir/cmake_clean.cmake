@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_08_smgr_opts_acks.dir/figures/fig07_08_smgr_opts_acks.cc.o"
+  "CMakeFiles/fig07_08_smgr_opts_acks.dir/figures/fig07_08_smgr_opts_acks.cc.o.d"
+  "fig07_08_smgr_opts_acks"
+  "fig07_08_smgr_opts_acks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_08_smgr_opts_acks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_latency_opts.dir/figures/fig09_latency_opts.cc.o"
+  "CMakeFiles/fig09_latency_opts.dir/figures/fig09_latency_opts.cc.o.d"
+  "fig09_latency_opts"
+  "fig09_latency_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_latency_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

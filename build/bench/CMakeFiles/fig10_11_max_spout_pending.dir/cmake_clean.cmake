@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_11_max_spout_pending.dir/figures/fig10_11_max_spout_pending.cc.o"
+  "CMakeFiles/fig10_11_max_spout_pending.dir/figures/fig10_11_max_spout_pending.cc.o.d"
+  "fig10_11_max_spout_pending"
+  "fig10_11_max_spout_pending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_11_max_spout_pending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

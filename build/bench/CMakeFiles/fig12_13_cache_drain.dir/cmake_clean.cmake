@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_13_cache_drain.dir/figures/fig12_13_cache_drain.cc.o"
+  "CMakeFiles/fig12_13_cache_drain.dir/figures/fig12_13_cache_drain.cc.o.d"
+  "fig12_13_cache_drain"
+  "fig12_13_cache_drain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_13_cache_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

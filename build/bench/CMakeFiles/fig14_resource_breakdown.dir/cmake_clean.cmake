@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_resource_breakdown.dir/figures/fig14_resource_breakdown.cc.o"
+  "CMakeFiles/fig14_resource_breakdown.dir/figures/fig14_resource_breakdown.cc.o.d"
+  "fig14_resource_breakdown"
+  "fig14_resource_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_resource_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro/micro_ipc.cc" "bench/CMakeFiles/micro_ipc.dir/micro/micro_ipc.cc.o" "gcc" "bench/CMakeFiles/micro_ipc.dir/micro/micro_ipc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/heron_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/smgr/CMakeFiles/heron_smgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/heron_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/packing/CMakeFiles/heron_packing.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/heron_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/heron_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/heron_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/heron_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ipc.dir/micro/micro_ipc.cc.o"
+  "CMakeFiles/micro_ipc.dir/micro/micro_ipc.cc.o.d"
+  "micro_ipc"
+  "micro_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

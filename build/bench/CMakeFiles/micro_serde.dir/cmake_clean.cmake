@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_serde.dir/micro/micro_serde.cc.o"
+  "CMakeFiles/micro_serde.dir/micro/micro_serde.cc.o.d"
+  "micro_serde"
+  "micro_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

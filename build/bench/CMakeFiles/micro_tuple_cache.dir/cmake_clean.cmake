@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tuple_cache.dir/micro/micro_tuple_cache.cc.o"
+  "CMakeFiles/micro_tuple_cache.dir/micro/micro_tuple_cache.cc.o.d"
+  "micro_tuple_cache"
+  "micro_tuple_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tuple_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

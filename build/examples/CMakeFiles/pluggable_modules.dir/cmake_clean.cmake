@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pluggable_modules.dir/pluggable_modules.cpp.o"
+  "CMakeFiles/pluggable_modules.dir/pluggable_modules.cpp.o.d"
+  "pluggable_modules"
+  "pluggable_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pluggable_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_detection.dir/spam_detection.cpp.o"
+  "CMakeFiles/spam_detection.dir/spam_detection.cpp.o.d"
+  "spam_detection"
+  "spam_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

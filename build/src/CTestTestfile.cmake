@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("serde")
+subdirs("ipc")
+subdirs("api")
+subdirs("packing")
+subdirs("proto")
+subdirs("frameworks")
+subdirs("scheduler")
+subdirs("statemgr")
+subdirs("metrics")
+subdirs("smgr")
+subdirs("instance")
+subdirs("tmaster")
+subdirs("runtime")
+subdirs("workloads")
+subdirs("external")
+subdirs("storm")
+subdirs("sim")
+subdirs("tuning")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/grouping.cc" "src/api/CMakeFiles/heron_api.dir/grouping.cc.o" "gcc" "src/api/CMakeFiles/heron_api.dir/grouping.cc.o.d"
+  "/root/repo/src/api/topology.cc" "src/api/CMakeFiles/heron_api.dir/topology.cc.o" "gcc" "src/api/CMakeFiles/heron_api.dir/topology.cc.o.d"
+  "/root/repo/src/api/tuple.cc" "src/api/CMakeFiles/heron_api.dir/tuple.cc.o" "gcc" "src/api/CMakeFiles/heron_api.dir/tuple.cc.o.d"
+  "/root/repo/src/api/values.cc" "src/api/CMakeFiles/heron_api.dir/values.cc.o" "gcc" "src/api/CMakeFiles/heron_api.dir/values.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/heron_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/heron_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

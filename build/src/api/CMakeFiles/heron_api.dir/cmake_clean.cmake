@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_api.dir/grouping.cc.o"
+  "CMakeFiles/heron_api.dir/grouping.cc.o.d"
+  "CMakeFiles/heron_api.dir/topology.cc.o"
+  "CMakeFiles/heron_api.dir/topology.cc.o.d"
+  "CMakeFiles/heron_api.dir/tuple.cc.o"
+  "CMakeFiles/heron_api.dir/tuple.cc.o.d"
+  "CMakeFiles/heron_api.dir/values.cc.o"
+  "CMakeFiles/heron_api.dir/values.cc.o.d"
+  "libheron_api.a"
+  "libheron_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_common.dir/clock.cc.o"
+  "CMakeFiles/heron_common.dir/clock.cc.o.d"
+  "CMakeFiles/heron_common.dir/config.cc.o"
+  "CMakeFiles/heron_common.dir/config.cc.o.d"
+  "CMakeFiles/heron_common.dir/ids.cc.o"
+  "CMakeFiles/heron_common.dir/ids.cc.o.d"
+  "CMakeFiles/heron_common.dir/logging.cc.o"
+  "CMakeFiles/heron_common.dir/logging.cc.o.d"
+  "CMakeFiles/heron_common.dir/status.cc.o"
+  "CMakeFiles/heron_common.dir/status.cc.o.d"
+  "CMakeFiles/heron_common.dir/strings.cc.o"
+  "CMakeFiles/heron_common.dir/strings.cc.o.d"
+  "libheron_common.a"
+  "libheron_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/external/kafka_sim.cc" "src/external/CMakeFiles/heron_external.dir/kafka_sim.cc.o" "gcc" "src/external/CMakeFiles/heron_external.dir/kafka_sim.cc.o.d"
+  "/root/repo/src/external/pipeline_workload.cc" "src/external/CMakeFiles/heron_external.dir/pipeline_workload.cc.o" "gcc" "src/external/CMakeFiles/heron_external.dir/pipeline_workload.cc.o.d"
+  "/root/repo/src/external/redis_sim.cc" "src/external/CMakeFiles/heron_external.dir/redis_sim.cc.o" "gcc" "src/external/CMakeFiles/heron_external.dir/redis_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/heron_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/heron_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/heron_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_external.dir/kafka_sim.cc.o"
+  "CMakeFiles/heron_external.dir/kafka_sim.cc.o.d"
+  "CMakeFiles/heron_external.dir/pipeline_workload.cc.o"
+  "CMakeFiles/heron_external.dir/pipeline_workload.cc.o.d"
+  "CMakeFiles/heron_external.dir/redis_sim.cc.o"
+  "CMakeFiles/heron_external.dir/redis_sim.cc.o.d"
+  "libheron_external.a"
+  "libheron_external.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_external.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frameworks/aurora_like_framework.cc" "src/frameworks/CMakeFiles/heron_frameworks.dir/aurora_like_framework.cc.o" "gcc" "src/frameworks/CMakeFiles/heron_frameworks.dir/aurora_like_framework.cc.o.d"
+  "/root/repo/src/frameworks/framework.cc" "src/frameworks/CMakeFiles/heron_frameworks.dir/framework.cc.o" "gcc" "src/frameworks/CMakeFiles/heron_frameworks.dir/framework.cc.o.d"
+  "/root/repo/src/frameworks/sim_cluster.cc" "src/frameworks/CMakeFiles/heron_frameworks.dir/sim_cluster.cc.o" "gcc" "src/frameworks/CMakeFiles/heron_frameworks.dir/sim_cluster.cc.o.d"
+  "/root/repo/src/frameworks/yarn_like_framework.cc" "src/frameworks/CMakeFiles/heron_frameworks.dir/yarn_like_framework.cc.o" "gcc" "src/frameworks/CMakeFiles/heron_frameworks.dir/yarn_like_framework.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/heron_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_frameworks.dir/aurora_like_framework.cc.o"
+  "CMakeFiles/heron_frameworks.dir/aurora_like_framework.cc.o.d"
+  "CMakeFiles/heron_frameworks.dir/framework.cc.o"
+  "CMakeFiles/heron_frameworks.dir/framework.cc.o.d"
+  "CMakeFiles/heron_frameworks.dir/sim_cluster.cc.o"
+  "CMakeFiles/heron_frameworks.dir/sim_cluster.cc.o.d"
+  "CMakeFiles/heron_frameworks.dir/yarn_like_framework.cc.o"
+  "CMakeFiles/heron_frameworks.dir/yarn_like_framework.cc.o.d"
+  "libheron_frameworks.a"
+  "libheron_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_instance.dir/instance.cc.o"
+  "CMakeFiles/heron_instance.dir/instance.cc.o.d"
+  "CMakeFiles/heron_instance.dir/outbox.cc.o"
+  "CMakeFiles/heron_instance.dir/outbox.cc.o.d"
+  "libheron_instance.a"
+  "libheron_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_ipc.dir/ipc.cc.o"
+  "CMakeFiles/heron_ipc.dir/ipc.cc.o.d"
+  "libheron_ipc.a"
+  "libheron_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_metrics.dir/metrics.cc.o"
+  "CMakeFiles/heron_metrics.dir/metrics.cc.o.d"
+  "CMakeFiles/heron_metrics.dir/metrics_manager.cc.o"
+  "CMakeFiles/heron_metrics.dir/metrics_manager.cc.o.d"
+  "libheron_metrics.a"
+  "libheron_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packing/first_fit_decreasing_packing.cc" "src/packing/CMakeFiles/heron_packing.dir/first_fit_decreasing_packing.cc.o" "gcc" "src/packing/CMakeFiles/heron_packing.dir/first_fit_decreasing_packing.cc.o.d"
+  "/root/repo/src/packing/packing.cc" "src/packing/CMakeFiles/heron_packing.dir/packing.cc.o" "gcc" "src/packing/CMakeFiles/heron_packing.dir/packing.cc.o.d"
+  "/root/repo/src/packing/packing_plan.cc" "src/packing/CMakeFiles/heron_packing.dir/packing_plan.cc.o" "gcc" "src/packing/CMakeFiles/heron_packing.dir/packing_plan.cc.o.d"
+  "/root/repo/src/packing/packing_registry.cc" "src/packing/CMakeFiles/heron_packing.dir/packing_registry.cc.o" "gcc" "src/packing/CMakeFiles/heron_packing.dir/packing_registry.cc.o.d"
+  "/root/repo/src/packing/resource_compliant_rr_packing.cc" "src/packing/CMakeFiles/heron_packing.dir/resource_compliant_rr_packing.cc.o" "gcc" "src/packing/CMakeFiles/heron_packing.dir/resource_compliant_rr_packing.cc.o.d"
+  "/root/repo/src/packing/round_robin_packing.cc" "src/packing/CMakeFiles/heron_packing.dir/round_robin_packing.cc.o" "gcc" "src/packing/CMakeFiles/heron_packing.dir/round_robin_packing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/heron_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/heron_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/heron_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_packing.dir/first_fit_decreasing_packing.cc.o"
+  "CMakeFiles/heron_packing.dir/first_fit_decreasing_packing.cc.o.d"
+  "CMakeFiles/heron_packing.dir/packing.cc.o"
+  "CMakeFiles/heron_packing.dir/packing.cc.o.d"
+  "CMakeFiles/heron_packing.dir/packing_plan.cc.o"
+  "CMakeFiles/heron_packing.dir/packing_plan.cc.o.d"
+  "CMakeFiles/heron_packing.dir/packing_registry.cc.o"
+  "CMakeFiles/heron_packing.dir/packing_registry.cc.o.d"
+  "CMakeFiles/heron_packing.dir/resource_compliant_rr_packing.cc.o"
+  "CMakeFiles/heron_packing.dir/resource_compliant_rr_packing.cc.o.d"
+  "CMakeFiles/heron_packing.dir/round_robin_packing.cc.o"
+  "CMakeFiles/heron_packing.dir/round_robin_packing.cc.o.d"
+  "libheron_packing.a"
+  "libheron_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

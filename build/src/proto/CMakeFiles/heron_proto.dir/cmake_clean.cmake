@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_proto.dir/messages.cc.o"
+  "CMakeFiles/heron_proto.dir/messages.cc.o.d"
+  "CMakeFiles/heron_proto.dir/physical_plan.cc.o"
+  "CMakeFiles/heron_proto.dir/physical_plan.cc.o.d"
+  "libheron_proto.a"
+  "libheron_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

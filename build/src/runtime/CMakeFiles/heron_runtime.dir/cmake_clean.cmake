@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_runtime.dir/container.cc.o"
+  "CMakeFiles/heron_runtime.dir/container.cc.o.d"
+  "CMakeFiles/heron_runtime.dir/local_cluster.cc.o"
+  "CMakeFiles/heron_runtime.dir/local_cluster.cc.o.d"
+  "libheron_runtime.a"
+  "libheron_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

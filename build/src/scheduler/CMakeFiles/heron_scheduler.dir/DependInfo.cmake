@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduler/framework_scheduler.cc" "src/scheduler/CMakeFiles/heron_scheduler.dir/framework_scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/heron_scheduler.dir/framework_scheduler.cc.o.d"
+  "/root/repo/src/scheduler/local_scheduler.cc" "src/scheduler/CMakeFiles/heron_scheduler.dir/local_scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/heron_scheduler.dir/local_scheduler.cc.o.d"
+  "/root/repo/src/scheduler/scheduler.cc" "src/scheduler/CMakeFiles/heron_scheduler.dir/scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/heron_scheduler.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/heron_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packing/CMakeFiles/heron_packing.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/heron_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/heron_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/heron_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

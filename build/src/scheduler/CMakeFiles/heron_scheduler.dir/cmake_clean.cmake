@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_scheduler.dir/framework_scheduler.cc.o"
+  "CMakeFiles/heron_scheduler.dir/framework_scheduler.cc.o.d"
+  "CMakeFiles/heron_scheduler.dir/local_scheduler.cc.o"
+  "CMakeFiles/heron_scheduler.dir/local_scheduler.cc.o.d"
+  "CMakeFiles/heron_scheduler.dir/scheduler.cc.o"
+  "CMakeFiles/heron_scheduler.dir/scheduler.cc.o.d"
+  "libheron_scheduler.a"
+  "libheron_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

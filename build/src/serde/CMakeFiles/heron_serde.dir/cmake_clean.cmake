@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_serde.dir/wire.cc.o"
+  "CMakeFiles/heron_serde.dir/wire.cc.o.d"
+  "libheron_serde.a"
+  "libheron_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

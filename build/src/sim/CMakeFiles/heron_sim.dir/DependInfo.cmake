@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/heron_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/heron_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/des.cc" "src/sim/CMakeFiles/heron_sim.dir/des.cc.o" "gcc" "src/sim/CMakeFiles/heron_sim.dir/des.cc.o.d"
+  "/root/repo/src/sim/heron_model.cc" "src/sim/CMakeFiles/heron_sim.dir/heron_model.cc.o" "gcc" "src/sim/CMakeFiles/heron_sim.dir/heron_model.cc.o.d"
+  "/root/repo/src/sim/storm_model.cc" "src/sim/CMakeFiles/heron_sim.dir/storm_model.cc.o" "gcc" "src/sim/CMakeFiles/heron_sim.dir/storm_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/heron_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packing/CMakeFiles/heron_packing.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/heron_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/heron_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/heron_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/heron_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

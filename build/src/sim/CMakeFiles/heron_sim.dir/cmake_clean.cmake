@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_sim.dir/cost_model.cc.o"
+  "CMakeFiles/heron_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/heron_sim.dir/des.cc.o"
+  "CMakeFiles/heron_sim.dir/des.cc.o.d"
+  "CMakeFiles/heron_sim.dir/heron_model.cc.o"
+  "CMakeFiles/heron_sim.dir/heron_model.cc.o.d"
+  "CMakeFiles/heron_sim.dir/storm_model.cc.o"
+  "CMakeFiles/heron_sim.dir/storm_model.cc.o.d"
+  "libheron_sim.a"
+  "libheron_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

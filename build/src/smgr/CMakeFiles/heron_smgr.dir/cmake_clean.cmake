@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_smgr.dir/ack_tracker.cc.o"
+  "CMakeFiles/heron_smgr.dir/ack_tracker.cc.o.d"
+  "CMakeFiles/heron_smgr.dir/stream_manager.cc.o"
+  "CMakeFiles/heron_smgr.dir/stream_manager.cc.o.d"
+  "CMakeFiles/heron_smgr.dir/transport.cc.o"
+  "CMakeFiles/heron_smgr.dir/transport.cc.o.d"
+  "CMakeFiles/heron_smgr.dir/tuple_cache.cc.o"
+  "CMakeFiles/heron_smgr.dir/tuple_cache.cc.o.d"
+  "libheron_smgr.a"
+  "libheron_smgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_smgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_statemgr.dir/in_memory_state_manager.cc.o"
+  "CMakeFiles/heron_statemgr.dir/in_memory_state_manager.cc.o.d"
+  "CMakeFiles/heron_statemgr.dir/local_file_state_manager.cc.o"
+  "CMakeFiles/heron_statemgr.dir/local_file_state_manager.cc.o.d"
+  "CMakeFiles/heron_statemgr.dir/state_manager.cc.o"
+  "CMakeFiles/heron_statemgr.dir/state_manager.cc.o.d"
+  "CMakeFiles/heron_statemgr.dir/topology_state.cc.o"
+  "CMakeFiles/heron_statemgr.dir/topology_state.cc.o.d"
+  "libheron_statemgr.a"
+  "libheron_statemgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_statemgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

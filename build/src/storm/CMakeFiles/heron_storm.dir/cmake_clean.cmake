@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_storm.dir/storm_cluster.cc.o"
+  "CMakeFiles/heron_storm.dir/storm_cluster.cc.o.d"
+  "libheron_storm.a"
+  "libheron_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_tmaster.dir/tmaster.cc.o"
+  "CMakeFiles/heron_tmaster.dir/tmaster.cc.o.d"
+  "libheron_tmaster.a"
+  "libheron_tmaster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_tmaster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_tuning.dir/auto_tuner.cc.o"
+  "CMakeFiles/heron_tuning.dir/auto_tuner.cc.o.d"
+  "libheron_tuning.a"
+  "libheron_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

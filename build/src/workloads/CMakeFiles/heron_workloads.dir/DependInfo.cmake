@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/word_count.cc" "src/workloads/CMakeFiles/heron_workloads.dir/word_count.cc.o" "gcc" "src/workloads/CMakeFiles/heron_workloads.dir/word_count.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/heron_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/heron_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/heron_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

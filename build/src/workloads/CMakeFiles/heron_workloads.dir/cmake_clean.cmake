@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heron_workloads.dir/word_count.cc.o"
+  "CMakeFiles/heron_workloads.dir/word_count.cc.o.d"
+  "libheron_workloads.a"
+  "libheron_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heron_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

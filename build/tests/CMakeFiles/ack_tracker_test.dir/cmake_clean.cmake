@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ack_tracker_test.dir/smgr/ack_tracker_test.cc.o"
+  "CMakeFiles/ack_tracker_test.dir/smgr/ack_tracker_test.cc.o.d"
+  "ack_tracker_test"
+  "ack_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ack_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_test.dir/external/external_test.cc.o"
+  "CMakeFiles/external_test.dir/external/external_test.cc.o.d"
+  "external_test"
+  "external_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_frameworks_test.dir/frameworks/extra_frameworks_test.cc.o"
+  "CMakeFiles/extra_frameworks_test.dir/frameworks/extra_frameworks_test.cc.o.d"
+  "extra_frameworks_test"
+  "extra_frameworks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_frameworks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_cluster_test.dir/integration/local_cluster_test.cc.o"
+  "CMakeFiles/local_cluster_test.dir/integration/local_cluster_test.cc.o.d"
+  "local_cluster_test"
+  "local_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

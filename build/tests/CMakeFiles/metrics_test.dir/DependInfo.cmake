@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/metrics_test.cc" "tests/CMakeFiles/metrics_test.dir/metrics/metrics_test.cc.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics/metrics_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/heron_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/heron_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/heron_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/heron_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemgr/CMakeFiles/heron_statemgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmaster/CMakeFiles/heron_tmaster.dir/DependInfo.cmake"
+  "/root/repo/build/src/external/CMakeFiles/heron_external.dir/DependInfo.cmake"
+  "/root/repo/build/src/storm/CMakeFiles/heron_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/heron_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/heron_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/instance/CMakeFiles/heron_instance.dir/DependInfo.cmake"
+  "/root/repo/build/src/smgr/CMakeFiles/heron_smgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/heron_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/heron_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/packing/CMakeFiles/heron_packing.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/heron_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/heron_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/heron_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/heron_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

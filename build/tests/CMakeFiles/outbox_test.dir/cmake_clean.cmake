@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outbox_test.dir/instance/outbox_test.cc.o"
+  "CMakeFiles/outbox_test.dir/instance/outbox_test.cc.o.d"
+  "outbox_test"
+  "outbox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

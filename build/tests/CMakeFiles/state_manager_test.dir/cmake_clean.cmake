@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_manager_test.dir/statemgr/state_manager_test.cc.o"
+  "CMakeFiles/state_manager_test.dir/statemgr/state_manager_test.cc.o.d"
+  "state_manager_test"
+  "state_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

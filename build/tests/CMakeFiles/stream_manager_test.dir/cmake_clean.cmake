@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_manager_test.dir/smgr/stream_manager_test.cc.o"
+  "CMakeFiles/stream_manager_test.dir/smgr/stream_manager_test.cc.o.d"
+  "stream_manager_test"
+  "stream_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmaster_test.dir/tmaster/tmaster_test.cc.o"
+  "CMakeFiles/tmaster_test.dir/tmaster/tmaster_test.cc.o.d"
+  "tmaster_test"
+  "tmaster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmaster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_cache_test.dir/smgr/tuple_cache_test.cc.o"
+  "CMakeFiles/tuple_cache_test.dir/smgr/tuple_cache_test.cc.o.d"
+  "tuple_cache_test"
+  "tuple_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/values_test.dir/api/values_test.cc.o"
+  "CMakeFiles/values_test.dir/api/values_test.cc.o.d"
+  "values_test"
+  "values_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/values_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
