@@ -57,6 +57,10 @@ class VirtualClock final : public Clock {
   std::atomic<int64_t> now_nanos_;
 };
 
+/// Simulation alias: deterministic tests drive runtime::EventLoop::RunOnce
+/// against a SimClock, so timer-heap behaviour replays bit-identically.
+using SimClock = VirtualClock;
+
 /// \brief CPU time consumed by the calling thread, in nanoseconds.
 ///
 /// Used by the resource-accounting experiment (Fig. 14): each engine

@@ -95,6 +95,10 @@ inline constexpr char kCacheDrainSizeBytes[] =
 inline constexpr char kSmgrOptimizationsEnabled[] =
     "heron.streammgr.optimizations.enabled";
 
+// Metrics manager.
+inline constexpr char kMetricsCollectIntervalMs[] =
+    "heron.metricsmgr.collect.interval.ms";
+
 }  // namespace config_keys
 
 }  // namespace heron

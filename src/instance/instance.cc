@@ -1,7 +1,5 @@
 #include "instance/instance.h"
 
-#include <chrono>
-
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -112,7 +110,16 @@ HeronInstance::HeronInstance(const Options& options,
       clock_(clock),
       local_smgr_(local_smgr),
       inbound_(options.inbound_capacity),
-      rng_(options.seed ^ (static_cast<uint64_t>(options.task) << 17)) {
+      rng_(options.seed ^ (static_cast<uint64_t>(options.task) << 17)),
+      loop_(
+          runtime::EventLoop::Options{
+              /*.name=*/StrFormat("task-%d", options.task),
+              /*.burst=*/256,
+              /*.idle_backoff_nanos=*/200000,
+              /*.max_park_nanos=*/100000000,
+              /*.registry=*/&metrics_,
+              /*.metric_prefix=*/"instance"},
+          clock) {
   emitted_ = metrics_.GetCounter("instance.emitted");
   executed_ = metrics_.GetCounter("instance.executed");
   acked_ = metrics_.GetCounter("instance.acked");
@@ -123,6 +130,14 @@ HeronInstance::HeronInstance(const Options& options,
 HeronInstance::~HeronInstance() { Stop(); }
 
 Status HeronInstance::Start() {
+  HERON_RETURN_NOT_OK(Prepare());
+  loop_.Start();
+  return Status::OK();
+}
+
+Status HeronInstance::StartStepMode() { return Prepare(); }
+
+Status HeronInstance::Prepare() {
   if (running_.exchange(true)) {
     return Status::FailedPrecondition("instance already running");
   }
@@ -155,13 +170,26 @@ Status HeronInstance::Start() {
   HERON_RETURN_NOT_OK(transport_->RegisterInstance(options_.task, &inbound_));
   registered_ = true;
   started_ = true;
-  thread_ = std::thread([this] {
-    if (is_spout_) {
-      SpoutLoop();
-    } else {
-      BoltLoop();
-    }
-  });
+
+  // Reactor wiring: user Open/Prepare as startup hooks (they run on the
+  // loop thread, like the hand-rolled loops did), the inbound channel as
+  // a burst-drained source, and — for spouts — NextTuple as an idle
+  // worker subject to back pressure and max_spout_pending.
+  if (is_spout_) {
+    loop_.OnStartup([this] {
+      spout_->Open(options_.config, context_.get(), spout_collector_.get());
+    });
+    loop_.AddIdle([this] { return SpoutStep(); });
+  } else {
+    loop_.OnStartup([this] {
+      bolt_->Prepare(options_.config, context_.get(), bolt_collector_.get());
+    });
+  }
+  loop_.AddChannel<proto::Envelope>(
+      &inbound_,
+      [this](proto::Envelope&& env) { HandleEnvelope(std::move(env)); });
+  // Shutdown drain: ship whatever the outbox still stages.
+  loop_.OnShutdown([this] { outbox_->Flush(); });
   return Status::OK();
 }
 
@@ -171,8 +199,11 @@ void HeronInstance::Stop() {
     registered_ = false;
   }
   running_.store(false);
+  // Close-then-join: the reactor drains remaining envelopes and runs the
+  // shutdown flush before exiting; Shutdown() covers step mode.
   inbound_.Close();
-  if (thread_.joinable()) thread_.join();
+  loop_.Join();
+  loop_.Shutdown();
   if (started_) {
     if (spout_ != nullptr) spout_->Close();
     if (bolt_ != nullptr) bolt_->Cleanup();
@@ -199,58 +230,44 @@ void HeronInstance::HandleRootEvent(const serde::Buffer& payload) {
   }
 }
 
-void HeronInstance::SpoutLoop() {
-  metrics::Gauge* thread_cpu = metrics_.GetGauge("instance.thread.cpu.ns");
-  uint64_t iterations = 0;
-  spout_->Open(options_.config, context_.get(), spout_collector_.get());
-  while (true) {
-    if ((++iterations & 1023) == 0) thread_cpu->Set(ThreadCpuNanos());
-    // Acks first: they free pending slots.
-    for (int i = 0; i < 256; ++i) {
-      auto env = inbound_.TryRecv();
-      if (!env.has_value()) break;
-      if (env->type == proto::MessageType::kRootEvent) {
-        HandleRootEvent(env->payload);
-        transport_->buffer_pool()->Release(std::move(env->payload));
-      }
+void HeronInstance::HandleEnvelope(proto::Envelope env) {
+  if (is_spout_) {
+    // Acks first (the reactor polls sources before idle workers, so these
+    // free pending slots before the next NextTuple round).
+    if (env.type == proto::MessageType::kRootEvent) {
+      HandleRootEvent(env.payload);
+      transport_->buffer_pool()->Release(std::move(env.payload));
     }
-    if (inbound_.closed()) break;
-
-    bool can_emit = true;
-    if (local_smgr_ != nullptr && local_smgr_->backpressure()) {
-      can_emit = false;  // Container-local spout back pressure.
-    }
-    if (options_.acking && options_.max_spout_pending > 0 &&
-        pending_count_.load(std::memory_order_relaxed) >=
-            options_.max_spout_pending) {
-      can_emit = false;  // §V-B flow control.
-    }
-
-    if (can_emit) {
-      const uint64_t before = emitted_->value();
-      spout_->NextTuple();
-      outbox_->Flush();
-      if (emitted_->value() == before) {
-        // Idle spout: wait briefly for acks instead of spinning.
-        auto env = inbound_.RecvFor(std::chrono::microseconds(200));
-        if (env.has_value() &&
-            env->type == proto::MessageType::kRootEvent) {
-          HandleRootEvent(env->payload);
-          transport_->buffer_pool()->Release(std::move(env->payload));
-        }
-      }
-    } else {
-      outbox_->Flush();
-      // Blocked: wait for an ack (or back-pressure relief) briefly.
-      auto env = inbound_.RecvFor(std::chrono::microseconds(500));
-      if (env.has_value() && env->type == proto::MessageType::kRootEvent) {
-        HandleRootEvent(env->payload);
-        transport_->buffer_pool()->Release(std::move(env->payload));
-      }
-    }
+    return;
+  }
+  if (env.type == proto::MessageType::kTupleBatchRouted) {
+    ProcessRoutedBatch(env.payload);
+    transport_->buffer_pool()->Release(std::move(env.payload));
   }
   outbox_->Flush();
-  thread_cpu->Set(ThreadCpuNanos());
+}
+
+bool HeronInstance::SpoutStep() {
+  bool can_emit = true;
+  if (local_smgr_ != nullptr && local_smgr_->backpressure()) {
+    can_emit = false;  // Container-local spout back pressure.
+  }
+  if (options_.acking && options_.max_spout_pending > 0 &&
+      pending_count_.load(std::memory_order_relaxed) >=
+          options_.max_spout_pending) {
+    can_emit = false;  // §V-B flow control.
+  }
+  if (!can_emit) {
+    // Blocked: flush and let the reactor park until an ack arrives.
+    outbox_->Flush();
+    return false;
+  }
+  const uint64_t before = emitted_->value();
+  spout_->NextTuple();
+  outbox_->Flush();
+  // No emission → report "no progress" so the loop backs off briefly
+  // instead of spinning on an idle spout.
+  return emitted_->value() != before;
 }
 
 void HeronInstance::ProcessRoutedBatch(const serde::Buffer& payload) {
@@ -268,24 +285,6 @@ void HeronInstance::ProcessRoutedBatch(const serde::Buffer& payload) {
     executed_->Increment();
     bolt_->Execute(tuple);
   }
-}
-
-void HeronInstance::BoltLoop() {
-  metrics::Gauge* thread_cpu = metrics_.GetGauge("instance.thread.cpu.ns");
-  uint64_t iterations = 0;
-  bolt_->Prepare(options_.config, context_.get(), bolt_collector_.get());
-  while (true) {
-    auto env = inbound_.Recv();
-    if (!env.has_value()) break;  // Closed and drained.
-    if (env->type == proto::MessageType::kTupleBatchRouted) {
-      ProcessRoutedBatch(env->payload);
-      transport_->buffer_pool()->Release(std::move(env->payload));
-    }
-    outbox_->Flush();
-    if ((++iterations & 255) == 0) thread_cpu->Set(ThreadCpuNanos());
-  }
-  outbox_->Flush();
-  thread_cpu->Set(ThreadCpuNanos());
 }
 
 }  // namespace instance

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <thread>
 
 #include "api/bolt.h"
 #include "api/context.h"
@@ -14,6 +13,7 @@
 #include "common/random.h"
 #include "metrics/metrics.h"
 #include "proto/physical_plan.h"
+#include "runtime/event_loop.h"
 #include "smgr/stream_manager.h"
 #include "smgr/transport.h"
 
@@ -26,10 +26,14 @@ namespace instance {
 ///
 /// The instance shares nothing with its peers: it constructs its own user
 /// object from the component factory, talks to the world only through the
-/// serialized instance ↔ SMGR wire, and runs on its own thread. Spouts
-/// additionally enforce the §V-B flow-control knob `max_spout_pending`
-/// ("the maximum number of tuples that can be pending on a spout task at
-/// any given time") and pause on the local SMGR's back-pressure flag.
+/// serialized instance ↔ SMGR wire, and runs on its own reactor
+/// (runtime::EventLoop) — the inbound channel is a registered source, the
+/// spout's NextTuple round is an idle worker, and user Open/Prepare run as
+/// startup hooks on the loop thread. Spouts additionally enforce the §V-B
+/// flow-control knob `max_spout_pending` ("the maximum number of tuples
+/// that can be pending on a spout task at any given time") and pause on
+/// the local SMGR's back-pressure flag. StartStepMode() arms the reactor
+/// without a thread for deterministic RunOnce() tests.
 class HeronInstance {
  public:
   struct Options {
@@ -59,8 +63,13 @@ class HeronInstance {
   /// Creates the user spout/bolt, registers the inbound channel, spawns
   /// the executor thread.
   Status Start();
+  /// Step-mode Start: full wiring, no thread — drive loop()->RunOnce().
+  Status StartStepMode();
   /// Closes the channel, joins, runs user Close/Cleanup. Idempotent.
   void Stop();
+
+  /// The reactor this instance runs on.
+  runtime::EventLoop* loop() { return &loop_; }
 
   smgr::EnvelopeChannel* inbound() { return &inbound_; }
   metrics::MetricsRegistry* metrics() { return &metrics_; }
@@ -76,8 +85,12 @@ class HeronInstance {
   class SpoutCollector;
   class BoltCollector;
 
-  void SpoutLoop();
-  void BoltLoop();
+  /// Shared Start/StartStepMode body: user objects, transport, reactor.
+  Status Prepare();
+  /// Spout idle worker: one NextTuple round; true when tuples were emitted.
+  bool SpoutStep();
+  /// Inbound envelope dispatch (root events for spouts, batches for bolts).
+  void HandleEnvelope(proto::Envelope env);
   void HandleRootEvent(const serde::Buffer& payload);
   void ProcessRoutedBatch(const serde::Buffer& payload);
 
@@ -109,7 +122,7 @@ class HeronInstance {
   std::map<api::TupleKey, PendingRoot> pending_roots_;
   std::atomic<int64_t> pending_count_{0};
 
-  std::thread thread_;
+  runtime::EventLoop loop_;
   std::atomic<bool> running_{false};
   bool registered_ = false;
   bool started_ = false;

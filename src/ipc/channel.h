@@ -8,9 +8,19 @@
 #include <optional>
 
 #include "common/status.h"
+#include "ipc/wakeup.h"
 
 namespace heron {
 namespace ipc {
+
+/// \brief Outcome of a non-blocking receive: distinguishes "nothing right
+/// now" from "nothing ever again", which hand-rolled loops previously had
+/// to discover with an extra closed() lock round-trip per idle iteration.
+enum class RecvState {
+  kItem,    ///< An item was returned.
+  kEmpty,   ///< Queue empty, channel still open — more may arrive.
+  kClosed,  ///< Closed *and* drained — end of stream, stop polling.
+};
 
 /// \brief Bounded multi-producer/multi-consumer message channel — the IPC
 /// kernel of Fig. 1.
@@ -33,13 +43,18 @@ class Channel {
   /// Blocks until space is available (back pressure) or the channel is
   /// closed. kCancelled after Close.
   Status Send(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
-    if (closed_) return Status::Cancelled("channel closed");
-    queue_.push_back(std::move(item));
-    ++total_enqueued_;
-    lock.unlock();
+    Wakeup* wakeup = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || queue_.size() < capacity_; });
+      if (closed_) return Status::Cancelled("channel closed");
+      queue_.push_back(std::move(item));
+      ++total_enqueued_;
+      wakeup = wakeup_;
+    }
     not_empty_.notify_one();
+    if (wakeup != nullptr) wakeup->Notify();
     return Status::OK();
   }
 
@@ -47,6 +62,7 @@ class Channel {
   /// closed. Takes an rvalue reference and moves only on success, so the
   /// caller keeps the item (and can park it for retry) on failure.
   Status TrySend(T&& item) {
+    Wakeup* wakeup = nullptr;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return Status::Cancelled("channel closed");
@@ -55,8 +71,10 @@ class Channel {
       }
       queue_.push_back(std::move(item));
       ++total_enqueued_;
+      wakeup = wakeup_;
     }
     not_empty_.notify_one();
+    if (wakeup != nullptr) wakeup->Notify();
     return Status::OK();
   }
 
@@ -79,22 +97,49 @@ class Channel {
     return PopLocked(&lock);
   }
 
-  /// Non-blocking receive.
+  /// Non-blocking receive. std::nullopt for both "empty" and
+  /// "closed-and-drained"; prefer the RecvState overload when the caller
+  /// must tell them apart.
   std::optional<T> TryRecv() {
+    RecvState ignored;
+    return TryRecv(&ignored);
+  }
+
+  /// Non-blocking receive that reports why nothing was returned:
+  /// kEmpty means retry later, kClosed means end of stream. Saves the
+  /// extra closed() lock round-trip every reactor poll used to pay.
+  std::optional<T> TryRecv(RecvState* state) {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (queue_.empty()) return std::nullopt;
+    if (queue_.empty()) {
+      *state = closed_ ? RecvState::kClosed : RecvState::kEmpty;
+      return std::nullopt;
+    }
+    *state = RecvState::kItem;
     return PopLocked(&lock);
   }
 
   /// Closes the channel: senders fail immediately; receivers drain the
   /// remaining items and then see end of stream.
   void Close() {
+    Wakeup* wakeup = nullptr;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       closed_ = true;
+      wakeup = wakeup_;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+    if (wakeup != nullptr) wakeup->Notify();
+  }
+
+  /// Binds (or, with nullptr, unbinds) a reactor wakeup: it is notified on
+  /// every enqueue and on Close, so an EventLoop can sleep on one Wakeup
+  /// while multiplexing many channels. At most one consumer loop per
+  /// channel; the binding must outlive all concurrent Send/Close calls or
+  /// be cleared first (EventLoop unbinds in its destructor).
+  void BindWakeup(Wakeup* wakeup) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wakeup_ = wakeup;
   }
 
   bool closed() const {
@@ -132,6 +177,7 @@ class Channel {
   std::deque<T> queue_;
   bool closed_ = false;
   uint64_t total_enqueued_ = 0;
+  Wakeup* wakeup_ = nullptr;  ///< Reactor notification hook; see BindWakeup.
 };
 
 }  // namespace ipc

@@ -1,0 +1,73 @@
+#ifndef HERON_IPC_WAKEUP_H_
+#define HERON_IPC_WAKEUP_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace heron {
+namespace ipc {
+
+/// \brief Coalescing wakeup latch: the "interrupt line" between Channels
+/// and the reactor (runtime::EventLoop) that multiplexes them.
+///
+/// Any number of producers call Notify(); a single consumer blocks in
+/// WaitFor(). Notifications are *coalesced*: N notifies between two waits
+/// wake the consumer exactly once. A notify that races ahead of the wait
+/// is latched (`pending_`), so the consumer never sleeps through work that
+/// was announced before it went to sleep — the classic lost-wakeup hazard
+/// of hand-rolled loops.
+///
+/// This is deliberately separate from Channel's internal `not_empty_`
+/// condition variable: a reactor waits on *one* Wakeup while draining
+/// *many* channels, which is what lets one thread multiplex an arbitrary
+/// set of endpoints (Fig. 1's kernel) without polling.
+class Wakeup {
+ public:
+  Wakeup() = default;
+  Wakeup(const Wakeup&) = delete;
+  Wakeup& operator=(const Wakeup&) = delete;
+
+  /// Announces that work may be available. Cheap when already pending.
+  void Notify() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_) return;  // Coalesce.
+      pending_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until notified or `timeout_nanos` elapse. Returns true when a
+  /// notification was consumed, false on timeout. Always clears the latch.
+  bool WaitFor(int64_t timeout_nanos) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (pending_) {
+      pending_ = false;
+      return true;
+    }
+    const bool notified = cv_.wait_for(
+        lock, std::chrono::nanoseconds(timeout_nanos), [&] { return pending_; });
+    pending_ = false;
+    return notified;
+  }
+
+  /// Non-blocking: consumes and returns the latch.
+  bool Poll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool was = pending_;
+    pending_ = false;
+    return was;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool pending_ = false;
+};
+
+}  // namespace ipc
+}  // namespace heron
+
+#endif  // HERON_IPC_WAKEUP_H_

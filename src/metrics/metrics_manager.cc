@@ -68,13 +68,20 @@ void MetricsManager::AddSink(std::shared_ptr<IMetricsSink> sink) {
   sinks_.push_back(std::move(sink));
 }
 
+void MetricsManager::AddCollectListener(std::function<void()> listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  listeners_.push_back(std::move(listener));
+}
+
 void MetricsManager::Collect() {
   std::map<std::string, MetricsRegistry*> sources;
   std::vector<std::shared_ptr<IMetricsSink>> sinks;
+  std::vector<std::function<void()>> listeners;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    sources = sources_;
+    if (!sinks_.empty()) sources = sources_;  // No sink → skip snapshots.
     sinks = sinks_;
+    listeners = listeners_;
   }
   const int64_t now = clock_->NowNanos();
   for (const auto& [source, registry] : sources) {
@@ -83,6 +90,7 @@ void MetricsManager::Collect() {
       sink->Flush(source, samples, now);
     }
   }
+  for (const auto& listener : listeners) listener();
 }
 
 std::vector<std::string> MetricsManager::Sources() const {

@@ -74,7 +74,14 @@ class MetricsManager {
 
   void AddSink(std::shared_ptr<IMetricsSink> sink);
 
-  /// Snapshots every source into every sink.
+  /// Registers a callback invoked after every Collect() round, on the
+  /// collecting thread. Waiters (e.g. LocalCluster::WaitForCounter) hook
+  /// their condition variables here instead of sleep-polling.
+  void AddCollectListener(std::function<void()> listener);
+
+  /// Snapshots every source into every sink, then notifies the collect
+  /// listeners. Snapshotting is skipped when no sink is attached (the
+  /// listeners still fire — they key off the collection heartbeat).
   void Collect();
 
   std::vector<std::string> Sources() const;
@@ -84,6 +91,7 @@ class MetricsManager {
   mutable std::mutex mutex_;
   std::map<std::string, MetricsRegistry*> sources_;
   std::vector<std::shared_ptr<IMetricsSink>> sinks_;
+  std::vector<std::function<void()>> listeners_;
 };
 
 }  // namespace metrics

@@ -15,7 +15,16 @@ Container::Container(const packing::ContainerPlan& plan,
       config_(config),
       transport_(transport),
       clock_(clock),
-      metrics_manager_(clock) {}
+      metrics_manager_(clock),
+      housekeeping_(
+          EventLoop::Options{
+              /*.name=*/StrFormat("container-%d", plan.id),
+              /*.burst=*/128,
+              /*.idle_backoff_nanos=*/200000,
+              /*.max_park_nanos=*/100000000,
+              /*.registry=*/&housekeeping_metrics_,
+              /*.metric_prefix=*/"container"},
+          clock) {}
 
 Container::~Container() { Stop(); }
 
@@ -69,6 +78,21 @@ Status Container::Start() {
     instances_.push_back(std::move(instance));
   }
 
+  // Metrics Manager housekeeping: periodic collection on the container's
+  // reactor, at the configured cadence.
+  metrics_manager_
+      .RegisterSource(StrFormat("container-%d", plan_.id),
+                      &housekeeping_metrics_)
+      .ok();
+  if (!housekeeping_wired_) {
+    const int64_t collect_interval_ms =
+        config_.GetIntOr(config_keys::kMetricsCollectIntervalMs, 5);
+    housekeeping_.AddPeriodic(collect_interval_ms * 1000000,
+                              [this] { metrics_manager_.Collect(); });
+    housekeeping_wired_ = true;
+  }
+  housekeeping_.Start();
+
   started_ = true;
   HLOG(INFO) << "container " << plan_.id << " up: smgr + "
              << instances_.size() << " instances";
@@ -76,6 +100,11 @@ Status Container::Start() {
 }
 
 void Container::Stop() {
+  // Housekeeping first: Collect() snapshots the instance registries, so
+  // the collection loop must be parked before any registry dies.
+  housekeeping_.Stop();
+  housekeeping_.Join();
+  housekeeping_.Shutdown();
   for (auto& instance : instances_) {
     instance->Stop();
   }

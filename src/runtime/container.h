@@ -9,6 +9,7 @@
 #include "metrics/metrics_manager.h"
 #include "packing/packing_plan.h"
 #include "proto/physical_plan.h"
+#include "runtime/event_loop.h"
 #include "smgr/stream_manager.h"
 
 namespace heron {
@@ -20,6 +21,12 @@ namespace runtime {
 /// Owns the three process kinds, wires them to the topology transport,
 /// and tears them down in dependency order. The Scheduler starts and
 /// stops Containers through the launcher.
+///
+/// The Metrics Manager's periodic collection runs on the container's own
+/// housekeeping reactor (an EventLoop with a single periodic timer, cf.
+/// kMetricsCollectIntervalMs) — the same kernel every other module loop
+/// runs on. Stop() halts the housekeeping loop before tearing down the
+/// instances whose registries it snapshots.
 class Container {
  public:
   /// \param config  merged topology + cluster config, source of the SMGR
@@ -66,6 +73,12 @@ class Container {
   std::unique_ptr<smgr::StreamManager> smgr_;
   std::vector<std::unique_ptr<instance::HeronInstance>> instances_;
   metrics::MetricsManager metrics_manager_;
+  /// Registry for the housekeeping loop's own instrumentation, exported
+  /// through the Metrics Manager like any other source.
+  metrics::MetricsRegistry housekeeping_metrics_;
+  /// The Metrics Manager's collection reactor.
+  EventLoop housekeeping_;
+  bool housekeeping_wired_ = false;
   bool started_ = false;
 };
 

@@ -1,0 +1,251 @@
+#include "runtime/event_loop.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace heron {
+namespace runtime {
+
+EventLoop::EventLoop(const Options& options, const Clock* clock)
+    : options_(options), clock_(clock) {
+  if (options_.registry != nullptr) {
+    const std::string& p = options_.metric_prefix;
+    thread_cpu_ = options_.registry->GetGauge(p + ".thread.cpu.ns");
+    iter_latency_ = options_.registry->GetHistogram(p + ".loop.iter.ns");
+    wakeup_counter_ = options_.registry->GetCounter(p + ".loop.wakeups");
+    iteration_counter_ = options_.registry->GetCounter(p + ".loop.iterations");
+  }
+}
+
+EventLoop::~EventLoop() {
+  Stop();
+  Join();
+  // Unbind every channel so a channel outliving this loop never notifies a
+  // dangling Wakeup.
+  for (Source& source : sources_) {
+    if (source.unbind) source.unbind();
+  }
+}
+
+void EventLoop::RemoveChannel(SourceId id) {
+  for (Source& source : sources_) {
+    if (source.id == id && !source.removed) {
+      source.removed = true;
+      if (source.unbind) source.unbind();
+      source.unbind = nullptr;
+      return;
+    }
+  }
+}
+
+EventLoop::TimerId EventLoop::ArmTimer(int64_t deadline, int64_t period,
+                                       std::function<void()> fn) {
+  const TimerId id = next_timer_id_++;
+  armed_[id] = TimerState{std::move(fn), period, /*cancelled=*/false};
+  timer_heap_.push(TimerEntry{deadline, timer_seq_++, id});
+  return id;
+}
+
+EventLoop::TimerId EventLoop::AddTimer(int64_t deadline_nanos,
+                                       std::function<void()> fn) {
+  return ArmTimer(deadline_nanos, /*period=*/0, std::move(fn));
+}
+
+EventLoop::TimerId EventLoop::AddPeriodic(int64_t period_nanos,
+                                          std::function<void()> fn) {
+  return ArmTimer(clock_->NowNanos() + period_nanos, period_nanos,
+                  std::move(fn));
+}
+
+bool EventLoop::CancelTimer(TimerId id) {
+  const auto it = armed_.find(id);
+  if (it == armed_.end() || it->second.cancelled) return false;
+  // Lazy cancellation: the heap entry is skipped when popped.
+  it->second.cancelled = true;
+  return true;
+}
+
+void EventLoop::AddIdle(std::function<bool()> fn) {
+  idle_.push_back(std::move(fn));
+}
+
+void EventLoop::AddService(std::function<int64_t(int64_t)> fn) {
+  services_.push_back(std::move(fn));
+}
+
+void EventLoop::OnStartup(std::function<void()> fn) {
+  startup_hooks_.push_back(std::move(fn));
+}
+
+void EventLoop::OnShutdown(std::function<void()> fn) {
+  shutdown_hooks_.push_back(std::move(fn));
+}
+
+int64_t EventLoop::NextTimerDeadlineNanos() const {
+  // The heap may carry cancelled entries; scan past them without popping
+  // (they are rare and cheap to sleep through once).
+  if (timer_heap_.empty()) return kNoDeadline;
+  return timer_heap_.top().deadline;
+}
+
+size_t EventLoop::num_sources() const {
+  size_t n = 0;
+  for (const Source& source : sources_) {
+    if (!source.removed) ++n;
+  }
+  return n;
+}
+
+int64_t EventLoop::NextDeadlineNanos() const {
+  return std::min(NextTimerDeadlineNanos(), service_deadline_);
+}
+
+size_t EventLoop::FireDueTimers(int64_t now) {
+  // Collect first, then run: a callback may arm new timers (periodic
+  // re-arm, retry backoff) and those must wait for the next iteration even
+  // when already due, or a zero-period timer could starve the sources.
+  due_scratch_.clear();
+  while (!timer_heap_.empty() && timer_heap_.top().deadline <= now) {
+    const TimerEntry entry = timer_heap_.top();
+    timer_heap_.pop();
+    const auto it = armed_.find(entry.id);
+    if (it == armed_.end()) continue;  // Stale heap entry (re-armed/fired).
+    if (it->second.cancelled) {
+      armed_.erase(it);
+      continue;
+    }
+    due_scratch_.push_back(entry.id);
+  }
+  size_t fired = 0;
+  for (const TimerId id : due_scratch_) {
+    const auto it = armed_.find(id);
+    if (it == armed_.end() || it->second.cancelled) continue;
+    it->second.fn();
+    ++fired;
+    if (it->second.period_nanos > 0 && !it->second.cancelled) {
+      // Re-arm from fire time: coalesced, no catch-up burst after a stall.
+      timer_heap_.push(TimerEntry{clock_->NowNanos() + it->second.period_nanos,
+                                  timer_seq_++, id});
+    } else {
+      armed_.erase(id);
+    }
+  }
+  return fired;
+}
+
+bool EventLoop::Step() {
+  const int64_t start = clock_->NowNanos();
+  iterations_.fetch_add(1, std::memory_order_relaxed);
+  if (iteration_counter_ != nullptr) iteration_counter_->Increment();
+
+  bool did_work = FireDueTimers(start) > 0;
+
+  // Drain a bounded burst from every source, registration order.
+  bool any_open = false;
+  bool has_sources = false;
+  for (Source& source : sources_) {
+    if (source.removed) continue;
+    has_sources = true;
+    if (source.closed) continue;
+    size_t handled = 0;
+    source.closed = source.poll(options_.burst, &handled);
+    if (handled > 0) did_work = true;
+    if (!source.closed) any_open = true;
+  }
+  all_sources_done_ = has_sources && !any_open;
+
+  // Dynamic-deadline services (ack expiry, retry flush, ...).
+  if (!services_.empty()) {
+    const int64_t now = clock_->NowNanos();
+    service_deadline_ = kNoDeadline;
+    for (auto& service : services_) {
+      service_deadline_ = std::min(service_deadline_, service(now));
+    }
+  }
+
+  // Idle workers (spout NextTuple rounds) run after inbound traffic so
+  // acks free pending slots before the next emission attempt.
+  for (auto& worker : idle_) {
+    if (worker()) did_work = true;
+  }
+
+  if (iter_latency_ != nullptr) {
+    iter_latency_->Record(
+        static_cast<uint64_t>(std::max<int64_t>(clock_->NowNanos() - start, 0)));
+  }
+  if (thread_cpu_ != nullptr &&
+      (iterations_.load(std::memory_order_relaxed) & 1023) == 0) {
+    thread_cpu_->Set(ThreadCpuNanos());
+  }
+  return did_work;
+}
+
+bool EventLoop::ShouldExit() const {
+  if (stop_.load(std::memory_order_acquire)) return true;
+  return all_sources_done_;
+}
+
+void EventLoop::EnsureStartup() {
+  if (startup_done_) return;
+  startup_done_ = true;
+  for (auto& hook : startup_hooks_) hook();
+}
+
+void EventLoop::Shutdown() {
+  if (!startup_done_ || shutdown_done_) return;
+  shutdown_done_ = true;
+  for (auto& hook : shutdown_hooks_) hook();
+  if (thread_cpu_ != nullptr) thread_cpu_->Set(ThreadCpuNanos());
+}
+
+bool EventLoop::RunOnce() {
+  EnsureStartup();
+  return Step();
+}
+
+void EventLoop::Run() {
+  EnsureStartup();
+  while (!ShouldExit()) {
+    const bool did_work = Step();
+    if (ShouldExit()) break;
+    if (did_work) continue;  // Hot: drain everything before parking.
+
+    // Idle: park on the coalescing wakeup until the next deadline.
+    const int64_t now = clock_->NowNanos();
+    int64_t deadline = NextDeadlineNanos();
+    if (!idle_.empty()) {
+      // Idle workers poll external state (back-pressure flags, pending
+      // windows) that produces no notification; bound the park.
+      deadline = std::min(deadline, now + options_.idle_backoff_nanos);
+    }
+    int64_t park = options_.max_park_nanos;
+    if (deadline != kNoDeadline) {
+      park = std::min<int64_t>(park, deadline - now);
+    }
+    if (park > 0) {
+      const bool notified = wakeup_.WaitFor(park);
+      if (notified) {
+        wakeups_.fetch_add(1, std::memory_order_relaxed);
+        if (wakeup_counter_ != nullptr) wakeup_counter_->Increment();
+      }
+    }
+  }
+  Shutdown();
+}
+
+void EventLoop::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  wakeup_.Notify();
+}
+
+void EventLoop::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace runtime
+}  // namespace heron

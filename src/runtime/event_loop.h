@@ -1,0 +1,263 @@
+#ifndef HERON_RUNTIME_EVENT_LOOP_H_
+#define HERON_RUNTIME_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "ipc/channel.h"
+#include "ipc/wakeup.h"
+#include "metrics/metrics.h"
+
+namespace heron {
+namespace runtime {
+
+/// \brief The shared reactor kernel every Heron module loop runs on —
+/// the code rendering of the paper's §II claim that modules are plain
+/// programs around a tiny IPC kernel (Fig. 1).
+///
+/// One EventLoop multiplexes, on a single thread:
+///  - **channel sources**: registered `ipc::Channel` endpoints drained in
+///    bounded bursts (`Options::burst`), with end-of-stream detected via
+///    `ipc::RecvState` (no extra closed() round-trip);
+///  - **timers**: a deadline-ordered min-heap (`AddTimer`/`AddPeriodic`),
+///    driven by the injected monotonic `Clock` so `SimClock` tests replay
+///    deterministically. Periodic timers re-arm from the *fire* time
+///    (coalescing: a long stall yields one fire, not a catch-up burst);
+///  - **services**: dynamic-deadline housekeeping (ack expiry, retry
+///    flushing) — called every iteration with `now`, returning the next
+///    deadline the loop must wake for (`kNoDeadline` when idle);
+///  - **idle workers**: cooperative work generators (a spout's NextTuple
+///    round) run once per iteration; when none reports progress and no
+///    envelope arrived, the loop parks on its coalescing `ipc::Wakeup`
+///    for at most `Options::idle_backoff_nanos`.
+///
+/// ## Step-mode testing contract
+/// `RunOnce()` executes exactly one iteration — due timers, one burst per
+/// source, services, idle workers — without blocking and without threads.
+/// Given the same clock readings and channel contents, the work performed
+/// is deterministic: sources fire in registration order, timers in
+/// (deadline, insertion) order. Deterministic tests and the DES-adjacent
+/// benches construct modules in step mode and interleave `RunOnce()` with
+/// `SimClock::AdvanceNanos`, which is how a full route→drain→ack cycle is
+/// exercised with zero threads (tests/integration/step_mode_test.cc).
+///
+/// ## Lifecycle
+/// `Run()` executes until `Stop()` is requested or every registered
+/// channel source is closed *and drained* (shutdown-drain: no envelope is
+/// stranded). On exit it runs the `OnShutdown` hooks exactly once (final
+/// cache drains, outbox flushes). `Start()`/`Join()` wrap Run in an owned
+/// thread. Registration calls (AddChannel/AddTimer/...) must come from
+/// the loop thread itself (i.e. inside callbacks) or before the loop
+/// starts; `Stop()` and `Nudge()` are safe from any thread.
+///
+/// ## Instrumentation
+/// When `Options::registry` is set, the loop maintains uniformly-named
+/// per-loop metrics (previously re-implemented inconsistently by every
+/// module loop): `<prefix>.thread.cpu.ns` gauge, `<prefix>.loop.iter.ns`
+/// histogram, `<prefix>.loop.wakeups` and `<prefix>.loop.iterations`
+/// counters.
+class EventLoop {
+ public:
+  using TimerId = uint64_t;
+  using SourceId = uint64_t;
+
+  /// "No deadline": the loop may sleep until the next notification.
+  static constexpr int64_t kNoDeadline = std::numeric_limits<int64_t>::max();
+
+  struct Options {
+    /// Loop name, for logs and thread naming.
+    std::string name = "loop";
+    /// Max envelopes drained per source per iteration (burst-drain bound).
+    size_t burst = 128;
+    /// Park duration when idle workers exist but none made progress.
+    int64_t idle_backoff_nanos = 200000;  // 200 us.
+    /// Cap on any single park, a lost-wakeup safety net.
+    int64_t max_park_nanos = 100000000;  // 100 ms.
+    /// Instrumentation target; nullptr disables loop metrics.
+    metrics::MetricsRegistry* registry = nullptr;
+    /// Metric name prefix, e.g. "smgr" → "smgr.thread.cpu.ns".
+    std::string metric_prefix = "loop";
+  };
+
+  EventLoop(const Options& options, const Clock* clock);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // -- Registration -------------------------------------------------------
+
+  /// Registers `channel` as a source: each iteration drains up to
+  /// `Options::burst` items into `handler`. Binds the channel's wakeup to
+  /// this loop. The channel must outlive the loop (or be removed first).
+  template <typename T>
+  SourceId AddChannel(ipc::Channel<T>* channel,
+                      std::function<void(T&&)> handler) {
+    channel->BindWakeup(&wakeup_);
+    Source source;
+    source.id = next_source_id_++;
+    source.poll = [channel, handler = std::move(handler)](
+                      size_t burst, size_t* handled) -> bool {
+      for (size_t i = 0; i < burst; ++i) {
+        ipc::RecvState state;
+        auto item = channel->TryRecv(&state);
+        if (state == ipc::RecvState::kClosed) return true;
+        if (!item.has_value()) break;
+        handler(std::move(*item));
+        ++*handled;
+      }
+      return false;
+    };
+    source.unbind = [channel] { channel->BindWakeup(nullptr); };
+    sources_.push_back(std::move(source));
+    return sources_.back().id;
+  }
+
+  /// Unregisters a source (unbinds its wakeup). Safe from handlers.
+  void RemoveChannel(SourceId id);
+
+  /// One-shot timer at absolute `deadline_nanos` (Clock domain).
+  TimerId AddTimer(int64_t deadline_nanos, std::function<void()> fn);
+  /// Periodic timer; first fire at now + period, re-armed from fire time.
+  TimerId AddPeriodic(int64_t period_nanos, std::function<void()> fn);
+  /// Cancels a pending timer; false when already fired/unknown.
+  bool CancelTimer(TimerId id);
+
+  /// Idle worker: runs once per iteration; returns whether it progressed.
+  void AddIdle(std::function<bool()> fn);
+
+  /// Dynamic-deadline service: called every iteration with `now`; performs
+  /// any due housekeeping and returns the next deadline (kNoDeadline when
+  /// it needs no wakeup).
+  void AddService(std::function<int64_t(int64_t now)> fn);
+
+  /// Runs once on the loop thread before the first iteration (user-object
+  /// Open/Prepare). In step mode, runs on the first RunOnce().
+  void OnStartup(std::function<void()> fn);
+  /// Runs exactly once after the final iteration (final drains/flushes).
+  void OnShutdown(std::function<void()> fn);
+
+  // -- Execution ----------------------------------------------------------
+
+  /// Blocking reactor: iterate until Stop() or all channel sources are
+  /// closed-and-drained; then run shutdown hooks.
+  void Run();
+
+  /// Step mode: exactly one non-blocking iteration (startup hooks on the
+  /// first call). Returns true when any timer fired, envelope was handled,
+  /// or idle worker progressed.
+  bool RunOnce();
+
+  /// Spawns a thread running Run().
+  void Start();
+  /// Requests Run() to exit after the current iteration (does not drain —
+  /// close the channels instead when drain semantics matter).
+  void Stop();
+  /// Joins the Start() thread, if any.
+  void Join();
+  /// Runs the shutdown hooks now if the loop has started but not yet shut
+  /// down; step-mode teardown calls this in place of Run()'s exit path.
+  void Shutdown();
+
+  /// Wakes a parked loop from any thread.
+  void Nudge() { wakeup_.Notify(); }
+
+  // -- Introspection (tests, benches) -------------------------------------
+
+  const std::string& name() const { return options_.name; }
+  uint64_t iterations() const {
+    return iterations_.load(std::memory_order_relaxed);
+  }
+  uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+  /// Earliest pending timer deadline, kNoDeadline when the heap is empty.
+  int64_t NextTimerDeadlineNanos() const;
+  size_t num_sources() const;
+  size_t num_timers() const { return armed_.size(); }
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+ private:
+  struct Source {
+    SourceId id = 0;
+    /// Drains up to `burst` items, bumping *handled; true = closed+drained.
+    std::function<bool(size_t burst, size_t* handled)> poll;
+    std::function<void()> unbind;
+    bool closed = false;
+    bool removed = false;
+  };
+
+  struct TimerEntry {
+    int64_t deadline = 0;
+    uint64_t seq = 0;  ///< Insertion order; ties fire FIFO.
+    TimerId id = 0;
+    bool operator>(const TimerEntry& other) const {
+      return deadline != other.deadline ? deadline > other.deadline
+                                        : seq > other.seq;
+    }
+  };
+
+  struct TimerState {
+    std::function<void()> fn;
+    int64_t period_nanos = 0;  ///< 0 = one-shot.
+    bool cancelled = false;
+  };
+
+  /// One iteration: due timers → source bursts → services → idle workers.
+  bool Step();
+  /// Fires every timer with deadline <= now; returns count fired.
+  size_t FireDueTimers(int64_t now);
+  /// True when Run() must exit: stopped, or channels exist and all are done.
+  bool ShouldExit() const;
+  /// Earliest of timer heap and service deadlines.
+  int64_t NextDeadlineNanos() const;
+  void EnsureStartup();
+  TimerId ArmTimer(int64_t deadline, int64_t period, std::function<void()> fn);
+
+  Options options_;
+  const Clock* clock_;
+
+  ipc::Wakeup wakeup_;
+  std::vector<Source> sources_;
+  SourceId next_source_id_ = 1;
+  bool all_sources_done_ = false;
+
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      timer_heap_;
+  std::map<TimerId, TimerState> armed_;
+  TimerId next_timer_id_ = 1;
+  uint64_t timer_seq_ = 0;
+  std::vector<TimerId> due_scratch_;  ///< Reused per iteration.
+
+  std::vector<std::function<bool()>> idle_;
+  std::vector<std::function<int64_t(int64_t)>> services_;
+  int64_t service_deadline_ = kNoDeadline;
+  std::vector<std::function<void()>> startup_hooks_;
+  std::vector<std::function<void()>> shutdown_hooks_;
+  bool startup_done_ = false;
+  bool shutdown_done_ = false;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  // Instrumentation.
+  std::atomic<uint64_t> iterations_{0};
+  std::atomic<uint64_t> wakeups_{0};
+  metrics::Gauge* thread_cpu_ = nullptr;
+  metrics::Histogram* iter_latency_ = nullptr;
+  metrics::Counter* wakeup_counter_ = nullptr;
+  metrics::Counter* iteration_counter_ = nullptr;
+};
+
+}  // namespace runtime
+}  // namespace heron
+
+#endif  // HERON_RUNTIME_EVENT_LOOP_H_

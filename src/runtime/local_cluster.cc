@@ -1,7 +1,7 @@
 #include "runtime/local_cluster.h"
 
+#include <algorithm>
 #include <chrono>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -147,6 +147,11 @@ Status LocalCluster::StartContainer(const packing::ContainerPlan& container) {
   }
   auto live = std::make_unique<Container>(container, plan, merged_config_,
                                           &transport_, clock_);
+  // Every collection round pulses the cluster-wide condvar, which is what
+  // WaitForCounter parks on. (The container outlives its listener: Stop()
+  // halts the housekeeping loop before the container is destroyed.)
+  live->metrics_manager()->AddCollectListener(
+      [this] { metrics_cv_.notify_all(); });
   HERON_RETURN_NOT_OK(live->Start());
   std::lock_guard<std::mutex> lock(mutex_);
   containers_[container.id] = std::move(live);
@@ -225,15 +230,21 @@ int64_t LocalCluster::SumSmgrGauge(const std::string& name) const {
 Status LocalCluster::WaitForCounter(const std::string& name, uint64_t target,
                                     int64_t timeout_ms) {
   const int64_t deadline = clock_->NowNanos() + timeout_ms * 1000000;
+  std::unique_lock<std::mutex> lock(metrics_cv_mutex_);
   while (SumCounter(name) < target) {
-    if (clock_->NowNanos() > deadline) {
+    const int64_t remaining = deadline - clock_->NowNanos();
+    if (remaining <= 0) {
       return Status::Timeout(StrFormat(
           "counter '%s' reached %llu of %llu within %lld ms", name.c_str(),
           static_cast<unsigned long long>(SumCounter(name)),
           static_cast<unsigned long long>(target),
           static_cast<long long>(timeout_ms)));
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // Park until the next metrics-collection pulse. The 50 ms cap bounds
+    // the wait when no container is collecting (e.g. all stopped).
+    metrics_cv_.wait_for(
+        lock, std::chrono::nanoseconds(
+                  std::min<int64_t>(remaining, 50000000)));
   }
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #ifndef HERON_RUNTIME_LOCAL_CLUSTER_H_
 #define HERON_RUNTIME_LOCAL_CLUSTER_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -73,6 +74,9 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   /// Sums an SMGR gauge across every live container.
   int64_t SumSmgrGauge(const std::string& name) const;
   /// Blocks until SumCounter(name) >= target or the deadline passes.
+  /// Sleeps on a condition variable notified by every container's metrics
+  /// collection round (no fixed-interval polling); a bounded wait cap
+  /// guards against containers that stop collecting.
   Status WaitForCounter(const std::string& name, uint64_t target,
                         int64_t timeout_ms);
   /// Aggregated end-to-end (spout complete) latency quantile in nanos.
@@ -97,6 +101,11 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   std::shared_ptr<const proto::PhysicalPlan> physical_plan_;
   std::map<ContainerId, std::unique_ptr<Container>> containers_;
   bool running_ = false;
+
+  /// Signalled by each container's metrics-collection round; WaitForCounter
+  /// parks here instead of sleep-polling.
+  std::mutex metrics_cv_mutex_;
+  std::condition_variable metrics_cv_;
 };
 
 }  // namespace runtime

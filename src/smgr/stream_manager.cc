@@ -21,7 +21,16 @@ StreamManager::StreamManager(const Options& options,
       cache_({options.cache_drain_frequency_ms, options.cache_drain_size_bytes},
              transport->buffer_pool()),
       tracker_(options.message_timeout_ms * 1000000),
-      rng_(options.seed ^ (static_cast<uint64_t>(options.container) << 32)) {
+      rng_(options.seed ^ (static_cast<uint64_t>(options.container) << 32)),
+      loop_(
+          runtime::EventLoop::Options{
+              /*.name=*/StrFormat("smgr-%d", options.container),
+              /*.burst=*/128,
+              /*.idle_backoff_nanos=*/200000,
+              /*.max_park_nanos=*/100000000,
+              /*.registry=*/&metrics_,
+              /*.metric_prefix=*/"smgr"},
+          clock) {
   // Resolve the routing table once: every (producer component, stream)
   // edge this container's instances can emit on.
   const api::Topology& topology = plan_->topology();
@@ -54,6 +63,8 @@ StreamManager::StreamManager(const Options& options,
         def != nullptr && def->kind == api::ComponentKind::kSpout;
   }
 
+  WireLoop();
+
   tuples_routed_ = metrics_.GetCounter("smgr.tuples.routed");
   batches_out_ = metrics_.GetCounter("smgr.batches.out");
   bytes_out_ = metrics_.GetCounter("smgr.bytes.out");
@@ -66,16 +77,67 @@ StreamManager::StreamManager(const Options& options,
 
 StreamManager::~StreamManager() { Stop(); }
 
-Status StreamManager::Start() {
-  if (running_.exchange(true)) {
-    return Status::FailedPrecondition("stream manager already running");
+void StreamManager::WireLoop() {
+  // Envelope handler: the reactor drains the inbound channel in bounded
+  // bursts (replacing the bespoke `for (i<128) TryRecv` drain).
+  loop_.AddChannel<proto::Envelope>(
+      &inbound_,
+      [this](proto::Envelope&& env) { ProcessEnvelope(std::move(env)); });
+
+  // Cache drain rides the timer heap: periodic, re-armed from fire time —
+  // exactly the ArmTimer(now) policy the hand-rolled loop implemented.
+  loop_.AddPeriodic(options_.cache_drain_frequency_ms * 1000000, [this] {
+    DrainCacheNow(/*timer_drain=*/true);
+    cache_.ArmTimer(clock_->NowNanos());
+  });
+
+  // Ack expiry is a dynamic-deadline service: the tracker's next deadline
+  // moves as roots register, so it cannot be a fixed timer.
+  if (options_.acking) {
+    loop_.AddService([this](int64_t now) {
+      if (now >= tracker_.NextDeadlineNanos()) ExpireAcksNow();
+      return tracker_.NextDeadlineNanos();
+    });
   }
+
+  // Parked-send retries: flush every iteration while non-empty, and ask
+  // the loop to wake within 1 ms so parked envelopes never stall longer
+  // than the hand-rolled loop allowed.
+  loop_.AddService([this](int64_t now) {
+    if (retry_.empty()) return runtime::EventLoop::kNoDeadline;
+    FlushRetries();
+    return retry_.empty() ? runtime::EventLoop::kNoDeadline : now + 1000000;
+  });
+
+  // Shutdown drain: no tuple stranded in the cache, no envelope parked.
+  loop_.OnShutdown([this] {
+    DrainCacheNow(/*timer_drain=*/false);
+    FlushRetries();
+  });
+}
+
+Status StreamManager::Register() {
   HERON_RETURN_NOT_OK(
       transport_->RegisterSmgr(options_.container, &inbound_));
   registered_ = true;
   cache_.ArmTimer(clock_->NowNanos());
-  thread_ = std::thread([this] { Loop(); });
   return Status::OK();
+}
+
+Status StreamManager::Start() {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("stream manager already running");
+  }
+  HERON_RETURN_NOT_OK(Register());
+  loop_.Start();
+  return Status::OK();
+}
+
+Status StreamManager::StartStepMode() {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("stream manager already running");
+  }
+  return Register();
 }
 
 void StreamManager::Stop() {
@@ -84,53 +146,12 @@ void StreamManager::Stop() {
     registered_ = false;
   }
   running_.store(false);
+  // Closing the inbound lets the reactor drain every remaining envelope
+  // and exit; Stop() is deliberately not called first, so nothing is
+  // stranded. Shutdown() is a no-op when the loop thread already ran it.
   inbound_.Close();
-  if (thread_.joinable()) thread_.join();
-}
-
-void StreamManager::Loop() {
-  metrics::Gauge* thread_cpu = metrics_.GetGauge("smgr.thread.cpu.ns");
-  while (true) {
-    const int64_t now = clock_->NowNanos();
-    int64_t wake = cache_.next_drain_nanos();
-    if (options_.acking) {
-      wake = std::min(wake, tracker_.NextDeadlineNanos());
-    }
-    if (!retry_.empty()) {
-      wake = std::min(wake, now + 1000000);  // Retry parked sends at 1ms.
-    }
-    const int64_t timeout = std::max<int64_t>(wake - now, 0);
-
-    auto env = inbound_.RecvFor(std::chrono::nanoseconds(timeout));
-    if (env.has_value()) {
-      ProcessEnvelope(std::move(*env));
-      // Opportunistically drain a burst without waiting on the clock.
-      for (int i = 0; i < 128; ++i) {
-        auto more = inbound_.TryRecv();
-        if (!more.has_value()) break;
-        ProcessEnvelope(std::move(*more));
-      }
-    } else if (inbound_.closed()) {
-      break;
-    }
-
-    const int64_t after = clock_->NowNanos();
-    if (after >= cache_.next_drain_nanos()) {
-      DrainCacheNow(/*timer_drain=*/true);
-      cache_.ArmTimer(after);
-      thread_cpu->Set(ThreadCpuNanos());
-    }
-    if (options_.acking && after >= tracker_.NextDeadlineNanos()) {
-      ExpireAcksNow();
-    }
-    if (!retry_.empty()) {
-      FlushRetries();
-    }
-  }
-  // Final drain so no tuple is stranded in the cache on shutdown.
-  DrainCacheNow(/*timer_drain=*/false);
-  FlushRetries();
-  thread_cpu->Set(ThreadCpuNanos());
+  loop_.Join();
+  loop_.Shutdown();
 }
 
 void StreamManager::ProcessEnvelope(proto::Envelope env) {

@@ -5,7 +5,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "api/grouping.h"
@@ -13,6 +12,7 @@
 #include "common/random.h"
 #include "metrics/metrics.h"
 #include "proto/physical_plan.h"
+#include "runtime/event_loop.h"
 #include "smgr/ack_tracker.h"
 #include "smgr/transport.h"
 #include "smgr/tuple_cache.h"
@@ -38,11 +38,14 @@ namespace smgr {
 ///    buffers/messages — the naive implementation the paper's
 ///    "without optimizations" bars measure.
 ///
-/// Threading: Start() spawns the event loop; everything else runs on it.
-/// The loop never blocks on a send — undeliverable envelopes park in a
-/// retry queue and the `backpressure` flag throttles local spouts, which
-/// is the container-local rendering of Heron's spout back-pressure
-/// protocol.
+/// Threading: the SMGR owns no loop body of its own — it registers its
+/// inbound channel, cache-drain timer and ack/retry services on a shared
+/// runtime::EventLoop (the §II kernel). Start() runs that loop on a
+/// thread; StartStepMode() arms it for deterministic single-stepping via
+/// loop()->RunOnce() with a SimClock (no threads). The loop never blocks
+/// on a send — undeliverable envelopes park in a retry queue and the
+/// `backpressure` flag throttles local spouts, which is the
+/// container-local rendering of Heron's spout back-pressure protocol.
 class StreamManager {
  public:
   struct Options {
@@ -67,8 +70,14 @@ class StreamManager {
 
   /// Registers the inbound channel with the transport and spawns the loop.
   Status Start();
+  /// Step-mode Start: registers with the transport and arms the reactor,
+  /// but spawns no thread — the caller drives loop()->RunOnce().
+  Status StartStepMode();
   /// Drains, deregisters and joins. Idempotent.
   void Stop();
+
+  /// The reactor this SMGR runs on (step-mode tests drive RunOnce on it).
+  runtime::EventLoop* loop() { return &loop_; }
 
   EnvelopeChannel* inbound() { return &inbound_; }
   metrics::MetricsRegistry* metrics() { return &metrics_; }
@@ -104,7 +113,10 @@ class StreamManager {
     api::Fields schema;                     ///< kCustom decode path.
   };
 
-  void Loop();
+  /// Registers handlers/timers/services on the reactor (ctor-time wiring).
+  void WireLoop();
+  /// Shared Start/StartStepMode body: transport registration + timer arm.
+  Status Register();
 
   /// Routes every tuple of an unrouted batch from a local instance.
   void HandleInstanceBatch(const serde::Buffer& payload);
@@ -153,7 +165,7 @@ class StreamManager {
   std::deque<Parked> retry_;
   std::atomic<bool> backpressure_{false};
 
-  std::thread thread_;
+  runtime::EventLoop loop_;
   std::atomic<bool> running_{false};
   bool registered_ = false;
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "api/context.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/strings.h"
+#include "runtime/event_loop.h"
 
 namespace heron {
 namespace storm {
@@ -43,25 +45,52 @@ struct StormCluster::Message {
 
 /// A worker "process": the thread group of a Storm worker slot — its
 /// executors plus the transfer and receive threads that do communication
-/// inside the same process.
+/// inside the same process. Each former communication thread is now one
+/// single-source reactor, so the thread count (and the §III-A contention
+/// the Fig. 2-4 comparison measures) is unchanged.
 class StormCluster::Worker {
  public:
   Worker(int id, size_t queue_capacity, StormCluster* cluster)
       : id_(id),
         cluster_(cluster),
         transfer_(queue_capacity),
-        receive_(queue_capacity) {}
+        receive_(queue_capacity),
+        transfer_loop_(
+            runtime::EventLoop::Options{
+                /*.name=*/StrFormat("storm-w%d-xfer", id),
+                /*.burst=*/128,
+                /*.idle_backoff_nanos=*/200000,
+                /*.max_park_nanos=*/100000000,
+                /*.registry=*/nullptr,
+                /*.metric_prefix=*/"loop"},
+            cluster->clock_),
+        receive_loop_(
+            runtime::EventLoop::Options{
+                /*.name=*/StrFormat("storm-w%d-recv", id),
+                /*.burst=*/128,
+                /*.idle_backoff_nanos=*/200000,
+                /*.max_park_nanos=*/100000000,
+                /*.registry=*/nullptr,
+                /*.metric_prefix=*/"loop"},
+            cluster->clock_) {
+    transfer_loop_.AddChannel<Message>(
+        &transfer_, [this](Message&& message) { Transfer(std::move(message)); });
+    receive_loop_.AddChannel<Message>(
+        &receive_, [this](Message&& message) { Receive(std::move(message)); });
+  }
 
   void Start() {
-    transfer_thread_ = std::thread([this] { TransferLoop(); });
-    receive_thread_ = std::thread([this] { ReceiveLoop(); });
+    transfer_loop_.Start();
+    receive_loop_.Start();
   }
 
   void Stop() {
     transfer_.Close();
     receive_.Close();
-    if (transfer_thread_.joinable()) transfer_thread_.join();
-    if (receive_thread_.joinable()) receive_thread_.join();
+    transfer_loop_.Join();
+    transfer_loop_.Shutdown();
+    receive_loop_.Join();
+    receive_loop_.Shutdown();
   }
 
   ipc::Channel<Message>* transfer() { return &transfer_; }
@@ -69,8 +98,8 @@ class StormCluster::Worker {
   int id() const { return id_; }
 
  private:
-  void TransferLoop();
-  void ReceiveLoop();
+  void Transfer(Message message);
+  void Receive(Message message);
 
   int id_;
   StormCluster* cluster_;
@@ -78,26 +107,47 @@ class StormCluster::Worker {
   ipc::Channel<Message> transfer_;
   /// Inbound serialized tuples from peer workers.
   ipc::Channel<Message> receive_;
-  std::thread transfer_thread_;
-  std::thread receive_thread_;
+  runtime::EventLoop transfer_loop_;
+  runtime::EventLoop receive_loop_;
 };
 
-/// An executor thread multiplexing several tasks, Storm style.
+/// An executor thread multiplexing several tasks, Storm style: one
+/// reactor whose idle worker round-robins the spout tasks and whose sole
+/// source is the executor's shared inbound queue.
 class StormCluster::Executor {
  public:
   Executor(int id, const Options& options, StormCluster* cluster)
       : id_(id),
         cluster_(cluster),
         inbound_(options.queue_capacity),
-        rng_(options.seed + static_cast<uint64_t>(id) * 31) {}
+        rng_(options.seed + static_cast<uint64_t>(id) * 31),
+        loop_(
+            runtime::EventLoop::Options{
+                /*.name=*/StrFormat("storm-exec-%d", id),
+                /*.burst=*/256,
+                /*.idle_backoff_nanos=*/200000,
+                /*.max_park_nanos=*/100000000,
+                /*.registry=*/nullptr,
+                /*.metric_prefix=*/"loop"},
+            cluster->clock_) {
+    loop_.OnStartup([this] { SetupTasks(); });
+    loop_.AddChannel<Message>(
+        &inbound_, [this](Message&& message) { Dispatch(std::move(message)); });
+    loop_.AddIdle([this] { return SpoutRound(); });
+    loop_.OnShutdown([this] {
+      for (auto& [_, state] : spouts_) state.spout->Close();
+      for (auto& [_, state] : bolts_) state.bolt->Cleanup();
+    });
+  }
 
   void AddTask(const TaskInfo& info) { task_ids_.push_back(info.task); }
 
-  void Start() { thread_ = std::thread([this] { Loop(); }); }
+  void Start() { loop_.Start(); }
 
   void Stop() {
     inbound_.Close();
-    if (thread_.joinable()) thread_.join();
+    loop_.Join();
+    loop_.Shutdown();
   }
 
   ipc::Channel<Message>* inbound() { return &inbound_; }
@@ -127,7 +177,10 @@ class StormCluster::Executor {
     std::map<api::TupleKey, std::pair<api::TupleKey, TaskId>> roots;
   };
 
-  void Loop();
+  /// Startup hook: instantiates user objects on the executor thread.
+  void SetupTasks();
+  /// Idle worker: one NextTuple per emit-eligible spout task.
+  bool SpoutRound();
   void Dispatch(Message message);
   bool CanEmit(const SpoutState& state) const;
 
@@ -139,7 +192,7 @@ class StormCluster::Executor {
   std::map<TaskId, SpoutState> spouts_;
   std::map<TaskId, BoltState> bolts_;
   std::map<TaskId, AckerState> ackers_;
-  std::thread thread_;
+  runtime::EventLoop loop_;
 };
 
 /// Spout collector: routes inline on the executor thread (no separate
@@ -264,7 +317,7 @@ bool StormCluster::Executor::CanEmit(const SpoutState& state) const {
          options.max_spout_pending;
 }
 
-void StormCluster::Executor::Loop() {
+void StormCluster::Executor::SetupTasks() {
   // Instantiate user objects on the executor thread.
   for (const TaskId task : task_ids_) {
     const TaskInfo& info = cluster_->tasks_[static_cast<size_t>(task)];
@@ -297,32 +350,18 @@ void StormCluster::Executor::Loop() {
       bolts_[task] = std::move(state);
     }
   }
+}
 
-  while (true) {
-    bool progressed = false;
-    // Round-robin the spout tasks multiplexed on this executor.
-    for (auto& [task, state] : spouts_) {
-      if (CanEmit(state)) {
-        state.spout->NextTuple();
-        progressed = true;
-      }
-    }
-    // Then drain a bounded burst of inbound messages.
-    for (int i = 0; i < 256; ++i) {
-      auto message = inbound_.TryRecv();
-      if (!message.has_value()) break;
-      Dispatch(std::move(*message));
+bool StormCluster::Executor::SpoutRound() {
+  bool progressed = false;
+  // Round-robin the spout tasks multiplexed on this executor.
+  for (auto& [task, state] : spouts_) {
+    if (CanEmit(state)) {
+      state.spout->NextTuple();
       progressed = true;
     }
-    if (inbound_.closed()) break;
-    if (!progressed) {
-      auto message = inbound_.RecvFor(std::chrono::microseconds(200));
-      if (message.has_value()) Dispatch(std::move(*message));
-    }
   }
-
-  for (auto& [_, state] : spouts_) state.spout->Close();
-  for (auto& [_, state] : bolts_) state.bolt->Cleanup();
+  return progressed;
 }
 
 void StormCluster::Executor::Dispatch(Message message) {
@@ -392,34 +431,26 @@ void StormCluster::Executor::Dispatch(Message message) {
   }
 }
 
-void StormCluster::Worker::TransferLoop() {
+void StormCluster::Worker::Transfer(Message message) {
   // "The threads that perform the communication operations and the actual
-  // processing tasks share the same JVM": this thread contends with the
-  // worker's executors for the same cores.
-  while (true) {
-    auto message = transfer_.Recv();
-    if (!message.has_value()) break;
-    const int dest_worker =
-        cluster_->tasks_[static_cast<size_t>(message->dest)].worker;
-    Worker* peer = cluster_->workers_[static_cast<size_t>(dest_worker)].get();
-    peer->receive()->Send(std::move(*message)).ok();
-  }
+  // processing tasks share the same JVM": this reactor's thread contends
+  // with the worker's executors for the same cores.
+  const int dest_worker =
+      cluster_->tasks_[static_cast<size_t>(message.dest)].worker;
+  Worker* peer = cluster_->workers_[static_cast<size_t>(dest_worker)].get();
+  peer->receive()->Send(std::move(message)).ok();
 }
 
-void StormCluster::Worker::ReceiveLoop() {
-  while (true) {
-    auto message = receive_.Recv();
-    if (!message.has_value()) break;
-    if (message->kind == Message::Kind::kData) {
-      // The naive hop: full per-tuple deserialization, fresh allocations.
-      proto::TupleDataMsg msg;
-      if (!msg.ParseFromBytes(message->serialized).ok()) continue;
-      msg.ToTuple(message->src_component, message->stream, message->src_task,
-                  &message->tuple);
-      message->serialized.clear();
-    }
-    cluster_->DeliverLocal(std::move(*message));
+void StormCluster::Worker::Receive(Message message) {
+  if (message.kind == Message::Kind::kData) {
+    // The naive hop: full per-tuple deserialization, fresh allocations.
+    proto::TupleDataMsg msg;
+    if (!msg.ParseFromBytes(message.serialized).ok()) return;
+    msg.ToTuple(message.src_component, message.stream, message.src_task,
+                &message.tuple);
+    message.serialized.clear();
   }
+  cluster_->DeliverLocal(std::move(message));
 }
 
 StormCluster::StormCluster(const Options& options)

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "api/grouping.h"

@@ -84,6 +84,54 @@ TEST(ChannelTest, CrossThreadThroughputIsLossless) {
   EXPECT_EQ(channel.total_enqueued(), kItems);
 }
 
+TEST(ChannelTest, TryRecvDistinguishesEmptyFromClosed) {
+  Channel<int> channel(8);
+  RecvState state;
+
+  // Open and empty.
+  EXPECT_FALSE(channel.TryRecv(&state).has_value());
+  EXPECT_EQ(state, RecvState::kEmpty);
+
+  // Open with an item.
+  ASSERT_TRUE(channel.TrySend(42).ok());
+  auto v = channel.TryRecv(&state);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(state, RecvState::kItem);
+
+  // Closed but not yet drained: items still come out as kItem.
+  ASSERT_TRUE(channel.TrySend(7).ok());
+  channel.Close();
+  v = channel.TryRecv(&state);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(state, RecvState::kItem);
+
+  // Closed and drained: end of stream, not "try again".
+  EXPECT_FALSE(channel.TryRecv(&state).has_value());
+  EXPECT_EQ(state, RecvState::kClosed);
+}
+
+TEST(ChannelTest, BoundWakeupSeesSendsAndClose) {
+  Channel<int> channel(8);
+  Wakeup wakeup;
+  channel.BindWakeup(&wakeup);
+
+  EXPECT_FALSE(wakeup.Poll());
+  ASSERT_TRUE(channel.TrySend(1).ok());
+  EXPECT_TRUE(wakeup.Poll());   // Send notified; Poll consumes the latch.
+  EXPECT_FALSE(wakeup.Poll());  // Coalesced: one pending bit, not a queue.
+
+  ASSERT_TRUE(channel.TrySend(2).ok());
+  ASSERT_TRUE(channel.TrySend(3).ok());
+  EXPECT_TRUE(wakeup.Poll());  // N sends → one wakeup.
+  EXPECT_FALSE(wakeup.Poll());
+
+  channel.Close();
+  EXPECT_TRUE(wakeup.Poll());  // Close must wake a parked consumer.
+
+  channel.BindWakeup(nullptr);  // Unbind: no further notifications.
+}
+
 TEST(ChannelTest, MoveOnlyPayloads) {
   Channel<std::unique_ptr<int>> channel(4);
   ASSERT_TRUE(channel.Send(std::make_unique<int>(7)).ok());
