@@ -1,0 +1,88 @@
+// Backpressure experiment: one straggler container, with and without the
+// cluster-wide spout back-pressure protocol.
+//
+// Heron's Stream Managers run a control-plane conversation: when one
+// SMGR's send backlog crosses the high watermark it broadcasts
+// kStartBackpressure to every peer, pausing every spout in the topology
+// until the backlog drains to the low watermark. Without the protocol a
+// spout only reacts to its *own* container's backlog, so a slow remote
+// container's queue grows without bound while everyone else keeps
+// emitting into it.
+//
+// The experiment injects a straggler (one SMGR running N× slower) and
+// sweeps the slowdown factor. Reported per row:
+//   - throughput (both universes pay the straggler tax),
+//   - peak SMGR backlog in service-time seconds: bounded under the
+//     protocol, unbounded (growing with the slowdown) without it,
+//   - spout emit attempts deferred by back pressure.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/figures/fig_util.h"
+#include "sim/heron_model.h"
+
+using namespace heron;
+using namespace heron::sim;
+
+namespace {
+
+SimResult RunOne(double slow_factor, bool cluster_bp) {
+  HeronCostModel costs;
+  HeronSimConfig config;
+  config.spouts = config.bolts = 25;
+  config.acking = false;
+  config.cluster_backpressure = cluster_bp;
+  config.slow_container = 1;  // Hosts bolts fed by remote spouts (cyclic RR).
+  config.slow_container_factor = slow_factor;
+  // Bounded SMGR→instance channels: a slow bolt fills its channel, so
+  // batches park on the straggler SMGR's retry queue — the quantity the
+  // real protocol's high watermark trips on.
+  config.instance_channel_capacity_sec = 0.001;
+  config.warmup_sec = bench::WarmupSec();
+  config.measure_sec = bench::MeasureSec();
+  return RunHeronSim(config, costs);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintFigureHeader(
+      "Backpressure: straggler container, cluster-wide vs container-local",
+      "Spout back pressure keeps the straggler's queue bounded; without the "
+      "cluster-wide protocol it grows with the slowdown");
+
+  const std::vector<double> sweep = {1.0, 2.0, 4.0, 8.0, 16.0};
+
+  bench::PrintColumns({"slowdown", "mode", "tput_Mt/min", "peak_bklg_ms",
+                       "bp_stalls"});
+  double peak_with_protocol = 0;
+  double peak_without_protocol = 0;
+  for (const double factor : sweep) {
+    for (const bool cluster_bp : {true, false}) {
+      const SimResult r = RunOne(factor, cluster_bp);
+      bench::PrintCell(factor);
+      bench::PrintCell(cluster_bp ? "cluster" : "local");
+      bench::PrintCell(r.tuples_per_min / 1e6);
+      bench::PrintCell(r.max_smgr_backlog_sec * 1e3);
+      bench::PrintCellInt(static_cast<int64_t>(r.backpressure_stalls));
+      bench::EndRow();
+      if (factor == sweep.back()) {
+        (cluster_bp ? peak_with_protocol : peak_without_protocol) =
+            r.max_smgr_backlog_sec;
+      }
+    }
+  }
+
+  std::printf(
+      "\n  shape: at %.0fx slowdown the straggler's peak backlog is %.1f ms "
+      "with the\n  cluster-wide protocol vs %.1f ms container-local "
+      "(%.1fx deeper).\n",
+      sweep.back(), peak_with_protocol * 1e3, peak_without_protocol * 1e3,
+      peak_without_protocol / std::max(peak_with_protocol, 1e-9));
+  std::printf(
+      "  The protocol bounds the queue: every spout in the topology pauses "
+      "within one\n  control round-trip of the straggler tripping its high "
+      "watermark.\n");
+  return 0;
+}

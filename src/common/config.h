@@ -94,6 +94,14 @@ inline constexpr char kCacheDrainSizeBytes[] =
     "heron.streammgr.cache.drain.size.bytes";
 inline constexpr char kSmgrOptimizationsEnabled[] =
     "heron.streammgr.optimizations.enabled";
+/// Parked retry entries at which an SMGR starts a cluster-wide
+/// backpressure episode (kStartBackpressure to every peer).
+inline constexpr char kBackpressureHighWater[] =
+    "heron.streammgr.backpressure.highwater";
+/// Parked retry entries at which an active episode releases
+/// (kStopBackpressure). 0 = half the high watermark (hysteresis default).
+inline constexpr char kBackpressureLowWater[] =
+    "heron.streammgr.backpressure.lowwater";
 
 // Metrics manager.
 inline constexpr char kMetricsCollectIntervalMs[] =

@@ -179,7 +179,16 @@ Status HeronInstance::Prepare() {
     loop_.OnStartup([this] {
       spout_->Open(options_.config, context_.get(), spout_collector_.get());
     });
-    loop_.AddIdle([this] { return SpoutStep(); });
+    // The idle worker carries a throttle predicate: while any backpressure
+    // initiator (local SMGR or a remote peer via kStartBackpressure) holds
+    // a throttle ref, the reactor skips NextTuple entirely — the spout
+    // pauses at the loop layer, not inside the worker. SpoutStep keeps its
+    // own check as defense in depth for direct single-step calls.
+    loop_.AddIdle([this] { return SpoutStep(); },
+                  [this] {
+                    return local_smgr_ != nullptr &&
+                           local_smgr_->backpressure();
+                  });
   } else {
     loop_.OnStartup([this] {
       bolt_->Prepare(options_.config, context_.get(), bolt_collector_.get());

@@ -27,6 +27,9 @@ constexpr uint32_t kAuFail = 3;
 // RootEventMsg fields.
 constexpr uint32_t kReRoot = 1;
 constexpr uint32_t kReFail = 2;
+// BackpressureMsg fields.
+constexpr uint32_t kBpInitiator = 1;
+constexpr uint32_t kBpRetryDepth = 2;
 // TMasterLocationMsg fields.
 constexpr uint32_t kTmTopology = 1;
 constexpr uint32_t kTmHost = 2;
@@ -283,6 +286,36 @@ Status RootEventMsg::ParseFrom(serde::WireDecoder* dec) {
 void RootEventMsg::Clear() {
   root = 0;
   fail = false;
+}
+
+void BackpressureMsg::SerializeTo(serde::WireEncoder* enc) const {
+  enc->WriteInt32Field(kBpInitiator, initiator);
+  enc->WriteUint64Field(kBpRetryDepth, retry_depth);
+}
+
+Status BackpressureMsg::ParseFrom(serde::WireDecoder* dec) {
+  while (!dec->AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec->ReadTag());
+    if (tag == 0) break;
+    switch (serde::TagFieldNumber(tag)) {
+      case kBpInitiator: {
+        HERON_ASSIGN_OR_RETURN(initiator, dec->ReadInt32());
+        break;
+      }
+      case kBpRetryDepth: {
+        HERON_ASSIGN_OR_RETURN(retry_depth, dec->ReadUint64());
+        break;
+      }
+      default:
+        HERON_RETURN_NOT_OK(dec->SkipField(serde::TagWireType(tag)));
+    }
+  }
+  return Status::OK();
+}
+
+void BackpressureMsg::Clear() {
+  initiator = -1;
+  retry_depth = 0;
 }
 
 void TMasterLocationMsg::SerializeTo(serde::WireEncoder* enc) const {

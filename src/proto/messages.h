@@ -20,6 +20,8 @@ enum class MessageType : uint8_t {
   kRootEvent = 3,         ///< SMGR → spout instance: tree completed/failed.
   kControl = 4,           ///< Control-plane payloads (plan updates, ...).
   kTupleBatchRouted = 5,  ///< Routed tuples, SMGR → SMGR or SMGR → instance.
+  kStartBackpressure = 6, ///< SMGR → all peer SMGRs: throttle your spouts.
+  kStopBackpressure = 7,  ///< SMGR → all peer SMGRs: release the throttle.
 };
 
 /// \brief A typed, serialized payload as it crosses the IPC kernel.
@@ -141,6 +143,31 @@ class RootEventMsg final : public serde::Message {
   void SerializeTo(serde::WireEncoder* enc) const override;
   Status ParseFrom(serde::WireDecoder* dec) override;
   void Clear() override;
+};
+
+/// \brief Control envelope of the cluster-wide spout back-pressure
+/// protocol (§II / Heron's "spout back pressure"): when a Stream
+/// Manager's retry backlog crosses its high watermark it broadcasts a
+/// `kStartBackpressure` envelope carrying this payload to every peer
+/// SMGR, each of which raises a ref-counted throttle on its local
+/// spouts; dropping below the low watermark broadcasts
+/// `kStopBackpressure`. The payload is deliberately tiny — the control
+/// plane must stay deliverable precisely when the data plane is choking.
+///
+/// Field layout: 1 initiator zigzag (container id of the choking SMGR),
+/// 2 retry_depth varint (diagnostic: the backlog that tripped it).
+class BackpressureMsg final : public serde::Message {
+ public:
+  ContainerId initiator = -1;
+  uint64_t retry_depth = 0;
+
+  void SerializeTo(serde::WireEncoder* enc) const override;
+  Status ParseFrom(serde::WireDecoder* dec) override;
+  void Clear() override;
+
+  bool operator==(const BackpressureMsg& o) const {
+    return initiator == o.initiator && retry_depth == o.retry_depth;
+  }
 };
 
 /// \brief Location advertisement the Topology Master writes into the

@@ -46,6 +46,10 @@ Status Container::Start() {
       config_.GetIntOr(config_keys::kCacheDrainSizeBytes, 1 << 20));
   smgr_options.message_timeout_ms =
       config_.GetIntOr(config_keys::kMessageTimeoutMs, 30000);
+  smgr_options.backpressure_high_water = static_cast<size_t>(
+      config_.GetIntOr(config_keys::kBackpressureHighWater, 4096));
+  smgr_options.backpressure_low_water = static_cast<size_t>(
+      config_.GetIntOr(config_keys::kBackpressureLowWater, 0));
   smgr_options.seed = 42 + static_cast<uint64_t>(plan_.id);
   smgr_ = std::make_unique<smgr::StreamManager>(smgr_options, physical_plan_,
                                                 transport_, clock_);
@@ -105,14 +109,19 @@ void Container::Stop() {
   housekeeping_.Stop();
   housekeeping_.Join();
   housekeeping_.Shutdown();
+  // Park every thread before destroying any endpoint: the SMGR's wire
+  // thread can be mid-TrySend into an instance channel (delivering a
+  // routed batch or a parked retry), so no instance may be destroyed
+  // until the SMGR has joined — and vice versa for instances still
+  // flushing toward the SMGR.
   for (auto& instance : instances_) {
     instance->Stop();
   }
-  instances_.clear();
   if (smgr_ != nullptr) {
     smgr_->Stop();
-    smgr_.reset();
   }
+  instances_.clear();
+  smgr_.reset();
   started_ = false;
 }
 
@@ -132,6 +141,14 @@ int64_t Container::SmgrGauge(const std::string& name) const {
   return const_cast<smgr::StreamManager*>(smgr_.get())
       ->metrics()
       ->GetGauge(name)
+      ->value();
+}
+
+uint64_t Container::SmgrCounter(const std::string& name) const {
+  if (smgr_ == nullptr) return 0;
+  return const_cast<smgr::StreamManager*>(smgr_.get())
+      ->metrics()
+      ->GetCounter(name)
       ->value();
 }
 

@@ -63,6 +63,9 @@ class Container {
   /// Reads a gauge from this container's Stream Manager (0 when absent).
   int64_t SmgrGauge(const std::string& name) const;
 
+  /// Reads a counter from this container's Stream Manager (0 when absent).
+  uint64_t SmgrCounter(const std::string& name) const;
+
  private:
   packing::ContainerPlan plan_;
   std::shared_ptr<const proto::PhysicalPlan> physical_plan_;

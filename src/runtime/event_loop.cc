@@ -15,6 +15,8 @@ EventLoop::EventLoop(const Options& options, const Clock* clock)
     iter_latency_ = options_.registry->GetHistogram(p + ".loop.iter.ns");
     wakeup_counter_ = options_.registry->GetCounter(p + ".loop.wakeups");
     iteration_counter_ = options_.registry->GetCounter(p + ".loop.iterations");
+    idle_throttled_counter_ =
+        options_.registry->GetCounter(p + ".loop.idle.throttled");
   }
 }
 
@@ -67,7 +69,12 @@ bool EventLoop::CancelTimer(TimerId id) {
 }
 
 void EventLoop::AddIdle(std::function<bool()> fn) {
-  idle_.push_back(std::move(fn));
+  idle_.push_back(IdleWorker{std::move(fn), nullptr});
+}
+
+void EventLoop::AddIdle(std::function<bool()> fn,
+                        std::function<bool()> throttled) {
+  idle_.push_back(IdleWorker{std::move(fn), std::move(throttled)});
 }
 
 void EventLoop::AddService(std::function<int64_t(int64_t)> fn) {
@@ -166,8 +173,16 @@ bool EventLoop::Step() {
 
   // Idle workers (spout NextTuple rounds) run after inbound traffic so
   // acks free pending slots before the next emission attempt.
-  for (auto& worker : idle_) {
-    if (worker()) did_work = true;
+  for (IdleWorker& worker : idle_) {
+    if (worker.throttled && worker.throttled()) {
+      // Paused (e.g. spout back pressure): skipped, counted, no progress —
+      // the loop parks on its idle backoff and re-checks next iteration.
+      if (idle_throttled_counter_ != nullptr) {
+        idle_throttled_counter_->Increment();
+      }
+      continue;
+    }
+    if (worker.fn()) did_work = true;
   }
 
   if (iter_latency_ != nullptr) {

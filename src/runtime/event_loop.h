@@ -135,6 +135,16 @@ class EventLoop {
   /// Idle worker: runs once per iteration; returns whether it progressed.
   void AddIdle(std::function<bool()> fn);
 
+  /// Throttleable idle worker: like AddIdle, but skipped (counting as "no
+  /// progress") on iterations where `throttled()` returns true. This is
+  /// the reactor-level rendering of spout back pressure — the worker is
+  /// paused without the worker body having to poll the flag itself, and
+  /// the skip is counted in `<prefix>.loop.idle.throttled`. `throttled`
+  /// runs on the loop thread every iteration; it must be cheap and may
+  /// read cross-thread state (an atomic flag raised by another module's
+  /// loop).
+  void AddIdle(std::function<bool()> fn, std::function<bool()> throttled);
+
   /// Dynamic-deadline service: called every iteration with `now`; performs
   /// any due housekeeping and returns the next deadline (kNoDeadline when
   /// it needs no wakeup).
@@ -237,7 +247,11 @@ class EventLoop {
   uint64_t timer_seq_ = 0;
   std::vector<TimerId> due_scratch_;  ///< Reused per iteration.
 
-  std::vector<std::function<bool()>> idle_;
+  struct IdleWorker {
+    std::function<bool()> fn;
+    std::function<bool()> throttled;  ///< Null = never throttled.
+  };
+  std::vector<IdleWorker> idle_;
   std::vector<std::function<int64_t(int64_t)>> services_;
   int64_t service_deadline_ = kNoDeadline;
   std::vector<std::function<void()>> startup_hooks_;
@@ -255,6 +269,7 @@ class EventLoop {
   metrics::Histogram* iter_latency_ = nullptr;
   metrics::Counter* wakeup_counter_ = nullptr;
   metrics::Counter* iteration_counter_ = nullptr;
+  metrics::Counter* idle_throttled_counter_ = nullptr;
 };
 
 }  // namespace runtime

@@ -148,10 +148,25 @@ Status LocalCluster::StartContainer(const packing::ContainerPlan& container) {
   auto live = std::make_unique<Container>(container, plan, merged_config_,
                                           &transport_, clock_);
   // Every collection round pulses the cluster-wide condvar, which is what
-  // WaitForCounter parks on. (The container outlives its listener: Stop()
-  // halts the housekeeping loop before the container is destroyed.)
+  // WaitForCounter parks on, and forwards the container's backpressure
+  // state to the TMaster on change — this is how local SMGR episodes reach
+  // the topology status in the state tree (§IV-C). (The container outlives
+  // its listener: Stop() halts the housekeeping loop before the container
+  // is destroyed; Kill() stops every container before the TMaster.)
+  Container* raw = live.get();
+  const ContainerId container_id = container.id;
+  auto last_bp = std::make_shared<int64_t>(0);
   live->metrics_manager()->AddCollectListener(
-      [this] { metrics_cv_.notify_all(); });
+      [this, raw, container_id, last_bp] {
+        const int64_t bp = raw->SmgrGauge("smgr.backpressure.active");
+        if (bp != *last_bp) {
+          *last_bp = bp;
+          if (tmaster_ != nullptr) {
+            tmaster_->ReportBackpressure(container_id, bp != 0).ok();
+          }
+        }
+        metrics_cv_.notify_all();
+      });
   HERON_RETURN_NOT_OK(live->Start());
   std::lock_guard<std::mutex> lock(mutex_);
   containers_[container.id] = std::move(live);
@@ -223,6 +238,15 @@ int64_t LocalCluster::SumSmgrGauge(const std::string& name) const {
   int64_t total = 0;
   for (const auto& [_, container] : containers_) {
     total += container->SmgrGauge(name);
+  }
+  return total;
+}
+
+uint64_t LocalCluster::SumSmgrCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [_, container] : containers_) {
+    total += container->SmgrCounter(name);
   }
   return total;
 }

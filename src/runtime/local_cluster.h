@@ -73,6 +73,8 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   int64_t SumInstanceGauge(const std::string& name) const;
   /// Sums an SMGR gauge across every live container.
   int64_t SumSmgrGauge(const std::string& name) const;
+  /// Sums an SMGR counter across every live container.
+  uint64_t SumSmgrCounter(const std::string& name) const;
   /// Blocks until SumCounter(name) >= target or the deadline passes.
   /// Sleeps on a condition variable notified by every container's metrics
   /// collection round (no fixed-interval polling); a bounded wait cap

@@ -1,6 +1,7 @@
 #include "sim/heron_model.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
@@ -56,13 +57,33 @@ class HeronSim {
     std::vector<int> spouts;   ///< Spout indices homed here.
     size_t ack_cursor = 0;     ///< Round-robin ack fan-out position.
     std::vector<AckSlot> ack_out;  ///< Ack outbox, indexed by owner container.
+    /// Service-seconds of batches parked on this container's SMGR retry
+    /// queue because an instance channel is full (TrySendOrPark analog);
+    /// counts toward the back-pressure gate.
+    double parked_sec = 0;
   };
+  /// A batch waiting for space in a full SMGR→instance channel.
+  struct ParkedBatch {
+    int64_t n = 0;
+    double t_avg = 0;
+  };
+
+  /// Straggler injection: work multiplier for container `c`'s SMGR.
+  double SmgrScale(int c) const {
+    return c == config_.slow_container ? config_.slow_container_factor : 1.0;
+  }
+  /// Backlog the spout back-pressure gate sees: the whole cluster's worst
+  /// queue under the control-plane protocol, the home queue without it.
+  /// Also tracks the peak for SimResult.
+  double GateBacklog(int home);
 
   void SpoutTryEmit(int i);
   void SmgrInstanceBatch(int c, int64_t n, double t_emit);
   void DrainCache(int c);
   void SmgrTransit(int cd, int dest_bolt, int64_t n, double t_avg);
   void BoltBatchArrive(int j, int64_t n, double t_avg);
+  void BoltDeliver(int j, int64_t n, double t_avg);
+  double BoltBatchWork(int64_t n) const;
   void SmgrAckReturn(int c, int64_t n, double t_avg);
   void RecordLatency(double emitted_at, int64_t weight);
   bool Measuring() const { return des_.now() >= config_.warmup_sec; }
@@ -74,6 +95,7 @@ class HeronSim {
 
   std::vector<std::unique_ptr<SimServer>> spout_servers_;
   std::vector<std::unique_ptr<SimServer>> bolt_servers_;
+  std::vector<std::deque<ParkedBatch>> bolt_parked_;  ///< Indexed by bolt.
   std::vector<SpoutState> spout_state_;
   std::vector<ContainerState> containers_;
   std::vector<int> bolt_container_;
@@ -82,7 +104,25 @@ class HeronSim {
   double backlog_limit_sec_ = 0.002;
   uint64_t delivered_ = 0;
   uint64_t acked_ = 0;
+  double max_backlog_sec_ = 0;
+  uint64_t backpressure_stalls_ = 0;
 };
+
+double HeronSim::GateBacklog(int home) {
+  // A container's effective backlog is its SMGR's queued service time plus
+  // any batches parked because an instance channel is full — exactly the
+  // retry-queue depth the real SMGR trips its high watermark on.
+  double max_backlog = 0;
+  for (const auto& c : containers_) {
+    max_backlog = std::max(max_backlog, c.smgr->Backlog() + c.parked_sec);
+  }
+  if (Measuring()) {
+    max_backlog_sec_ = std::max(max_backlog_sec_, max_backlog);
+  }
+  if (config_.cluster_backpressure) return max_backlog;
+  const ContainerState& h = containers_[static_cast<size_t>(home)];
+  return h.smgr->Backlog() + h.parked_sec;
+}
 
 void HeronSim::RecordLatency(double emitted_at, int64_t weight) {
   if (!Measuring()) return;
@@ -100,8 +140,8 @@ void HeronSim::SpoutTryEmit(int i) {
     spout.waiting = true;  // Re-armed by the ack return path.
     return;
   }
-  ContainerState& home = containers_[static_cast<size_t>(spout.container)];
-  if (home.smgr->Backlog() > backlog_limit_sec_) {
+  if (GateBacklog(spout.container) > backlog_limit_sec_) {
+    if (Measuring()) ++backpressure_stalls_;
     spout.busy = true;
     des_.ScheduleAfter(kBackpressureRetrySec, [this, i] {
       spout_state_[static_cast<size_t>(i)].busy = false;
@@ -136,7 +176,7 @@ void HeronSim::SmgrInstanceBatch(int c, int64_t n, double t_emit) {
   if (!config_.optimizations) per_tuple += costs_.alloc_ns;
   const double work = costs_.batch_recv_ns + static_cast<double>(n) * per_tuple;
   containers_[static_cast<size_t>(c)].smgr->Submit(
-      work * kNs, [this, c, n, t_emit] {
+      work * SmgrScale(c) * kNs, [this, c, n, t_emit] {
         ContainerState& container = containers_[static_cast<size_t>(c)];
         const size_t bolts = container.cache.size();
         for (int64_t k = 0; k < n; ++k) {
@@ -164,8 +204,8 @@ void HeronSim::DrainCache(int c) {
     const int cd = bolt_container_[j];
     double send_work = costs_.batch_send_ns;
     if (!config_.optimizations) send_work += costs_.alloc_ns;
-    container.smgr->Submit(send_work * kNs, [this, c, cd, dest_bolt, n,
-                                             t_avg] {
+    container.smgr->Submit(send_work * SmgrScale(c) * kNs,
+                           [this, c, cd, dest_bolt, n, t_avg] {
       if (cd == c) {
         BoltBatchArrive(dest_bolt, n, t_avg);
       } else {
@@ -189,8 +229,8 @@ void HeronSim::DrainCache(int c) {
     slot.count = 0;
     slot.sum_emit = 0;
     const int cc = static_cast<int>(owner);
-    container.smgr->Submit(costs_.batch_send_ns * kNs, [this, c, cc, n,
-                                                        t_avg] {
+    container.smgr->Submit(costs_.batch_send_ns * SmgrScale(c) * kNs,
+                           [this, c, cc, n, t_avg] {
       const double wire =
           (cc == c) ? 0
                     : (costs_.network_batch_ns +
@@ -213,42 +253,75 @@ void HeronSim::SmgrTransit(int cd, int dest_bolt, int64_t n, double t_avg) {
             (costs_.transit_reser_per_tuple_ns + costs_.alloc_ns);
   }
   containers_[static_cast<size_t>(cd)].smgr->Submit(
-      work * kNs,
+      work * SmgrScale(cd) * kNs,
       [this, dest_bolt, n, t_avg] { BoltBatchArrive(dest_bolt, n, t_avg); });
 }
 
-void HeronSim::BoltBatchArrive(int j, int64_t n, double t_avg) {
+double HeronSim::BoltBatchWork(int64_t n) const {
   double per_tuple = costs_.inst_deserialize_ns + costs_.bolt_user_ns;
   if (config_.acking) per_tuple += costs_.ack_update_ns;  // Emit the ack.
   if (!config_.optimizations) per_tuple += costs_.alloc_ns;
-  const double work = costs_.batch_recv_ns + static_cast<double>(n) * per_tuple;
-  bolt_servers_[static_cast<size_t>(j)]->Submit(work * kNs, [this, j, n,
-                                                             t_avg] {
+  return (costs_.batch_recv_ns + static_cast<double>(n) * per_tuple) * kNs;
+}
+
+void HeronSim::BoltBatchArrive(int j, int64_t n, double t_avg) {
+  const double cap = config_.instance_channel_capacity_sec;
+  if (cap > 0 && (!bolt_parked_[static_cast<size_t>(j)].empty() ||
+                  bolt_servers_[static_cast<size_t>(j)]->Backlog() > cap)) {
+    // Instance channel full: the batch parks on its container's SMGR
+    // retry queue (the TrySendOrPark path) and counts toward the queue
+    // depth the back-pressure gate watches. FIFO per channel: anything
+    // arriving behind an already-parked batch parks too.
+    const int cd = bolt_container_[static_cast<size_t>(j)];
+    containers_[static_cast<size_t>(cd)].parked_sec +=
+        BoltBatchWork(n) * SmgrScale(cd);
+    bolt_parked_[static_cast<size_t>(j)].push_back({n, t_avg});
+    return;
+  }
+  BoltDeliver(j, n, t_avg);
+}
+
+void HeronSim::BoltDeliver(int j, int64_t n, double t_avg) {
+  bolt_servers_[static_cast<size_t>(j)]->Submit(BoltBatchWork(n), [this, j, n,
+                                                                   t_avg] {
     if (Measuring()) delivered_ += static_cast<uint64_t>(n);
     if (!config_.acking) {
       RecordLatency(t_avg, n);
-      return;
+    } else {
+      // Ack updates accumulate in the bolt container's ack outbox, batched
+      // per owner container — exactly how the real Outbox/AckBatchMsg path
+      // coalesces acks — and flush with the drain timer. Owners receive
+      // shares proportional to the spouts they host; fractional shares
+      // carry over so no owner starves.
+      ContainerState& home = containers_[static_cast<size_t>(
+          bolt_container_[static_cast<size_t>(j)])];
+      const int total_spouts = config_.spouts;
+      for (size_t c = 0; c < home.ack_out.size(); ++c) {
+        ContainerState& owner = containers_[c];
+        if (owner.spouts.empty()) continue;
+        AckSlot& slot = home.ack_out[c];
+        slot.credit += static_cast<double>(n) *
+                       static_cast<double>(owner.spouts.size()) /
+                       static_cast<double>(total_spouts);
+        const int64_t share = static_cast<int64_t>(slot.credit);
+        if (share <= 0) continue;
+        slot.credit -= static_cast<double>(share);
+        slot.count += share;
+        slot.sum_emit += t_avg * static_cast<double>(share);
+      }
     }
-    // Ack updates accumulate in the bolt container's ack outbox, batched
-    // per owner container — exactly how the real Outbox/AckBatchMsg path
-    // coalesces acks — and flush with the drain timer. Owners receive
-    // shares proportional to the spouts they host; fractional shares
-    // carry over so no owner starves.
-    ContainerState& home = containers_[static_cast<size_t>(
-        bolt_container_[static_cast<size_t>(j)])];
-    const int total_spouts = config_.spouts;
-    for (size_t c = 0; c < home.ack_out.size(); ++c) {
-      ContainerState& owner = containers_[c];
-      if (owner.spouts.empty()) continue;
-      AckSlot& slot = home.ack_out[c];
-      slot.credit += static_cast<double>(n) *
-                     static_cast<double>(owner.spouts.size()) /
-                     static_cast<double>(total_spouts);
-      const int64_t share = static_cast<int64_t>(slot.credit);
-      if (share <= 0) continue;
-      slot.credit -= static_cast<double>(share);
-      slot.count += share;
-      slot.sum_emit += t_avg * static_cast<double>(share);
+    // FlushRetries: a completed service freed channel space, so the oldest
+    // parked batch (if any) un-parks in arrival order.
+    auto& parked = bolt_parked_[static_cast<size_t>(j)];
+    if (!parked.empty() &&
+        bolt_servers_[static_cast<size_t>(j)]->Backlog() <=
+            config_.instance_channel_capacity_sec) {
+      const ParkedBatch next = parked.front();
+      parked.pop_front();
+      const int cd = bolt_container_[static_cast<size_t>(j)];
+      containers_[static_cast<size_t>(cd)].parked_sec -=
+          BoltBatchWork(next.n) * SmgrScale(cd);
+      BoltDeliver(j, next.n, next.t_avg);
     }
   });
 }
@@ -260,8 +333,8 @@ void HeronSim::SmgrAckReturn(int c, int64_t n, double t_avg) {
   }
   const double work =
       costs_.batch_recv_ns + static_cast<double>(n) * per_tuple;
-  containers_[static_cast<size_t>(c)].smgr->Submit(work * kNs, [this, c, n,
-                                                                t_avg] {
+  containers_[static_cast<size_t>(c)].smgr->Submit(
+      work * SmgrScale(c) * kNs, [this, c, n, t_avg] {
     ContainerState& container = containers_[static_cast<size_t>(c)];
     if (container.spouts.empty()) return;
     // Completions spread round-robin over the container's spouts so every
@@ -320,18 +393,24 @@ SimResult HeronSim::Run() {
   bolt_servers_.reserve(static_cast<size_t>(config_.bolts));
   bolt_container_.resize(static_cast<size_t>(config_.bolts));
 
-  // Task ids: spouts are component "word" (first), bolts "count".
+  // Task ids: spouts are component "word" (first), bolts "count". A
+  // straggler container slows every process it hosts — instance servers
+  // included — not just its SMGR (a cgroup-throttled host is slow for
+  // everything).
   for (int i = 0; i < config_.spouts; ++i) {
-    spout_servers_.push_back(std::make_unique<SimServer>(&des_));
     const auto* container = plan->FindContainerOfTask(i);
+    spout_servers_.push_back(
+        std::make_unique<SimServer>(&des_, SmgrScale(container->id)));
     spout_state_[static_cast<size_t>(i)].container = container->id;
     containers_[static_cast<size_t>(container->id)].spouts.push_back(i);
   }
   for (int j = 0; j < config_.bolts; ++j) {
-    bolt_servers_.push_back(std::make_unique<SimServer>(&des_));
     const auto* container = plan->FindContainerOfTask(config_.spouts + j);
+    bolt_servers_.push_back(
+        std::make_unique<SimServer>(&des_, SmgrScale(container->id)));
     bolt_container_[static_cast<size_t>(j)] = container->id;
   }
+  bolt_parked_.resize(static_cast<size_t>(config_.bolts));
 
   // Arm the per-container cache-drain timers.
   const double drain_period = config_.cache_drain_frequency_ms * 1e-3;
@@ -379,6 +458,8 @@ SimResult HeronSim::Run() {
     max_util = std::max(max_util, c.smgr->busy_time() / end);
   }
   result.max_smgr_utilization = max_util;
+  result.max_smgr_backlog_sec = max_backlog_sec_;
+  result.backpressure_stalls = backpressure_stalls_;
   result.sim_events = des_.events_processed();
   return result;
 }

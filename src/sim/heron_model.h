@@ -21,6 +21,24 @@ struct HeronSimConfig {
   double cache_drain_size_bytes = 1 << 20;
   bool optimizations = true;              ///< §V-A toggle (Figs. 5-9).
   int spout_batch = 64;                   ///< Outbox flush threshold.
+  /// Cluster-wide spout back pressure (the SMGR control-plane protocol):
+  /// when true a spout pauses when ANY container's SMGR backlog crosses
+  /// the threshold — modeling the kStart/kStopBackpressure broadcast
+  /// reaching every container. When false only the home container's
+  /// backlog throttles its spouts (the container-local behaviour a naive
+  /// engine gets), so a slow remote container's queue grows without bound.
+  bool cluster_backpressure = true;
+  /// Injected straggler: every process in this container (SMGR, instance
+  /// servers) runs its work multiplied by `slow_container_factor`
+  /// (-1 = no straggler). Models a cgroup-throttled / oversubscribed host.
+  int slow_container = -1;
+  double slow_container_factor = 1.0;
+  /// Bounded SMGR→instance handoff: when an instance's service backlog
+  /// exceeds this many seconds the batch parks on its container's SMGR
+  /// retry queue (the TrySendOrPark path) and counts toward that SMGR's
+  /// backlog until the channel drains. 0 disables the bound (legacy
+  /// figures keep the unbounded handoff).
+  double instance_channel_capacity_sec = 0;
   double warmup_sec = 0.5;
   double measure_sec = 1.0;
   uint64_t seed = 2017;
@@ -38,6 +56,12 @@ struct SimResult {
   uint64_t tuples_delivered = 0;
   uint64_t tuples_acked = 0;
   double max_smgr_utilization = 0;    ///< Diagnostic: bottleneck check.
+  /// Peak SMGR queue depth (in service-time seconds) observed while
+  /// measuring — bounded under cluster-wide back pressure, unbounded when
+  /// a straggler is only throttled container-locally.
+  double max_smgr_backlog_sec = 0;
+  /// Spout emit attempts deferred by back pressure while measuring.
+  uint64_t backpressure_stalls = 0;
   uint64_t sim_events = 0;
 };
 

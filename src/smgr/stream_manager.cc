@@ -1,6 +1,7 @@
 #include "smgr/stream_manager.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -73,6 +74,22 @@ StreamManager::StreamManager(const Options& options,
   roots_failed_ = metrics_.GetCounter("smgr.roots.failed");
   roots_timeout_ = metrics_.GetCounter("smgr.roots.timeout");
   retry_depth_ = metrics_.GetGauge("smgr.retry.depth");
+  backpressure_active_ = metrics_.GetGauge("smgr.backpressure.active");
+  backpressure_duration_ns_ =
+      metrics_.GetCounter("smgr.backpressure.duration.ns");
+  backpressure_starts_ = metrics_.GetCounter("smgr.backpressure.starts");
+  backpressure_remote_ = metrics_.GetGauge("smgr.backpressure.remote");
+}
+
+size_t StreamManager::backpressure_low_water() const {
+  const size_t high = options_.backpressure_high_water;
+  size_t low = options_.backpressure_low_water;
+  if (low == 0) low = high / 2;
+  // A low watermark at or above the high one would re-trip immediately;
+  // clamp so hysteresis always has a gap (unless high is 0 or 1, where the
+  // protocol degenerates to trip-on-any/clear-on-empty).
+  if (low >= high) low = high == 0 ? 0 : high - 1;
+  return low;
 }
 
 StreamManager::~StreamManager() { Stop(); }
@@ -109,10 +126,16 @@ void StreamManager::WireLoop() {
     return retry_.empty() ? runtime::EventLoop::kNoDeadline : now + 1000000;
   });
 
-  // Shutdown drain: no tuple stranded in the cache, no envelope parked.
+  // Shutdown drain: no tuple stranded in the cache, no envelope parked,
+  // and no peer left throttled by an episode we can no longer end.
   loop_.OnShutdown([this] {
     DrainCacheNow(/*timer_drain=*/false);
     FlushRetries();
+    if (local_backpressure_active_) {
+      EndLocalEpisode(/*broadcast=*/true);
+      // The kStop envelopes themselves may have parked; best-effort flush.
+      FlushRetries();
+    }
   });
 }
 
@@ -152,6 +175,21 @@ void StreamManager::Stop() {
   inbound_.Close();
   loop_.Join();
   loop_.Shutdown();
+  // Post-loop teardown bookkeeping: drop the throttle refs held by remote
+  // initiators (their kStop can never arrive now) and zero the gauges so a
+  // final metrics scrape does not report a dead SMGR as backlogged.
+  if (!remote_initiators_.empty()) {
+    throttle_refs_.fetch_sub(static_cast<int64_t>(remote_initiators_.size()),
+                             std::memory_order_acq_rel);
+    for (const ContainerId initiator : remote_initiators_) {
+      metrics_
+          .GetGauge(StrFormat("smgr.backpressure.initiator.%d", initiator))
+          ->Set(0);
+    }
+    remote_initiators_.clear();
+    backpressure_remote_->Set(0);
+  }
+  retry_depth_->Set(0);
 }
 
 void StreamManager::ProcessEnvelope(proto::Envelope env) {
@@ -159,7 +197,9 @@ void StreamManager::ProcessEnvelope(proto::Envelope env) {
     case proto::MessageType::kTupleBatch:
       HandleInstanceBatch(env.payload);
       transport_->buffer_pool()->Release(std::move(env.payload));
-      if (cache_.pending_bytes() >= options_.cache_drain_size_bytes) {
+      // should_drain() counts eagerly flushed batches too — checking only
+      // pending_bytes() stranded eager batches until the next timer tick.
+      if (cache_.should_drain()) {
         DrainCacheNow(/*timer_drain=*/false);
       }
       break;
@@ -168,6 +208,11 @@ void StreamManager::ProcessEnvelope(proto::Envelope env) {
       break;
     case proto::MessageType::kAckBatch:
       HandleAckBatch(std::move(env));
+      break;
+    case proto::MessageType::kStartBackpressure:
+    case proto::MessageType::kStopBackpressure:
+      HandleBackpressureControl(env.type, env.payload);
+      transport_->buffer_pool()->Release(std::move(env.payload));
       break;
     case proto::MessageType::kRootEvent:
     case proto::MessageType::kControl:
@@ -428,58 +473,162 @@ void StreamManager::ExpireAcksNow() {
 }
 
 void StreamManager::SendToInstance(TaskId task, proto::Envelope env) {
-  EnvelopeChannel* channel = transport_->InstanceChannel(task);
-  if (channel == nullptr) {
-    // Normal during container teardown/restart: the instance deregistered
-    // while envelopes were still in flight.
-    HLOG(DEBUG) << "task " << task << " has no registered channel; dropping";
-    return;
-  }
-  TrySendOrPark(channel, std::move(env));
+  TrySendOrPark(Transport::InstanceEndpoint(task), std::move(env));
 }
 
 void StreamManager::SendToContainer(ContainerId container,
                                     proto::Envelope env) {
-  EnvelopeChannel* channel = transport_->SmgrChannel(container);
-  if (channel == nullptr) {
-    HLOG(DEBUG) << "container " << container
-                << " has no registered smgr channel; dropping";
-    return;
-  }
-  TrySendOrPark(channel, std::move(env));
+  TrySendOrPark(Transport::SmgrEndpoint(container), std::move(env));
 }
 
-void StreamManager::TrySendOrPark(EnvelopeChannel* channel,
+void StreamManager::TrySendOrPark(const Transport::Endpoint& dest,
                                   proto::Envelope env) {
-  // TrySend moves only on success; on failure `env` is still intact here.
-  const Status st = channel->TrySend(std::move(env));
-  if (st.ok() || st.IsCancelled()) return;
-  // Full: park and let the loop retry. The SMGR never blocks on a send,
-  // which is what makes the container's channel graph deadlock-free.
-  retry_.push_back({channel, std::move(env)});
-  retry_depth_->Set(static_cast<int64_t>(retry_.size()));
-  if (retry_.size() > options_.backpressure_high_water) {
-    backpressure_.store(true, std::memory_order_relaxed);
+  // FIFO invariant: while a destination has parked backlog, every new
+  // envelope for it parks unconditionally. Attempting a direct send here
+  // would let a fresh envelope overtake a parked predecessor the moment
+  // the receiver freed one slot — reordering tuples on that channel.
+  const auto backlog = parked_per_dest_.find(dest);
+  if (backlog == parked_per_dest_.end()) {
+    // Lock-guarded lookup + send; `env` is consumed only on success.
+    const Status st = transport_->TrySend(dest, &env);
+    if (st.ok() || st.IsCancelled()) return;
+    // kNotFound — the endpoint is not registered *yet* (container still
+    // starting, or mid-restart). Every destination the SMGR routes to is
+    // derived from the physical plan, so it will (re)register; dropping
+    // here silently loses tuples emitted during the startup window — the
+    // roots then ride out the full message timeout and fail. Park instead:
+    // the retry queue delivers the backlog the moment the endpoint
+    // registers, which is also what gives a restarted container its
+    // in-flight envelopes back.
   }
+  // Full, unregistered, or queued behind backlog: park and let the loop
+  // retry. The SMGR never blocks on a send, which is what makes the
+  // container's channel graph deadlock-free.
+  retry_.push_back({dest, std::move(env)});
+  ++parked_per_dest_[dest];
+  retry_depth_->Set(static_cast<int64_t>(retry_.size()));
+  MaybeTripBackpressure();
 }
 
 size_t StreamManager::FlushRetries() {
-  size_t remaining = 0;
+  // One pass over the deque. Per-channel FIFO: once a destination refuses
+  // an envelope this pass, every later entry for it is requeued untried —
+  // otherwise a successor could slip into the slot its predecessor was
+  // just denied.
+  std::set<Transport::Endpoint> blocked;
   const size_t n = retry_.size();
   for (size_t i = 0; i < n; ++i) {
     Parked parked = std::move(retry_.front());
     retry_.pop_front();
-    const Status st = parked.channel->TrySend(std::move(parked.env));
-    if (!st.ok() && !st.IsCancelled()) {
+    if (blocked.count(parked.dest) != 0) {
       retry_.push_back(std::move(parked));
-      ++remaining;
+      continue;
     }
+    const Status st = transport_->TrySend(parked.dest, &parked.env);
+    if (st.ok() || st.IsCancelled()) {
+      // Delivered (or the channel is closed and draining no further):
+      // backlog shrinks.
+      auto it = parked_per_dest_.find(parked.dest);
+      if (it != parked_per_dest_.end() && --it->second == 0) {
+        parked_per_dest_.erase(it);
+      }
+      continue;
+    }
+    // Full (kResourceExhausted) or not registered yet (kNotFound): keep
+    // the envelope parked. A plan-derived endpoint that is absent from
+    // the directory is starting or restarting; its backlog must survive
+    // until it registers, or tuples emitted across the window are lost.
+    blocked.insert(parked.dest);
+    retry_.push_back(std::move(parked));
   }
   retry_depth_->Set(static_cast<int64_t>(retry_.size()));
-  if (retry_.size() <= options_.backpressure_high_water / 2) {
-    backpressure_.store(false, std::memory_order_relaxed);
-  }
+  MaybeClearBackpressure();
   return retry_.size();
+}
+
+// -- Cluster-wide backpressure protocol --------------------------------
+
+void StreamManager::MaybeTripBackpressure() {
+  if (local_backpressure_active_) return;
+  if (retry_.size() <= options_.backpressure_high_water) return;
+  local_backpressure_active_ = true;  // Set before broadcasting: the
+  // broadcast itself may park and re-enter MaybeTripBackpressure, which
+  // the flag turns into a no-op (bounded recursion).
+  backpressure_started_nanos_ = clock_->NowNanos();
+  throttle_refs_.fetch_add(1, std::memory_order_acq_rel);
+  backpressure_active_->Set(1);
+  backpressure_starts_->Increment();
+  HLOG(INFO) << "smgr " << options_.container
+             << " starting backpressure (retry depth " << retry_.size()
+             << " > " << options_.backpressure_high_water << ")";
+  BroadcastBackpressure(proto::MessageType::kStartBackpressure);
+}
+
+void StreamManager::MaybeClearBackpressure() {
+  if (!local_backpressure_active_) return;
+  if (retry_.size() > backpressure_low_water()) return;
+  HLOG(INFO) << "smgr " << options_.container
+             << " stopping backpressure (retry depth " << retry_.size()
+             << " <= " << backpressure_low_water() << ")";
+  EndLocalEpisode(/*broadcast=*/true);
+}
+
+void StreamManager::EndLocalEpisode(bool broadcast) {
+  if (!local_backpressure_active_) return;
+  local_backpressure_active_ = false;
+  backpressure_duration_ns_->Increment(clock_->NowNanos() -
+                                       backpressure_started_nanos_);
+  throttle_refs_.fetch_sub(1, std::memory_order_acq_rel);
+  backpressure_active_->Set(0);
+  if (broadcast) {
+    BroadcastBackpressure(proto::MessageType::kStopBackpressure);
+  }
+}
+
+void StreamManager::BroadcastBackpressure(proto::MessageType type) {
+  proto::BackpressureMsg msg;
+  msg.initiator = options_.container;
+  msg.retry_depth = retry_.size();
+  for (const ContainerId peer : transport_->RegisteredSmgrs()) {
+    if (peer == options_.container) continue;
+    serde::Buffer payload = transport_->buffer_pool()->Acquire();
+    serde::WireEncoder enc(&payload);
+    msg.SerializeTo(&enc);
+    // Control envelopes ride the same park/retry FIFO as data, so a kStop
+    // can never overtake the kStart it is meant to cancel. A peer that
+    // deregistered mid-snapshot is simply dropped by the guarded send.
+    TrySendOrPark(Transport::SmgrEndpoint(peer),
+                  proto::Envelope(type, std::move(payload)));
+  }
+}
+
+void StreamManager::HandleBackpressureControl(proto::MessageType type,
+                                              const serde::Buffer& payload) {
+  proto::BackpressureMsg msg;
+  if (!msg.ParseFromBytes(payload).ok()) {
+    HLOG(ERROR) << "dropping malformed backpressure control message";
+    return;
+  }
+  if (msg.initiator < 0 || msg.initiator == options_.container) return;
+  if (type == proto::MessageType::kStartBackpressure) {
+    if (!remote_initiators_.insert(msg.initiator).second) return;  // Dup.
+    throttle_refs_.fetch_add(1, std::memory_order_acq_rel);
+    metrics_
+        .GetGauge(StrFormat("smgr.backpressure.initiator.%d", msg.initiator))
+        ->Set(1);
+    HLOG(INFO) << "smgr " << options_.container
+               << " throttling spouts for initiator " << msg.initiator
+               << " (remote retry depth " << msg.retry_depth << ")";
+  } else {
+    if (remote_initiators_.erase(msg.initiator) == 0) return;  // Unknown.
+    throttle_refs_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_
+        .GetGauge(StrFormat("smgr.backpressure.initiator.%d", msg.initiator))
+        ->Set(0);
+    HLOG(INFO) << "smgr " << options_.container
+               << " released throttle for initiator " << msg.initiator;
+  }
+  backpressure_remote_->Set(static_cast<int64_t>(remote_initiators_.size()));
 }
 
 }  // namespace smgr

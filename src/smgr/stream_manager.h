@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "api/grouping.h"
@@ -43,9 +44,28 @@ namespace smgr {
 /// runtime::EventLoop (the §II kernel). Start() runs that loop on a
 /// thread; StartStepMode() arms it for deterministic single-stepping via
 /// loop()->RunOnce() with a SimClock (no threads). The loop never blocks
-/// on a send — undeliverable envelopes park in a retry queue and the
-/// `backpressure` flag throttles local spouts, which is the
-/// container-local rendering of Heron's spout back-pressure protocol.
+/// on a send — undeliverable envelopes park in a retry queue, in strict
+/// per-channel FIFO (a new envelope never overtakes a parked predecessor
+/// on the same channel).
+///
+/// ## Cluster-wide spout back pressure
+/// Heron's spout back-pressure protocol, rendered as a control-plane
+/// conversation between Stream Managers: when this SMGR's retry depth
+/// crosses `backpressure_high_water` it raises its own throttle and
+/// broadcasts `kStartBackpressure` (a BackpressureMsg naming itself as
+/// initiator) to every registered peer SMGR. Each receiver adds the
+/// initiator to a ref-counted throttle set; while the set (or the local
+/// episode) is non-empty, `backpressure()` reads true and the container's
+/// spouts pause their NextTuple idle workers. When the retry depth drains
+/// to `backpressure_low_water` (hysteresis — not the same threshold, so
+/// the flag cannot flap per iteration), `kStopBackpressure` releases the
+/// initiator's ref everywhere. Local episodes are measured into
+/// `smgr.backpressure.duration.ns`; `smgr.backpressure.active` (own
+/// episode), `smgr.backpressure.remote` (throttling initiators) and
+/// per-initiator `smgr.backpressure.initiator.<id>` gauges surface the
+/// protocol state to the Metrics Manager and, through it, the TMaster's
+/// topology status. The whole protocol runs on the reactor, so it
+/// single-steps deterministically in RunOnce() tests.
 class StreamManager {
  public:
   struct Options {
@@ -57,6 +77,9 @@ class StreamManager {
     int64_t message_timeout_ms = 30000;
     size_t inbound_capacity = 8192;
     size_t backpressure_high_water = 4096;  ///< Retry entries that trip it.
+    /// Retry entries at which an active episode releases (hysteresis).
+    /// 0 = half the high watermark. Must be < high watermark to be useful.
+    size_t backpressure_low_water = 0;
     uint64_t seed = 42;
   };
 
@@ -83,11 +106,26 @@ class StreamManager {
   metrics::MetricsRegistry* metrics() { return &metrics_; }
   const Options& options() const { return options_; }
 
-  /// True while the retry queue is above water — local spouts pause
-  /// NextTuple (§ back pressure).
+  /// True while any backpressure initiator — this SMGR itself or a remote
+  /// peer that broadcast kStartBackpressure — holds a throttle ref. Local
+  /// spouts pause NextTuple while true (§ back pressure). Read from
+  /// instance loop threads; the refcount is the only cross-thread state.
   bool backpressure() const {
-    return backpressure_.load(std::memory_order_relaxed);
+    return throttle_refs_.load(std::memory_order_acquire) > 0;
   }
+
+  /// True while this SMGR is itself the initiator of a cluster-wide
+  /// backpressure episode (retry depth above the high watermark and not
+  /// yet drained to the low watermark).
+  bool local_backpressure_active() const { return local_backpressure_active_; }
+
+  /// Number of *remote* initiators currently throttling this container.
+  size_t remote_backpressure_initiators() const {
+    return remote_initiators_.size();
+  }
+
+  /// Effective low watermark after the 0 = high/2 default is applied.
+  size_t backpressure_low_water() const;
 
   // -- Single-step interface (used by the loop and by deterministic tests;
   //    call only when the loop thread is not running). --
@@ -135,8 +173,23 @@ class StreamManager {
 
   void SendToInstance(TaskId task, proto::Envelope env);
   void SendToContainer(ContainerId container, proto::Envelope env);
-  void TrySendOrPark(EnvelopeChannel* channel, proto::Envelope env);
+  void TrySendOrPark(const Transport::Endpoint& dest, proto::Envelope env);
   void EmitRootEvent(const AckTracker::Completion& completion);
+
+  // -- Cluster-wide backpressure protocol (loop thread only). --
+
+  /// kStart/kStopBackpressure from a peer: update the throttle refcount.
+  void HandleBackpressureControl(proto::MessageType type,
+                                 const serde::Buffer& payload);
+  /// Raises the local episode when retry depth crosses the high watermark.
+  void MaybeTripBackpressure();
+  /// Releases it when retry depth drains to the low watermark (hysteresis).
+  void MaybeClearBackpressure();
+  /// Sends a BackpressureMsg (initiator = this container) to every
+  /// registered peer SMGR, through the same park/retry FIFO as data.
+  void BroadcastBackpressure(proto::MessageType type);
+  /// Episode bookkeeping shared by MaybeClear and shutdown teardown.
+  void EndLocalEpisode(bool broadcast);
 
   /// The ablation path: full deserialize + rebuild + reserialize of a
   /// routed batch before delivery.
@@ -159,11 +212,25 @@ class StreamManager {
   std::map<TaskId, bool> local_task_is_spout_;
 
   struct Parked {
-    EnvelopeChannel* channel;
+    Transport::Endpoint dest;
     proto::Envelope env;
   };
+  /// The retry queue holds Endpoints, not channel pointers: parked sends
+  /// go back through Transport::TrySend (lock-guarded lookup), so a
+  /// destination torn down on another thread is never dereferenced, and a
+  /// re-registered one receives its backlog on the fresh channel.
   std::deque<Parked> retry_;
-  std::atomic<bool> backpressure_{false};
+  /// Parked envelopes per destination: while a destination has backlog
+  /// here, new envelopes for it park unconditionally (per-channel FIFO,
+  /// no overtake).
+  std::map<Transport::Endpoint, size_t> parked_per_dest_;
+
+  // Backpressure state. The refcount is read by instance loops (other
+  // threads); everything else is owned by this SMGR's loop thread.
+  std::atomic<int64_t> throttle_refs_{0};
+  bool local_backpressure_active_ = false;
+  int64_t backpressure_started_nanos_ = 0;
+  std::set<ContainerId> remote_initiators_;
 
   runtime::EventLoop loop_;
   std::atomic<bool> running_{false};
@@ -178,6 +245,12 @@ class StreamManager {
   metrics::Counter* roots_failed_;
   metrics::Counter* roots_timeout_;
   metrics::Gauge* retry_depth_;
+
+  // Backpressure protocol metrics (§ back pressure).
+  metrics::Gauge* backpressure_active_;       ///< 1 while a local episode runs.
+  metrics::Counter* backpressure_duration_ns_;  ///< Total local episode time.
+  metrics::Counter* backpressure_starts_;     ///< Local episodes initiated.
+  metrics::Gauge* backpressure_remote_;       ///< Remote initiators throttling.
 
   // Scratch reused across envelopes (object-reuse discipline, §V-A).
   std::vector<TaskId> route_scratch_;

@@ -47,6 +47,26 @@ Status Transport::UnregisterSmgr(ContainerId container) {
   return Status::OK();
 }
 
+Status Transport::TrySend(const Endpoint& dest, proto::Envelope* env) {
+  // The whole send runs under the registry lock: once Unregister returns
+  // on another thread, no sender can still be inside TrySend on the
+  // removed channel, so the owner may destroy it. TrySend never blocks,
+  // so the critical section is a bounded queue push.
+  std::lock_guard<std::mutex> lock(mutex_);
+  EnvelopeChannel* channel = nullptr;
+  if (dest.kind == Endpoint::Kind::kInstance) {
+    const auto it = instances_.find(dest.id);
+    if (it != instances_.end()) channel = it->second;
+  } else {
+    const auto it = smgrs_.find(dest.id);
+    if (it != smgrs_.end()) channel = it->second;
+  }
+  if (channel == nullptr) {
+    return Status::NotFound("endpoint not registered");
+  }
+  return channel->TrySend(std::move(*env));
+}
+
 EnvelopeChannel* Transport::InstanceChannel(TaskId task) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = instances_.find(task);
@@ -57,6 +77,16 @@ EnvelopeChannel* Transport::SmgrChannel(ContainerId container) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = smgrs_.find(container);
   return it == smgrs_.end() ? nullptr : it->second;
+}
+
+std::vector<ContainerId> Transport::RegisteredSmgrs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ContainerId> out;
+  out.reserve(smgrs_.size());
+  for (const auto& [container, _] : smgrs_) {
+    out.push_back(container);
+  }
+  return out;
 }
 
 }  // namespace smgr

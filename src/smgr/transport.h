@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "common/ids.h"
 #include "ipc/channel.h"
@@ -27,6 +28,30 @@ using EnvelopeChannel = ipc::Channel<proto::Envelope>;
 /// naive baseline).
 class Transport {
  public:
+  /// A send destination in the directory: a task's instance channel or a
+  /// container's SMGR channel. Senders that may outlive the receiver
+  /// (the SMGR's park/retry queue) hold Endpoints, never raw channel
+  /// pointers: a torn-down endpoint cannot be dereferenced after free,
+  /// and a re-registered one (container restart) receives its backlog on
+  /// the fresh channel.
+  struct Endpoint {
+    enum class Kind { kInstance, kSmgr };
+    Kind kind = Kind::kInstance;
+    int32_t id = -1;
+    bool operator<(const Endpoint& o) const {
+      return kind != o.kind ? kind < o.kind : id < o.id;
+    }
+    bool operator==(const Endpoint& o) const {
+      return kind == o.kind && id == o.id;
+    }
+  };
+  static Endpoint InstanceEndpoint(TaskId task) {
+    return Endpoint{Endpoint::Kind::kInstance, task};
+  }
+  static Endpoint SmgrEndpoint(ContainerId container) {
+    return Endpoint{Endpoint::Kind::kSmgr, container};
+  }
+
   /// \param pooling_enabled  buffer recycling on/off (ablation toggle)
   explicit Transport(bool pooling_enabled = true)
       : buffer_pool_(pooling_enabled, /*max_idle=*/65536) {}
@@ -36,10 +61,24 @@ class Transport {
   Status RegisterSmgr(ContainerId container, EnvelopeChannel* channel);
   Status UnregisterSmgr(ContainerId container);
 
+  /// Non-blocking send to an endpoint, performed under the registry lock
+  /// so a concurrent Unregister + channel destruction on another thread
+  /// cannot free the channel mid-send. Returns kNotFound when the
+  /// endpoint is not (currently) registered; otherwise forwards
+  /// Channel::TrySend's result (kResourceExhausted when full, kCancelled
+  /// when closed). `*env` is consumed only on OK.
+  Status TrySend(const Endpoint& dest, proto::Envelope* env);
+
   /// nullptr when the endpoint is not (currently) registered — e.g. its
   /// container is being restarted; senders retry.
   EnvelopeChannel* InstanceChannel(TaskId task) const;
   EnvelopeChannel* SmgrChannel(ContainerId container) const;
+
+  /// Snapshot of every container whose SMGR is currently registered.
+  /// The back-pressure control plane broadcasts to this set (rather than
+  /// the plan's container list) so peers that are mid-restart are simply
+  /// skipped instead of blackholing control envelopes.
+  std::vector<ContainerId> RegisteredSmgrs() const;
 
   serde::BufferPool* buffer_pool() { return &buffer_pool_; }
 

@@ -12,11 +12,15 @@ bool TupleCache::Add(TaskId dest, TaskId src_task, serde::BytesView stream,
   auto it = pending_.find(key);
   if (it != pending_.end() && it->second.stream != stream) {
     // Same (dest, src) pair on a different stream: flush the old batch
-    // eagerly rather than widen the key space for a rare case.
+    // eagerly rather than widen the key space for a rare case. The bytes
+    // move to the eager staging area but keep counting toward the size
+    // trip (eager_bytes_) — previously they silently stopped counting, so
+    // an eagerly flushed batch could sit stranded until the next timer
+    // tick. Drain stats are attributed in DrainAll, when the batch
+    // actually leaves the cache.
     Pending& old = it->second;
     pending_bytes_ -= old.buffer.size();
-    stats_.bytes_drained += old.buffer.size();
-    ++stats_.batches_drained;
+    eager_bytes_ += old.buffer.size();
     eager_.push_back({dest, std::move(old.buffer), old.tuple_count});
     pending_.erase(it);
     it = pending_.end();
@@ -40,12 +44,17 @@ bool TupleCache::Add(TaskId dest, TaskId src_task, serde::BytesView stream,
   pending_bytes_ += p.buffer.size() - before;
   ++p.tuple_count;
   ++stats_.tuples_added;
-  return pending_bytes_ >= options_.drain_size_bytes;
+  return should_drain();
 }
 
 std::vector<TupleCache::Batch> TupleCache::DrainAll(bool timer_drain) {
   std::vector<Batch> out = std::move(eager_);
   eager_.clear();
+  for (Batch& b : out) {
+    stats_.bytes_drained += b.bytes.size();
+    ++stats_.batches_drained;
+  }
+  eager_bytes_ = 0;
   for (auto& [key, p] : pending_) {
     Batch b;
     b.dest = static_cast<TaskId>(static_cast<int32_t>(key >> 32));

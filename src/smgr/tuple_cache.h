@@ -66,6 +66,15 @@ class TupleCache {
 
   size_t pending_bytes() const { return pending_bytes_; }
   size_t pending_batches() const { return pending_.size(); }
+  /// Bytes staged in eagerly flushed batches, still awaiting DrainAll.
+  size_t eager_bytes() const { return eager_bytes_; }
+  /// True when buffered bytes — open batches *plus* eagerly flushed ones —
+  /// crossed the size threshold and the owner should DrainAll now. Eager
+  /// bytes must count here or an eagerly flushed batch waits for the next
+  /// timer tick (the stranded-batch latency bug).
+  bool should_drain() const {
+    return pending_bytes_ + eager_bytes_ >= options_.drain_size_bytes;
+  }
   const Stats& stats() const { return stats_; }
   const Options& options() const { return options_; }
 
@@ -86,6 +95,7 @@ class TupleCache {
   serde::BufferPool* pool_;
   std::map<uint64_t, Pending> pending_;
   size_t pending_bytes_ = 0;
+  size_t eager_bytes_ = 0;
   int64_t next_drain_nanos_ = 0;
   Stats stats_;
   std::vector<Batch> eager_;  ///< Batches flushed early (stream collision).

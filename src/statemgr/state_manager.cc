@@ -98,6 +98,15 @@ std::string ContainerInfo(const std::string& topology, int container) {
                    container);
 }
 
+std::string Backpressure(const std::string& topology) {
+  return "/topologies/" + topology + "/backpressure";
+}
+
+std::string BackpressureContainer(const std::string& topology, int container) {
+  return StrFormat("/topologies/%s/backpressure/%d", topology.c_str(),
+                   container);
+}
+
 }  // namespace paths
 
 Result<std::unique_ptr<IStateManager>> CreateStateManager(

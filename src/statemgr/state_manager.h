@@ -117,6 +117,11 @@ std::string TMasterLocation(const std::string& topology);
 std::string SchedulerLocation(const std::string& topology);
 std::string ContainerInfo(const std::string& topology, int container);
 std::string Containers(const std::string& topology);
+/// Parent of the per-container backpressure markers the TMaster keeps so
+/// the topology status reflects which containers are currently initiating
+/// cluster-wide spout back pressure.
+std::string Backpressure(const std::string& topology);
+std::string BackpressureContainer(const std::string& topology, int container);
 }  // namespace paths
 
 /// \brief Instantiates the backend named by `heron.statemgr.kind`

@@ -1,5 +1,8 @@
 #include "statemgr/topology_state.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/strings.h"
 
 namespace heron {
@@ -40,6 +43,13 @@ Status UnregisterTopology(IStateManager* sm, const std::string& topology) {
     }
   }
   HERON_RETURN_NOT_OK(drop(paths::Containers(topology)));
+  auto bp_children = sm->ListChildren(paths::Backpressure(topology));
+  if (bp_children.ok()) {
+    for (const auto& child : *bp_children) {
+      HERON_RETURN_NOT_OK(drop(paths::Backpressure(topology) + "/" + child));
+    }
+  }
+  HERON_RETURN_NOT_OK(drop(paths::Backpressure(topology)));
   HERON_RETURN_NOT_OK(drop(paths::TopologyDef(topology)));
   HERON_RETURN_NOT_OK(drop(paths::PackingPlan(topology)));
   HERON_RETURN_NOT_OK(drop(paths::TMasterLocation(topology)));
@@ -117,6 +127,34 @@ Result<std::string> GetContainerInfo(const IStateManager& sm,
       serde::Buffer data,
       sm.GetNodeData(paths::ContainerInfo(topology, container)));
   return std::string(data);
+}
+
+Status SetContainerBackpressure(IStateManager* sm, const std::string& topology,
+                                int container, bool active) {
+  const std::string path = paths::BackpressureContainer(topology, container);
+  if (active) {
+    return EnsurePath(sm, path, "1");
+  }
+  const Status st = sm->DeleteNode(path);
+  // Clearing an unmarked container happens whenever an episode's end is
+  // reported twice (e.g. stop then teardown); treat it as success.
+  if (!st.ok() && !st.IsNotFound()) return st;
+  return Status::OK();
+}
+
+Result<std::vector<int>> GetBackpressureContainers(const IStateManager& sm,
+                                                   const std::string& topology) {
+  auto children = sm.ListChildren(paths::Backpressure(topology));
+  std::vector<int> out;
+  if (!children.ok()) {
+    if (children.status().IsNotFound()) return out;  // Never any episode.
+    return children.status();
+  }
+  for (const auto& child : *children) {
+    out.push_back(std::atoi(child.c_str()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace statemgr

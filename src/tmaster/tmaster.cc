@@ -74,6 +74,24 @@ Result<packing::PackingPlan> TopologyMaster::CurrentPackingPlan() const {
   return statemgr::GetPackingPlan(*state_, options_.topology);
 }
 
+Status TopologyMaster::ReportBackpressure(int container, bool active) {
+  if (!active) {
+    // Episodes can end twice (stop broadcast, then teardown); clearing is
+    // tolerant, so no active() gate — a stopping TMaster may still record
+    // the release.
+    return statemgr::SetContainerBackpressure(state_, options_.topology,
+                                              container, false);
+  }
+  HLOG(INFO) << "TMaster: container " << container << " of '"
+             << options_.topology << "' reports backpressure";
+  return statemgr::SetContainerBackpressure(state_, options_.topology,
+                                            container, true);
+}
+
+Result<std::vector<int>> TopologyMaster::BackpressureContainers() const {
+  return statemgr::GetBackpressureContainers(*state_, options_.topology);
+}
+
 Result<packing::PackingPlan> TopologyMaster::ScaleTopology(
     packing::IPacking* packing,
     const std::map<ComponentId, int>& parallelism_changes) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "packing/packing.h"
@@ -64,6 +65,16 @@ class TopologyMaster {
   Result<packing::PackingPlan> ScaleTopology(
       packing::IPacking* packing,
       const std::map<ComponentId, int>& parallelism_changes);
+
+  /// Records that `container`'s Stream Manager started (active) or ended
+  /// (inactive) a cluster-wide backpressure episode. The marker lives in
+  /// the state tree so the topology status — not just per-container
+  /// metrics — shows who is throttling the spouts.
+  Status ReportBackpressure(int container, bool active);
+
+  /// Containers currently initiating backpressure, ascending; empty when
+  /// the topology runs unthrottled.
+  Result<std::vector<int>> BackpressureContainers() const;
 
   const Options& options() const { return options_; }
 

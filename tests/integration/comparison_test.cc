@@ -74,7 +74,30 @@ TEST_F(ComparisonTest, AckingSemanticsAgree) {
   ASSERT_TRUE(heron_topology.ok());
   runtime::LocalCluster heron(config);
   ASSERT_TRUE(heron.Submit(*heron_topology).ok());
-  ASSERT_TRUE(heron.WaitForCounter("instance.acked", 2000, 60000).ok());
+  const Status wait = heron.WaitForCounter("instance.acked", 2000, 60000);
+  if (!wait.ok()) {
+    // Dump the cluster state so a hung run (e.g. under a sanitizer's
+    // scheduler) is diagnosable from the ctest log alone.
+    for (const char* counter :
+         {"instance.emitted", "instance.acked", "instance.failed",
+          "instance.executed"}) {
+      fprintf(stderr, "DIAG %-24s = %llu\n", counter,
+              static_cast<unsigned long long>(heron.SumCounter(counter)));
+    }
+    for (const char* counter :
+         {"smgr.acks.applied", "smgr.roots.completed", "smgr.roots.failed",
+          "smgr.roots.timeout", "smgr.tuples.routed", "smgr.batches.out"}) {
+      fprintf(stderr, "DIAG %-24s = %llu\n", counter,
+              static_cast<unsigned long long>(heron.SumSmgrCounter(counter)));
+    }
+    for (const char* gauge : {"smgr.retry.depth", "smgr.backpressure.active",
+                              "smgr.backpressure.remote"}) {
+      fprintf(stderr, "DIAG %-24s = %lld\n", gauge,
+              static_cast<long long>(heron.SumSmgrGauge(gauge)));
+    }
+    fprintf(stderr, "DIAG wait status: %s\n", wait.ToString().c_str());
+  }
+  ASSERT_TRUE(wait.ok());
   EXPECT_EQ(heron.SumCounter("instance.failed"), 0u);
   ASSERT_TRUE(heron.Kill().ok());
 

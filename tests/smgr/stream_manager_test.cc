@@ -280,6 +280,181 @@ TEST_P(StreamManagerTest, FullChannelParksAndSetsBackpressure) {
   EXPECT_FALSE(smgr.backpressure());
 }
 
+// Regression: a fresh envelope must never overtake a parked predecessor
+// on the same channel. The old TrySendOrPark attempted a direct send even
+// when older envelopes for the channel sat in the retry queue, so the
+// moment the receiver freed one slot a *new* envelope could jump it.
+TEST_P(StreamManagerTest, ParkedChannelPreservesFifoOrder) {
+  Transport transport(GetParam());
+  StreamManager smgr(BaseOptions(), physical_, &transport, RealClock::Get());
+  EnvelopeChannel tiny(1);
+  ASSERT_TRUE(transport.RegisterInstance(2, &tiny).ok());
+
+  const auto routed = [&](const std::string& word) {
+    proto::TupleBatchMsg batch;
+    batch.src_task = 0;
+    batch.dest_task = 2;
+    proto::TupleDataMsg msg;
+    msg.values.emplace_back(word);
+    batch.tuples.push_back(msg.SerializeAsBuffer());
+    return proto::Envelope(proto::MessageType::kTupleBatchRouted,
+                           batch.SerializeAsBuffer());
+  };
+  const auto recv_word = [&]() -> std::string {
+    auto env = tiny.TryRecv();
+    if (!env.has_value()) return "<empty>";
+    proto::TupleBatchMsg batch;
+    EXPECT_TRUE(batch.ParseFromBytes(env->payload).ok());
+    proto::TupleDataMsg msg;
+    EXPECT_TRUE(msg.ParseFromBytes(batch.tuples.at(0)).ok());
+    return std::get<std::string>(msg.values[0]);
+  };
+
+  smgr.ProcessEnvelope(routed("a"));  // Fills the capacity-1 channel.
+  smgr.ProcessEnvelope(routed("b"));  // Channel full → parks.
+  EXPECT_EQ(recv_word(), "a");        // Slot free, but "b" is parked.
+  // The overtake window: the channel has room, yet "c" must queue behind
+  // "b". The buggy implementation delivered "c" here.
+  smgr.ProcessEnvelope(routed("c"));
+  EXPECT_EQ(tiny.size(), 0u) << "'c' overtook parked 'b'";
+  smgr.FlushRetries();  // Delivers "b" (capacity 1: "c" stays parked).
+  EXPECT_EQ(recv_word(), "b");
+  smgr.FlushRetries();
+  EXPECT_EQ(recv_word(), "c");
+  EXPECT_EQ(smgr.FlushRetries(), 0u);
+}
+
+// Hysteresis: the episode trips above the high watermark and holds until
+// the backlog drains to the low watermark — the flag cannot flap while
+// the depth oscillates between the two.
+TEST_P(StreamManagerTest, BackpressureHysteresisAndEpisodeMetrics) {
+  VirtualClock clock;
+  Transport transport(GetParam());
+  StreamManager::Options options = BaseOptions();
+  options.backpressure_high_water = 4;
+  options.backpressure_low_water = 2;
+  StreamManager smgr(options, physical_, &transport, &clock);
+  EXPECT_EQ(smgr.backpressure_low_water(), 2u);
+  EnvelopeChannel tiny(1);
+  ASSERT_TRUE(transport.RegisterInstance(2, &tiny).ok());
+
+  const auto routed = [&] {
+    proto::TupleBatchMsg batch;
+    batch.src_task = 0;
+    batch.dest_task = 2;
+    proto::TupleDataMsg msg;
+    msg.values.emplace_back(std::string("x"));
+    batch.tuples.push_back(msg.SerializeAsBuffer());
+    return proto::Envelope(proto::MessageType::kTupleBatchRouted,
+                           batch.SerializeAsBuffer());
+  };
+  // 1 delivered + 5 parked: depth 5 > 4 trips exactly one episode.
+  for (int i = 0; i < 6; ++i) smgr.ProcessEnvelope(routed());
+  EXPECT_TRUE(smgr.backpressure());
+  EXPECT_TRUE(smgr.local_backpressure_active());
+  EXPECT_EQ(smgr.metrics()->GetCounter("smgr.backpressure.starts")->value(),
+            1u);
+  EXPECT_EQ(smgr.metrics()->GetGauge("smgr.backpressure.active")->value(), 1);
+
+  clock.AdvanceMillis(7);
+  // Drain one at a time: depth 4, 3 — both above the low watermark, so
+  // the episode must hold (the flap bug cleared at high/2 every flush).
+  for (const size_t expected : {4u, 3u}) {
+    ASSERT_TRUE(tiny.TryRecv().has_value());
+    EXPECT_EQ(smgr.FlushRetries(), expected);
+    EXPECT_TRUE(smgr.backpressure()) << "flapped at depth " << expected;
+  }
+  // Depth 2 == low watermark → the episode ends, duration accounted.
+  ASSERT_TRUE(tiny.TryRecv().has_value());
+  EXPECT_EQ(smgr.FlushRetries(), 2u);
+  EXPECT_FALSE(smgr.backpressure());
+  EXPECT_FALSE(smgr.local_backpressure_active());
+  EXPECT_EQ(
+      smgr.metrics()->GetCounter("smgr.backpressure.duration.ns")->value(),
+      7u * 1000000u);
+  EXPECT_EQ(smgr.metrics()->GetGauge("smgr.backpressure.active")->value(), 0);
+  // No re-trip while draining the rest.
+  while (tiny.TryRecv().has_value() || smgr.FlushRetries() > 0) {
+  }
+  EXPECT_EQ(smgr.metrics()->GetCounter("smgr.backpressure.starts")->value(),
+            1u);
+  // Stop() resets the depth gauge so a dead SMGR never reads backlogged.
+  smgr.Stop();
+  EXPECT_EQ(smgr.metrics()->GetGauge("smgr.retry.depth")->value(), 0);
+}
+
+// The control plane: tripping broadcasts kStartBackpressure to every
+// registered peer, clearing broadcasts kStopBackpressure; receiving those
+// messages raises/releases a ref-counted throttle.
+TEST_P(StreamManagerTest, BackpressureBroadcastAndReceive) {
+  Transport transport(GetParam());
+  StreamManager::Options options = BaseOptions();
+  options.backpressure_high_water = 2;
+  StreamManager smgr(options, physical_, &transport, RealClock::Get());
+  EnvelopeChannel tiny(1), peer(64);
+  ASSERT_TRUE(transport.RegisterInstance(2, &tiny).ok());
+  ASSERT_TRUE(transport.RegisterSmgr(1, &peer).ok());
+  // The SMGR's own inbound is registered too (as in a real cluster); the
+  // broadcast must skip self.
+  ASSERT_TRUE(smgr.StartStepMode().ok());
+
+  const auto routed = [&] {
+    proto::TupleBatchMsg batch;
+    batch.src_task = 0;
+    batch.dest_task = 2;
+    proto::TupleDataMsg msg;
+    msg.values.emplace_back(std::string("x"));
+    batch.tuples.push_back(msg.SerializeAsBuffer());
+    return proto::Envelope(proto::MessageType::kTupleBatchRouted,
+                           batch.SerializeAsBuffer());
+  };
+  for (int i = 0; i < 5; ++i) smgr.ProcessEnvelope(routed());
+  ASSERT_TRUE(smgr.local_backpressure_active());
+
+  // The peer received exactly one kStartBackpressure naming container 0.
+  size_t starts = 0;
+  while (auto env = peer.TryRecv()) {
+    ASSERT_EQ(env->type, proto::MessageType::kStartBackpressure);
+    proto::BackpressureMsg msg;
+    ASSERT_TRUE(msg.ParseFromBytes(env->payload).ok());
+    EXPECT_EQ(msg.initiator, 0);
+    EXPECT_GT(msg.retry_depth, 2u);
+    ++starts;
+  }
+  EXPECT_EQ(starts, 1u);
+
+  // Drain; the clear must broadcast kStopBackpressure.
+  while (tiny.TryRecv().has_value() || smgr.FlushRetries() > 0) {
+  }
+  ASSERT_FALSE(smgr.local_backpressure_active());
+  size_t stops = 0;
+  while (auto env = peer.TryRecv()) {
+    if (env->type == proto::MessageType::kStopBackpressure) ++stops;
+  }
+  EXPECT_EQ(stops, 1u);
+
+  // Receiving side: a remote initiator throttles this SMGR's spouts.
+  proto::BackpressureMsg remote;
+  remote.initiator = 1;
+  remote.retry_depth = 99;
+  smgr.ProcessEnvelope(proto::Envelope(proto::MessageType::kStartBackpressure,
+                                       remote.SerializeAsBuffer()));
+  EXPECT_TRUE(smgr.backpressure());
+  EXPECT_FALSE(smgr.local_backpressure_active());
+  EXPECT_EQ(smgr.remote_backpressure_initiators(), 1u);
+  EXPECT_EQ(
+      smgr.metrics()->GetGauge("smgr.backpressure.initiator.1")->value(), 1);
+  // Duplicate start is idempotent (no double ref).
+  smgr.ProcessEnvelope(proto::Envelope(proto::MessageType::kStartBackpressure,
+                                       remote.SerializeAsBuffer()));
+  EXPECT_EQ(smgr.remote_backpressure_initiators(), 1u);
+  smgr.ProcessEnvelope(proto::Envelope(proto::MessageType::kStopBackpressure,
+                                       remote.SerializeAsBuffer()));
+  EXPECT_FALSE(smgr.backpressure());
+  EXPECT_EQ(smgr.remote_backpressure_initiators(), 0u);
+  smgr.Stop();
+}
+
 INSTANTIATE_TEST_SUITE_P(OptimizationToggle, StreamManagerTest,
                          ::testing::Values(true, false),
                          [](const ::testing::TestParamInfo<bool>& info) {

@@ -107,6 +107,45 @@ TEST_F(TupleCacheTest, StreamCollisionFlushesEagerly) {
   EXPECT_EQ(streams, (std::set<std::string>{"default", "errors"}));
 }
 
+// Regression: bytes that moved to the eager staging area (stream
+// collision) must keep counting toward the size trip. Previously they
+// silently stopped counting, so an eagerly flushed batch could sit
+// stranded until the next timer tick.
+TEST_F(TupleCacheTest, EagerBytesStillTripSizeDrain) {
+  TupleCache cache({/*drain_frequency_ms=*/1000, /*drain_size_bytes=*/256},
+                   &pool_);
+  // Grow one batch close to (but under) the threshold.
+  bool tripped = false;
+  while (cache.pending_bytes() < 200) {
+    tripped = cache.Add(3, 1, "default", "word", TupleBytes("wordword"));
+    ASSERT_FALSE(tripped);
+  }
+  const size_t staged = cache.pending_bytes();
+  // Collide the stream: the whole batch moves to the eager staging area.
+  tripped = cache.Add(3, 1, "errors", "word", TupleBytes("x"));
+  EXPECT_EQ(cache.eager_bytes(), staged);
+  EXPECT_LT(cache.pending_bytes(), staged);
+  // Keep adding on the *new* stream: open + eager bytes must trip the
+  // threshold even though the open batch alone is far below it.
+  for (int i = 0; i < 100 && !tripped; ++i) {
+    tripped = cache.Add(3, 1, "errors", "word", TupleBytes("wordword"));
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_TRUE(cache.should_drain());
+  EXPECT_LT(cache.pending_bytes(), 256u)
+      << "the open batch alone must not have crossed the threshold — the "
+         "eager bytes are what tripped it";
+
+  // Drain stats are attributed when the batches actually leave.
+  const auto batches = cache.DrainAll(/*timer_drain=*/false);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(cache.eager_bytes(), 0u);
+  EXPECT_EQ(cache.stats().batches_drained, 2u);
+  uint64_t drained_bytes = 0;
+  for (const auto& b : batches) drained_bytes += b.bytes.size();
+  EXPECT_EQ(cache.stats().bytes_drained, drained_bytes);
+}
+
 TEST_F(TupleCacheTest, StatsAccumulate) {
   TupleCache cache({10, 1 << 20}, &pool_);
   cache.Add(1, 1, "default", "word", TupleBytes("a"));

@@ -134,6 +134,36 @@ TEST_F(TMasterTest, ScaleRequiresActiveMaster) {
                   .IsFailedPrecondition());
 }
 
+TEST_F(TMasterTest, BackpressureReportsSurfaceInTopologyStatus) {
+  TopologyMaster tmaster(Options(), &state_, RealClock::Get());
+  ASSERT_TRUE(tmaster.Start().ok());
+
+  // Nothing reported yet: unthrottled topology, empty set (not an error).
+  auto initiators = tmaster.BackpressureContainers();
+  ASSERT_TRUE(initiators.ok());
+  EXPECT_TRUE(initiators->empty());
+
+  // Two containers trip; status lists both, ascending.
+  ASSERT_TRUE(tmaster.ReportBackpressure(2, true).ok());
+  ASSERT_TRUE(tmaster.ReportBackpressure(0, true).ok());
+  initiators = tmaster.BackpressureContainers();
+  ASSERT_TRUE(initiators.ok());
+  EXPECT_EQ(*initiators, (std::vector<int>{0, 2}));
+  // Re-reporting an active container is idempotent.
+  ASSERT_TRUE(tmaster.ReportBackpressure(2, true).ok());
+  EXPECT_EQ(tmaster.BackpressureContainers()->size(), 2u);
+
+  // One releases; clearing twice (stop + teardown) is tolerated.
+  ASSERT_TRUE(tmaster.ReportBackpressure(2, false).ok());
+  ASSERT_TRUE(tmaster.ReportBackpressure(2, false).ok());
+  EXPECT_EQ(*tmaster.BackpressureContainers(), std::vector<int>{0});
+
+  // Unregistering the topology drops the markers with everything else.
+  ASSERT_TRUE(statemgr::UnregisterTopology(&state_, "wc").ok());
+  EXPECT_TRUE(
+      statemgr::GetBackpressureContainers(state_, "wc")->empty());
+}
+
 }  // namespace
 }  // namespace tmaster
 }  // namespace heron
