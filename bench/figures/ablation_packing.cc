@@ -52,7 +52,8 @@ PolicyStats Evaluate(const std::string& policy, int spouts, int bolts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   bench::PrintFigureHeader(
       "Ablation: packing policy (Resource Manager, §IV-A)",
       "Round Robin balances load; bin packing minimizes containers (cost)");

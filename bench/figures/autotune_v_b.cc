@@ -13,7 +13,8 @@
 
 using namespace heron;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   sim::HeronCostModel costs;
   sim::HeronSimConfig base;
   base.spouts = base.bolts = 25;

@@ -46,7 +46,8 @@ SimResult RunOne(double slow_factor, bool cluster_bp) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   bench::PrintFigureHeader(
       "Backpressure: straggler container, cluster-wide vs container-local",
       "Spout back pressure keeps the straggler's queue bounded; without the "

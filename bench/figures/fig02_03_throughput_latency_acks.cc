@@ -12,7 +12,8 @@
 using namespace heron;
 using namespace heron::sim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   HeronCostModel heron_costs;
   StormCostModel storm_costs;
   constexpr int64_t kMaxSpoutPending = 14000;

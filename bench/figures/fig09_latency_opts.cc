@@ -10,7 +10,8 @@
 using namespace heron;
 using namespace heron::sim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   HeronCostModel costs;
   constexpr int64_t kMaxSpoutPending = 50000;
 

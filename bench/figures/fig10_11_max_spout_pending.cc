@@ -15,7 +15,8 @@
 using namespace heron;
 using namespace heron::sim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   HeronCostModel costs;
   const std::vector<int64_t> sweep = {1000,  5000,  10000, 20000,
                                       30000, 40000, 50000, 60000};

@@ -16,7 +16,8 @@
 using namespace heron;
 using namespace heron::sim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   HeronCostModel costs;
   const std::vector<double> sweep = {1, 2, 5, 10, 15, 20, 25, 30, 35};
 

@@ -22,7 +22,8 @@
 
 using namespace heron;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   heron::Logging::SetLevel(heron::LogLevel::kWarning);
   const bool fast = std::getenv("HERON_BENCH_FAST") != nullptr;
   const int run_seconds = fast ? 3 : 6;

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -42,14 +43,26 @@ inline void PrintVerdict(const char* what, double measured, double lo,
               measured, lo, hi, ok ? "IN BAND" : "OUT OF BAND");
 }
 
-/// Simulation windows: trimmed when HERON_BENCH_FAST is set so the whole
-/// harness stays CI-friendly.
-inline double WarmupSec() {
-  return std::getenv("HERON_BENCH_FAST") != nullptr ? 0.1 : 0.2;
+/// `--smoke`: every figure binary accepts it and switches to the trimmed
+/// CI windows (same effect as HERON_BENCH_FAST=1 in the environment).
+/// Call first thing in main(); unknown flags abort with usage so a typo
+/// in a CI matrix fails loudly instead of silently running the full sweep.
+inline void ParseSmoke(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      setenv("HERON_BENCH_FAST", "1", /*overwrite=*/1);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      std::exit(2);
+    }
+  }
 }
-inline double MeasureSec() {
-  return std::getenv("HERON_BENCH_FAST") != nullptr ? 0.2 : 0.4;
-}
+
+/// Simulation windows: trimmed when HERON_BENCH_FAST is set (or --smoke
+/// was passed) so the whole harness stays CI-friendly.
+inline bool FastMode() { return std::getenv("HERON_BENCH_FAST") != nullptr; }
+inline double WarmupSec() { return FastMode() ? 0.1 : 0.2; }
+inline double MeasureSec() { return FastMode() ? 0.2 : 0.4; }
 
 }  // namespace bench
 }  // namespace heron

@@ -1,0 +1,202 @@
+// Recovery experiment: kill a container mid-stream and measure the
+// detect → restart → re-register → replay cycle (§IV-B).
+//
+// Two panels:
+//
+//  1. LIVE — a real LocalCluster on threads: WordCount with acking and
+//     at-least-once spout replay, one spout container (hosting the
+//     TMaster and the ack tracker) and one bolt container. The bolt
+//     container is hard-killed; the heartbeat monitor detects the
+//     silence, recovery routes per the framework contract, and the
+//     replacement re-registers. Reported per scheduler kind:
+//       - detect latency (silence → declared dead) and restore latency
+//         (declared dead → first heartbeat of the replacement),
+//       - throughput before the kill, during the outage, and after the
+//         replacement re-registered (the dip-and-drain shape),
+//       - failovers the Scheduler had to handle itself: 0 for the
+//         auto-restarting frameworks (Aurora/Marathon), 1 for the
+//         stateful ones (YARN/Slurm).
+//
+//  2. SIM — the DES engine model with a scripted offline window
+//     (HeronSimConfig::fail_container): deterministic, sweeps the outage
+//     duration and reports the same before/outage/after throughput split
+//     at cluster scale.
+//
+// `--smoke` (or HERON_BENCH_FAST=1) trims every window for CI.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/figures/fig_util.h"
+#include "common/logging.h"
+#include "runtime/local_cluster.h"
+#include "sim/heron_model.h"
+#include "workloads/word_count.h"
+
+using namespace heron;
+
+namespace {
+
+struct LiveRun {
+  double detect_ms = 0;
+  double restore_ms = 0;
+  double tput_before = 0;  ///< acks/min
+  double tput_outage = 0;
+  double tput_after = 0;
+  int failovers = 0;
+  bool ok = false;
+};
+
+double RateAcksPerMin(uint64_t delta, double window_ms) {
+  if (window_ms <= 0) return 0;
+  return static_cast<double>(delta) / window_ms * 60000.0;
+}
+
+LiveRun RunLive(const std::string& kind) {
+  LiveRun out;
+  const double window_ms = bench::FastMode() ? 400 : 1200;
+
+  Config config;
+  config.SetInt(config_keys::kNumContainersHint, 2);
+  config.Set(config_keys::kSchedulerKind, kind);
+  config.SetInt(config_keys::kSchedulerMonitorIntervalMs, 50);
+  config.SetInt(config_keys::kSchedulerMonitorMissLimit, 2);
+  config.SetInt(config_keys::kMetricsCollectIntervalMs, 20);
+  config.SetBool(config_keys::kAckingEnabled, true);
+  config.SetInt(config_keys::kMessageTimeoutMs, 2000);
+  config.SetInt(config_keys::kMaxSpoutPending, 1024);
+  runtime::LocalCluster cluster(config);
+
+  workloads::WordSpout::Options spout_options;
+  spout_options.dictionary_size = 1000;
+  spout_options.words_per_call = 4;
+  spout_options.replay_failed = true;
+  auto topology = workloads::BuildWordCountTopology("recovery-" + kind,
+                                                    /*spouts=*/1, /*bolts=*/1,
+                                                    spout_options);
+  if (!topology.ok() || !cluster.Submit(*topology).ok()) return out;
+  if (!cluster.WaitForCounter("instance.acked", 2000, 30000).ok()) {
+    cluster.Kill().ok();
+    return out;
+  }
+
+  const auto sleep_ms = [](double ms) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int64_t>(ms)));
+  };
+  const auto acked = [&] { return cluster.SumCounter("instance.acked"); };
+
+  // Steady-state window.
+  const uint64_t a0 = acked();
+  sleep_ms(window_ms);
+  const uint64_t a1 = acked();
+  out.tput_before = RateAcksPerMin(a1 - a0, window_ms);
+
+  // The kill, and the outage window: kill → replacement's first heartbeat.
+  const auto t_kill = std::chrono::steady_clock::now();
+  if (!cluster.FailContainer(1).ok()) {
+    cluster.Kill().ok();
+    return out;
+  }
+  const auto deadline = t_kill + std::chrono::seconds(20);
+  while (cluster.recovery_metrics()->GetCounter("recovery.restarts")->value() ==
+             0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto t_back = std::chrono::steady_clock::now();
+  const double outage_ms =
+      std::chrono::duration<double, std::milli>(t_back - t_kill).count();
+  out.tput_outage = RateAcksPerMin(acked() - a1, outage_ms);
+
+  // Post-recovery window: the backlog drains and fresh load resumes.
+  const uint64_t a2 = acked();
+  sleep_ms(window_ms);
+  out.tput_after = RateAcksPerMin(acked() - a2, window_ms);
+
+  out.detect_ms = static_cast<double>(
+      cluster.recovery_metrics()->GetGauge("recovery.detect.last.ms")->value());
+  out.restore_ms = static_cast<double>(
+      cluster.recovery_metrics()
+          ->GetGauge("recovery.restore.last.ms")
+          ->value());
+  out.failovers = cluster.failovers_handled();
+  out.ok =
+      cluster.recovery_metrics()->GetCounter("recovery.restarts")->value() > 0;
+  cluster.Kill().ok();
+  return out;
+}
+
+sim::SimResult RunSimOutage(double offline_sec) {
+  sim::HeronCostModel costs;
+  sim::HeronSimConfig config;
+  config.spouts = config.bolts = 25;
+  config.acking = false;
+  config.warmup_sec = bench::WarmupSec();
+  config.measure_sec = 4 * bench::MeasureSec();
+  config.fail_container = 1;
+  config.fail_at_sec = config.warmup_sec + config.measure_sec * 0.25;
+  config.offline_sec = offline_sec;
+  return sim::RunHeronSim(config, costs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
+  Logging::SetLevel(LogLevel::kError);
+
+  bench::PrintFigureHeader(
+      "Recovery: hard-kill one container, detect -> restart -> replay",
+      "Failed containers are detected by heartbeat silence and restarted "
+      "per the framework contract; acking replays the lost tuple trees");
+
+  std::printf("\n-- live LocalCluster (threads, real clock) --\n");
+  bench::PrintColumns({"scheduler", "detect_ms", "restore_ms", "before_a/min",
+                       "outage_a/min", "after_a/min", "failovers"});
+  // One auto-restarting framework and one stateful framework: same
+  // detection path, different recovery actor.
+  for (const std::string kind : {"aurora", "yarn"}) {
+    const LiveRun r = RunLive(kind);
+    bench::PrintCell(kind.c_str());
+    bench::PrintCell(r.detect_ms);
+    bench::PrintCell(r.restore_ms);
+    bench::PrintCell(r.tput_before);
+    bench::PrintCell(r.tput_outage);
+    bench::PrintCell(r.tput_after);
+    bench::PrintCellInt(r.failovers);
+    bench::EndRow();
+    if (!r.ok) std::printf("  (recovery did not complete!)\n");
+  }
+  std::printf(
+      "\n  detect = heartbeat silence until the TMaster declares the "
+      "container dead\n  restore = declared dead until the replacement's "
+      "first heartbeat.\n  Throughput dips during the outage (spouts "
+      "back-pressured by parked traffic)\n  and recovers once the backlog "
+      "drains; timed-out trees replay from the spout.\n");
+
+  std::printf("\n-- DES model (deterministic), outage-duration sweep --\n");
+  bench::PrintColumns({"offline_ms", "before_Mt/min", "outage_Mt/min",
+                       "after_Mt/min", "tput_Mt/min"});
+  const std::vector<double> outages = bench::FastMode()
+                                          ? std::vector<double>{0.05, 0.1}
+                                          : std::vector<double>{0.05, 0.1,
+                                                                0.2, 0.4};
+  for (const double offline_sec : outages) {
+    const sim::SimResult r = RunSimOutage(offline_sec);
+    bench::PrintCell(offline_sec * 1e3);
+    bench::PrintCell(r.tput_before_per_min / 1e6);
+    bench::PrintCell(r.tput_outage_per_min / 1e6);
+    bench::PrintCell(r.tput_after_per_min / 1e6);
+    bench::PrintCell(r.tuples_per_min / 1e6);
+    bench::EndRow();
+  }
+  std::printf(
+      "\n  shape: outage throughput collapses while the container is dark "
+      "(survivors\n  park its traffic and back-pressure the spouts), then "
+      "overshoots briefly as\n  the parked backlog drains after "
+      "re-registration.\n");
+  return 0;
+}

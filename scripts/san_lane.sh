@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Sanitizer ctest lane: address | thread | undefined.
+#
+# Configures a dedicated build tree with -DHERON_SANITIZE=<kind>, builds
+# every test target and runs the full ctest suite under the sanitizer.
+# What each lane is for:
+#   thread    — the reactor handoff (EventLoop wakeup, ipc::Channel
+#               cross-thread send/recv), the back-pressure throttle, and
+#               the failure-recovery monitor (container hard-kill racing
+#               live traffic). Run after any change to src/runtime,
+#               src/ipc or src/smgr.
+#   address   — heap-use-after-free across the kill path: Container::Fail
+#               tears processes down mid-stream while survivors still hold
+#               endpoints; ASan proves nothing dangles.
+#   undefined — integer/shift/alignment UB in the serde and XOR-tracker
+#               hot paths.
+#
+# Usage:
+#   scripts/san_lane.sh <address|thread|undefined> [build-dir] [-- ctest args]
+# Examples:
+#   scripts/san_lane.sh thread                     # build-tsan, full suite
+#   scripts/san_lane.sh address build-ci-asan      # CI's ASan lane
+#   scripts/san_lane.sh thread build-tsan -- -R smgr
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <address|thread|undefined> [build-dir] [-- ctest args]" >&2
+  exit 2
+fi
+
+SAN="$1"
+shift
+case "${SAN}" in
+  address) DEFAULT_DIR="build-asan" ;;
+  thread) DEFAULT_DIR="build-tsan" ;;
+  undefined) DEFAULT_DIR="build-ubsan" ;;
+  *)
+    echo "unknown sanitizer '${SAN}' (want address, thread or undefined)" >&2
+    exit 2
+    ;;
+esac
+
+BUILD_DIR="${DEFAULT_DIR}"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+fi
+
+GENERATOR_ARGS=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR_ARGS=(-G Ninja)
+fi
+
+cmake -B "${BUILD_DIR}" -S . "${GENERATOR_ARGS[@]}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHERON_SANITIZE="${SAN}"
+cmake --build "${BUILD_DIR}" --parallel
+
+case "${SAN}" in
+  thread)
+    # second_deadlock_stack: the reactor parks on a futex; richer reports
+    # when a test deadlocks under the sanitizer's scheduler perturbation.
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+    ;;
+  address)
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=0}"
+    ;;
+  undefined)
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+    ;;
+esac
+
+exec ctest --test-dir "${BUILD_DIR}" --output-on-failure "$@"

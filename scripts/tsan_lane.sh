@@ -1,43 +1,10 @@
 #!/usr/bin/env bash
-# ThreadSanitizer ctest lane.
+# ThreadSanitizer ctest lane — compatibility shim.
 #
-# Configures a dedicated build tree with -DHERON_SANITIZE=thread, builds
-# every test target and runs the full ctest suite under TSan. The reactor
-# handoff (EventLoop wakeup, ipc::Channel cross-thread send/recv) and the
-# back-pressure throttle (an atomic read by spout idle workers on another
-# thread) are exactly the code TSan is good at: run this lane after any
-# change to src/runtime, src/ipc or src/smgr.
-#
-# Usage:
+# The sanitizer lanes were generalized into scripts/san_lane.sh
+# (address | thread | undefined); this wrapper keeps the old entry point
+# working. Same arguments as before:
 #   scripts/tsan_lane.sh [build-dir] [-- extra ctest args]
-# Examples:
-#   scripts/tsan_lane.sh                       # build-tsan, full suite
-#   scripts/tsan_lane.sh build-tsan -- -R smgr # only the smgr tests
 
 set -euo pipefail
-
-cd "$(dirname "$0")/.."
-
-BUILD_DIR="build-tsan"
-if [[ $# -gt 0 && "$1" != "--" ]]; then
-  BUILD_DIR="$1"
-  shift
-fi
-if [[ $# -gt 0 && "$1" == "--" ]]; then
-  shift
-fi
-
-GENERATOR_ARGS=()
-if command -v ninja >/dev/null 2>&1; then
-  GENERATOR_ARGS=(-G Ninja)
-fi
-
-cmake -B "${BUILD_DIR}" -S . "${GENERATOR_ARGS[@]}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DHERON_SANITIZE=thread
-cmake --build "${BUILD_DIR}" --parallel
-
-# second_deadlock_stack: the reactor parks on a futex; richer reports when
-# a test deadlocks under the sanitizer's scheduler perturbation.
-export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
-exec ctest --test-dir "${BUILD_DIR}" --output-on-failure "$@"
+exec "$(dirname "$0")/san_lane.sh" thread "$@"

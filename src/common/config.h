@@ -80,8 +80,28 @@ inline constexpr char kNumContainersHint[] = "heron.packing.num.containers";
 
 // Scheduler.
 inline constexpr char kSchedulerKind[] = "heron.scheduler.kind";
+/// Heartbeat-monitor cadence: how often the TMaster's liveness scan runs
+/// and the width of one heartbeat interval. 0 disables failure detection.
 inline constexpr char kSchedulerMonitorIntervalMs[] =
     "heron.scheduler.monitor.interval.ms";
+/// Consecutive monitor intervals a container may stay silent before it is
+/// declared dead.
+inline constexpr char kSchedulerMonitorMissLimit[] =
+    "heron.scheduler.monitor.miss.limit";
+
+// Cluster runtime.
+/// Step mode: containers and the monitor run threadless; the test drives
+/// Container::Step() / LocalCluster::StepAll() + MonitorTick() by hand
+/// (deterministic under a SimClock).
+inline constexpr char kClusterStepMode[] = "heron.cluster.step.mode";
+
+// Chaos (fault injection on the monitor tick).
+/// Per-tick probability of hard-killing one random live container.
+inline constexpr char kChaosKillProbability[] = "heron.chaos.kill.probability";
+/// Cap on chaos-injected kills (0 = unlimited).
+inline constexpr char kChaosMaxKills[] = "heron.chaos.max.kills";
+/// RNG seed for the chaos schedule.
+inline constexpr char kChaosSeed[] = "heron.chaos.seed";
 
 // State manager.
 inline constexpr char kStateManagerKind[] = "heron.statemgr.kind";

@@ -220,6 +220,19 @@ void HeronInstance::Stop() {
   }
 }
 
+void HeronInstance::Kill() {
+  if (registered_) {
+    transport_->UnregisterInstance(options_.task).ok();
+    registered_ = false;
+  }
+  running_.store(false);
+  // Halt: no shutdown flush, no user Close/Cleanup — abrupt death.
+  loop_.Halt();
+  inbound_.Close();
+  loop_.Join();
+  started_ = false;
+}
+
 void HeronInstance::HandleRootEvent(const serde::Buffer& payload) {
   proto::RootEventMsg msg;
   if (!msg.ParseFromBytes(payload).ok()) return;

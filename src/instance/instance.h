@@ -67,6 +67,11 @@ class HeronInstance {
   Status StartStepMode();
   /// Closes the channel, joins, runs user Close/Cleanup. Idempotent.
   void Stop();
+  /// Hard-kill (fault injection): deregisters and halts the reactor. The
+  /// outbox flush and user Close/Cleanup never run — the process "died".
+  /// In-flight roots this spout tracked are lost with it; their trees time
+  /// out at the ack tracker and replay from the restarted incarnation.
+  void Kill();
 
   /// The reactor this instance runs on.
   runtime::EventLoop* loop() { return &loop_; }

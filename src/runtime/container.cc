@@ -28,11 +28,16 @@ Container::Container(const packing::ContainerPlan& plan,
 
 Container::~Container() { Stop(); }
 
-Status Container::Start() {
+Status Container::Start() { return StartInternal(/*step_mode=*/false); }
+
+Status Container::StartStepMode() { return StartInternal(/*step_mode=*/true); }
+
+Status Container::StartInternal(bool step_mode) {
   if (started_) {
     return Status::FailedPrecondition(
         StrFormat("container %d already started", plan_.id));
   }
+  step_mode_ = step_mode;
 
   smgr::StreamManager::Options smgr_options;
   smgr_options.container = plan_.id;
@@ -51,9 +56,11 @@ Status Container::Start() {
   smgr_options.backpressure_low_water = static_cast<size_t>(
       config_.GetIntOr(config_keys::kBackpressureLowWater, 0));
   smgr_options.seed = 42 + static_cast<uint64_t>(plan_.id);
+  smgr_options.announce_recovery = recovering_;
+  recovering_ = false;
   smgr_ = std::make_unique<smgr::StreamManager>(smgr_options, physical_plan_,
                                                 transport_, clock_);
-  HERON_RETURN_NOT_OK(smgr_->Start());
+  HERON_RETURN_NOT_OK(step_mode ? smgr_->StartStepMode() : smgr_->Start());
   metrics_manager_
       .RegisterSource(StrFormat("smgr-%d", plan_.id), smgr_->metrics())
       .ok();
@@ -68,7 +75,7 @@ Status Container::Start() {
     options.seed = 1000 + static_cast<uint64_t>(inst.task_id);
     auto instance = std::make_unique<instance::HeronInstance>(
         options, physical_plan_, transport_, clock_, smgr_.get());
-    const Status st = instance->Start();
+    const Status st = step_mode ? instance->StartStepMode() : instance->Start();
     if (!st.ok()) {
       Stop();
       return st.WithContext(
@@ -95,12 +102,41 @@ Status Container::Start() {
                               [this] { metrics_manager_.Collect(); });
     housekeeping_wired_ = true;
   }
-  housekeeping_.Start();
+  if (!step_mode) housekeeping_.Start();
 
   started_ = true;
   HLOG(INFO) << "container " << plan_.id << " up: smgr + "
              << instances_.size() << " instances";
   return Status::OK();
+}
+
+void Container::Step() {
+  if (!started_ || !step_mode_) return;
+  if (smgr_ != nullptr) smgr_->loop()->RunOnce();
+  for (auto& instance : instances_) {
+    instance->loop()->RunOnce();
+  }
+  housekeeping_.RunOnce();
+}
+
+void Container::Fail() {
+  if (!started_) return;
+  // Halt order mirrors Stop()'s join-before-destroy discipline, but with
+  // Halt instead of Stop: no shutdown drain anywhere. Housekeeping first —
+  // its Collect() snapshots registries the kills below will orphan.
+  housekeeping_.Halt();
+  housekeeping_.Join();
+  for (auto& instance : instances_) {
+    instance->Kill();
+  }
+  if (smgr_ != nullptr) {
+    smgr_->Kill();
+  }
+  // Only now — every thread joined — may the endpoints be destroyed.
+  instances_.clear();
+  smgr_.reset();
+  started_ = false;
+  HLOG(INFO) << "container " << plan_.id << " KILLED (fault injection)";
 }
 
 void Container::Stop() {

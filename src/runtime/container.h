@@ -43,8 +43,25 @@ class Container {
   /// Starts the SMGR first (instances need a routable container), then
   /// every instance, and registers all metric sources.
   Status Start();
+  /// Step-mode Start: full wiring (SMGR, instances, housekeeping timers)
+  /// but zero threads — the caller drives Step(). Deterministic under a
+  /// SimClock; this is how the failure-recovery tests replay a kill.
+  Status StartStepMode();
+  /// One step-mode round: SMGR reactor, every instance reactor, then the
+  /// housekeeping (metrics collection) reactor, each RunOnce.
+  void Step();
   /// Stops instances first, then the SMGR. Idempotent.
   void Stop();
+  /// Fault injection: hard-kills the container mid-stream. Reactors halt
+  /// without their shutdown drains (caches, outboxes, parked envelopes die
+  /// with the "process"), endpoints deregister, threads join. The survivor
+  /// SMGRs see the dead endpoints as kNotFound and park traffic for them;
+  /// the TMaster sees the heartbeats stop. Distinct from graceful Stop().
+  void Fail();
+  /// Marks the *next* Start as a recovered incarnation: its SMGR then
+  /// broadcasts kStopBackpressure on registration so survivors release any
+  /// throttle ref the dead predecessor held (see Options::announce_recovery).
+  void MarkRecovering() { recovering_ = true; }
 
   ContainerId id() const { return plan_.id; }
   smgr::StreamManager* stream_manager() { return smgr_.get(); }
@@ -83,6 +100,11 @@ class Container {
   EventLoop housekeeping_;
   bool housekeeping_wired_ = false;
   bool started_ = false;
+  bool step_mode_ = false;
+  bool recovering_ = false;
+
+  /// Shared Start/StartStepMode body.
+  Status StartInternal(bool step_mode);
 };
 
 }  // namespace runtime

@@ -208,6 +208,9 @@ void EventLoop::EnsureStartup() {
 }
 
 void EventLoop::Shutdown() {
+  // A halted loop models a killed process: its final drains and flushes
+  // never happened and must not happen later either.
+  if (halted_.load(std::memory_order_acquire)) return;
   if (!startup_done_ || shutdown_done_) return;
   shutdown_done_ = true;
   for (auto& hook : shutdown_hooks_) hook();
@@ -256,6 +259,11 @@ void EventLoop::Start() {
 void EventLoop::Stop() {
   stop_.store(true, std::memory_order_release);
   wakeup_.Notify();
+}
+
+void EventLoop::Halt() {
+  halted_.store(true, std::memory_order_release);
+  Stop();
 }
 
 void EventLoop::Join() {

@@ -172,6 +172,10 @@ class EventLoop {
   /// Requests Run() to exit after the current iteration (does not drain —
   /// close the channels instead when drain semantics matter).
   void Stop();
+  /// Hard-kill: like Stop(), but the shutdown hooks never run — not now,
+  /// not on a later Shutdown() call. Models abrupt process death (a killed
+  /// container gets no final cache drain or outbox flush). Irreversible.
+  void Halt();
   /// Joins the Start() thread, if any.
   void Join();
   /// Runs the shutdown hooks now if the loop has started but not yet shut
@@ -261,6 +265,7 @@ class EventLoop {
 
   std::thread thread_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> halted_{false};
 
   // Instrumentation.
   std::atomic<uint64_t> iterations_{0};

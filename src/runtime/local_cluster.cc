@@ -2,19 +2,33 @@
 
 #include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "frameworks/aurora_like_framework.h"
+#include "frameworks/marathon_like_framework.h"
+#include "frameworks/slurm_like_framework.h"
+#include "frameworks/yarn_like_framework.h"
 
 namespace heron {
 namespace runtime {
 
-LocalCluster::LocalCluster(Config cluster_config)
+LocalCluster::LocalCluster(Config cluster_config, const Clock* clock)
     : cluster_config_(std::move(cluster_config)),
       transport_(cluster_config_.GetBoolOr(
           config_keys::kSmgrOptimizationsEnabled, true)),
-      clock_(RealClock::Get()) {
+      clock_(clock != nullptr ? clock : RealClock::Get()) {
   HERON_CHECK_OK(state_.Initialize(cluster_config_));
+  recovery_detect_ms_ = recovery_metrics_.GetHistogram("recovery.detect.ms");
+  recovery_restore_ms_ = recovery_metrics_.GetHistogram("recovery.restore.ms");
+  recovery_detect_last_ms_ =
+      recovery_metrics_.GetGauge("recovery.detect.last.ms");
+  recovery_restore_last_ms_ =
+      recovery_metrics_.GetGauge("recovery.restore.last.ms");
+  recovery_deaths_ = recovery_metrics_.GetCounter("recovery.deaths");
+  recovery_restarts_ = recovery_metrics_.GetCounter("recovery.restarts");
+  chaos_kill_counter_ = recovery_metrics_.GetCounter("chaos.kills");
 }
 
 LocalCluster::~LocalCluster() {
@@ -43,6 +57,14 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
   }
   topology_ = topology;
   merged_config_ = cluster_config_.MergedWith(topology->config());
+  step_mode_ = merged_config_.GetBoolOr(config_keys::kClusterStepMode, false);
+  chaos_kill_probability_ =
+      merged_config_.GetDoubleOr(config_keys::kChaosKillProbability, 0);
+  chaos_max_kills_ = static_cast<int>(
+      merged_config_.GetIntOr(config_keys::kChaosMaxKills, 0));
+  chaos_rng_ = Random(static_cast<uint64_t>(
+      merged_config_.GetIntOr(config_keys::kChaosSeed, 1)));
+  chaos_kills_ = 0;
 
   // 1. Resource Manager: "first determines how many containers should be
   //    allocated for the topology" (§II).
@@ -52,12 +74,19 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
   HERON_RETURN_NOT_OK(packing_->Initialize(merged_config_, topology_));
   HERON_ASSIGN_OR_RETURN(packing::PackingPlan plan, packing_->Pack());
 
-  // 2. State Manager: register the topology and its metadata (§IV-C).
+  // 2. Scheduler stack for heron.scheduler.kind (may build a simulated
+  //    framework substrate), so the State Manager can record its URL.
+  HERON_RETURN_NOT_OK(BuildScheduler(plan));
+
+  // 3. State Manager: register the topology and its metadata (§IV-C).
   HERON_RETURN_NOT_OK(statemgr::RegisterTopology(&state_, topology->name()));
   HERON_RETURN_NOT_OK(statemgr::SetSchedulerLocation(
-      &state_, topology->name(), "local://localhost"));
+      &state_, topology->name(),
+      framework_ != nullptr ? framework_->Url() : "local://localhost"));
 
-  // 3. TMaster in (alongside) container 0.
+  // 4. TMaster in (alongside) container 0, with the heartbeat monitor
+  //    parameters (§IV-B failure detection) and the event route into the
+  //    Scheduler.
   tmaster::TopologyMaster::Options tm_options;
   tm_options.topology = topology->name();
   tmaster_ = std::make_unique<tmaster::TopologyMaster>(tm_options, &state_,
@@ -65,11 +94,31 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
   HERON_RETURN_NOT_OK(tmaster_->Start());
   HERON_RETURN_NOT_OK(tmaster_->PublishPackingPlan(plan));
 
-  // 4. Physical plan, then Scheduler starts every container.
+  const int64_t monitor_interval_ms =
+      merged_config_.GetIntOr(config_keys::kSchedulerMonitorIntervalMs, 0);
+  const int miss_limit = static_cast<int>(
+      merged_config_.GetIntOr(config_keys::kSchedulerMonitorMissLimit, 3));
+  if (monitor_interval_ms > 0) {
+    tmaster_->SetMonitorParams(monitor_interval_ms, miss_limit);
+    tmaster_->SetContainerEventCallback(
+        [this](const tmaster::TopologyMaster::ContainerEvent& event) {
+          OnContainerEvent(event);
+        });
+    EventLoop::Options monitor_options;
+    monitor_options.name = "monitor";
+    monitor_ = std::make_unique<EventLoop>(monitor_options, clock_);
+    monitor_->AddPeriodic(monitor_interval_ms * 1000000,
+                          [this] { MonitorTick(); });
+  }
+
+  // 5. Physical plan, then Scheduler starts every container.
   HERON_RETURN_NOT_OK(BuildAndInstallPhysicalPlan(plan));
-  scheduler_ = std::make_unique<scheduler::LocalScheduler>(this);
   HERON_RETURN_NOT_OK(scheduler_->Initialize(merged_config_));
   HERON_RETURN_NOT_OK(scheduler_->OnSchedule(plan));
+
+  // The monitor observes only after every container is expected: a slow
+  // scheduler start must not read as a death.
+  if (monitor_ != nullptr && !step_mode_) monitor_->Start();
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -77,11 +126,63 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
   }
   HLOG(INFO) << "topology '" << topology->name() << "' running locally ("
              << plan.NumContainers() << " containers, "
-             << plan.NumInstances() << " instances)";
+             << plan.NumInstances() << " instances, scheduler "
+             << scheduler_->Name() << ")";
+  return Status::OK();
+}
+
+Status LocalCluster::BuildScheduler(const packing::PackingPlan& plan) {
+  const std::string kind =
+      merged_config_.GetStringOr(config_keys::kSchedulerKind, "local");
+  framework_scheduler_ = nullptr;
+  if (kind == "local") {
+    sim_cluster_.reset();
+    framework_.reset();
+    scheduler_ = std::make_unique<scheduler::LocalScheduler>(this);
+    return Status::OK();
+  }
+  // Simulated machine substrate: enough identical nodes for the plan plus
+  // headroom, so a restarted container always finds a slot even while the
+  // dead one's allocation lingers for a tick.
+  sim_cluster_ = std::make_unique<frameworks::SimCluster>();
+  sim_cluster_->AddNodes(plan.NumContainers() + 2,
+                         plan.MaxContainerResource());
+  if (kind == "aurora") {
+    framework_ = std::make_unique<frameworks::AuroraLikeFramework>(
+        sim_cluster_.get());
+  } else if (kind == "marathon") {
+    framework_ = std::make_unique<frameworks::MarathonLikeFramework>(
+        sim_cluster_.get());
+  } else if (kind == "yarn") {
+    framework_ =
+        std::make_unique<frameworks::YarnLikeFramework>(sim_cluster_.get());
+  } else if (kind == "slurm") {
+    framework_ =
+        std::make_unique<frameworks::SlurmLikeFramework>(sim_cluster_.get());
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown scheduler kind '%s'", kind.c_str()));
+  }
+  auto fs = std::make_unique<scheduler::FrameworkScheduler>(framework_.get(),
+                                                            this);
+  framework_scheduler_ = fs.get();
+  scheduler_ = std::move(fs);
   return Status::OK();
 }
 
 Status LocalCluster::Kill() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return Status::FailedPrecondition("nothing running");
+  }
+  // Monitor first — and only then flip running_: an in-flight recovery
+  // finishes consistently (Join waits it out) and no new one can start, so
+  // teardown below races nothing.
+  if (monitor_ != nullptr) {
+    monitor_->Stop();
+    monitor_->Join();
+    monitor_.reset();
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!running_) return Status::FailedPrecondition("nothing running");
@@ -91,6 +192,10 @@ Status LocalCluster::Kill() {
   tmaster_->Stop().ok();
   statemgr::UnregisterTopology(&state_, topology_->name()).ok();
   packing_->Close();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    failed_containers_.clear();
+  }
   return st;
 }
 
@@ -140,6 +245,97 @@ Status LocalCluster::RestartContainer(ContainerId id) {
   return scheduler_->OnRestart({topology_->name(), id});
 }
 
+Status LocalCluster::FailContainer(ContainerId id) {
+  std::unique_ptr<Container> victim;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = containers_.find(id);
+    if (it == containers_.end()) {
+      return Status::NotFound(StrFormat("container %d not live", id));
+    }
+    victim = std::move(it->second);
+    containers_.erase(it);
+    failed_containers_.insert(id);
+  }
+  HLOG(WARNING) << "FAULT INJECTION: hard-killing container " << id;
+  // Abrupt death: halt everything, drain nothing. The TMaster is NOT told —
+  // detection is the heartbeat monitor's job, which is the point.
+  victim->Fail();
+  return Status::OK();
+}
+
+void LocalCluster::StepAll() {
+  if (!step_mode_) return;
+  std::vector<Container*> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live.reserve(containers_.size());
+    for (const auto& [_, container] : containers_) {
+      live.push_back(container.get());
+    }
+  }
+  for (Container* container : live) container->Step();
+}
+
+void LocalCluster::MaybeChaosKill() {
+  if (chaos_kill_probability_ <= 0) return;
+  if (chaos_max_kills_ > 0 && chaos_kills_ >= chaos_max_kills_) return;
+  if (!chaos_rng_.NextBool(chaos_kill_probability_)) return;
+  std::vector<ContainerId> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, _] : containers_) live.push_back(id);
+  }
+  if (live.empty()) return;
+  const ContainerId target =
+      live[chaos_rng_.NextBelow(static_cast<uint64_t>(live.size()))];
+  if (FailContainer(target).ok()) {
+    ++chaos_kills_;
+    chaos_kill_counter_->Increment();
+  }
+}
+
+void LocalCluster::MonitorTick() {
+  if (!running()) return;
+  MaybeChaosKill();
+  if (tmaster_ != nullptr) {
+    // CheckLiveness emits ContainerEvents through OnContainerEvent, which
+    // routes deaths into the Scheduler synchronously — by the time this
+    // returns, recovery (restart + re-register) has been driven as far as
+    // the framework contract allows.
+    tmaster_->CheckLiveness();
+  }
+}
+
+void LocalCluster::OnContainerEvent(
+    const tmaster::TopologyMaster::ContainerEvent& event) {
+  using Kind = tmaster::TopologyMaster::ContainerEvent::Kind;
+  if (event.kind == Kind::kDead) {
+    recovery_deaths_->Increment();
+    recovery_detect_ms_->Record(
+        static_cast<uint64_t>(std::max<int64_t>(event.latency_ms, 0)));
+    recovery_detect_last_ms_->Set(event.latency_ms);
+    if (!running()) return;
+    // Framework-contract routing (§IV-B): stateless schedulers lean on
+    // the framework's auto-restart; stateful ones restart explicitly.
+    const Status st =
+        scheduler_->OnContainerDead(topology_->name(), event.container);
+    if (!st.ok()) {
+      HLOG(ERROR) << "recovery of container " << event.container
+                  << " failed: " << st.ToString();
+    }
+    return;
+  }
+  // kRestored: heartbeats resumed from the replacement incarnation.
+  recovery_restarts_->Increment();
+  recovery_metrics_
+      .GetCounter(StrFormat("recovery.restarts.%d", event.container))
+      ->Increment();
+  recovery_restore_ms_->Record(
+      static_cast<uint64_t>(std::max<int64_t>(event.latency_ms, 0)));
+  recovery_restore_last_ms_->Set(event.latency_ms);
+}
+
 Status LocalCluster::StartContainer(const packing::ContainerPlan& container) {
   std::shared_ptr<const proto::PhysicalPlan> plan = physical_plan();
   if (plan == nullptr) {
@@ -147,9 +343,19 @@ Status LocalCluster::StartContainer(const packing::ContainerPlan& container) {
   }
   auto live = std::make_unique<Container>(container, plan, merged_config_,
                                           &transport_, clock_);
+  {
+    // A container replacing a hard-killed one is a recovered incarnation:
+    // its SMGR announces recovery on registration (clears any throttle ref
+    // the dead predecessor stranded on survivors).
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (failed_containers_.erase(container.id) > 0) {
+      live->MarkRecovering();
+    }
+  }
   // Every collection round pulses the cluster-wide condvar, which is what
-  // WaitForCounter parks on, and forwards the container's backpressure
-  // state to the TMaster on change — this is how local SMGR episodes reach
+  // WaitForCounter parks on, heartbeats to the TMaster (this tick IS the
+  // liveness signal the monitor watches), and forwards the container's
+  // backpressure state on change — this is how local SMGR episodes reach
   // the topology status in the state tree (§IV-C). (The container outlives
   // its listener: Stop() halts the housekeeping loop before the container
   // is destroyed; Kill() stops every container before the TMaster.)
@@ -165,9 +371,17 @@ Status LocalCluster::StartContainer(const packing::ContainerPlan& container) {
             tmaster_->ReportBackpressure(container_id, bp != 0).ok();
           }
         }
+        if (tmaster_ != nullptr) {
+          tmaster_->RecordHeartbeat(container_id).ok();
+        }
         metrics_cv_.notify_all();
       });
-  HERON_RETURN_NOT_OK(live->Start());
+  if (tmaster_ != nullptr) {
+    // Seed liveness before the first heartbeat so a slow boot is not a
+    // death (and a recovering container stays dead until it truly beats).
+    tmaster_->ExpectContainer(container.id).ok();
+  }
+  HERON_RETURN_NOT_OK(step_mode_ ? live->StartStepMode() : live->Start());
   std::lock_guard<std::mutex> lock(mutex_);
   containers_[container.id] = std::move(live);
   return Status::OK();
@@ -184,8 +398,24 @@ Status LocalCluster::StopContainer(ContainerId id) {
     victim = std::move(it->second);
     containers_.erase(it);
   }
+  if (tmaster_ != nullptr) {
+    // Graceful stop: an orderly departure must never look like a death.
+    tmaster_->ForgetContainer(id).ok();
+  }
   victim->Stop();
   return Status::OK();
+}
+
+int LocalCluster::failovers_handled() const {
+  return framework_scheduler_ != nullptr
+             ? framework_scheduler_->failovers_handled()
+             : 0;
+}
+
+int LocalCluster::chaos_kills() const {
+  // Atomic: the monitor thread increments while tests poll for the chaos
+  // schedule to complete.
+  return chaos_kills_.load(std::memory_order_relaxed);
 }
 
 bool LocalCluster::running() const {

@@ -1,14 +1,19 @@
 #ifndef HERON_RUNTIME_LOCAL_CLUSTER_H_
 #define HERON_RUNTIME_LOCAL_CLUSTER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 
+#include "common/random.h"
+#include "frameworks/framework.h"
 #include "packing/packing_registry.h"
 #include "runtime/container.h"
+#include "scheduler/framework_scheduler.h"
 #include "scheduler/local_scheduler.h"
 #include "statemgr/in_memory_state_manager.h"
 #include "tmaster/tmaster.h"
@@ -30,11 +35,37 @@ namespace runtime {
 ///
 /// One topology per LocalCluster (local mode is single-topology by
 /// nature); clusters are independent, so tests run several side by side.
+///
+/// ## Failure detection & recovery (§IV-B)
+/// With `heron.scheduler.monitor.interval.ms` > 0 the cluster runs a
+/// monitor reactor: containers heartbeat through their metrics-collection
+/// tick (RecordHeartbeat on the TMaster), and every monitor tick scans for
+/// containers silent longer than interval × miss-limit. A death is
+/// recorded in the state tree, measured into the recovery metrics, and
+/// routed to the Scheduler's OnContainerDead — which either tells an
+/// auto-restarting framework about the failure (Aurora/Marathon) or, in
+/// stateful mode (YARN/Slurm), restarts the container itself. The chosen
+/// path depends on `heron.scheduler.kind`: "local" (default) launches
+/// containers directly; "aurora" / "marathon" / "yarn" / "slurm" deploy
+/// through the corresponding simulated framework.
+///
+/// FailContainer() is the scripted fault: it hard-kills a live container
+/// (threads halted, no shutdown drains — abrupt process death), exactly
+/// what the chaos knobs (`heron.chaos.*`) do probabilistically on each
+/// monitor tick.
+///
+/// With `heron.cluster.step.mode` the whole cluster — containers and
+/// monitor — runs threadless: tests interleave StepAll() / MonitorTick()
+/// with SimClock advances and replay the entire detect → restart →
+/// re-register → drain → ack-replay cycle deterministically.
 class LocalCluster final : public scheduler::IContainerLauncher {
  public:
   /// \param cluster_config  cluster-level defaults; the topology's own
   ///        config overrides per key
-  explicit LocalCluster(Config cluster_config = Config());
+  /// \param clock  time source for every module (nullptr = real clock);
+  ///        step-mode tests inject a SimClock here
+  explicit LocalCluster(Config cluster_config = Config(),
+                        const Clock* clock = nullptr);
   ~LocalCluster() override;
 
   LocalCluster(const LocalCluster&) = delete;
@@ -53,6 +84,25 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   /// Restarts one container (all its Heron processes).
   Status RestartContainer(ContainerId id);
 
+  /// Fault injection: hard-kills a live container mid-stream — all its
+  /// threads halt with no shutdown drains, endpoints deregister, and its
+  /// heartbeats stop. Recovery is *not* initiated here; the heartbeat
+  /// monitor must detect the silence and route per the framework contract.
+  Status FailContainer(ContainerId id);
+
+  // -- Step mode (heron.cluster.step.mode) --------------------------------
+
+  /// One step-mode round over every live container (SMGR, instances,
+  /// housekeeping — each RunOnce). No-op outside step mode.
+  void StepAll();
+
+  /// One monitor round: chaos maybe-kill, then the TMaster liveness scan —
+  /// deaths route synchronously through OnContainerDead, so after this
+  /// call returns the replacement containers (if any) are registered.
+  /// Runs on the monitor reactor in threaded mode; step-mode tests call it
+  /// directly between clock advances.
+  void MonitorTick();
+
   // -- IContainerLauncher (called by the Scheduler). --
   Status StartContainer(const packing::ContainerPlan& container) override;
   Status StopContainer(ContainerId id) override;
@@ -64,8 +114,19 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   statemgr::IStateManager* state_manager() { return &state_; }
   smgr::Transport* transport() { return &transport_; }
   tmaster::TopologyMaster* tmaster() { return tmaster_.get(); }
+  scheduler::IScheduler* scheduler() { return scheduler_.get(); }
   Container* GetContainer(ContainerId id);
   int num_live_containers() const;
+
+  /// Recovery observability: `recovery.detect.ms` / `recovery.restore.ms`
+  /// histograms (+ `.last` gauges), `recovery.deaths` / `recovery.restarts`
+  /// counters (incl. per-container `recovery.restarts.<id>`), and
+  /// `chaos.kills`.
+  metrics::MetricsRegistry* recovery_metrics() { return &recovery_metrics_; }
+  /// Stateful-scheduler recoveries (0 for local / auto-restart kinds).
+  int failovers_handled() const;
+  /// Containers killed by the probabilistic chaos schedule so far.
+  int chaos_kills() const;
 
   /// Sums an instance counter across every live container.
   uint64_t SumCounter(const std::string& name) const;
@@ -86,6 +147,13 @@ class LocalCluster final : public scheduler::IContainerLauncher {
 
  private:
   Status BuildAndInstallPhysicalPlan(const packing::PackingPlan& plan);
+  /// Builds the scheduler stack for `heron.scheduler.kind` (local direct
+  /// launch, or a simulated framework + FrameworkScheduler).
+  Status BuildScheduler(const packing::PackingPlan& plan);
+  /// TMaster liveness transition: metrics + routing to the Scheduler.
+  void OnContainerEvent(const tmaster::TopologyMaster::ContainerEvent& event);
+  /// Chaos: maybe hard-kill one random live container this monitor tick.
+  void MaybeChaosKill();
 
   Config cluster_config_;
   Config merged_config_;
@@ -97,11 +165,42 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   std::shared_ptr<const api::Topology> topology_;
   std::unique_ptr<packing::IPacking> packing_;
   std::unique_ptr<tmaster::TopologyMaster> tmaster_;
-  std::unique_ptr<scheduler::LocalScheduler> scheduler_;
+  /// Simulated machine substrate + scheduling framework (framework kinds
+  /// only; null for "local").
+  std::unique_ptr<frameworks::SimCluster> sim_cluster_;
+  std::unique_ptr<frameworks::ISchedulingFramework> framework_;
+  std::unique_ptr<scheduler::IScheduler> scheduler_;
+  /// Downcast view of scheduler_ when it is a FrameworkScheduler.
+  scheduler::FrameworkScheduler* framework_scheduler_ = nullptr;
+
+  /// The heartbeat monitor reactor (null when monitoring is disabled).
+  std::unique_ptr<EventLoop> monitor_;
+  bool step_mode_ = false;
+
+  // Chaos schedule. The RNG and knobs are touched on the monitor tick
+  // only; the kill count is atomic because tests poll chaos_kills() from
+  // another thread while the monitor is still rolling dice.
+  Random chaos_rng_{1};
+  double chaos_kill_probability_ = 0;
+  int chaos_max_kills_ = 0;
+  std::atomic<int> chaos_kills_{0};
+
+  // Recovery observability.
+  metrics::MetricsRegistry recovery_metrics_;
+  metrics::Histogram* recovery_detect_ms_ = nullptr;
+  metrics::Histogram* recovery_restore_ms_ = nullptr;
+  metrics::Gauge* recovery_detect_last_ms_ = nullptr;
+  metrics::Gauge* recovery_restore_last_ms_ = nullptr;
+  metrics::Counter* recovery_deaths_ = nullptr;
+  metrics::Counter* recovery_restarts_ = nullptr;
+  metrics::Counter* chaos_kill_counter_ = nullptr;
 
   mutable std::mutex mutex_;
   std::shared_ptr<const proto::PhysicalPlan> physical_plan_;
   std::map<ContainerId, std::unique_ptr<Container>> containers_;
+  /// Containers hard-killed and not yet restarted: their replacement
+  /// starts as a recovered incarnation (Container::MarkRecovering).
+  std::set<ContainerId> failed_containers_;
   bool running_ = false;
 
   /// Signalled by each container's metrics-collection round; WaitForCounter

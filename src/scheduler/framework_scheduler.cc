@@ -144,6 +144,36 @@ void FrameworkScheduler::HandleFrameworkEvent(
   }
 }
 
+Status FrameworkScheduler::OnContainerDead(const std::string& topology,
+                                           ContainerId container) {
+  frameworks::JobId job;
+  int slot = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (topology != plan_.topology_name() || job_.empty()) {
+      return Status::NotFound(StrFormat(
+          "topology '%s' is not managed by this scheduler", topology.c_str()));
+    }
+    job = job_;
+    for (const auto& [s, cid] : slot_to_container_) {
+      if (cid == container) {
+        slot = s;
+        break;
+      }
+    }
+  }
+  if (slot < 0) {
+    return Status::NotFound(
+        StrFormat("container %d not deployed", container));
+  }
+  HLOG(INFO) << Name() << ": container " << container
+             << " reported dead; marking framework slot " << slot
+             << " failed";
+  // The framework contract does the rest: auto-restart (stateless mode) or
+  // kFailed event → HandleFrameworkEvent → RestartContainer (stateful).
+  return framework_->InjectContainerFailure(job, slot);
+}
+
 Status FrameworkScheduler::OnKill(const KillTopologyRequest& request) {
   frameworks::JobId job;
   {

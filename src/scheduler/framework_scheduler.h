@@ -36,6 +36,13 @@ class FrameworkScheduler final : public IScheduler {
   Status OnRestart(const RestartTopologyRequest& request) override;
   Status OnUpdate(const UpdateTopologyRequest& request) override;
   void Close() override;
+  /// Routes a TMaster-detected death to the framework: the slot is marked
+  /// failed via InjectContainerFailure, after which an auto-restarting
+  /// framework (Aurora/Marathon) relaunches it by itself, while a
+  /// kFailed event from a non-restarting one (YARN/Slurm) comes back to
+  /// this scheduler's stateful HandleFrameworkEvent, which restarts it.
+  Status OnContainerDead(const std::string& topology,
+                         ContainerId container) override;
 
   bool IsStateful() const override {
     return !framework_->AutoRestartsFailedContainers();

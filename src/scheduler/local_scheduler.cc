@@ -87,6 +87,29 @@ Status LocalScheduler::OnRestart(const RestartTopologyRequest& request) {
   return Status::OK();
 }
 
+Status LocalScheduler::OnContainerDead(const std::string& topology,
+                                       ContainerId container) {
+  packing::PackingPlan plan = current_plan();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!scheduled_ || topology != plan_.topology_name()) {
+      return Status::NotFound(StrFormat(
+          "topology '%s' is not running locally", topology.c_str()));
+    }
+  }
+  const packing::ContainerPlan* c = plan.FindContainer(container);
+  if (c == nullptr) {
+    return Status::NotFound(
+        StrFormat("container %d not in current plan", container));
+  }
+  // The dead container usually has nothing left to stop — NotFound is the
+  // expected answer, not an error (unlike OnRestart's stop-then-start).
+  const Status stop = launcher_->StopContainer(container);
+  if (!stop.ok() && !stop.IsNotFound()) return stop;
+  HLOG(INFO) << "local scheduler recovering dead container " << container;
+  return launcher_->StartContainer(*c);
+}
+
 Status LocalScheduler::OnUpdate(const UpdateTopologyRequest& request) {
   HERON_RETURN_NOT_OK(request.new_plan.Validate());
   packing::PackingPlan old_plan;

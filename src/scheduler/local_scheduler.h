@@ -25,6 +25,10 @@ class LocalScheduler final : public IScheduler {
   Status OnRestart(const RestartTopologyRequest& request) override;
   Status OnUpdate(const UpdateTopologyRequest& request) override;
   void Close() override;
+  /// Local recovery: the container's processes are gone, so the stop half
+  /// is tolerant (NotFound = already dead); then relaunch from the plan.
+  Status OnContainerDead(const std::string& topology,
+                         ContainerId container) override;
 
   bool IsStateful() const override { return false; }
   std::string Name() const override { return "local"; }

@@ -72,6 +72,17 @@ class IScheduler {
   virtual Status OnUpdate(const UpdateTopologyRequest& request) = 0;
   virtual void Close() = 0;
 
+  /// The TMaster's heartbeat monitor declared `container` dead (§IV-B).
+  /// Concrete schedulers route this per the framework contract: a
+  /// framework that auto-restarts failures is told about the failure and
+  /// recovers on its own; a stateful scheduler restarts the container
+  /// explicitly. The container's processes are already gone — handlers
+  /// must tolerate stop-side NotFound. Default: treat as a restart request.
+  virtual Status OnContainerDead(const std::string& topology,
+                                 ContainerId container) {
+    return OnRestart({topology, container});
+  }
+
   virtual bool IsStateful() const = 0;
   virtual std::string Name() const = 0;
 };

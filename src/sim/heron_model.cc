@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -50,6 +51,12 @@ class HeronSim {
     double sum_emit = 0;
     double credit = 0;  ///< Fractional proportional-share carry-over.
   };
+  /// A batch addressed to an offline container: survivors park it (the
+  /// TrySendOrPark path) and redeliver when the replacement re-registers.
+  struct OfflineBatch {
+    double sec = 0;  ///< Service-seconds it contributes to the gate.
+    std::function<void()> redeliver;
+  };
   struct ContainerState {
     std::unique_ptr<SimServer> smgr;
     std::vector<CacheSlot> cache;  ///< Indexed by bolt.
@@ -61,6 +68,10 @@ class HeronSim {
     /// queue because an instance channel is full (TrySendOrPark analog);
     /// counts toward the back-pressure gate.
     double parked_sec = 0;
+    /// Scripted-failure window: the container's processes are dead.
+    bool offline = false;
+    /// Traffic parked by survivors while this container was offline.
+    std::deque<OfflineBatch> offline_parked;
   };
   /// A batch waiting for space in a full SMGR→instance channel.
   struct ParkedBatch {
@@ -87,6 +98,10 @@ class HeronSim {
   void SmgrAckReturn(int c, int64_t n, double t_avg);
   void RecordLatency(double emitted_at, int64_t weight);
   bool Measuring() const { return des_.now() >= config_.warmup_sec; }
+  /// Attributes one counted batch to the recovery phase it landed in.
+  void BucketThroughput(int64_t n);
+  void FailScriptedContainer();
+  void RecoverScriptedContainer();
 
   HeronSimConfig config_;
   HeronCostModel costs_;
@@ -106,7 +121,64 @@ class HeronSim {
   uint64_t acked_ = 0;
   double max_backlog_sec_ = 0;
   uint64_t backpressure_stalls_ = 0;
+  // Recovery-phase throughput buckets (scripted failure only).
+  uint64_t counted_before_ = 0;
+  uint64_t counted_outage_ = 0;
+  uint64_t counted_after_ = 0;
 };
+
+void HeronSim::BucketThroughput(int64_t n) {
+  if (!Measuring() || config_.fail_container < 0) return;
+  const double t = des_.now();
+  if (t < config_.fail_at_sec) {
+    counted_before_ += static_cast<uint64_t>(n);
+  } else if (t < config_.fail_at_sec + config_.offline_sec) {
+    counted_outage_ += static_cast<uint64_t>(n);
+  } else {
+    counted_after_ += static_cast<uint64_t>(n);
+  }
+}
+
+void HeronSim::FailScriptedContainer() {
+  ContainerState& c =
+      containers_[static_cast<size_t>(config_.fail_container)];
+  c.offline = true;
+  // The tuples cached in the dead SMGR die with the process; in the real
+  // engine the ack timeout replays their trees from the spouts.
+  for (auto& slot : c.cache) {
+    slot.count = 0;
+    slot.sum_emit = 0;
+  }
+  c.cache_bytes = 0;
+  for (auto& slot : c.ack_out) {
+    slot.count = 0;
+    slot.sum_emit = 0;
+    slot.credit = 0;
+  }
+}
+
+void HeronSim::RecoverScriptedContainer() {
+  const int cid = config_.fail_container;
+  ContainerState& c = containers_[static_cast<size_t>(cid)];
+  c.offline = false;
+  // The replacement re-registered: survivors' parked backlog drains in
+  // arrival order (the FlushRetries analog).
+  while (!c.offline_parked.empty()) {
+    OfflineBatch batch = std::move(c.offline_parked.front());
+    c.offline_parked.pop_front();
+    c.parked_sec = std::max(0.0, c.parked_sec - batch.sec);
+    batch.redeliver();
+  }
+  // Its spouts restart with fresh pending windows (the old windows died
+  // with the process).
+  for (int i : c.spouts) {
+    SpoutState& s = spout_state_[static_cast<size_t>(i)];
+    s.pending = 0;
+    s.busy = false;
+    s.waiting = false;
+    SpoutTryEmit(i);
+  }
+}
 
 double HeronSim::GateBacklog(int home) {
   // A container's effective backlog is its SMGR's queued service time plus
@@ -133,6 +205,7 @@ void HeronSim::RecordLatency(double emitted_at, int64_t weight) {
 
 void HeronSim::SpoutTryEmit(int i) {
   SpoutState& spout = spout_state_[static_cast<size_t>(i)];
+  if (containers_[static_cast<size_t>(spout.container)].offline) return;
   if (spout.busy) return;
   const int64_t n = config_.spout_batch;
   if (config_.acking && config_.max_spout_pending > 0 &&
@@ -170,6 +243,8 @@ void HeronSim::SpoutTryEmit(int i) {
 }
 
 void HeronSim::SmgrInstanceBatch(int c, int64_t n, double t_emit) {
+  // A dead home SMGR receives nothing: the batch dies with the container.
+  if (containers_[static_cast<size_t>(c)].offline) return;
   double per_tuple = config_.optimizations ? costs_.route_optimized_ns
                                            : costs_.route_unoptimized_ns;
   if (config_.acking) per_tuple += costs_.tracker_register_ns;
@@ -193,6 +268,7 @@ void HeronSim::SmgrInstanceBatch(int c, int64_t n, double t_emit) {
 
 void HeronSim::DrainCache(int c) {
   ContainerState& container = containers_[static_cast<size_t>(c)];
+  if (container.offline) return;  // Dead SMGR: no drain timer fires.
   for (size_t j = 0; j < container.cache.size(); ++j) {
     CacheSlot& slot = container.cache[j];
     if (slot.count == 0) continue;
@@ -243,6 +319,18 @@ void HeronSim::DrainCache(int c) {
 }
 
 void HeronSim::SmgrTransit(int cd, int dest_bolt, int64_t n, double t_avg) {
+  ContainerState& dest = containers_[static_cast<size_t>(cd)];
+  if (dest.offline) {
+    // Destination SMGR is dark: the sender parks the envelope on its retry
+    // queue (TrySendOrPark) and it counts toward the back-pressure gate
+    // until the replacement re-registers.
+    const double sec = BoltBatchWork(n) * SmgrScale(cd);
+    dest.parked_sec += sec;
+    dest.offline_parked.push_back({sec, [this, cd, dest_bolt, n, t_avg] {
+                                     SmgrTransit(cd, dest_bolt, n, t_avg);
+                                   }});
+    return;
+  }
   // "It parses only the destination field ... forwarded as a serialized
   // byte array" — or, ablated, the naive per-tuple parse + rebuild.
   double work = costs_.batch_recv_ns;
@@ -265,6 +353,17 @@ double HeronSim::BoltBatchWork(int64_t n) const {
 }
 
 void HeronSim::BoltBatchArrive(int j, int64_t n, double t_avg) {
+  const int home = bolt_container_[static_cast<size_t>(j)];
+  ContainerState& home_state = containers_[static_cast<size_t>(home)];
+  if (home_state.offline) {
+    // The bolt's container is dark: park until it re-registers.
+    const double sec = BoltBatchWork(n) * SmgrScale(home);
+    home_state.parked_sec += sec;
+    home_state.offline_parked.push_back({sec, [this, j, n, t_avg] {
+                                           BoltBatchArrive(j, n, t_avg);
+                                         }});
+    return;
+  }
   const double cap = config_.instance_channel_capacity_sec;
   if (cap > 0 && (!bolt_parked_[static_cast<size_t>(j)].empty() ||
                   bolt_servers_[static_cast<size_t>(j)]->Backlog() > cap)) {
@@ -284,8 +383,15 @@ void HeronSim::BoltBatchArrive(int j, int64_t n, double t_avg) {
 void HeronSim::BoltDeliver(int j, int64_t n, double t_avg) {
   bolt_servers_[static_cast<size_t>(j)]->Submit(BoltBatchWork(n), [this, j, n,
                                                                    t_avg] {
+    // A kill that lands mid-service takes the in-flight batch with it.
+    if (containers_[static_cast<size_t>(
+                        bolt_container_[static_cast<size_t>(j)])]
+            .offline) {
+      return;
+    }
     if (Measuring()) delivered_ += static_cast<uint64_t>(n);
     if (!config_.acking) {
+      BucketThroughput(n);
       RecordLatency(t_avg, n);
     } else {
       // Ack updates accumulate in the bolt container's ack outbox, batched
@@ -327,6 +433,9 @@ void HeronSim::BoltDeliver(int j, int64_t n, double t_avg) {
 }
 
 void HeronSim::SmgrAckReturn(int c, int64_t n, double t_avg) {
+  // Acks for a dead owner are lost with its tracker; the real engine's
+  // message timeout replays those trees after recovery.
+  if (containers_[static_cast<size_t>(c)].offline) return;
   double per_tuple = costs_.ack_update_ns + costs_.root_event_ns;
   if (!config_.optimizations) {
     per_tuple += costs_.ack_unopt_extra_ns + costs_.alloc_ns;
@@ -354,6 +463,7 @@ void HeronSim::SmgrAckReturn(int c, int64_t n, double t_avg) {
             SpoutState& spout = spout_state_[static_cast<size_t>(i)];
             spout.pending = std::max<int64_t>(0, spout.pending - take);
             if (Measuring()) acked_ += static_cast<uint64_t>(take);
+            BucketThroughput(take);
             RecordLatency(t_avg, take);
             if (spout.waiting) {
               spout.waiting = false;
@@ -437,6 +547,15 @@ SimResult HeronSim::Run() {
     SpoutTryEmit(i);
   }
 
+  // Arm the scripted failure window (the recovery figure's fault).
+  if (config_.fail_container >= 0 && config_.fail_container < num_containers &&
+      config_.offline_sec > 0) {
+    des_.ScheduleAfter(config_.fail_at_sec,
+                       [this] { FailScriptedContainer(); });
+    des_.ScheduleAfter(config_.fail_at_sec + config_.offline_sec,
+                       [this] { RecoverScriptedContainer(); });
+  }
+
   const double end = config_.warmup_sec + config_.measure_sec;
   des_.RunUntil(end);
 
@@ -460,6 +579,21 @@ SimResult HeronSim::Run() {
   result.max_smgr_utilization = max_util;
   result.max_smgr_backlog_sec = max_backlog_sec_;
   result.backpressure_stalls = backpressure_stalls_;
+  if (config_.fail_container >= 0) {
+    const double t0 = config_.warmup_sec;
+    const double t_fail = config_.fail_at_sec;
+    const double t_back = config_.fail_at_sec + config_.offline_sec;
+    const double before_sec = std::max(0.0, std::min(t_fail, end) - t0);
+    const double outage_sec =
+        std::max(0.0, std::min(t_back, end) - std::max(t_fail, t0));
+    const double after_sec = std::max(0.0, end - std::max(t_back, t0));
+    const auto rate = [](uint64_t n, double sec) {
+      return sec > 0 ? static_cast<double>(n) / sec * 60.0 : 0.0;
+    };
+    result.tput_before_per_min = rate(counted_before_, before_sec);
+    result.tput_outage_per_min = rate(counted_outage_, outage_sec);
+    result.tput_after_per_min = rate(counted_after_, after_sec);
+  }
   result.sim_events = des_.events_processed();
   return result;
 }

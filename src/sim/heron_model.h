@@ -39,6 +39,16 @@ struct HeronSimConfig {
   /// backlog until the channel drains. 0 disables the bound (legacy
   /// figures keep the unbounded handoff).
   double instance_channel_capacity_sec = 0;
+  /// Scripted container failure (the recovery figure's fault): container
+  /// `fail_container` goes dark at `fail_at_sec` for `offline_sec`
+  /// seconds. While offline its SMGR and instances process nothing, the
+  /// tuples cached in its SMGR die with the process, and survivors park
+  /// traffic addressed to it (the TrySendOrPark path) until the
+  /// replacement re-registers — at which point the backlog drains and its
+  /// spouts restart with fresh pending windows. -1 = no fault.
+  int fail_container = -1;
+  double fail_at_sec = 0;
+  double offline_sec = 0;
   double warmup_sec = 0.5;
   double measure_sec = 1.0;
   uint64_t seed = 2017;
@@ -62,6 +72,12 @@ struct SimResult {
   double max_smgr_backlog_sec = 0;
   /// Spout emit attempts deferred by back pressure while measuring.
   uint64_t backpressure_stalls = 0;
+  /// Recovery-phase throughput split (fail_container >= 0 only): rate
+  /// before the kill, while the container is dark, and after it
+  /// re-registers — the dip-and-drain shape the recovery figure plots.
+  double tput_before_per_min = 0;
+  double tput_outage_per_min = 0;
+  double tput_after_per_min = 0;
   uint64_t sim_events = 0;
 };
 

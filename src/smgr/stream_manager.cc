@@ -144,6 +144,12 @@ Status StreamManager::Register() {
       transport_->RegisterSmgr(options_.container, &inbound_));
   registered_ = true;
   cache_.ArmTimer(clock_->NowNanos());
+  if (options_.announce_recovery) {
+    // Recovered incarnation: release any throttle ref the dead predecessor
+    // left on surviving peers (its kStop could never be sent). Goes through
+    // the normal park/retry FIFO, so peers not yet registered still get it.
+    BroadcastBackpressure(proto::MessageType::kStopBackpressure);
+  }
   return Status::OK();
 }
 
@@ -190,6 +196,20 @@ void StreamManager::Stop() {
     backpressure_remote_->Set(0);
   }
   retry_depth_->Set(0);
+}
+
+void StreamManager::Kill() {
+  if (registered_) {
+    transport_->UnregisterSmgr(options_.container).ok();
+    registered_ = false;
+  }
+  running_.store(false);
+  // Halt, not Stop: the shutdown drain never runs. Whatever sat in the
+  // tuple cache or retry queue dies with the "process" — exactly the loss
+  // the ack-timeout replay must repair.
+  loop_.Halt();
+  inbound_.Close();
+  loop_.Join();
 }
 
 void StreamManager::ProcessEnvelope(proto::Envelope env) {

@@ -81,6 +81,11 @@ class StreamManager {
     /// 0 = half the high watermark. Must be < high watermark to be useful.
     size_t backpressure_low_water = 0;
     uint64_t seed = 42;
+    /// Set on a restarted (recovered) container: on registration this SMGR
+    /// broadcasts kStopBackpressure naming itself, so survivors release any
+    /// throttle ref the *previous* incarnation raised and could never clear
+    /// (it died mid-episode). A no-op for peers that held no such ref.
+    bool announce_recovery = false;
   };
 
   StreamManager(const Options& options,
@@ -98,6 +103,11 @@ class StreamManager {
   Status StartStepMode();
   /// Drains, deregisters and joins. Idempotent.
   void Stop();
+  /// Hard-kill (fault injection): deregisters, halts the reactor without
+  /// the shutdown drain — cached batches and parked envelopes are lost, as
+  /// they would be when the container process dies. At-least-once recovery
+  /// of the lost tuples is the ack-timeout's job, not this SMGR's.
+  void Kill();
 
   /// The reactor this SMGR runs on (step-mode tests drive RunOnce on it).
   runtime::EventLoop* loop() { return &loop_; }

@@ -157,5 +157,37 @@ Result<std::vector<int>> GetBackpressureContainers(const IStateManager& sm,
   return out;
 }
 
+Status SetContainerLiveness(IStateManager* sm, const std::string& topology,
+                            int container, bool alive) {
+  return EnsurePath(sm, paths::ContainerInfo(topology, container),
+                    alive ? "alive" : "dead");
+}
+
+Status ClearContainerLiveness(IStateManager* sm, const std::string& topology,
+                              int container) {
+  const Status st = sm->DeleteNode(paths::ContainerInfo(topology, container));
+  // A container stopped before its first heartbeat has no record; fine.
+  if (!st.ok() && !st.IsNotFound()) return st;
+  return Status::OK();
+}
+
+Result<std::vector<int>> GetDeadContainers(const IStateManager& sm,
+                                           const std::string& topology) {
+  auto children = sm.ListChildren(paths::Containers(topology));
+  std::vector<int> out;
+  if (!children.ok()) {
+    if (children.status().IsNotFound()) return out;
+    return children.status();
+  }
+  for (const auto& child : *children) {
+    auto data = sm.GetNodeData(paths::Containers(topology) + "/" + child);
+    if (data.ok() && std::string(*data) == "dead") {
+      out.push_back(std::atoi(child.c_str()));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace statemgr
 }  // namespace heron

@@ -92,6 +92,131 @@ Result<std::vector<int>> TopologyMaster::BackpressureContainers() const {
   return statemgr::GetBackpressureContainers(*state_, options_.topology);
 }
 
+void TopologyMaster::SetContainerEventCallback(
+    std::function<void(const ContainerEvent&)> cb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  event_cb_ = std::move(cb);
+}
+
+void TopologyMaster::SetMonitorParams(int64_t interval_ms, int miss_limit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  monitor_interval_ms_ = interval_ms > 0 ? interval_ms : 1;
+  monitor_miss_limit_ = miss_limit > 0 ? miss_limit : 1;
+}
+
+Status TopologyMaster::ExpectContainer(int container) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Liveness& entry = liveness_[container];
+    entry.last_beat_nanos = clock_->NowNanos();
+    if (!entry.alive) {
+      // A restarted container stays "dead" until its heartbeats actually
+      // resume: RecordHeartbeat owns the dead→alive transition (kRestored,
+      // restart count, recovery latency). Only the silence timer resets so
+      // a slow-booting replacement is not immediately re-declared dead.
+      return Status::OK();
+    }
+    entry.dead_since_nanos = 0;
+  }
+  return statemgr::SetContainerLiveness(state_, options_.topology, container,
+                                        /*alive=*/true);
+}
+
+Status TopologyMaster::ForgetContainer(int container) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    liveness_.erase(container);
+  }
+  return statemgr::ClearContainerLiveness(state_, options_.topology,
+                                          container);
+}
+
+Status TopologyMaster::RecordHeartbeat(int container) {
+  ContainerEvent event;
+  bool restored = false;
+  std::function<void(const ContainerEvent&)> cb;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = liveness_.find(container);
+    if (it == liveness_.end()) {
+      // Not expected (stopped, or monitor disabled): ignore quietly — the
+      // collect tick outlives ForgetContainer by up to one interval.
+      return Status::OK();
+    }
+    const int64_t now = clock_->NowNanos();
+    it->second.last_beat_nanos = now;
+    if (!it->second.alive) {
+      it->second.alive = true;
+      ++it->second.restarts;
+      restored = true;
+      event.kind = ContainerEvent::Kind::kRestored;
+      event.container = container;
+      event.latency_ms = (now - it->second.dead_since_nanos) / 1000000;
+      it->second.dead_since_nanos = 0;
+      cb = event_cb_;
+    }
+  }
+  if (!restored) return Status::OK();
+  HLOG(INFO) << "TMaster: container " << container << " of '"
+             << options_.topology << "' RESTORED after " << event.latency_ms
+             << " ms dead";
+  HERON_RETURN_NOT_OK(statemgr::SetContainerLiveness(
+      state_, options_.topology, container, /*alive=*/true));
+  if (cb) cb(event);
+  return Status::OK();
+}
+
+std::vector<TopologyMaster::ContainerEvent> TopologyMaster::CheckLiveness() {
+  std::vector<ContainerEvent> events;
+  std::function<void(const ContainerEvent&)> cb;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int64_t now = clock_->NowNanos();
+    const int64_t allowance =
+        monitor_interval_ms_ * 1000000 * monitor_miss_limit_;
+    for (auto& [container, entry] : liveness_) {
+      if (!entry.alive) continue;
+      const int64_t silence = now - entry.last_beat_nanos;
+      if (silence <= allowance) continue;
+      entry.alive = false;
+      entry.dead_since_nanos = now;
+      ContainerEvent event;
+      event.kind = ContainerEvent::Kind::kDead;
+      event.container = container;
+      event.latency_ms = silence / 1000000;
+      events.push_back(event);
+    }
+    cb = event_cb_;
+  }
+  for (const ContainerEvent& event : events) {
+    HLOG(WARNING) << "TMaster: container " << event.container << " of '"
+                  << options_.topology << "' declared DEAD ("
+                  << event.latency_ms << " ms since last heartbeat)";
+    statemgr::SetContainerLiveness(state_, options_.topology, event.container,
+                                   /*alive=*/false)
+        .ok();
+    // A dead initiator can never send its own kStopBackpressure; drop its
+    // marker so the topology status does not report a ghost throttler.
+    statemgr::SetContainerBackpressure(state_, options_.topology,
+                                       event.container, /*active=*/false)
+        .ok();
+  }
+  if (cb) {
+    for (const ContainerEvent& event : events) cb(event);
+  }
+  return events;
+}
+
+Result<std::vector<int>> TopologyMaster::DeadContainers() const {
+  return statemgr::GetDeadContainers(*state_, options_.topology);
+}
+
+int TopologyMaster::ContainerRestarts(int container) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = liveness_.find(container);
+  return it == liveness_.end() ? 0 : it->second.restarts;
+}
+
 Result<packing::PackingPlan> TopologyMaster::ScaleTopology(
     packing::IPacking* packing,
     const std::map<ComponentId, int>& parallelism_changes) {

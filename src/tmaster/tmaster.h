@@ -1,6 +1,7 @@
 #ifndef HERON_TMASTER_TMASTER_H_
 #define HERON_TMASTER_TMASTER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,62 @@ class TopologyMaster {
   /// the topology runs unthrottled.
   Result<std::vector<int>> BackpressureContainers() const;
 
+  // -- Heartbeat-based container liveness (§IV-B failure detection) -------
+  //
+  // Containers publish liveness through their metrics-collection tick
+  // (RecordHeartbeat); the monitor (LocalCluster's monitor loop, calling
+  // CheckLiveness on the heron.scheduler.monitor.interval.ms cadence)
+  // declares a container dead after `miss_limit` silent intervals, writes
+  // "dead" at /topologies/<t>/containers/<id>, and emits a ContainerEvent
+  // for the Scheduler to route per the framework contract.
+
+  /// A liveness transition the monitor observed.
+  struct ContainerEvent {
+    enum class Kind {
+      kDead,      ///< Heartbeats missed past the limit.
+      kRestored,  ///< A dead container's heartbeats resumed.
+    };
+    Kind kind = Kind::kDead;
+    int container = -1;
+    /// kDead: silence observed before declaring death (last beat → now).
+    /// kRestored: time spent dead (declared dead → first new beat).
+    int64_t latency_ms = 0;
+  };
+
+  /// Installs the event sink (invoked from CheckLiveness / RecordHeartbeat
+  /// with no TMaster lock held). One callback; last install wins.
+  void SetContainerEventCallback(std::function<void(const ContainerEvent&)> cb);
+
+  /// Monitor cadence: a container is dead after `miss_limit` intervals of
+  /// `interval_ms` without a heartbeat.
+  void SetMonitorParams(int64_t interval_ms, int miss_limit);
+
+  /// Begins expecting heartbeats from `container` (seeds last-beat = now,
+  /// writes "alive"). Called when the Scheduler starts the container.
+  Status ExpectContainer(int container);
+
+  /// Stops expecting heartbeats (graceful stop / descale): removes the
+  /// liveness entry and state-tree record, so an orderly StopContainer is
+  /// never mistaken for a death.
+  Status ForgetContainer(int container);
+
+  /// One heartbeat from `container` (the metrics collection tick). A beat
+  /// from a container previously declared dead marks it restored, writes
+  /// "alive", bumps its restart count and emits kRestored.
+  Status RecordHeartbeat(int container);
+
+  /// Scans every expected container; declares the overdue ones dead
+  /// (state-tree write + kDead event + backpressure-marker cleanup, since
+  /// a dead initiator can never broadcast its own kStop). Returns the
+  /// events emitted this scan.
+  std::vector<ContainerEvent> CheckLiveness();
+
+  /// Containers currently recorded dead in the state tree, ascending.
+  Result<std::vector<int>> DeadContainers() const;
+
+  /// Times this container was restored after a death (0 = never died).
+  int ContainerRestarts(int container) const;
+
   const Options& options() const { return options_; }
 
  private:
@@ -85,6 +142,17 @@ class TopologyMaster {
 
   mutable std::mutex mutex_;
   statemgr::SessionId session_ = statemgr::kNoSession;
+
+  struct Liveness {
+    int64_t last_beat_nanos = 0;
+    bool alive = true;
+    int64_t dead_since_nanos = 0;
+    int restarts = 0;
+  };
+  std::map<int, Liveness> liveness_;
+  int64_t monitor_interval_ms_ = 1000;
+  int monitor_miss_limit_ = 3;
+  std::function<void(const ContainerEvent&)> event_cb_;
 };
 
 }  // namespace tmaster

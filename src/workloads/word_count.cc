@@ -42,11 +42,22 @@ void WordSpout::Open(const Config& config, api::TopologyContext* context,
 }
 
 void WordSpout::NextTuple() {
+  // Replays first: a failed word goes out again — same id, same word —
+  // before any new work, so recovery backlog drains ahead of fresh load.
+  while (!replay_queue_.empty()) {
+    const int64_t id = replay_queue_.front();
+    replay_queue_.pop_front();
+    const auto it = inflight_.find(id);
+    if (it == inflight_.end()) continue;  // Raced an ack; already done.
+    collector_->Emit({api::Value(dictionary_->WordAt(it->second))}, id);
+    ++replayed_;
+  }
   for (int i = 0; i < options_.words_per_call; ++i) {
     if (options_.emit_limit != 0 && emitted_ >= options_.emit_limit) return;
-    const std::string& word =
-        dictionary_->WordAt(rng_.NextBelow(dictionary_->size()));
+    const size_t index = rng_.NextBelow(dictionary_->size());
+    const std::string& word = dictionary_->WordAt(index);
     if (acking_) {
+      if (options_.replay_failed) inflight_[next_message_id_] = index;
       collector_->Emit({api::Value(word)}, next_message_id_++);
     } else {
       collector_->Emit({api::Value(word)}, std::nullopt);

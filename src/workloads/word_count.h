@@ -2,6 +2,7 @@
 #define HERON_WORKLOADS_WORD_COUNT_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -46,6 +47,13 @@ class WordSpout final : public api::ISpout {
     /// Stop after this many emits; 0 = unbounded. Used by tests that need
     /// a finite stream.
     uint64_t emit_limit = 0;
+    /// At-least-once source semantics: remember each in-flight word by its
+    /// message id and re-emit it (same id, same word) when the ack tracker
+    /// reports it failed — e.g. because its tuple tree died with a killed
+    /// container and the message timeout replayed it. Replays do not count
+    /// toward `emit_limit`, so "`emit_limit` distinct words all acked"
+    /// remains the zero-loss acceptance condition under faults.
+    bool replay_failed = false;
   };
 
   explicit WordSpout(const Options& options) : options_(options) {}
@@ -53,12 +61,24 @@ class WordSpout final : public api::ISpout {
   void Open(const Config& config, api::TopologyContext* context,
             api::ISpoutOutputCollector* collector) override;
   void NextTuple() override;
-  void Ack(int64_t message_id) override { ++acked_; }
-  void Fail(int64_t message_id) override { ++failed_; }
+  void Ack(int64_t message_id) override {
+    ++acked_;
+    if (options_.replay_failed) inflight_.erase(message_id);
+  }
+  void Fail(int64_t message_id) override {
+    ++failed_;
+    if (options_.replay_failed && inflight_.count(message_id) > 0) {
+      replay_queue_.push_back(message_id);
+    }
+  }
 
   uint64_t emitted() const { return emitted_; }
   uint64_t acked() const { return acked_; }
   uint64_t failed() const { return failed_; }
+  /// Failed roots re-emitted so far (replay_failed mode).
+  uint64_t replayed() const { return replayed_; }
+  /// Words emitted but neither acked nor failed yet (replay_failed mode).
+  size_t inflight() const { return inflight_.size(); }
 
  private:
   Options options_;
@@ -70,7 +90,12 @@ class WordSpout final : public api::ISpout {
   uint64_t emitted_ = 0;
   uint64_t acked_ = 0;
   uint64_t failed_ = 0;
+  uint64_t replayed_ = 0;
   int64_t next_message_id_ = 1;
+  /// message id → dictionary index of the word it carried (replay mode).
+  std::unordered_map<int64_t, size_t> inflight_;
+  /// Failed ids awaiting re-emission, FIFO.
+  std::deque<int64_t> replay_queue_;
 };
 
 /// \brief The counting bolt: tallies words and acks every input.
