@@ -1,0 +1,179 @@
+// Trace-based latency breakdown: where does a tuple's end-to-end latency
+// go? Extends Figure 9 — which reports only the end-to-end number — with
+// the sampled tuple-path tracing stages, so the 2-3X the SMGR
+// optimizations buy can be attributed to specific stations on the path.
+//
+// Three panels:
+//
+//  1. BREAKDOWN — a real LocalCluster (WordCount, acking, 2 containers so
+//     tuples cross the transport) with 1-in-8 sampled tracing. Prints the
+//     six telescoping stage slices; because the deltas telescope, their
+//     sum equals the mean end-to-end latency exactly (asserted).
+//
+//  2. SNAPSHOT — the TopologySnapshot JSON dump of the same run is
+//     serialized, re-parsed, and compared field-for-field (the queryable
+//     topology dump an external tracker would consume).
+//
+//  3. OVERHEAD — the same topology with tracing disabled vs enabled:
+//     sampled tracing must be free when off and cheap when on.
+//
+// `--smoke` (or HERON_BENCH_FAST=1) trims every window for CI.
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "bench/figures/fig_util.h"
+#include "common/logging.h"
+#include "observability/snapshot.h"
+#include "runtime/local_cluster.h"
+#include "workloads/word_count.h"
+
+using namespace heron;
+
+namespace {
+
+struct TracedRun {
+  observability::TopologySnapshot snapshot;
+  std::string json;
+  double acks_per_min = 0;
+  bool ok = false;
+};
+
+TracedRun RunLive(int64_t trace_sample_inverse) {
+  TracedRun out;
+  const uint64_t target_acks = bench::FastMode() ? 3000 : 20000;
+
+  Config config;
+  config.SetInt(config_keys::kNumContainersHint, 2);
+  config.SetBool(config_keys::kAckingEnabled, true);
+  config.SetInt(config_keys::kMaxSpoutPending, 1024);
+  config.SetInt(config_keys::kMetricsCollectIntervalMs, 20);
+  config.SetInt(config_keys::kTraceSampleInverse, trace_sample_inverse);
+  runtime::LocalCluster cluster(config);
+
+  workloads::WordSpout::Options spout_options;
+  spout_options.dictionary_size = 1000;
+  spout_options.words_per_call = 4;
+  auto topology = workloads::BuildWordCountTopology(
+      "trace-breakdown", /*spouts=*/1, /*bolts=*/2, spout_options);
+  if (!topology.ok() || !cluster.Submit(*topology).ok()) return out;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!cluster.WaitForCounter("instance.acked", target_acks, 60000).ok()) {
+    cluster.Kill().ok();
+    return out;
+  }
+  const double window_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  const uint64_t acked = cluster.SumCounter("instance.acked");
+  out.acks_per_min =
+      window_ms > 0 ? static_cast<double>(acked) / window_ms * 60000.0 : 0;
+
+  // One explicit publish so the state-tree rollups cover this run even if
+  // no window rolled, then the queryable dump.
+  if (cluster.metrics_cache() != nullptr) {
+    cluster.metrics_cache()->PublishNow().ok();
+  }
+  out.snapshot = cluster.BuildSnapshot();
+  out.json = out.snapshot.ToJson();
+  out.ok = true;
+  cluster.Kill().ok();
+  return out;
+}
+
+bool SnapshotsAgree(const observability::TopologySnapshot& a,
+                    const observability::TopologySnapshot& b) {
+  return a.topology == b.topology &&
+         a.captured_at_nanos == b.captured_at_nanos &&
+         a.num_containers == b.num_containers && a.tasks == b.tasks &&
+         a.dead_containers == b.dead_containers &&
+         a.restarts_total == b.restarts_total &&
+         a.topology_rollup.component == b.topology_rollup.component &&
+         a.topology_rollup.processed_delta ==
+             b.topology_rollup.processed_delta &&
+         a.components.size() == b.components.size() && a.trace == b.trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
+  Logging::SetLevel(LogLevel::kError);
+
+  bench::PrintFigureHeader(
+      "Trace latency breakdown: per-stage attribution of end-to-end latency",
+      "Sampled tuple-path tracing decomposes the Fig. 9 end-to-end number "
+      "into spout-emit / smgr-route / transport / dequeue / execute / ack");
+
+  std::printf("\n-- stage breakdown (1-in-8 sampling, live cluster) --\n");
+  const TracedRun traced = RunLive(/*trace_sample_inverse=*/8);
+  if (!traced.ok) {
+    std::printf("  (traced run did not complete!)\n");
+    return 1;
+  }
+  const auto& trace = traced.snapshot.trace;
+  bench::PrintColumns({"stage", "mean_ms", "share_pct"});
+  double stage_sum_ms = 0;
+  for (const auto& stage : trace.stages) stage_sum_ms += stage.mean_ms;
+  for (const auto& stage : trace.stages) {
+    bench::PrintCell(stage.stage.c_str());
+    bench::PrintCell(stage.mean_ms);
+    bench::PrintCell(stage_sum_ms > 0 ? stage.mean_ms / stage_sum_ms * 100.0
+                                      : 0);
+    bench::EndRow();
+  }
+  std::printf(
+      "\n  traces %llu (complete %llu)  spans %llu (dropped %llu)\n",
+      static_cast<unsigned long long>(trace.traces),
+      static_cast<unsigned long long>(trace.complete),
+      static_cast<unsigned long long>(trace.spans),
+      static_cast<unsigned long long>(trace.dropped_spans));
+  std::printf("  mean end-to-end %.3f ms, stage sum %.3f ms\n",
+              trace.mean_end_to_end_ms, stage_sum_ms);
+  // The telescoping invariant: per-stage deltas sum to end-to-end exactly
+  // (both are means over the same complete traces).
+  const double telescope_err =
+      trace.mean_end_to_end_ms > 0
+          ? std::fabs(stage_sum_ms - trace.mean_end_to_end_ms) /
+                trace.mean_end_to_end_ms
+          : 1.0;
+  bench::PrintVerdict("stage sum / end-to-end agreement (ratio)",
+                      trace.mean_end_to_end_ms > 0
+                          ? stage_sum_ms / trace.mean_end_to_end_ms
+                          : 0,
+                      0.999, 1.001);
+
+  std::printf("\n-- topology snapshot JSON round trip --\n");
+  auto reparsed = observability::TopologySnapshot::FromJson(traced.json);
+  const bool round_trips =
+      reparsed.ok() && SnapshotsAgree(traced.snapshot, *reparsed);
+  std::printf("  snapshot %zu bytes, %zu tasks, %zu component rollups: %s\n",
+              traced.json.size(), traced.snapshot.tasks.size(),
+              traced.snapshot.components.size(),
+              round_trips ? "ROUND-TRIPS" : "MISMATCH");
+
+  std::printf("\n-- tracing overhead (acks/min, higher is better) --\n");
+  bench::PrintColumns({"tracing", "acks_per_min"});
+  const TracedRun untraced = RunLive(/*trace_sample_inverse=*/0);
+  bench::PrintCell("off");
+  bench::PrintCell(untraced.acks_per_min);
+  bench::EndRow();
+  bench::PrintCell("1-in-8");
+  bench::PrintCell(traced.acks_per_min);
+  bench::EndRow();
+  if (untraced.acks_per_min > 0) {
+    std::printf("  traced/untraced throughput ratio: %.2f\n",
+                traced.acks_per_min / untraced.acks_per_min);
+  }
+
+  const bool telescopes = telescope_err < 1e-3 && trace.complete > 0;
+  std::printf("\n  %s\n", telescopes && round_trips
+                              ? "OK: breakdown telescopes and the snapshot "
+                                "round-trips"
+                              : "FAILED: see panels above");
+  return telescopes && round_trips ? 0 : 1;
+}

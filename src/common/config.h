@@ -127,6 +127,27 @@ inline constexpr char kBackpressureLowWater[] =
 inline constexpr char kMetricsCollectIntervalMs[] =
     "heron.metricsmgr.collect.interval.ms";
 
+// Observability (sampled tuple-path tracing + TMaster metrics cache).
+/// Inverse sampling rate for tuple-path tracing: every Nth spout-emitted
+/// tuple carries a trace id and yields a stage-by-stage latency breakdown.
+/// 0 (default) disables tracing entirely — no per-tuple overhead.
+inline constexpr char kTraceSampleInverse[] =
+    "heron.observability.trace.sample.inverse";
+/// Capacity (spans) of each container's wait-free span ring. Oldest spans
+/// are overwritten on wrap.
+inline constexpr char kTraceRingCapacity[] =
+    "heron.observability.trace.ring.capacity";
+/// Width of one MetricsCache aggregation window in seconds.
+inline constexpr char kMetricsCacheWindowSec[] =
+    "heron.observability.metricscache.window.sec";
+/// Number of rolling windows the MetricsCache retains per metric.
+inline constexpr char kMetricsCacheMaxWindows[] =
+    "heron.observability.metricscache.max.windows";
+/// Max retained collection rounds per source in InMemorySink before the
+/// oldest rounds are evicted (bounded-memory satellite).
+inline constexpr char kInMemorySinkMaxRounds[] =
+    "heron.metricsmgr.inmemory.max.rounds";
+
 }  // namespace config_keys
 
 }  // namespace heron

@@ -17,15 +17,32 @@ class HeronInstance::SpoutCollector final : public api::ISpoutOutputCollector {
     HeronInstance* in = owner_;
     proto::TupleDataMsg msg;
     msg.emit_time_nanos = in->clock_->NowNanos();
+    // Deterministic 1-in-N sampling on the spout emission sequence: the
+    // same topology under the same clock traces the same tuples. The
+    // whole block compiles down to nothing when tracing is off (null
+    // collector short-circuits before the counter is touched).
+    const bool traced =
+        in->options_.span_collector != nullptr &&
+        in->options_.trace_sample_inverse > 0 &&
+        (in->emit_seq_++ %
+         static_cast<uint64_t>(in->options_.trace_sample_inverse)) == 0;
     if (in->options_.acking && message_id.has_value()) {
       const api::TupleKey root = proto::MakeRootKey(
           in->options_.task, in->rng_.NextUint64());
       msg.tuple_key = root;
       msg.roots.push_back(root);
-      in->pending_roots_[root] = {*message_id, msg.emit_time_nanos};
+      in->pending_roots_[root] = {*message_id, msg.emit_time_nanos, traced};
       in->pending_count_.fetch_add(1, std::memory_order_relaxed);
     } else {
       msg.tuple_key = in->rng_.NextUint64();
+    }
+    if (traced) {
+      // The trace id is the spout tuple key — in acking mode that is the
+      // root, so the ack path joins the trace with no extra lookup state.
+      msg.trace_id = msg.tuple_key;
+      in->options_.span_collector->Record(
+          msg.trace_id, observability::TraceStage::kSpoutEmit,
+          in->options_.task, msg.emit_time_nanos);
     }
     msg.values = std::move(values);
     in->outbox_->EmitTuple(stream, msg);
@@ -241,13 +258,21 @@ void HeronInstance::HandleRootEvent(const serde::Buffer& payload) {
   const PendingRoot pending = it->second;
   pending_roots_.erase(it);
   pending_count_.fetch_sub(1, std::memory_order_relaxed);
+  const int64_t now = clock_->NowNanos();
+  if (pending.traced && options_.span_collector != nullptr) {
+    // Tree finished (either way): closes the traced tuple's timeline, so
+    // the stage deltas telescope to exactly the complete latency.
+    options_.span_collector->Record(
+        msg.root, observability::TraceStage::kAckComplete, options_.task,
+        now);
+  }
   if (msg.fail) {
     failed_->Increment();
     spout_->Fail(pending.message_id);
   } else {
     acked_->Increment();
     complete_latency_->Record(static_cast<uint64_t>(
-        std::max<int64_t>(clock_->NowNanos() - pending.emit_time_nanos, 0)));
+        std::max<int64_t>(now - pending.emit_time_nanos, 0)));
     spout_->Ack(pending.message_id);
   }
 }
@@ -303,9 +328,23 @@ void HeronInstance::ProcessRoutedBatch(const serde::Buffer& payload) {
   for (const serde::Buffer& tuple_bytes : batch.tuples) {
     msg.Clear();
     if (!msg.ParseFromBytes(tuple_bytes).ok()) continue;
+    // Tracing rides the parsed message: untraced tuples (trace_id 0, the
+    // sampled-out common case) branch once and move on.
+    const uint64_t trace_id =
+        options_.span_collector != nullptr ? msg.trace_id : 0;
+    if (trace_id != 0) {
+      options_.span_collector->Record(
+          trace_id, observability::TraceStage::kInstanceDequeue,
+          options_.task, clock_->NowNanos());
+    }
     msg.ToTuple(batch.src_component, batch.stream, batch.src_task, &tuple);
     executed_->Increment();
     bolt_->Execute(tuple);
+    if (trace_id != 0) {
+      options_.span_collector->Record(trace_id,
+                                      observability::TraceStage::kExecute,
+                                      options_.task, clock_->NowNanos());
+    }
   }
 }
 

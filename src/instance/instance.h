@@ -12,6 +12,7 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "metrics/metrics.h"
+#include "observability/trace.h"
 #include "proto/physical_plan.h"
 #include "runtime/event_loop.h"
 #include "smgr/stream_manager.h"
@@ -47,6 +48,13 @@ class HeronInstance {
     size_t inbound_capacity = 1 << 16;
     size_t emit_batch_tuples = 64;
     uint64_t seed = 7;
+    /// Sampled tuple-path tracing: every `trace_sample_inverse`-th spout
+    /// emission carries a trace id (0 = tracing disabled). Bolts ignore
+    /// the knob and record spans for any tuple arriving traced.
+    int64_t trace_sample_inverse = 0;
+    /// The container's span sink; nullptr disables recording entirely
+    /// (the hot path never even peeks trace ids then).
+    observability::SpanCollector* span_collector = nullptr;
   };
 
   /// \param local_smgr  the container's SMGR, for the back-pressure flag
@@ -123,9 +131,13 @@ class HeronInstance {
   struct PendingRoot {
     int64_t message_id = 0;
     int64_t emit_time_nanos = 0;
+    /// Sampled tracing: record kAckComplete when this root's tree ends.
+    bool traced = false;
   };
   std::map<api::TupleKey, PendingRoot> pending_roots_;
   std::atomic<int64_t> pending_count_{0};
+  /// Spout emission sequence for deterministic 1-in-N trace sampling.
+  uint64_t emit_seq_ = 0;
 
   runtime::EventLoop loop_;
   std::atomic<bool> running_{false};

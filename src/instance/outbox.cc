@@ -35,6 +35,7 @@ void Outbox::EmitTuple(const StreamId& stream,
   msg.SerializeTo(&enc);
   enc.EndLengthDelimited(mark);
   ++batch.count;
+  if (msg.trace_id != 0) batch.trace_id = msg.trace_id;
   ++tuples_emitted_;
   if (batch.count >= flush_tuples_) {
     FlushStream(stream, &batch);
@@ -54,12 +55,15 @@ void Outbox::FlushStream(const StreamId& stream, PendingBatch* batch) {
     HLOG(WARNING) << "task " << task_
                   << " has no local smgr; dropping batch";
   } else {
-    const Status st = channel->Send(proto::Envelope(
-        proto::MessageType::kTupleBatch, std::move(batch->buffer)));
+    proto::Envelope env(proto::MessageType::kTupleBatch,
+                        std::move(batch->buffer));
+    env.trace_id = batch->trace_id;
+    const Status st = channel->Send(std::move(env));
     if (st.ok()) ++batches_sent_;
   }
   batch->buffer = serde::Buffer();
   batch->count = 0;
+  batch->trace_id = 0;
   pending_.erase(stream);
 }
 

@@ -44,6 +44,10 @@ class Outbox {
   struct PendingBatch {
     serde::Buffer buffer;  ///< TupleBatchMsg header + appended tuples.
     size_t count = 0;
+    /// Envelope tracing hint: last traced tuple staged in this batch (0 =
+    /// none) — lets the SMGR skip per-tuple trace peeks on untraced
+    /// batches.
+    uint64_t trace_id = 0;
   };
 
   void FlushStream(const StreamId& stream, PendingBatch* batch);

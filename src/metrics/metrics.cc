@@ -107,7 +107,9 @@ std::vector<Sample> MetricsRegistry::Snapshot() const {
   for (const auto& [name, h] : histograms_) {
     out.push_back({name + ".count", static_cast<double>(h->count())});
     out.push_back({name + ".mean", h->Mean()});
+    out.push_back({name + ".min", static_cast<double>(h->min())});
     out.push_back({name + ".p50", static_cast<double>(h->Quantile(0.5))});
+    out.push_back({name + ".p90", static_cast<double>(h->Quantile(0.9))});
     out.push_back({name + ".p99", static_cast<double>(h->Quantile(0.99))});
     out.push_back({name + ".max", static_cast<double>(h->max())});
   }

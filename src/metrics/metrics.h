@@ -82,7 +82,7 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name);
 
   /// Flattens every metric into samples (histograms expand into
-  /// .count/.mean/.p50/.p99/.max).
+  /// .count/.mean/.min/.p50/.p90/.p99/.max).
   std::vector<Sample> Snapshot() const;
 
  private:

@@ -1,0 +1,372 @@
+#include "observability/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace heron {
+namespace observability {
+namespace json {
+
+void AppendEscaped(std::string_view value, std::string* out) {
+  out->push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Writer::Comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // Value completes a "key": pair; no comma.
+  }
+  if (has_value_.back()) out_.push_back(',');
+  has_value_.back() = true;
+}
+
+Writer& Writer::BeginObject() {
+  Comma();
+  out_.push_back('{');
+  has_value_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::EndObject() {
+  out_.push_back('}');
+  has_value_.pop_back();
+  return *this;
+}
+
+Writer& Writer::BeginArray() {
+  Comma();
+  out_.push_back('[');
+  has_value_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::EndArray() {
+  out_.push_back(']');
+  has_value_.pop_back();
+  return *this;
+}
+
+Writer& Writer::Key(std::string_view key) {
+  if (has_value_.back()) out_.push_back(',');
+  has_value_.back() = true;
+  AppendEscaped(key, &out_);
+  out_.push_back(':');
+  pending_key_ = true;
+  return *this;
+}
+
+Writer& Writer::String(std::string_view value) {
+  Comma();
+  AppendEscaped(value, &out_);
+  return *this;
+}
+
+Writer& Writer::Number(double value) {
+  Comma();
+  if (!std::isfinite(value)) {
+    out_ += "0";  // JSON has no NaN/Inf; clamp.
+    return *this;
+  }
+  // Shortest representation that round-trips a double.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  double back = 0;
+  std::sscanf(buf, "%lf", &back);
+  if (back != value) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  } else {
+    for (int prec = 1; prec < 17; ++prec) {
+      char probe[32];
+      std::snprintf(probe, sizeof(probe), "%.*g", prec, value);
+      std::sscanf(probe, "%lf", &back);
+      if (back == value) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, value);
+        break;
+      }
+    }
+  }
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::Int(int64_t value) {
+  Comma();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+Writer& Writer::Uint(uint64_t value) {
+  Comma();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+  return *this;
+}
+
+Writer& Writer::Bool(bool value) {
+  Comma();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Value::NumberOr(std::string_view key, double fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->kind == Kind::kNumber) ? v->number : fallback;
+}
+
+std::string Value::StringOr(std::string_view key,
+                            std::string_view fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->kind == Kind::kString) ? v->string
+                                                    : std::string(fallback);
+}
+
+bool Value::BoolOr(std::string_view key, bool fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->kind == Kind::kBool) ? v->boolean : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Run() {
+    HERON_ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::IOError("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::IOError(
+          StrFormat("JSON parse error at %zu: expected '%c'", pos_, c));
+    }
+    return Status::OK();
+  }
+
+  Result<Value> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Status::IOError("unexpected JSON end");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<Value> ParseObject() {
+    HERON_RETURN_NOT_OK(Expect('{'));
+    Value v;
+    v.kind = Value::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) return v;
+    while (true) {
+      HERON_ASSIGN_OR_RETURN(Value key, ParseString());
+      HERON_RETURN_NOT_OK(Expect(':'));
+      HERON_ASSIGN_OR_RETURN(Value member, ParseValue());
+      v.object.emplace_back(std::move(key.string), std::move(member));
+      if (Consume(',')) continue;
+      HERON_RETURN_NOT_OK(Expect('}'));
+      return v;
+    }
+  }
+
+  Result<Value> ParseArray() {
+    HERON_RETURN_NOT_OK(Expect('['));
+    Value v;
+    v.kind = Value::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) return v;
+    while (true) {
+      HERON_ASSIGN_OR_RETURN(Value element, ParseValue());
+      v.array.push_back(std::move(element));
+      if (Consume(',')) continue;
+      HERON_RETURN_NOT_OK(Expect(']'));
+      return v;
+    }
+  }
+
+  Result<Value> ParseString() {
+    HERON_RETURN_NOT_OK(Expect('"'));
+    Value v;
+    v.kind = Value::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            v.string.push_back('"');
+            break;
+          case '\\':
+            v.string.push_back('\\');
+            break;
+          case '/':
+            v.string.push_back('/');
+            break;
+          case 'n':
+            v.string.push_back('\n');
+            break;
+          case 'r':
+            v.string.push_back('\r');
+            break;
+          case 't':
+            v.string.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status::IOError("truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Status::IOError("bad \\u escape digit");
+              }
+            }
+            // Control-range escapes only (all this writer emits).
+            v.string.push_back(static_cast<char>(code & 0xFF));
+            break;
+          }
+          default:
+            return Status::IOError("unknown JSON escape");
+        }
+      } else {
+        v.string.push_back(c);
+      }
+    }
+    return Status::IOError("unterminated JSON string");
+  }
+
+  Result<Value> ParseBool() {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      v.boolean = true;
+      return v;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      v.boolean = false;
+      return v;
+    }
+    return Status::IOError("bad JSON literal");
+  }
+
+  Result<Value> ParseNull() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return Value{};
+    }
+    return Status::IOError("bad JSON literal");
+  }
+
+  Result<Value> ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return Status::IOError(
+          StrFormat("JSON parse error at %zu: expected value", start));
+    }
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    v.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::IOError("malformed JSON number");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace json
+}  // namespace observability
+}  // namespace heron

@@ -1,0 +1,78 @@
+#ifndef HERON_OBSERVABILITY_JSON_H_
+#define HERON_OBSERVABILITY_JSON_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace heron {
+namespace observability {
+namespace json {
+
+/// \brief Minimal JSON emitter: objects, arrays, strings, numbers, bools.
+///
+/// The snapshot exporter and the MetricsCache publish machine-readable
+/// state; a third-party JSON dependency is out of scope, so this writer
+/// (and the matching recursive-descent Parse below) implement exactly the
+/// subset the schemas use. Numbers are emitted with enough precision to
+/// round-trip doubles.
+class Writer {
+ public:
+  Writer& BeginObject();
+  Writer& EndObject();
+  Writer& BeginArray();
+  Writer& EndArray();
+  /// Must precede every value inside an object.
+  Writer& Key(std::string_view key);
+  Writer& String(std::string_view value);
+  Writer& Number(double value);
+  Writer& Int(int64_t value);
+  Writer& Uint(uint64_t value);
+  Writer& Bool(bool value);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Comma();
+  std::string out_;
+  /// Whether the current nesting level already holds a value (→ comma).
+  std::vector<bool> has_value_{false};
+  bool pending_key_ = false;
+};
+
+/// Appends the JSON string escape of `value` (quotes included) to `out`.
+void AppendEscaped(std::string_view value, std::string* out);
+
+/// \brief Parsed JSON value tree.
+struct Value {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  /// Insertion-ordered members.
+  std::vector<std::pair<std::string, Value>> object;
+  std::vector<Value> array;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, std::string_view fallback) const;
+  bool BoolOr(std::string_view key, bool fallback) const;
+};
+
+/// Parses one JSON document (objects/arrays/strings/numbers/bools/null);
+/// trailing garbage is an error.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace json
+}  // namespace observability
+}  // namespace heron
+
+#endif  // HERON_OBSERVABILITY_JSON_H_

@@ -1,0 +1,288 @@
+#include "observability/metrics_cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "observability/json.h"
+
+namespace heron {
+namespace observability {
+
+namespace {
+
+/// "task-7" → 7; anything else → -1.
+int SourceTask(const std::string& source) {
+  if (source.rfind("task-", 0) != 0) return -1;
+  return std::atoi(source.c_str() + 5);
+}
+
+bool IsSmgrSource(const std::string& source) {
+  return source.rfind("smgr-", 0) == 0;
+}
+
+double LastOr(const std::map<std::string, double>& samples,
+              const std::string& name, double fallback) {
+  auto it = samples.find(name);
+  return it == samples.end() ? fallback : it->second;
+}
+
+double Delta(const std::map<std::string, double>& first,
+             const std::map<std::string, double>& last,
+             const std::string& name) {
+  return LastOr(last, name, 0) - LastOr(first, name, 0);
+}
+
+}  // namespace
+
+void ComponentRollup::AppendTo(json::Writer* w) const {
+  w->BeginObject();
+  w->Key("component").String(component);
+  w->Key("window_start_nanos").Int(window_start_nanos);
+  w->Key("window_covered_sec").Number(window_covered_sec);
+  w->Key("tasks").Int(tasks);
+  w->Key("processed_delta").Number(processed_delta);
+  w->Key("processed_total").Number(processed_total);
+  w->Key("throughput_tps").Number(throughput_tps);
+  w->Key("latency_ms")
+      .BeginObject()
+      .Key("p50")
+      .Number(latency_p50_ms)
+      .Key("p90")
+      .Number(latency_p90_ms)
+      .Key("p99")
+      .Number(latency_p99_ms)
+      .EndObject();
+  w->Key("backpressure_ms").Number(backpressure_ms);
+  w->Key("restarts").Uint(restarts);
+  w->EndObject();
+}
+
+std::string ComponentRollup::ToJson() const {
+  json::Writer w;
+  AppendTo(&w);
+  return w.Take();
+}
+
+ComponentRollup ComponentRollup::FromValue(const json::Value& v) {
+  ComponentRollup out;
+  out.component = v.StringOr("component", "");
+  out.window_start_nanos =
+      static_cast<int64_t>(v.NumberOr("window_start_nanos", 0));
+  out.window_covered_sec = v.NumberOr("window_covered_sec", 0);
+  out.tasks = static_cast<int>(v.NumberOr("tasks", 0));
+  out.processed_delta = v.NumberOr("processed_delta", 0);
+  out.processed_total = v.NumberOr("processed_total", 0);
+  out.throughput_tps = v.NumberOr("throughput_tps", 0);
+  if (const json::Value* lat = v.Find("latency_ms")) {
+    out.latency_p50_ms = lat->NumberOr("p50", 0);
+    out.latency_p90_ms = lat->NumberOr("p90", 0);
+    out.latency_p99_ms = lat->NumberOr("p99", 0);
+  }
+  out.backpressure_ms = v.NumberOr("backpressure_ms", 0);
+  out.restarts = static_cast<uint64_t>(v.NumberOr("restarts", 0));
+  return out;
+}
+
+Result<ComponentRollup> ComponentRollup::FromJson(std::string_view text) {
+  HERON_ASSIGN_OR_RETURN(json::Value v, json::Parse(text));
+  if (v.kind != json::Value::Kind::kObject) {
+    return Status::IOError("component rollup JSON is not an object");
+  }
+  return FromValue(v);
+}
+
+MetricsCache::MetricsCache(Options options) : options_(options) {}
+
+void MetricsCache::SetTopology(const std::string& topology,
+                               std::map<TaskId, ComponentId> task_component) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  topology_ = topology;
+  task_component_ = std::move(task_component);
+}
+
+void MetricsCache::SetPublishTarget(statemgr::IStateManager* sm) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  publish_target_ = sm;
+}
+
+void MetricsCache::NoteRestart(ContainerId container) {
+  (void)container;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++restarts_;
+}
+
+void MetricsCache::Flush(const std::string& source,
+                         const std::vector<metrics::Sample>& samples,
+                         int64_t collected_at_nanos) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rounds_ingested_;
+  const int64_t bucket = collected_at_nanos / options_.window_nanos;
+  Window* window = nullptr;
+  bool rolled = false;
+  if (windows_.empty() || windows_.back().bucket < bucket) {
+    windows_.push_back(Window{bucket, {}});
+    rolled = windows_.size() > 1;
+    while (windows_.size() > options_.max_windows) windows_.pop_front();
+    window = &windows_.back();
+  } else {
+    // Usually the newest window; a straggler round for an older bucket
+    // lands in its own window if still retained.
+    for (auto it = windows_.rbegin(); it != windows_.rend(); ++it) {
+      if (it->bucket == bucket) {
+        window = &*it;
+        break;
+      }
+    }
+    if (window == nullptr) return;  // Older than the retention horizon.
+  }
+
+  SourceWindow& sw = window->sources[source];
+  const bool first_round = sw.first_at_nanos == 0;
+  if (first_round) sw.first_at_nanos = collected_at_nanos;
+  sw.last_at_nanos = collected_at_nanos;
+  for (const auto& sample : samples) {
+    if (first_round) sw.first[sample.name] = sample.value;
+    sw.last[sample.name] = sample.value;
+  }
+
+  if (rolled && publish_target_ != nullptr && !topology_.empty()) {
+    // The previous window just completed: refresh the state tree. Errors
+    // are swallowed — publishing is best-effort observability, never a
+    // data-plane failure.
+    (void)PublishLocked();
+  }
+}
+
+const MetricsCache::Window* MetricsCache::NewestWindowLocked() const {
+  for (auto it = windows_.rbegin(); it != windows_.rend(); ++it) {
+    if (!it->sources.empty()) return &*it;
+  }
+  return nullptr;
+}
+
+std::vector<ComponentRollup> MetricsCache::RollupsLocked(
+    const Window& w) const {
+  std::map<std::string, ComponentRollup> by_component;
+  for (const auto& [source, sw] : w.sources) {
+    const int task = SourceTask(source);
+    if (task < 0) continue;
+    auto comp_it = task_component_.find(task);
+    if (comp_it == task_component_.end()) continue;
+    ComponentRollup& rollup = by_component[comp_it->second];
+    if (rollup.component.empty()) {
+      rollup.component = comp_it->second;
+      rollup.window_start_nanos = w.bucket * options_.window_nanos;
+    }
+    ++rollup.tasks;
+    const double covered =
+        static_cast<double>(sw.last_at_nanos - sw.first_at_nanos) / 1e9;
+    rollup.window_covered_sec = std::max(rollup.window_covered_sec, covered);
+    rollup.processed_delta += Delta(sw.first, sw.last, "instance.executed") +
+                              Delta(sw.first, sw.last, "instance.emitted");
+    rollup.processed_total += LastOr(sw.last, "instance.executed", 0) +
+                              LastOr(sw.last, "instance.emitted", 0);
+    // Complete latency only exists on spout tasks; fold the worst task in
+    // (tails matter more than averages for the status view).
+    rollup.latency_p50_ms = std::max(
+        rollup.latency_p50_ms,
+        LastOr(sw.last, "instance.complete.latency.ns.p50", 0) / 1e6);
+    rollup.latency_p90_ms = std::max(
+        rollup.latency_p90_ms,
+        LastOr(sw.last, "instance.complete.latency.ns.p90", 0) / 1e6);
+    rollup.latency_p99_ms = std::max(
+        rollup.latency_p99_ms,
+        LastOr(sw.last, "instance.complete.latency.ns.p99", 0) / 1e6);
+  }
+  std::vector<ComponentRollup> out;
+  out.reserve(by_component.size());
+  for (auto& [_, rollup] : by_component) {
+    if (rollup.window_covered_sec > 0) {
+      rollup.throughput_tps = rollup.processed_delta / rollup.window_covered_sec;
+    }
+    out.push_back(std::move(rollup));
+  }
+  return out;
+}
+
+ComponentRollup MetricsCache::TopologyRollupLocked(const Window& w) const {
+  ComponentRollup total;
+  total.component = kTopologyRollup;
+  total.window_start_nanos = w.bucket * options_.window_nanos;
+  total.restarts = restarts_;
+  for (const ComponentRollup& rollup : RollupsLocked(w)) {
+    total.tasks += rollup.tasks;
+    total.window_covered_sec =
+        std::max(total.window_covered_sec, rollup.window_covered_sec);
+    total.processed_delta += rollup.processed_delta;
+    total.processed_total += rollup.processed_total;
+    total.latency_p50_ms = std::max(total.latency_p50_ms, rollup.latency_p50_ms);
+    total.latency_p90_ms = std::max(total.latency_p90_ms, rollup.latency_p90_ms);
+    total.latency_p99_ms = std::max(total.latency_p99_ms, rollup.latency_p99_ms);
+  }
+  for (const auto& [source, sw] : w.sources) {
+    if (!IsSmgrSource(source)) continue;
+    total.backpressure_ms +=
+        Delta(sw.first, sw.last, "smgr.backpressure.duration.ns") / 1e6;
+  }
+  if (total.window_covered_sec > 0) {
+    total.throughput_tps = total.processed_delta / total.window_covered_sec;
+  }
+  return total;
+}
+
+std::vector<ComponentRollup> MetricsCache::ComponentRollups() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Window* w = NewestWindowLocked();
+  if (w == nullptr) return {};
+  return RollupsLocked(*w);
+}
+
+ComponentRollup MetricsCache::TopologyRollup() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Window* w = NewestWindowLocked();
+  if (w == nullptr) {
+    ComponentRollup empty;
+    empty.component = kTopologyRollup;
+    empty.restarts = restarts_;
+    return empty;
+  }
+  return TopologyRollupLocked(*w);
+}
+
+Status MetricsCache::PublishLocked() {
+  if (publish_target_ == nullptr || topology_.empty()) {
+    return Status::FailedPrecondition("metrics cache has no publish target");
+  }
+  const Window* w = NewestWindowLocked();
+  if (w == nullptr) return Status::OK();
+  HERON_RETURN_NOT_OK(
+      statemgr::EnsurePath(publish_target_,
+                           statemgr::paths::MetricsTopologyRollup(topology_),
+                           TopologyRollupLocked(*w).ToJson()));
+  for (const ComponentRollup& rollup : RollupsLocked(*w)) {
+    HERON_RETURN_NOT_OK(statemgr::EnsurePath(
+        publish_target_,
+        statemgr::paths::MetricsComponent(topology_, rollup.component),
+        rollup.ToJson()));
+  }
+  return Status::OK();
+}
+
+Status MetricsCache::PublishNow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return PublishLocked();
+}
+
+size_t MetricsCache::window_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return windows_.size();
+}
+
+uint64_t MetricsCache::rounds_ingested() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rounds_ingested_;
+}
+
+}  // namespace observability
+}  // namespace heron

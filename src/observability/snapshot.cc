@@ -1,0 +1,147 @@
+#include "observability/snapshot.h"
+
+#include <algorithm>
+
+#include "observability/json.h"
+
+namespace heron {
+namespace observability {
+
+TopologySnapshot::TraceSummary SummarizeTraces(const TraceBreakdown& breakdown,
+                                               uint64_t spans,
+                                               uint64_t dropped_spans) {
+  TopologySnapshot::TraceSummary out;
+  out.traces = breakdown.traces.size();
+  out.complete = breakdown.complete_count;
+  out.spans = spans;
+  out.dropped_spans = dropped_spans;
+  out.mean_end_to_end_ms = breakdown.mean_end_to_end_nanos / 1e6;
+  out.stages.reserve(kNumTraceStages);
+  for (size_t stage = 0; stage < kNumTraceStages; ++stage) {
+    TopologySnapshot::StageLatency slice;
+    slice.stage = TraceStageName(static_cast<TraceStage>(stage));
+    slice.mean_ms = breakdown.mean_delta_nanos[stage] / 1e6;
+    out.stages.push_back(std::move(slice));
+  }
+  return out;
+}
+
+std::string TopologySnapshot::ToJson() const {
+  json::Writer w;
+  w.BeginObject();
+  w.Key("topology").String(topology);
+  w.Key("captured_at_nanos").Int(captured_at_nanos);
+
+  w.Key("physical_plan").BeginObject();
+  w.Key("num_containers").Int(num_containers);
+  w.Key("tasks").BeginArray();
+  for (const TaskEntry& t : tasks) {
+    w.BeginObject();
+    w.Key("task").Int(t.task);
+    w.Key("component").String(t.component);
+    w.Key("container").Int(t.container);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  w.Key("liveness").BeginObject();
+  w.Key("dead_containers").BeginArray();
+  for (const int id : dead_containers) w.Int(id);
+  w.EndArray();
+  w.Key("restarts_total").Uint(restarts_total);
+  w.EndObject();
+
+  w.Key("metrics").BeginObject();
+  w.Key("topology_rollup");
+  topology_rollup.AppendTo(&w);
+  w.Key("components").BeginArray();
+  for (const ComponentRollup& rollup : components) rollup.AppendTo(&w);
+  w.EndArray();
+  w.EndObject();
+
+  w.Key("trace").BeginObject();
+  w.Key("traces").Uint(trace.traces);
+  w.Key("complete").Uint(trace.complete);
+  w.Key("spans").Uint(trace.spans);
+  w.Key("dropped_spans").Uint(trace.dropped_spans);
+  w.Key("mean_end_to_end_ms").Number(trace.mean_end_to_end_ms);
+  w.Key("stages").BeginArray();
+  for (const StageLatency& slice : trace.stages) {
+    w.BeginObject();
+    w.Key("stage").String(slice.stage);
+    w.Key("mean_ms").Number(slice.mean_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  w.EndObject();
+  return w.Take();
+}
+
+Result<TopologySnapshot> TopologySnapshot::FromJson(std::string_view text) {
+  HERON_ASSIGN_OR_RETURN(json::Value v, json::Parse(text));
+  if (v.kind != json::Value::Kind::kObject) {
+    return Status::IOError("topology snapshot JSON is not an object");
+  }
+  TopologySnapshot out;
+  out.topology = v.StringOr("topology", "");
+  out.captured_at_nanos =
+      static_cast<int64_t>(v.NumberOr("captured_at_nanos", 0));
+
+  if (const json::Value* plan = v.Find("physical_plan")) {
+    out.num_containers = static_cast<int>(plan->NumberOr("num_containers", 0));
+    if (const json::Value* tasks = plan->Find("tasks")) {
+      for (const json::Value& t : tasks->array) {
+        TaskEntry entry;
+        entry.task = static_cast<int>(t.NumberOr("task", -1));
+        entry.component = t.StringOr("component", "");
+        entry.container = static_cast<int>(t.NumberOr("container", -1));
+        out.tasks.push_back(std::move(entry));
+      }
+    }
+  }
+
+  if (const json::Value* liveness = v.Find("liveness")) {
+    if (const json::Value* dead = liveness->Find("dead_containers")) {
+      for (const json::Value& id : dead->array) {
+        out.dead_containers.push_back(static_cast<int>(id.number));
+      }
+    }
+    out.restarts_total =
+        static_cast<uint64_t>(liveness->NumberOr("restarts_total", 0));
+  }
+
+  if (const json::Value* metrics = v.Find("metrics")) {
+    if (const json::Value* rollup = metrics->Find("topology_rollup")) {
+      out.topology_rollup = ComponentRollup::FromValue(*rollup);
+    }
+    if (const json::Value* components = metrics->Find("components")) {
+      for (const json::Value& rollup : components->array) {
+        out.components.push_back(ComponentRollup::FromValue(rollup));
+      }
+    }
+  }
+
+  if (const json::Value* trace = v.Find("trace")) {
+    out.trace.traces = static_cast<uint64_t>(trace->NumberOr("traces", 0));
+    out.trace.complete = static_cast<uint64_t>(trace->NumberOr("complete", 0));
+    out.trace.spans = static_cast<uint64_t>(trace->NumberOr("spans", 0));
+    out.trace.dropped_spans =
+        static_cast<uint64_t>(trace->NumberOr("dropped_spans", 0));
+    out.trace.mean_end_to_end_ms = trace->NumberOr("mean_end_to_end_ms", 0);
+    if (const json::Value* stages = trace->Find("stages")) {
+      for (const json::Value& slice : stages->array) {
+        StageLatency stage;
+        stage.stage = slice.StringOr("stage", "");
+        stage.mean_ms = slice.NumberOr("mean_ms", 0);
+        out.trace.stages.push_back(std::move(stage));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace observability
+}  // namespace heron

@@ -1,0 +1,134 @@
+#ifndef HERON_OBSERVABILITY_TRACE_H_
+#define HERON_OBSERVABILITY_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace heron {
+namespace observability {
+
+/// \brief The stations a traced tuple passes on its end-to-end path.
+///
+/// The stage timestamps telescope: the delta between two consecutive
+/// *recorded* stages attributes that slice of wall-clock to the later
+/// stage, so the per-stage deltas of one trace sum exactly to its
+/// end-to-end latency (ack-complete − spout-emit). kTransportHop is only
+/// recorded when the tuple crosses containers; local deliveries fold that
+/// slice into kInstanceDequeue.
+enum class TraceStage : uint8_t {
+  kSpoutEmit = 0,       ///< SpoutCollector serialized + enqueued the tuple.
+  kSmgrRoute = 1,       ///< Origin SMGR applied grouping, cached for drain.
+  kTransportHop = 2,    ///< Remote SMGR received the routed batch.
+  kInstanceDequeue = 3, ///< Destination instance parsed the tuple.
+  kExecute = 4,         ///< Bolt Execute() returned.
+  kAckComplete = 5,     ///< Spout learned the tuple tree finished.
+};
+
+inline constexpr size_t kNumTraceStages = 6;
+
+/// Short stable name for dumps and JSON ("spout_emit", "smgr_route", ...).
+const char* TraceStageName(TraceStage stage);
+
+/// \brief One recorded trace event.
+struct Span {
+  uint64_t trace_id = 0;
+  TraceStage stage = TraceStage::kSpoutEmit;
+  /// Task id for instance-side stages, container id for SMGR-side stages.
+  int32_t location = -1;
+  int64_t at_nanos = 0;
+
+  bool operator==(const Span& o) const {
+    return trace_id == o.trace_id && stage == o.stage &&
+           location == o.location && at_nanos == o.at_nanos;
+  }
+};
+
+/// \brief Wait-free fixed-capacity span sink: one per container, shared by
+/// its SMGR and all its instances.
+///
+/// Record() is a relaxed fetch_add to claim a slot plus relaxed atomic
+/// field stores and one release publish — no locks, no allocation, no
+/// branches beyond the modulo, so traced tuples cost nanoseconds and
+/// untraced tuples never get here at all (callers gate on trace_id != 0).
+/// On wrap the oldest spans are overwritten and counted in dropped().
+///
+/// Snapshot() returns the retained spans oldest-first in record order; a
+/// slot mid-overwrite is detected through its sequence stamp and skipped,
+/// so concurrent Record/Snapshot is safe (and TSan-clean: every shared
+/// field is atomic).
+class SpanCollector {
+ public:
+  explicit SpanCollector(size_t capacity);
+
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// Wait-free; callable from any thread.
+  void Record(uint64_t trace_id, TraceStage stage, int32_t location,
+              int64_t at_nanos);
+
+  /// Retained spans, oldest-first in record order.
+  std::vector<Span> Snapshot() const;
+
+  /// Spans ever recorded (including overwritten ones).
+  uint64_t total_recorded() const {
+    return next_.load(std::memory_order_acquire);
+  }
+  /// Spans lost to ring wraparound.
+  uint64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    /// 0 = empty; otherwise 1 + the global record index that owns the
+    /// slot's current contents. Written last (release) by Record.
+    std::atomic<uint64_t> stamp{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint8_t> stage{0};
+    std::atomic<int32_t> location{-1};
+    std::atomic<int64_t> at_nanos{0};
+  };
+
+  const size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+};
+
+/// \brief One traced tuple's assembled stage timeline.
+struct TraceRecord {
+  uint64_t trace_id = 0;
+  /// First-recorded timestamp per stage; -1 when the stage never fired
+  /// (e.g. kTransportHop on a container-local delivery).
+  std::array<int64_t, kNumTraceStages> at_nanos;
+  /// Wall-clock attributed to each stage: at[stage] − at[previous recorded
+  /// stage]. Telescopes, so the deltas sum to last − first. -1 for absent
+  /// stages (kSpoutEmit's delta is 0 by definition when present).
+  std::array<int64_t, kNumTraceStages> delta_nanos;
+  /// kAckComplete − kSpoutEmit; -1 until both endpoints recorded.
+  int64_t end_to_end_nanos = -1;
+  bool complete() const { return end_to_end_nanos >= 0; }
+};
+
+/// \brief Aggregate stage attribution across many traces (the stacked
+/// panel of the latency-breakdown figure).
+struct TraceBreakdown {
+  std::vector<TraceRecord> traces;  ///< Ordered by first appearance.
+  size_t complete_count = 0;        ///< Traces with both endpoints.
+  /// Mean per-stage delta over complete traces (nanos; 0 when a stage
+  /// never fired).
+  std::array<double, kNumTraceStages> mean_delta_nanos;
+  double mean_end_to_end_nanos = 0;
+};
+
+/// Groups spans by trace id (keeping the first record per stage) and
+/// computes the telescoping per-stage attribution.
+TraceBreakdown BuildTraceBreakdown(const std::vector<Span>& spans);
+
+}  // namespace observability
+}  // namespace heron
+
+#endif  // HERON_OBSERVABILITY_TRACE_H_

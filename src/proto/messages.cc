@@ -11,6 +11,7 @@ constexpr uint32_t kTdKey = 1;
 constexpr uint32_t kTdRoot = 2;
 constexpr uint32_t kTdEmitTime = 3;
 constexpr uint32_t kTdValues = 4;
+constexpr uint32_t kTdTraceId = 5;
 // TupleBatchMsg fields (public: tuple_batch_fields in the header).
 constexpr uint32_t kTbSrcTask = tuple_batch_fields::kSrcTask;
 constexpr uint32_t kTbDestTask = tuple_batch_fields::kDestTask;
@@ -43,6 +44,11 @@ void TupleDataMsg::SerializeTo(serde::WireEncoder* enc) const {
     enc->WriteUint64Field(kTdRoot, root);
   }
   enc->WriteInt64Field(kTdEmitTime, emit_time_nanos);
+  if (trace_id != 0) {
+    // Before values (despite the higher number) so PeekTraceId never skips
+    // the payload blob. Omitted entirely for untraced tuples.
+    enc->WriteUint64Field(kTdTraceId, trace_id);
+  }
   const size_t mark = enc->BeginLengthDelimited(kTdValues);
   enc->WriteVarint(values.size());
   for (const auto& v : values) {
@@ -69,6 +75,10 @@ Status TupleDataMsg::ParseFrom(serde::WireDecoder* dec) {
         HERON_ASSIGN_OR_RETURN(emit_time_nanos, dec->ReadInt64());
         break;
       }
+      case kTdTraceId: {
+        HERON_ASSIGN_OR_RETURN(trace_id, dec->ReadUint64());
+        break;
+      }
       case kTdValues: {
         HERON_ASSIGN_OR_RETURN(serde::BytesView blob, dec->ReadBytes());
         serde::WireDecoder inner(blob);
@@ -91,6 +101,7 @@ void TupleDataMsg::Clear() {
   tuple_key = 0;
   roots.clear();
   emit_time_nanos = 0;
+  trace_id = 0;
   values.clear();
 }
 
@@ -491,6 +502,25 @@ Result<uint64_t> PeekFieldsHash(serde::BytesView tuple_bytes,
     return hash;
   }
   return Status::IOError("serialized tuple has no values field");
+}
+
+Result<uint64_t> PeekTraceId(serde::BytesView tuple_bytes) {
+  serde::WireDecoder dec(tuple_bytes);
+  while (!dec.AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec.ReadTag());
+    if (tag == 0) break;
+    const uint32_t field = serde::TagFieldNumber(tag);
+    if (field == kTdTraceId) {
+      return dec.ReadUint64();
+    }
+    if (field == kTdValues) {
+      // trace_id is serialized ahead of values; reaching the payload means
+      // this tuple is untraced.
+      return 0;
+    }
+    HERON_RETURN_NOT_OK(dec.SkipField(serde::TagWireType(tag)));
+  }
+  return 0;
 }
 
 Result<TaskId> PeekAckBatchDest(serde::BytesView ack_bytes) {

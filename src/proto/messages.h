@@ -31,6 +31,12 @@ enum class MessageType : uint8_t {
 struct Envelope {
   MessageType type = MessageType::kControl;
   serde::Buffer payload;
+  /// In-memory tracing hint (not serialized): nonzero when the payload
+  /// carries at least one traced tuple, so receivers can record a
+  /// transport-hop span without peeking any tuple bytes. Last-traced-wins
+  /// when several traced tuples share a batch — tracing is sampled, so
+  /// collisions are rare and a single hop span per batch suffices.
+  uint64_t trace_id = 0;
 
   Envelope() = default;
   Envelope(MessageType t, serde::Buffer p) : type(t), payload(std::move(p)) {}
@@ -42,12 +48,21 @@ struct Envelope {
 ///   1  tuple_key        varint (uint64)
 ///   2  root             varint, repeated
 ///   3  emit_time_nanos  zigzag varint
+///   5  trace_id         varint (uint64), omitted when 0
 ///   4  values           length-delimited: varint count + EncodeValue * count
+///
+/// trace_id is written *before* the values blob (despite the higher field
+/// number) so the lazy PeekTraceId never has to skip the payload; parsers
+/// are field-order agnostic. A zero trace_id (the untraced common case)
+/// costs zero wire bytes.
 class TupleDataMsg final : public serde::Message {
  public:
   api::TupleKey tuple_key = 0;
   std::vector<api::TupleKey> roots;
   int64_t emit_time_nanos = 0;
+  /// Sampled tuple-path tracing (observability): nonzero marks this tuple
+  /// as traced; the id joins spans recorded across containers.
+  uint64_t trace_id = 0;
   api::Values values;
 
   void SerializeTo(serde::WireEncoder* enc) const override;
@@ -239,6 +254,11 @@ Result<uint64_t> PeekFieldsHash(serde::BytesView tuple_bytes,
 
 /// \brief Lazy dest peek for serialized AckBatchMsg (field 1).
 Result<TaskId> PeekAckBatchDest(serde::BytesView ack_bytes);
+
+/// \brief Lazy trace peek: reads only the trace_id from a serialized
+/// TupleDataMsg (0 when absent — the untraced common case). Stops at the
+/// values blob, which serialization always writes last.
+Result<uint64_t> PeekTraceId(serde::BytesView tuple_bytes);
 
 }  // namespace proto
 }  // namespace heron

@@ -57,6 +57,7 @@ Status Container::StartInternal(bool step_mode) {
       config_.GetIntOr(config_keys::kBackpressureLowWater, 0));
   smgr_options.seed = 42 + static_cast<uint64_t>(plan_.id);
   smgr_options.announce_recovery = recovering_;
+  smgr_options.span_collector = span_collector_;
   recovering_ = false;
   smgr_ = std::make_unique<smgr::StreamManager>(smgr_options, physical_plan_,
                                                 transport_, clock_);
@@ -73,6 +74,9 @@ Status Container::StartInternal(bool step_mode) {
     options.max_spout_pending =
         config_.GetIntOr(config_keys::kMaxSpoutPending, 0);
     options.seed = 1000 + static_cast<uint64_t>(inst.task_id);
+    options.trace_sample_inverse =
+        config_.GetIntOr(config_keys::kTraceSampleInverse, 0);
+    options.span_collector = span_collector_;
     auto instance = std::make_unique<instance::HeronInstance>(
         options, physical_plan_, transport_, clock_, smgr_.get());
     const Status st = step_mode ? instance->StartStepMode() : instance->Start();

@@ -63,6 +63,18 @@ class Container {
   /// throttle ref the dead predecessor held (see Options::announce_recovery).
   void MarkRecovering() { recovering_ = true; }
 
+  /// Attaches the container's span sink for sampled tuple-path tracing
+  /// (shared by the SMGR and every instance). Must be set before Start;
+  /// nullptr (the default) disables tracing for this container. The
+  /// collector is owned by the caller (LocalCluster keeps it across
+  /// restarts so a recovered incarnation appends to the same ring).
+  void set_span_collector(observability::SpanCollector* collector) {
+    span_collector_ = collector;
+  }
+  observability::SpanCollector* span_collector() const {
+    return span_collector_;
+  }
+
   ContainerId id() const { return plan_.id; }
   smgr::StreamManager* stream_manager() { return smgr_.get(); }
   metrics::MetricsManager* metrics_manager() { return &metrics_manager_; }
@@ -102,6 +114,7 @@ class Container {
   bool started_ = false;
   bool step_mode_ = false;
   bool recovering_ = false;
+  observability::SpanCollector* span_collector_ = nullptr;
 
   /// Shared Start/StartStepMode body.
   Status StartInternal(bool step_mode);

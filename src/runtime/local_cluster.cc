@@ -39,6 +39,16 @@ Status LocalCluster::BuildAndInstallPhysicalPlan(
     const packing::PackingPlan& plan) {
   HERON_ASSIGN_OR_RETURN(auto physical,
                          proto::PhysicalPlan::Build(topology_, plan));
+  // Keep the metrics cache's task → component attribution in lockstep
+  // with the plan (scaling changes it).
+  if (metrics_cache_ != nullptr) {
+    std::map<TaskId, ComponentId> task_component;
+    for (const TaskId task : physical->all_tasks()) {
+      const api::ComponentDef* def = physical->ComponentOfTask(task);
+      if (def != nullptr) task_component[task] = def->id;
+    }
+    metrics_cache_->SetTopology(topology_->name(), std::move(task_component));
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   physical_plan_ = physical;
   return Status::OK();
@@ -109,6 +119,29 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
     monitor_ = std::make_unique<EventLoop>(monitor_options, clock_);
     monitor_->AddPeriodic(monitor_interval_ms * 1000000,
                           [this] { MonitorTick(); });
+  }
+
+  // 4b. Observability: the TMaster's metrics cache — "the gateway for the
+  //     topology metrics" (§II) — which every container's Metrics Manager
+  //     flushes into (the AddSink in StartContainer is the TMaster's
+  //     "subscription" to that container), publishing windowed rollups to
+  //     the state tree; and the sampled tuple-path tracing knobs whose
+  //     per-container span rings StartContainer allocates.
+  observability::MetricsCache::Options cache_options;
+  cache_options.window_nanos =
+      merged_config_.GetIntOr(config_keys::kMetricsCacheWindowSec, 1) *
+      1'000'000'000;
+  cache_options.max_windows = static_cast<size_t>(
+      merged_config_.GetIntOr(config_keys::kMetricsCacheMaxWindows, 60));
+  metrics_cache_ = std::make_shared<observability::MetricsCache>(cache_options);
+  metrics_cache_->SetPublishTarget(&state_);
+  trace_sample_inverse_ =
+      merged_config_.GetIntOr(config_keys::kTraceSampleInverse, 0);
+  trace_ring_capacity_ = static_cast<size_t>(
+      merged_config_.GetIntOr(config_keys::kTraceRingCapacity, 1 << 16));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    span_collectors_.clear();
   }
 
   // 5. Physical plan, then Scheduler starts every container.
@@ -328,6 +361,9 @@ void LocalCluster::OnContainerEvent(
   }
   // kRestored: heartbeats resumed from the replacement incarnation.
   recovery_restarts_->Increment();
+  if (metrics_cache_ != nullptr) {
+    metrics_cache_->NoteRestart(event.container);
+  }
   recovery_metrics_
       .GetCounter(StrFormat("recovery.restarts.%d", event.container))
       ->Increment();
@@ -351,6 +387,22 @@ Status LocalCluster::StartContainer(const packing::ContainerPlan& container) {
     if (failed_containers_.erase(container.id) > 0) {
       live->MarkRecovering();
     }
+    // Sampled tracing: hand the container its span ring. The ring is
+    // keyed by container id and kept across restarts, so a recovered
+    // incarnation's spans land next to its predecessor's.
+    if (trace_sample_inverse_ > 0) {
+      auto& collector = span_collectors_[container.id];
+      if (collector == nullptr) {
+        collector = std::make_unique<observability::SpanCollector>(
+            trace_ring_capacity_);
+      }
+      live->set_span_collector(collector.get());
+    }
+  }
+  // TMaster subscription: this container's collection rounds flush into
+  // the topology-wide metrics cache alongside any test-attached sinks.
+  if (metrics_cache_ != nullptr) {
+    live->metrics_manager()->AddSink(metrics_cache_);
   }
   // Every collection round pulses the cluster-wide condvar, which is what
   // WaitForCounter parks on, heartbeats to the TMaster (this tick IS the
@@ -501,6 +553,85 @@ Status LocalCluster::WaitForCounter(const std::string& name, uint64_t target,
                   std::min<int64_t>(remaining, 50000000)));
   }
   return Status::OK();
+}
+
+observability::SpanCollector* LocalCluster::span_collector(
+    ContainerId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = span_collectors_.find(id);
+  return it == span_collectors_.end() ? nullptr : it->second.get();
+}
+
+std::vector<observability::Span> LocalCluster::CollectSpans() const {
+  std::vector<observability::Span> merged;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [_, collector] : span_collectors_) {
+      auto spans = collector->Snapshot();
+      merged.insert(merged.end(), spans.begin(), spans.end());
+    }
+  }
+  // Deterministic merge order: timestamp, then trace id, then stage. Under
+  // a SimClock two runs of the same step schedule produce byte-identical
+  // sequences (the determinism the two-universe test asserts).
+  std::sort(merged.begin(), merged.end(),
+            [](const observability::Span& a, const observability::Span& b) {
+              if (a.at_nanos != b.at_nanos) return a.at_nanos < b.at_nanos;
+              if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+              return static_cast<uint8_t>(a.stage) <
+                     static_cast<uint8_t>(b.stage);
+            });
+  return merged;
+}
+
+uint64_t LocalCluster::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [_, collector] : span_collectors_) {
+    total += collector->dropped();
+  }
+  return total;
+}
+
+observability::TopologySnapshot LocalCluster::BuildSnapshot() const {
+  observability::TopologySnapshot snap;
+  snap.captured_at_nanos = clock_->NowNanos();
+  if (topology_ != nullptr) snap.topology = topology_->name();
+
+  // Physical plan.
+  auto plan = physical_plan();
+  if (plan != nullptr) {
+    snap.num_containers = plan->num_containers();
+    for (const TaskId task : plan->all_tasks()) {
+      observability::TopologySnapshot::TaskEntry entry;
+      entry.task = task;
+      const api::ComponentDef* def = plan->ComponentOfTask(task);
+      if (def != nullptr) entry.component = def->id;
+      auto container = plan->ContainerOfTask(task);
+      if (container.ok()) entry.container = *container;
+      snap.tasks.push_back(std::move(entry));
+    }
+  }
+
+  // Liveness.
+  if (tmaster_ != nullptr) {
+    auto dead = tmaster_->DeadContainers();
+    if (dead.ok()) snap.dead_containers = *dead;
+  }
+  snap.restarts_total = recovery_restarts_->value();
+
+  // MetricsCache rollups.
+  if (metrics_cache_ != nullptr) {
+    snap.topology_rollup = metrics_cache_->TopologyRollup();
+    snap.components = metrics_cache_->ComponentRollups();
+  }
+
+  // Sampled tuple-path tracing.
+  const std::vector<observability::Span> spans = CollectSpans();
+  snap.trace = observability::SummarizeTraces(
+      observability::BuildTraceBreakdown(spans), spans.size(),
+      dropped_spans());
+  return snap;
 }
 
 uint64_t LocalCluster::CompleteLatencyQuantile(double q) const {

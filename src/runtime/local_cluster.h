@@ -11,6 +11,9 @@
 
 #include "common/random.h"
 #include "frameworks/framework.h"
+#include "observability/metrics_cache.h"
+#include "observability/snapshot.h"
+#include "observability/trace.h"
 #include "packing/packing_registry.h"
 #include "runtime/container.h"
 #include "scheduler/framework_scheduler.h"
@@ -145,6 +148,32 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   /// Aggregated end-to-end (spout complete) latency quantile in nanos.
   uint64_t CompleteLatencyQuantile(double q) const;
 
+  // -- Observability (tracing + TMaster metrics cache + snapshot) ---------
+
+  /// The TMaster's metrics cache (every container's Metrics Manager
+  /// flushes into it); null until Submit.
+  observability::MetricsCache* metrics_cache() { return metrics_cache_.get(); }
+
+  /// The span sink of `id`'s container; null when tracing is disabled
+  /// (heron.observability.trace.sample.inverse == 0) or the container
+  /// never started. Collectors survive container restarts: the recovered
+  /// incarnation appends to the predecessor's ring.
+  observability::SpanCollector* span_collector(ContainerId id) const;
+
+  /// Snapshot of every container's retained spans, merged and ordered by
+  /// timestamp (deterministic under SimClock: ties break on trace id,
+  /// then stage).
+  std::vector<observability::Span> CollectSpans() const;
+
+  /// Spans lost to ring wraparound, summed across containers.
+  uint64_t dropped_spans() const;
+
+  /// Builds the queryable topology dump: physical plan, liveness,
+  /// MetricsCache rollups and the sampled-trace breakdown. Callable while
+  /// the topology runs or after its containers stopped (the collectors and
+  /// cache outlive them).
+  observability::TopologySnapshot BuildSnapshot() const;
+
  private:
   Status BuildAndInstallPhysicalPlan(const packing::PackingPlan& plan);
   /// Builds the scheduler stack for `heron.scheduler.kind` (local direct
@@ -194,6 +223,18 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   metrics::Counter* recovery_deaths_ = nullptr;
   metrics::Counter* recovery_restarts_ = nullptr;
   metrics::Counter* chaos_kill_counter_ = nullptr;
+
+  /// TMaster metrics cache; created at Submit, AddSink'ed to every
+  /// container's Metrics Manager (shared_ptr because MetricsManager owns
+  /// sinks by shared_ptr).
+  std::shared_ptr<observability::MetricsCache> metrics_cache_;
+  /// Per-container span rings (tracing enabled only). Keyed by container
+  /// id so a restarted incarnation reuses its predecessor's ring.
+  /// Guarded by mutex_ (the map; the collectors themselves are wait-free).
+  std::map<ContainerId, std::unique_ptr<observability::SpanCollector>>
+      span_collectors_;
+  int64_t trace_sample_inverse_ = 0;
+  size_t trace_ring_capacity_ = 1 << 16;
 
   mutable std::mutex mutex_;
   std::shared_ptr<const proto::PhysicalPlan> physical_plan_;

@@ -215,7 +215,7 @@ void StreamManager::Kill() {
 void StreamManager::ProcessEnvelope(proto::Envelope env) {
   switch (env.type) {
     case proto::MessageType::kTupleBatch:
-      HandleInstanceBatch(env.payload);
+      HandleInstanceBatch(env.payload, env.trace_id);
       transport_->buffer_pool()->Release(std::move(env.payload));
       // should_drain() counts eagerly flushed batches too — checking only
       // pending_bytes() stranded eager batches until the next timer tick.
@@ -256,7 +256,8 @@ void StreamManager::MaybeRegisterRoots(TaskId src_task,
 void StreamManager::RouteTuple(const std::vector<Edge>* edges, TaskId src_task,
                                serde::BytesView stream,
                                serde::BytesView src_component,
-                               serde::BytesView tuple_bytes) {
+                               serde::BytesView tuple_bytes,
+                               uint64_t trace_id) {
   for (const Edge& edge : *edges) {
     route_scratch_.clear();
     switch (edge.kind) {
@@ -299,13 +300,20 @@ void StreamManager::RouteTuple(const std::vector<Edge>* edges, TaskId src_task,
         continue;
     }
     for (const TaskId dest : route_scratch_) {
-      cache_.Add(dest, src_task, stream, src_component, tuple_bytes);
+      cache_.Add(dest, src_task, stream, src_component, tuple_bytes,
+                 trace_id);
       tuples_routed_->Increment();
     }
   }
 }
 
-void StreamManager::HandleInstanceBatch(const serde::Buffer& payload) {
+void StreamManager::HandleInstanceBatch(const serde::Buffer& payload,
+                                        uint64_t env_trace_id) {
+  // Sampled tracing: only when a collector is attached AND the envelope
+  // hint says the batch contains a traced tuple do we pay a per-tuple
+  // PeekTraceId. Untraced traffic routes with zero extra work.
+  const bool peek_traces =
+      options_.span_collector != nullptr && env_trace_id != 0;
   if (options_.optimizations) {
     // Lazy path: views only, no tuple materialization.
     if (!proto::ParseTupleBatchView(payload, &view_scratch_).ok()) {
@@ -321,9 +329,19 @@ void StreamManager::HandleInstanceBatch(const serde::Buffer& payload) {
         local_task_is_spout_[view_scratch_.src_task];
     for (const serde::BytesView tuple : view_scratch_.tuples) {
       if (is_spout) MaybeRegisterRoots(view_scratch_.src_task, tuple);
+      uint64_t trace_id = 0;
+      if (peek_traces) {
+        auto peeked = proto::PeekTraceId(tuple);
+        if (peeked.ok() && *peeked != 0) {
+          trace_id = *peeked;
+          options_.span_collector->Record(
+              trace_id, observability::TraceStage::kSmgrRoute,
+              options_.container, clock_->NowNanos());
+        }
+      }
       if (it != edges_.end()) {
         RouteTuple(&it->second, view_scratch_.src_task, view_scratch_.stream,
-                   view_scratch_.src_component, tuple);
+                   view_scratch_.src_component, tuple, trace_id);
       }
     }
     return;
@@ -349,10 +367,15 @@ void StreamManager::HandleInstanceBatch(const serde::Buffer& payload) {
         tracker_.Register(root, tuple.tuple_key, now);
       }
     }
+    if (peek_traces && tuple.trace_id != 0) {
+      options_.span_collector->Record(
+          tuple.trace_id, observability::TraceStage::kSmgrRoute,
+          options_.container, clock_->NowNanos());
+    }
     serde::Buffer reserialized = tuple.SerializeAsBuffer();
     if (it != edges_.end()) {
       RouteTuple(&it->second, batch.src_task, batch.stream,
-                 batch.src_component, reserialized);
+                 batch.src_component, reserialized, tuple.trace_id);
     }
   }
 }
@@ -376,6 +399,14 @@ serde::Buffer StreamManager::ReserializeBatch(const serde::Buffer& payload) {
 }
 
 void StreamManager::HandleRoutedBatch(proto::Envelope env) {
+  // A routed batch entering through the inbound channel crossed the
+  // container boundary (local deliveries go straight to the instance in
+  // DrainCacheNow); record the transport hop for traced batches.
+  if (options_.span_collector != nullptr && env.trace_id != 0) {
+    options_.span_collector->Record(
+        env.trace_id, observability::TraceStage::kTransportHop,
+        options_.container, clock_->NowNanos());
+  }
   TaskId dest = -1;
   if (options_.optimizations) {
     // "It parses only the destination field ... The tuple is not
@@ -473,6 +504,7 @@ void StreamManager::DrainCacheNow(bool timer_drain) {
     bytes_out_->Increment(batch.bytes.size());
     proto::Envelope env(proto::MessageType::kTupleBatchRouted,
                         std::move(batch.bytes));
+    env.trace_id = batch.trace_id;
     if (*container == options_.container) {
       if (!options_.optimizations) {
         // The naive engine re-serializes even on local delivery.

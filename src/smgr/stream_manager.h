@@ -12,6 +12,7 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "metrics/metrics.h"
+#include "observability/trace.h"
 #include "proto/physical_plan.h"
 #include "runtime/event_loop.h"
 #include "smgr/ack_tracker.h"
@@ -86,6 +87,10 @@ class StreamManager {
     /// throttle ref the *previous* incarnation raised and could never clear
     /// (it died mid-episode). A no-op for peers that held no such ref.
     bool announce_recovery = false;
+    /// The container's span sink for sampled tuple-path tracing; nullptr
+    /// disables SMGR-side span recording entirely (the routing hot path
+    /// then never inspects trace ids at all).
+    observability::SpanCollector* span_collector = nullptr;
   };
 
   StreamManager(const Options& options,
@@ -167,16 +172,22 @@ class StreamManager {
   Status Register();
 
   /// Routes every tuple of an unrouted batch from a local instance.
-  void HandleInstanceBatch(const serde::Buffer& payload);
+  /// `env_trace_id` is the envelope's trace hint: non-zero means at least
+  /// one tuple in the batch is traced, so per-tuple trace peeks are worth
+  /// paying; zero skips them wholesale.
+  void HandleInstanceBatch(const serde::Buffer& payload,
+                           uint64_t env_trace_id);
   /// Forwards / delivers a routed batch (from a peer SMGR).
   void HandleRoutedBatch(proto::Envelope env);
   /// Applies or forwards ack updates.
   void HandleAckBatch(proto::Envelope env);
 
   /// Routes one serialized tuple along every subscribed edge.
+  /// `trace_id` (0 = untraced) rides into the tuple cache so outgoing
+  /// envelopes carry the tracing hint.
   void RouteTuple(const std::vector<Edge>* edges, TaskId src_task,
                   serde::BytesView stream, serde::BytesView src_component,
-                  serde::BytesView tuple_bytes);
+                  serde::BytesView tuple_bytes, uint64_t trace_id);
 
   /// Registers spout roots when acking (lazy peek on the serialized tuple).
   void MaybeRegisterRoots(TaskId src_task, serde::BytesView tuple_bytes);

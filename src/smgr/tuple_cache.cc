@@ -7,7 +7,7 @@ namespace tbf = proto::tuple_batch_fields;
 
 bool TupleCache::Add(TaskId dest, TaskId src_task, serde::BytesView stream,
                      serde::BytesView src_component,
-                     serde::BytesView tuple_bytes) {
+                     serde::BytesView tuple_bytes, uint64_t trace_id) {
   const uint64_t key = KeyOf(dest, src_task);
   auto it = pending_.find(key);
   if (it != pending_.end() && it->second.stream != stream) {
@@ -21,7 +21,8 @@ bool TupleCache::Add(TaskId dest, TaskId src_task, serde::BytesView stream,
     Pending& old = it->second;
     pending_bytes_ -= old.buffer.size();
     eager_bytes_ += old.buffer.size();
-    eager_.push_back({dest, std::move(old.buffer), old.tuple_count});
+    eager_.push_back(
+        {dest, std::move(old.buffer), old.tuple_count, old.trace_id});
     pending_.erase(it);
     it = pending_.end();
   }
@@ -43,6 +44,7 @@ bool TupleCache::Add(TaskId dest, TaskId src_task, serde::BytesView stream,
   enc.WriteBytesField(tbf::kTuple, tuple_bytes);
   pending_bytes_ += p.buffer.size() - before;
   ++p.tuple_count;
+  if (trace_id != 0) p.trace_id = trace_id;
   ++stats_.tuples_added;
   return should_drain();
 }
@@ -60,6 +62,7 @@ std::vector<TupleCache::Batch> TupleCache::DrainAll(bool timer_drain) {
     b.dest = static_cast<TaskId>(static_cast<int32_t>(key >> 32));
     b.bytes = std::move(p.buffer);
     b.tuple_count = p.tuple_count;
+    b.trace_id = p.trace_id;
     stats_.bytes_drained += b.bytes.size();
     ++stats_.batches_drained;
     out.push_back(std::move(b));

@@ -45,13 +45,19 @@ class TupleCache {
 
   /// Appends one serialized tuple for `dest`. Returns true when the size
   /// threshold tripped and the caller should DrainAll now.
+  /// \param trace_id  sampled-tracing id of this tuple (0 = untraced); the
+  ///        batch remembers the last traced tuple so the outgoing envelope
+  ///        can carry the hint without re-peeking tuple bytes.
   bool Add(TaskId dest, TaskId src_task, serde::BytesView stream,
-           serde::BytesView src_component, serde::BytesView tuple_bytes);
+           serde::BytesView src_component, serde::BytesView tuple_bytes,
+           uint64_t trace_id = 0);
 
   struct Batch {
     TaskId dest = -1;
     serde::Buffer bytes;  ///< A complete serialized TupleBatchMsg.
     size_t tuple_count = 0;
+    /// Envelope tracing hint: last traced tuple in the batch (0 = none).
+    uint64_t trace_id = 0;
   };
 
   /// Flushes every pending batch. `timer_drain` attributes the drain in
@@ -83,6 +89,7 @@ class TupleCache {
     serde::Buffer buffer;  ///< Header already encoded; tuples appended.
     size_t tuple_count = 0;
     std::string stream;    ///< Header stream, to detect key collisions.
+    uint64_t trace_id = 0;  ///< Last traced tuple appended (0 = none).
   };
 
   /// (dest, src) packed; stream collisions on the same pair flush eagerly.

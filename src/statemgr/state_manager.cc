@@ -107,6 +107,24 @@ std::string BackpressureContainer(const std::string& topology, int container) {
                    container);
 }
 
+std::string Metrics(const std::string& topology) {
+  return "/topologies/" + topology + "/metrics";
+}
+
+std::string MetricsTopologyRollup(const std::string& topology) {
+  return "/topologies/" + topology + "/metrics/topology";
+}
+
+std::string MetricsComponents(const std::string& topology) {
+  return "/topologies/" + topology + "/metrics/components";
+}
+
+std::string MetricsComponent(const std::string& topology,
+                             const std::string& component) {
+  return StrFormat("/topologies/%s/metrics/components/%s", topology.c_str(),
+                   component.c_str());
+}
+
 }  // namespace paths
 
 Result<std::unique_ptr<IStateManager>> CreateStateManager(

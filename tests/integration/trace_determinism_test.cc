@@ -1,0 +1,254 @@
+// Deterministic sampled tracing, replayed twice: the whole observability
+// stack — 1-in-N spout sampling, the wait-free span rings, the trace
+// breakdown, the TMaster metrics cache and the snapshot JSON — must be a
+// pure function of the (SimClock-driven) execution. Two identical
+// step-mode universes therefore produce byte-identical span sequences and
+// byte-identical snapshot documents, and the sampling arithmetic is exact:
+// ceil(spout_emits / inverse) traces, no more, no less.
+//
+// Also covered here because they need a live cluster: the transport-hop
+// stage fires exactly for container-crossing tuples, the telescoping
+// invariant holds per trace, the published rollups are readable from the
+// state tree at their canonical paths, and a zero sample-inverse leaves
+// the whole subsystem dark (no collectors, no spans, empty summary).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "observability/snapshot.h"
+#include "observability/trace.h"
+#include "runtime/local_cluster.h"
+#include "statemgr/state_manager.h"
+#include "workloads/word_count.h"
+
+namespace heron {
+namespace runtime {
+namespace {
+
+constexpr uint64_t kEmitLimit = 40;
+constexpr int64_t kSampleInverse = 4;
+constexpr char kTopologyName[] = "trace-det";
+
+Config StepClusterConfig(int64_t trace_sample_inverse) {
+  Config config;
+  config.SetInt(config_keys::kNumContainersHint, 2);
+  config.SetBool(config_keys::kClusterStepMode, true);
+  config.SetInt(config_keys::kMetricsCollectIntervalMs, 50);
+  config.SetInt(config_keys::kTraceSampleInverse, trace_sample_inverse);
+  return config;
+}
+
+Config AckingTopologyConfig() {
+  Config config;
+  config.SetBool(config_keys::kAckingEnabled, true);
+  config.SetInt(config_keys::kMessageTimeoutMs, 10000);
+  config.SetInt(config_keys::kMaxSpoutPending, 16);
+  return config;
+}
+
+/// Everything one universe produces that the twin must reproduce exactly.
+struct UniverseResult {
+  bool ok = false;
+  std::vector<observability::Span> spans;
+  std::string snapshot_json;
+  uint64_t spout_emitted = 0;
+  uint64_t acked = 0;
+  std::string topology_rollup_json;
+  std::string word_rollup_json;
+};
+
+UniverseResult RunTracedUniverse() {
+  UniverseResult out;
+  SimClock clock(0);
+  LocalCluster cluster(StepClusterConfig(kSampleInverse), &clock);
+
+  workloads::WordSpout::Options spout_options;
+  spout_options.dictionary_size = 100;
+  spout_options.words_per_call = 2;
+  spout_options.emit_limit = kEmitLimit;
+  auto topology = workloads::BuildWordCountTopology(
+      kTopologyName, /*spouts=*/1, /*bolts=*/1, spout_options,
+      AckingTopologyConfig());
+  EXPECT_TRUE(topology.ok());
+  if (!cluster.Submit(*topology).ok()) return out;
+
+  // RR packing: spout task 0 → container 0, bolt task 1 → container 1 —
+  // every spout→bolt tuple crosses the container boundary.
+  int rounds = 0;
+  while (cluster.SumCounter("instance.acked") < kEmitLimit && rounds < 3000) {
+    ++rounds;
+    cluster.StepAll();
+    clock.AdvanceMillis(5);
+    cluster.StepAll();
+  }
+  out.acked = cluster.SumCounter("instance.acked");
+  EXPECT_EQ(out.acked, kEmitLimit) << "universe did not drain";
+
+  Container* c0 = cluster.GetContainer(0);
+  EXPECT_NE(c0, nullptr);
+  if (c0 != nullptr) {
+    out.spout_emitted = c0->SumInstanceCounter("instance.emitted");
+  }
+
+  out.spans = cluster.CollectSpans();
+  EXPECT_EQ(cluster.dropped_spans(), 0u) << "ring wrapped mid-test";
+
+  // The state tree carries the published rollups at their canonical
+  // paths — the queryable dump an external tracker would read.
+  EXPECT_NE(cluster.metrics_cache(), nullptr);
+  if (cluster.metrics_cache() != nullptr) {
+    EXPECT_TRUE(cluster.metrics_cache()->PublishNow().ok());
+  }
+  auto topo_node = cluster.state_manager()->GetNodeData(
+      statemgr::paths::MetricsTopologyRollup(kTopologyName));
+  EXPECT_TRUE(topo_node.ok());
+  if (topo_node.ok()) out.topology_rollup_json = *topo_node;
+  auto word_node = cluster.state_manager()->GetNodeData(
+      statemgr::paths::MetricsComponent(kTopologyName, "word"));
+  EXPECT_TRUE(word_node.ok());
+  if (word_node.ok()) out.word_rollup_json = *word_node;
+
+  out.snapshot_json = cluster.BuildSnapshot().ToJson();
+  out.ok = cluster.Kill().ok();
+  return out;
+}
+
+class TraceDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { Logging::SetLevel(LogLevel::kError); }
+};
+
+TEST_F(TraceDeterminismTest, TwoUniversesProduceIdenticalSpansAndSnapshots) {
+  const UniverseResult first = RunTracedUniverse();
+  const UniverseResult second = RunTracedUniverse();
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+
+  // Byte-identical span sequences: same trace ids, same stages, same
+  // locations, same SimClock timestamps, same order.
+  EXPECT_EQ(first.spans, second.spans);
+  EXPECT_FALSE(first.spans.empty());
+
+  // Byte-identical queryable dumps — the snapshot JSON and the rollups
+  // published into the state tree.
+  EXPECT_EQ(first.snapshot_json, second.snapshot_json);
+  EXPECT_EQ(first.topology_rollup_json, second.topology_rollup_json);
+  EXPECT_EQ(first.word_rollup_json, second.word_rollup_json);
+  EXPECT_EQ(first.spout_emitted, second.spout_emitted);
+}
+
+TEST_F(TraceDeterminismTest, SamplingCountsAreExact) {
+  const UniverseResult r = RunTracedUniverse();
+  ASSERT_TRUE(r.ok);
+  ASSERT_GT(r.spout_emitted, 0u);
+
+  // emit_seq % inverse == 0 samples emits 0, N, 2N, ...: exactly
+  // ceil(emits / N) traced tuples.
+  const uint64_t expected_traces =
+      (r.spout_emitted + kSampleInverse - 1) / kSampleInverse;
+
+  uint64_t spout_emit_spans = 0;
+  uint64_t transport_hops = 0;
+  uint64_t ack_completes = 0;
+  for (const auto& span : r.spans) {
+    switch (span.stage) {
+      case observability::TraceStage::kSpoutEmit: ++spout_emit_spans; break;
+      case observability::TraceStage::kTransportHop: ++transport_hops; break;
+      case observability::TraceStage::kAckComplete: ++ack_completes; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(spout_emit_spans, expected_traces);
+  // Spout and bolt live in different containers, so every traced data
+  // tuple records the transport-hop station.
+  EXPECT_GT(transport_hops, 0u);
+  // Everything acked, so every sampled trace closed.
+  EXPECT_EQ(ack_completes, expected_traces);
+
+  const auto breakdown = observability::BuildTraceBreakdown(r.spans);
+  EXPECT_EQ(breakdown.traces.size(), expected_traces);
+  EXPECT_EQ(breakdown.complete_count, expected_traces);
+
+  // Telescoping, per trace: recorded per-stage deltas sum exactly to
+  // ack − emit.
+  for (const auto& trace : breakdown.traces) {
+    ASSERT_TRUE(trace.complete());
+    int64_t sum = 0;
+    for (size_t s = 0; s < observability::kNumTraceStages; ++s) {
+      if (trace.delta_nanos[s] >= 0) sum += trace.delta_nanos[s];
+    }
+    EXPECT_EQ(sum, trace.end_to_end_nanos);
+  }
+
+  // And the snapshot's summary agrees with the raw breakdown.
+  auto snapshot = observability::TopologySnapshot::FromJson(r.snapshot_json);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->trace.traces, expected_traces);
+  EXPECT_EQ(snapshot->trace.complete, expected_traces);
+  EXPECT_EQ(snapshot->trace.spans, r.spans.size());
+  EXPECT_EQ(snapshot->trace.dropped_spans, 0u);
+  EXPECT_EQ(snapshot->trace.stages.size(), observability::kNumTraceStages);
+}
+
+TEST_F(TraceDeterminismTest, StateTreeRollupsAreReadable) {
+  const UniverseResult r = RunTracedUniverse();
+  ASSERT_TRUE(r.ok);
+
+  auto topo = observability::ComponentRollup::FromJson(r.topology_rollup_json);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->component, observability::kTopologyRollup);
+  EXPECT_EQ(topo->tasks, 2);
+  EXPECT_GT(topo->processed_total, 0.0);
+
+  auto word = observability::ComponentRollup::FromJson(r.word_rollup_json);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(word->component, "word");
+  EXPECT_EQ(word->tasks, 1);
+  EXPECT_GT(word->processed_total, 0.0);
+}
+
+TEST_F(TraceDeterminismTest, ZeroSampleInverseLeavesTracingDark) {
+  SimClock clock(0);
+  LocalCluster cluster(StepClusterConfig(/*trace_sample_inverse=*/0), &clock);
+
+  workloads::WordSpout::Options spout_options;
+  spout_options.dictionary_size = 100;
+  spout_options.words_per_call = 2;
+  spout_options.emit_limit = kEmitLimit;
+  auto topology = workloads::BuildWordCountTopology(
+      "trace-dark", /*spouts=*/1, /*bolts=*/1, spout_options,
+      AckingTopologyConfig());
+  ASSERT_TRUE(topology.ok());
+  ASSERT_TRUE(cluster.Submit(*topology).ok());
+
+  int rounds = 0;
+  while (cluster.SumCounter("instance.acked") < kEmitLimit && rounds < 3000) {
+    ++rounds;
+    cluster.StepAll();
+    clock.AdvanceMillis(5);
+    cluster.StepAll();
+  }
+  EXPECT_EQ(cluster.SumCounter("instance.acked"), kEmitLimit);
+
+  // No collectors were ever allocated; no spans exist anywhere.
+  EXPECT_EQ(cluster.span_collector(0), nullptr);
+  EXPECT_EQ(cluster.span_collector(1), nullptr);
+  EXPECT_TRUE(cluster.CollectSpans().empty());
+  EXPECT_EQ(cluster.dropped_spans(), 0u);
+
+  const auto snapshot = cluster.BuildSnapshot();
+  EXPECT_EQ(snapshot.trace.traces, 0u);
+  EXPECT_EQ(snapshot.trace.spans, 0u);
+  // The six-slice contract holds even when dark.
+  EXPECT_EQ(snapshot.trace.stages.size(), observability::kNumTraceStages);
+
+  ASSERT_TRUE(cluster.Kill().ok());
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace heron

@@ -107,6 +107,98 @@ TEST(RegistryTest, SnapshotFlattensEverything) {
   EXPECT_DOUBLE_EQ(find("h.mean"), 50);
 }
 
+TEST(RegistryTest, SnapshotEmitsMinAndMidQuantiles) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  for (const uint64_t v : {10u, 20u, 40u, 80u}) h->Record(v);
+  const auto samples = registry.Snapshot();
+
+  const auto find = [&samples](const std::string& name) -> double {
+    for (const auto& s : samples) {
+      if (s.name == name) return s.value;
+    }
+    ADD_FAILURE() << "missing sample " << name;
+    return -1;
+  };
+  // The full histogram sample family: .count/.mean/.min/.p50/.p90/.p99/.max.
+  EXPECT_DOUBLE_EQ(find("lat.count"), 4);
+  EXPECT_DOUBLE_EQ(find("lat.min"), 10);
+  EXPECT_DOUBLE_EQ(find("lat.max"), 80);
+  EXPECT_DOUBLE_EQ(find("lat.p90"), static_cast<double>(h->Quantile(0.9)));
+  // Ordering sanity across the emitted quantiles.
+  EXPECT_LE(find("lat.min"), find("lat.p50"));
+  EXPECT_LE(find("lat.p50"), find("lat.p90"));
+  EXPECT_LE(find("lat.p90"), find("lat.p99"));
+  EXPECT_LE(find("lat.p99"), find("lat.max"));
+}
+
+TEST(InMemorySinkTest, EvictsOldestRoundsPerSourceAtCap) {
+  InMemorySink sink(/*max_rounds_per_source=*/2);
+  const auto round = [&sink](const std::string& source, double value,
+                             int64_t at) {
+    sink.Flush(source, {{"m", value}}, at);
+  };
+  round("a", 1, 100);
+  round("b", 10, 150);
+  round("a", 2, 200);
+  round("a", 3, 300);  // Evicts a@100.
+  round("a", 4, 400);  // Evicts a@200.
+
+  EXPECT_EQ(sink.evicted_rounds(), 2u);
+  const auto entries = sink.entries();
+  ASSERT_EQ(entries.size(), 3u);  // 2 newest "a" rounds + the "b" round.
+  // "b" is untouched by "a"'s evictions, and the survivors are the newest
+  // "a" rounds in order.
+  EXPECT_EQ(entries[0].source, "b");
+  EXPECT_EQ(entries[1].collected_at_nanos, 300);
+  EXPECT_EQ(entries[2].collected_at_nanos, 400);
+  EXPECT_DOUBLE_EQ(sink.Latest("a", "m"), 4);
+  EXPECT_DOUBLE_EQ(sink.Latest("b", "m"), 10);
+}
+
+TEST(InMemorySinkTest, CapComesFromTheConfigKnob) {
+  Config config;
+  config.SetInt(config_keys::kInMemorySinkMaxRounds, 3);
+  InMemorySink sink(config);
+  EXPECT_EQ(sink.max_rounds_per_source(), 3u);
+
+  InMemorySink defaulted((Config()));
+  EXPECT_EQ(defaulted.max_rounds_per_source(),
+            InMemorySink::kDefaultMaxRoundsPerSource);
+}
+
+TEST(InMemorySinkTest, ConcurrentFlushesAllRetainedUnderCap) {
+  InMemorySink sink(/*max_rounds_per_source=*/1000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&sink, t] {
+      const std::string source = "src-" + std::to_string(t);
+      for (int i = 0; i < 200; ++i) {
+        sink.Flush(source, {{"m", static_cast<double>(i)}}, i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sink.entries().size(), 800u);
+  EXPECT_EQ(sink.evicted_rounds(), 0u);
+}
+
+TEST(ConsoleSinkTest, ConcurrentRoundsDoNotCrash) {
+  // The per-round buffered write is asserted structurally (one fwrite per
+  // Flush); here the sanitizer lanes get concurrent rounds to chew on.
+  ConsoleSink sink;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (int i = 0; i < 8; ++i) {
+        sink.Flush("src-" + std::to_string(t),
+                   {{"m", static_cast<double>(i)}, {"n", 1}}, i * 1000000);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
 TEST(MetricsManagerTest, CollectsEverySourceIntoEverySink) {
   VirtualClock clock(123);
   MetricsManager manager(&clock);
