@@ -16,11 +16,18 @@
 #               hot paths.
 #
 # Usage:
-#   scripts/san_lane.sh <address|thread|undefined> [build-dir] [-- ctest args]
+#   scripts/san_lane.sh <address|thread|undefined> [build-dir] \
+#       [--transport <in-process|socket|shm>] [-- ctest args]
 # Examples:
 #   scripts/san_lane.sh thread                     # build-tsan, full suite
 #   scripts/san_lane.sh address build-ci-asan      # CI's ASan lane
 #   scripts/san_lane.sh thread build-tsan -- -R smgr
+#   scripts/san_lane.sh thread --transport socket  # wire fabric under TSan
+#
+# --transport exports HERON_TRANSPORT_MODE so every LocalCluster in the
+# suite rides the chosen ipc::Fabric — the pump thread, writev spill and
+# ring wrap paths only exist in the wire modes, so TSan/ASan only see them
+# when a lane opts in.
 
 set -euo pipefail
 
@@ -44,12 +51,36 @@ case "${SAN}" in
 esac
 
 BUILD_DIR="${DEFAULT_DIR}"
-if [[ $# -gt 0 && "$1" != "--" ]]; then
-  BUILD_DIR="$1"
-  shift
-fi
+TRANSPORT=""
+while [[ $# -gt 0 && "$1" != "--" ]]; do
+  case "$1" in
+    --transport)
+      if [[ $# -lt 2 ]]; then
+        echo "--transport needs a mode (in-process, socket or shm)" >&2
+        exit 2
+      fi
+      TRANSPORT="$2"
+      shift 2
+      ;;
+    *)
+      BUILD_DIR="$1"
+      shift
+      ;;
+  esac
+done
 if [[ $# -gt 0 && "$1" == "--" ]]; then
   shift
+fi
+
+case "${TRANSPORT}" in
+  "" | in-process | inprocess | socket | shm) ;;
+  *)
+    echo "unknown transport '${TRANSPORT}' (want in-process, socket or shm)" >&2
+    exit 2
+    ;;
+esac
+if [[ -n "${TRANSPORT}" ]]; then
+  export HERON_TRANSPORT_MODE="${TRANSPORT}"
 fi
 
 GENERATOR_ARGS=()

@@ -94,6 +94,11 @@ inline constexpr char kSchedulerMonitorMissLimit[] =
 /// Container::Step() / LocalCluster::StepAll() + MonitorTick() by hand
 /// (deterministic under a SimClock).
 inline constexpr char kClusterStepMode[] = "heron.cluster.step.mode";
+/// Wire transport between containers: "in-process" (default, direct
+/// channel handoff), "socket" (unix-domain socketpair + framed stream) or
+/// "shm" (shared-memory byte ring). The HERON_TRANSPORT_MODE environment
+/// variable overrides the default when the key is unset (CI lanes).
+inline constexpr char kTransportMode[] = "heron.transport.mode";
 
 // Chaos (fault injection on the monitor tick).
 /// Per-tick probability of hard-killing one random live container.

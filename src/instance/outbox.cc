@@ -80,9 +80,11 @@ void Outbox::Flush() {
       serde::Buffer payload = transport_->buffer_pool()->Acquire();
       serde::WireEncoder enc(&payload);
       batch.SerializeTo(&enc);
-      channel->Send(
-          proto::Envelope(proto::MessageType::kAckBatch, std::move(payload)))
-          .ok();
+      proto::Envelope env(proto::MessageType::kAckBatch, std::move(payload));
+      // Address the envelope at the serialization point: every SMGR the
+      // ack batch crosses then routes on metadata alone (zero-copy).
+      env.dest_task = owner;
+      channel->Send(std::move(env)).ok();
     }
     pending_acks_.clear();
   }

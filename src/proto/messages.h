@@ -37,6 +37,13 @@ struct Envelope {
   /// when several traced tuples share a batch — tracing is sampled, so
   /// collisions are rare and a single hop span per batch suffices.
   uint64_t trace_id = 0;
+  /// Destination task of the payload (-1 = unaddressed). Carried in the
+  /// transport frame header (serde::FrameHeader::dest), so a forwarding
+  /// Stream Manager routes on envelope metadata alone and never inspects
+  /// payload bytes — the zero-copy invariant `smgr.payload_touches`
+  /// asserts. Mirrors the dest_task field serialized inside tuple/ack
+  /// batch payloads; when -1 receivers fall back to a payload peek.
+  TaskId dest_task = -1;
 
   Envelope() = default;
   Envelope(MessageType t, serde::Buffer p) : type(t), payload(std::move(p)) {}

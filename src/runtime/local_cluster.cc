@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <vector>
 
 #include "common/logging.h"
@@ -68,6 +69,24 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
   topology_ = topology;
   merged_config_ = cluster_config_.MergedWith(topology->config());
   step_mode_ = merged_config_.GetBoolOr(config_keys::kClusterStepMode, false);
+
+  // Wire transport selection, before any container registers an endpoint:
+  // config key first, then the HERON_TRANSPORT_MODE environment override
+  // (how CI lanes re-run the suite over socket/shm), default in-process.
+  // Step mode pumps wire fabrics inline so single-stepped universes stay
+  // deterministic regardless of the wire.
+  std::string transport_mode =
+      merged_config_.GetStringOr(config_keys::kTransportMode, "");
+  if (transport_mode.empty()) {
+    const char* env_mode = std::getenv("HERON_TRANSPORT_MODE");
+    if (env_mode != nullptr) transport_mode = env_mode;
+  }
+  HERON_ASSIGN_OR_RETURN(const smgr::Transport::Mode transport_kind,
+                         smgr::Transport::ParseMode(transport_mode));
+  smgr::Transport::Options transport_options;
+  transport_options.mode = transport_kind;
+  transport_options.inline_pump = step_mode_;
+  HERON_RETURN_NOT_OK(transport_.Configure(transport_options));
   chaos_kill_probability_ =
       merged_config_.GetDoubleOr(config_keys::kChaosKillProbability, 0);
   chaos_max_kills_ = static_cast<int>(

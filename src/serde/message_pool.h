@@ -17,6 +17,13 @@ struct PoolStats {
   uint64_t allocations = 0;  ///< Objects created with new.
   uint64_t reuses = 0;       ///< Objects served from the free list.
   uint64_t returns = 0;      ///< Objects handed back to the pool.
+  /// Returned objects the pool refused to retain because a growth bound
+  /// (idle count, retained bytes, oversize buffer) tripped. Backpressure
+  /// parking can return a burst far above steady state; the bounds turn
+  /// that burst into evictions instead of permanently resident memory.
+  uint64_t evicted = 0;
+  /// Peak idle objects ever retained at once (freelist high-water mark).
+  uint64_t high_water = 0;
 };
 
 /// \brief Recycling pool for message objects (§V-A optimization 1).
@@ -72,8 +79,13 @@ class MessagePool {
       ++stats_.returns;
       if (enabled_ && free_list_.size() < max_idle_) {
         free_list_.push_back(obj);
+        if (free_list_.size() > stats_.high_water) {
+          stats_.high_water = free_list_.size();
+        }
         return;
       }
+      // Deleting when disabled is the ablation baseline, not an eviction.
+      if (enabled_) ++stats_.evicted;
     }
     delete obj;
   }
@@ -149,15 +161,31 @@ PooledPtr<T> AcquirePooled(MessagePool<T>* pool) {
   return PooledPtr<T>(pool, pool->Acquire());
 }
 
-/// \brief Recycling pool for serialization buffers.
+/// \brief Recycling pool for serialization buffers — the transport fabric's
+/// allocator.
 ///
 /// Companion to MessagePool: outbound tuple batches are encoded into pooled
-/// buffers so the hot path performs no heap allocation once warm. Buffers
-/// keep their capacity across reuses (cleared, not shrunk).
+/// buffers, and fabric receivers draw delivery buffers from the same pool,
+/// so the hot path performs no heap allocation once warm. Buffers keep
+/// their capacity across reuses (cleared, not shrunk).
+///
+/// Growth is bounded on three axes, because a backpressure-parking burst
+/// returns a spike of buffers that must not become permanently resident:
+///  - `max_idle` buffers retained (count cap);
+///  - `max_retained_bytes` of capacity retained across the freelist;
+///  - `max_buffer_bytes` per buffer (an outsized batch is never retained —
+///    recycling one 64 MB buffer through 100-byte acks pins 64 MB forever).
+/// A Release that would cross a bound deletes the buffer and counts it in
+/// `stats().evicted`; `stats().high_water` tracks the freelist peak.
 class BufferPool {
  public:
-  explicit BufferPool(bool enabled = true, size_t max_idle = 4096)
-      : enabled_(enabled), max_idle_(max_idle) {}
+  explicit BufferPool(bool enabled = true, size_t max_idle = 4096,
+                      size_t max_retained_bytes = 64u << 20,
+                      size_t max_buffer_bytes = 4u << 20)
+      : enabled_(enabled),
+        max_idle_(max_idle),
+        max_retained_bytes_(max_retained_bytes),
+        max_buffer_bytes_(max_buffer_bytes) {}
 
   /// Returns an empty buffer (capacity retained from prior use when pooled).
   Buffer Acquire() {
@@ -166,6 +194,7 @@ class BufferPool {
       if (!free_list_.empty()) {
         Buffer buf = std::move(free_list_.back());
         free_list_.pop_back();
+        retained_bytes_ -= buf.capacity();
         ++stats_.reuses;
         buf.clear();
         return buf;
@@ -181,8 +210,18 @@ class BufferPool {
   void Release(Buffer buf) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.returns;
-    if (enabled_ && free_list_.size() < max_idle_) {
-      free_list_.push_back(std::move(buf));
+    if (enabled_) {
+      const size_t cap = buf.capacity();
+      if (free_list_.size() < max_idle_ && cap <= max_buffer_bytes_ &&
+          retained_bytes_ + cap <= max_retained_bytes_) {
+        retained_bytes_ += cap;
+        free_list_.push_back(std::move(buf));
+        if (free_list_.size() > stats_.high_water) {
+          stats_.high_water = free_list_.size();
+        }
+        return;
+      }
+      ++stats_.evicted;
     }
   }
 
@@ -191,13 +230,30 @@ class BufferPool {
     return stats_;
   }
 
+  size_t idle_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_list_.size();
+  }
+
+  /// Capacity bytes currently parked on the freelist.
+  size_t retained_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retained_bytes_;
+  }
+
   bool enabled() const { return enabled_; }
+  size_t max_idle() const { return max_idle_; }
+  size_t max_retained_bytes() const { return max_retained_bytes_; }
+  size_t max_buffer_bytes() const { return max_buffer_bytes_; }
 
  private:
   const bool enabled_;
   const size_t max_idle_;
+  const size_t max_retained_bytes_;
+  const size_t max_buffer_bytes_;
   mutable std::mutex mutex_;
   std::vector<Buffer> free_list_;
+  size_t retained_bytes_ = 0;
   PoolStats stats_;
 };
 

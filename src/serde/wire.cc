@@ -158,5 +158,86 @@ Status WireDecoder::SkipField(WireType type) {
   return Status::IOError("unknown wire type");
 }
 
+// -- Transport framing ---------------------------------------------------
+
+namespace {
+
+inline void PutU16(char* out, uint16_t v) {
+  out[0] = static_cast<char>(v & 0xff);
+  out[1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+inline void PutU32(char* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+inline void PutU64(char* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+inline uint16_t GetU16(const char* in) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(in[0])) |
+         static_cast<uint16_t>(static_cast<uint8_t>(in[1])) << 8;
+}
+
+inline uint32_t GetU32(const char* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+inline uint64_t GetU64(const char* in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void EncodeFrameHeader(const FrameHeader& header, char* out) {
+  PutU16(out, kFrameMagic);
+  out[2] = static_cast<char>(header.type);
+  out[3] = static_cast<char>(header.dest_kind);
+  PutU32(out + 4, header.payload_len);
+  PutU32(out + 8, static_cast<uint32_t>(header.dest));
+  PutU64(out + 12, header.trace_id);
+}
+
+void AppendFrameHeader(const FrameHeader& header, Buffer* out) {
+  char wire[kFrameHeaderBytes];
+  EncodeFrameHeader(header, wire);
+  out->append(wire, kFrameHeaderBytes);
+}
+
+Status DecodeFrameHeader(BytesView data, FrameHeader* out) {
+  if (data.size() < kFrameHeaderBytes) {
+    return Status::IOError("frame header truncated");
+  }
+  if (GetU16(data.data()) != kFrameMagic) {
+    return Status::IOError("bad frame magic (stream desync?)");
+  }
+  FrameHeader h;
+  h.type = static_cast<uint8_t>(data[2]);
+  h.dest_kind = static_cast<uint8_t>(data[3]);
+  h.payload_len = GetU32(data.data() + 4);
+  h.dest = static_cast<int32_t>(GetU32(data.data() + 8));
+  h.trace_id = GetU64(data.data() + 12);
+  if (h.payload_len > kMaxFramePayloadBytes) {
+    return Status::IOError("frame payload length exceeds cap");
+  }
+  *out = h;
+  return Status::OK();
+}
+
+Result<size_t> PeekFrameSize(BytesView data) {
+  FrameHeader h;
+  HERON_RETURN_NOT_OK(DecodeFrameHeader(data, &h));
+  return kFrameHeaderBytes + static_cast<size_t>(h.payload_len);
+}
+
 }  // namespace serde
 }  // namespace heron

@@ -82,6 +82,58 @@ class WireEncoder {
   Buffer* out_;
 };
 
+// -- Transport framing ---------------------------------------------------
+
+/// \brief Fixed-size header prefixed to every payload that crosses the
+/// transport fabric (the wire form of a proto::Envelope's metadata).
+///
+/// Layout, little-endian, kFrameHeaderBytes total:
+///
+///     offset  size  field
+///     ------  ----  --------------------------------------------------
+///       0       2   magic 0x4846 ("HF") — tear/desync detector
+///       2       1   type       (proto::MessageType as u8)
+///       3       1   dest_kind  (0 = none, 1 = task-addressed)
+///       4       4   payload_len u32
+///       8       4   dest        i32 (task id; -1 when dest_kind == 0)
+///      12       8   trace_id    u64 (0 = untraced)
+///
+/// The header is everything a forwarding Stream Manager needs to route:
+/// receivers that only relay a frame never look past these 20 bytes (the
+/// zero-copy invariant asserted by `smgr.payload_touches`).
+struct FrameHeader {
+  uint8_t type = 0;
+  uint8_t dest_kind = 0;  ///< 0 = unaddressed, 1 = dest is a task id.
+  uint32_t payload_len = 0;
+  int32_t dest = -1;
+  uint64_t trace_id = 0;
+
+  bool operator==(const FrameHeader& o) const {
+    return type == o.type && dest_kind == o.dest_kind &&
+           payload_len == o.payload_len && dest == o.dest &&
+           trace_id == o.trace_id;
+  }
+};
+
+inline constexpr size_t kFrameHeaderBytes = 20;
+inline constexpr uint16_t kFrameMagic = 0x4846;
+/// Frames above this payload size are rejected at decode: a desynced or
+/// corrupted stream must not drive a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxFramePayloadBytes = 256u << 20;
+
+/// Writes the 20-byte wire form of `header` into `out`.
+void EncodeFrameHeader(const FrameHeader& header, char* out);
+/// Appends the 20-byte wire form of `header` to `out`.
+void AppendFrameHeader(const FrameHeader& header, Buffer* out);
+
+/// Decodes a header from the first kFrameHeaderBytes of `data`.
+/// kIOError on truncation, bad magic or an oversized payload length.
+Status DecodeFrameHeader(BytesView data, FrameHeader* out);
+
+/// Header-only peek: total frame size (header + payload) implied by the
+/// header at the front of `data`. Same validation as DecodeFrameHeader.
+Result<size_t> PeekFrameSize(BytesView data);
+
 /// \brief Cursor over serialized bytes; reads fields without copying.
 ///
 /// Decoding errors (truncation, wire-type mismatches) surface as Status —

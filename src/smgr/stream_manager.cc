@@ -74,6 +74,7 @@ StreamManager::StreamManager(const Options& options,
   roots_failed_ = metrics_.GetCounter("smgr.roots.failed");
   roots_timeout_ = metrics_.GetCounter("smgr.roots.timeout");
   retry_depth_ = metrics_.GetGauge("smgr.retry.depth");
+  payload_touches_ = metrics_.GetCounter("smgr.payload_touches");
   backpressure_active_ = metrics_.GetGauge("smgr.backpressure.active");
   backpressure_duration_ns_ =
       metrics_.GetCounter("smgr.backpressure.duration.ns");
@@ -409,17 +410,25 @@ void StreamManager::HandleRoutedBatch(proto::Envelope env) {
   }
   TaskId dest = -1;
   if (options_.optimizations) {
-    // "It parses only the destination field ... The tuple is not
-    // deserialized but is forwarded as a serialized byte array."
-    auto peeked = proto::PeekDestTask(env.payload);
-    if (!peeked.ok()) {
-      HLOG(ERROR) << "dropping routed batch without destination";
-      return;
+    // Zero-copy route: the destination rode in on the envelope (and, on
+    // wire transports, in the frame header), so forwarding never reads a
+    // payload byte. The peek below is the compatibility fallback for
+    // unaddressed envelopes only — in steady state it never runs, which
+    // is exactly what `smgr.payload_touches == 0` asserts.
+    dest = env.dest_task;
+    if (dest < 0) {
+      payload_touches_->Increment();
+      auto peeked = proto::PeekDestTask(env.payload);
+      if (!peeked.ok()) {
+        HLOG(ERROR) << "dropping routed batch without destination";
+        return;
+      }
+      dest = *peeked;
     }
-    dest = *peeked;
   } else {
     // Ablation: the naive hop deserializes everything and rebuilds the
     // batch before passing it on.
+    payload_touches_->Increment();
     serde::Buffer rebuilt = ReserializeBatch(env.payload);
     auto peeked = proto::PeekDestTask(rebuilt);
     if (!peeked.ok()) {
@@ -429,6 +438,7 @@ void StreamManager::HandleRoutedBatch(proto::Envelope env) {
     dest = *peeked;
     env.payload = std::move(rebuilt);
   }
+  env.dest_task = dest;
 
   auto container = plan_->ContainerOfTask(dest);
   if (!container.ok()) {
@@ -446,17 +456,26 @@ void StreamManager::HandleRoutedBatch(proto::Envelope env) {
 }
 
 void StreamManager::HandleAckBatch(proto::Envelope env) {
-  auto dest = proto::PeekAckBatchDest(env.payload);
-  if (!dest.ok()) {
-    HLOG(ERROR) << "dropping ack batch without destination";
-    return;
+  // Same zero-copy contract as routed batches: the owning spout task is
+  // envelope metadata; the payload is only parsed at the terminal hop
+  // (applying the updates is ingestion, not forwarding).
+  TaskId dest = env.dest_task;
+  if (dest < 0) {
+    payload_touches_->Increment();
+    auto peeked = proto::PeekAckBatchDest(env.payload);
+    if (!peeked.ok()) {
+      HLOG(ERROR) << "dropping ack batch without destination";
+      return;
+    }
+    dest = *peeked;
   }
-  auto container = plan_->ContainerOfTask(*dest);
+  auto container = plan_->ContainerOfTask(dest);
   if (!container.ok()) {
-    HLOG(ERROR) << "dropping ack batch for unknown task " << *dest;
+    HLOG(ERROR) << "dropping ack batch for unknown task " << dest;
     return;
   }
   if (*container != options_.container) {
+    env.dest_task = dest;
     SendToContainer(*container, std::move(env));
     return;
   }
@@ -505,6 +524,10 @@ void StreamManager::DrainCacheNow(bool timer_drain) {
     proto::Envelope env(proto::MessageType::kTupleBatchRouted,
                         std::move(batch.bytes));
     env.trace_id = batch.trace_id;
+    // Address the envelope here, where the destination is already known:
+    // every downstream hop (peer SMGRs included) then routes on metadata
+    // alone and never peeks the payload.
+    env.dest_task = batch.dest;
     if (*container == options_.container) {
       if (!options_.optimizations) {
         // The naive engine re-serializes even on local delivery.
@@ -525,6 +548,7 @@ void StreamManager::ExpireAcksNow() {
 }
 
 void StreamManager::SendToInstance(TaskId task, proto::Envelope env) {
+  env.dest_task = task;
   TrySendOrPark(Transport::InstanceEndpoint(task), std::move(env));
 }
 
@@ -557,7 +581,7 @@ void StreamManager::TrySendOrPark(const Transport::Endpoint& dest,
   // retry. The SMGR never blocks on a send, which is what makes the
   // container's channel graph deadlock-free.
   retry_.push_back({dest, std::move(env)});
-  ++parked_per_dest_[dest];
+  ++parked_per_dest_[dest].count;
   retry_depth_->Set(static_cast<int64_t>(retry_.size()));
   MaybeTripBackpressure();
 }
@@ -569,29 +593,46 @@ size_t StreamManager::FlushRetries() {
   // just denied.
   std::set<Transport::Endpoint> blocked;
   const size_t n = retry_.size();
-  for (size_t i = 0; i < n; ++i) {
-    Parked parked = std::move(retry_.front());
-    retry_.pop_front();
-    if (blocked.count(parked.dest) != 0) {
-      retry_.push_back(std::move(parked));
-      continue;
-    }
-    const Status st = transport_->TrySend(parked.dest, &parked.env);
-    if (st.ok() || st.IsCancelled()) {
-      // Delivered (or the channel is closed and draining no further):
-      // backlog shrinks.
-      auto it = parked_per_dest_.find(parked.dest);
-      if (it != parked_per_dest_.end() && --it->second == 0) {
-        parked_per_dest_.erase(it);
+  if (n != 0) {
+    // One registry-lock hold for the whole pass. Each destination's Route
+    // is resolved at most once and cached in its DestState (invalidated
+    // by the transport's registration generation), so a deep backlog to
+    // one endpoint costs one map lookup, not one lock + lookup per
+    // envelope. The scope must close before MaybeClearBackpressure below:
+    // a kStop broadcast re-enters the transport.
+    Transport::FlushScope scope(transport_);
+    for (size_t i = 0; i < n; ++i) {
+      Parked parked = std::move(retry_.front());
+      retry_.pop_front();
+      if (blocked.count(parked.dest) != 0) {
+        retry_.push_back(std::move(parked));
+        continue;
       }
-      continue;
+      DestState& state = parked_per_dest_[parked.dest];
+      if (!state.resolved || state.gen != scope.generation()) {
+        state.resolved = scope.Resolve(parked.dest, &state.route);
+        state.gen = scope.generation();
+      }
+      // An unresolved endpoint is starting or restarting; its backlog
+      // must survive until it registers, or tuples emitted across the
+      // window are lost.
+      const Status st = state.resolved
+                            ? scope.TrySend(state.route, &parked.env)
+                            : Status::NotFound("endpoint not registered");
+      if (st.ok() || st.IsCancelled()) {
+        // Delivered (or the channel is closed and draining no further):
+        // backlog shrinks.
+        auto it = parked_per_dest_.find(parked.dest);
+        if (it != parked_per_dest_.end() && --it->second.count == 0) {
+          parked_per_dest_.erase(it);
+        }
+        continue;
+      }
+      // Full (kResourceExhausted) or not registered yet (kNotFound):
+      // keep the envelope parked.
+      blocked.insert(parked.dest);
+      retry_.push_back(std::move(parked));
     }
-    // Full (kResourceExhausted) or not registered yet (kNotFound): keep
-    // the envelope parked. A plan-derived endpoint that is absent from
-    // the directory is starting or restarting; its backlog must survive
-    // until it registers, or tuples emitted across the window are lost.
-    blocked.insert(parked.dest);
-    retry_.push_back(std::move(parked));
   }
   retry_depth_->Set(static_cast<int64_t>(retry_.size()));
   MaybeClearBackpressure();

@@ -237,14 +237,23 @@ class StreamManager {
     proto::Envelope env;
   };
   /// The retry queue holds Endpoints, not channel pointers: parked sends
-  /// go back through Transport::TrySend (lock-guarded lookup), so a
-  /// destination torn down on another thread is never dereferenced, and a
-  /// re-registered one receives its backlog on the fresh channel.
+  /// resolve through the transport directory again, so a destination torn
+  /// down on another thread is never dereferenced, and a re-registered
+  /// one receives its backlog on the fresh channel.
   std::deque<Parked> retry_;
-  /// Parked envelopes per destination: while a destination has backlog
-  /// here, new envelopes for it park unconditionally (per-channel FIFO,
-  /// no overtake).
-  std::map<Transport::Endpoint, size_t> parked_per_dest_;
+  /// Per-destination backlog bookkeeping. While `count` is non-zero, new
+  /// envelopes for the destination park unconditionally (per-channel
+  /// FIFO, no overtake). The cached Route lets FlushRetries resolve each
+  /// destination once per pass instead of paying a lock-guarded directory
+  /// lookup per parked envelope; it is valid only while `gen` matches the
+  /// transport's registration generation.
+  struct DestState {
+    size_t count = 0;
+    bool resolved = false;
+    uint64_t gen = 0;
+    Transport::Route route;
+  };
+  std::map<Transport::Endpoint, DestState> parked_per_dest_;
 
   // Backpressure state. The refcount is read by instance loops (other
   // threads); everything else is owned by this SMGR's loop thread.
@@ -266,6 +275,12 @@ class StreamManager {
   metrics::Counter* roots_failed_;
   metrics::Counter* roots_timeout_;
   metrics::Gauge* retry_depth_;
+  /// Forwarding-path payload inspections. The zero-copy invariant: with
+  /// optimizations on, every batch the SMGR forwards (rather than
+  /// ingests) routes on Envelope/frame metadata alone, so this counter
+  /// must read 0. Fallback peeks (unaddressed envelopes) and the ablation
+  /// deserialize-reserialize hop each count one touch.
+  metrics::Counter* payload_touches_;
 
   // Backpressure protocol metrics (§ back pressure).
   metrics::Gauge* backpressure_active_;       ///< 1 while a local episode runs.

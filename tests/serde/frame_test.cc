@@ -1,0 +1,157 @@
+#include "serde/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/random.h"
+
+namespace heron {
+namespace serde {
+namespace {
+
+FrameHeader RandomHeader(Random* rng) {
+  FrameHeader h;
+  h.type = static_cast<uint8_t>(rng->NextBelow(256));
+  h.dest_kind = static_cast<uint8_t>(rng->NextBelow(2));
+  h.payload_len = static_cast<uint32_t>(rng->NextBelow(1 << 20));
+  h.dest = h.dest_kind == 1
+               ? static_cast<int32_t>(rng->NextBelow(1 << 16))
+               : -1;
+  h.trace_id = rng->NextUint64();
+  return h;
+}
+
+TEST(FrameTest, HeaderRoundTripProperty) {
+  Random rng(1234);
+  for (int i = 0; i < 1000; ++i) {
+    const FrameHeader in = RandomHeader(&rng);
+    char wire[kFrameHeaderBytes];
+    EncodeFrameHeader(in, wire);
+    FrameHeader out;
+    ASSERT_TRUE(
+        DecodeFrameHeader(BytesView(wire, kFrameHeaderBytes), &out).ok());
+    EXPECT_EQ(in, out);
+  }
+}
+
+TEST(FrameTest, AppendThenDecodeEqualsEncode) {
+  Random rng(99);
+  for (int i = 0; i < 100; ++i) {
+    const FrameHeader in = RandomHeader(&rng);
+    Buffer appended;
+    AppendFrameHeader(in, &appended);
+    ASSERT_EQ(appended.size(), kFrameHeaderBytes);
+    char direct[kFrameHeaderBytes];
+    EncodeFrameHeader(in, direct);
+    EXPECT_EQ(appended, Buffer(direct, kFrameHeaderBytes));
+  }
+}
+
+TEST(FrameTest, EveryTruncatedPrefixIsRejected) {
+  Random rng(7);
+  const FrameHeader in = RandomHeader(&rng);
+  char wire[kFrameHeaderBytes];
+  EncodeFrameHeader(in, wire);
+  for (size_t len = 0; len < kFrameHeaderBytes; ++len) {
+    FrameHeader out;
+    EXPECT_FALSE(DecodeFrameHeader(BytesView(wire, len), &out).ok())
+        << "prefix of " << len << " bytes must not decode";
+    EXPECT_FALSE(PeekFrameSize(BytesView(wire, len)).ok());
+  }
+}
+
+TEST(FrameTest, BadMagicIsRejected) {
+  Random rng(8);
+  const FrameHeader in = RandomHeader(&rng);
+  char wire[kFrameHeaderBytes];
+  EncodeFrameHeader(in, wire);
+  for (const size_t flip : {size_t{0}, size_t{1}}) {
+    char corrupt[kFrameHeaderBytes];
+    std::memcpy(corrupt, wire, kFrameHeaderBytes);
+    corrupt[flip] = static_cast<char>(corrupt[flip] ^ 0x5A);
+    FrameHeader out;
+    EXPECT_FALSE(
+        DecodeFrameHeader(BytesView(corrupt, kFrameHeaderBytes), &out).ok());
+  }
+}
+
+TEST(FrameTest, OversizePayloadLenIsRejected) {
+  FrameHeader in;
+  in.payload_len = kMaxFramePayloadBytes + 1;
+  char wire[kFrameHeaderBytes];
+  EncodeFrameHeader(in, wire);
+  FrameHeader out;
+  EXPECT_FALSE(
+      DecodeFrameHeader(BytesView(wire, kFrameHeaderBytes), &out).ok());
+  // The cap itself is legal.
+  in.payload_len = kMaxFramePayloadBytes;
+  EncodeFrameHeader(in, wire);
+  EXPECT_TRUE(
+      DecodeFrameHeader(BytesView(wire, kFrameHeaderBytes), &out).ok());
+  EXPECT_EQ(out.payload_len, kMaxFramePayloadBytes);
+}
+
+TEST(FrameTest, PeekFrameSizeEqualsFullDecode) {
+  // Header-only peek must agree with the full decode on every frame — the
+  // property the stream reassembler relies on to split frames without
+  // parsing them.
+  Random rng(4321);
+  for (int i = 0; i < 1000; ++i) {
+    const FrameHeader in = RandomHeader(&rng);
+    Buffer frame;
+    AppendFrameHeader(in, &frame);
+    frame.append(in.payload_len % 64, 'x');  // Partial payload is fine.
+    auto peeked = PeekFrameSize(frame);
+    ASSERT_TRUE(peeked.ok());
+    FrameHeader out;
+    ASSERT_TRUE(DecodeFrameHeader(frame, &out).ok());
+    EXPECT_EQ(*peeked, kFrameHeaderBytes + out.payload_len);
+  }
+}
+
+TEST(FrameTest, FuzzRandomBytesNeverCrashAndRarelyDecode) {
+  // 20 random bytes must either decode cleanly or fail cleanly — never
+  // report a size beyond the cap the reassembler would trust.
+  Random rng(0xF00D);
+  for (int i = 0; i < 5000; ++i) {
+    char junk[kFrameHeaderBytes];
+    for (char& c : junk) c = static_cast<char>(rng.NextBelow(256));
+    FrameHeader out;
+    if (DecodeFrameHeader(BytesView(junk, kFrameHeaderBytes), &out).ok()) {
+      EXPECT_LE(out.payload_len, kMaxFramePayloadBytes);
+      auto peeked = PeekFrameSize(BytesView(junk, kFrameHeaderBytes));
+      ASSERT_TRUE(peeked.ok());
+      EXPECT_EQ(*peeked, kFrameHeaderBytes + out.payload_len);
+    }
+  }
+}
+
+TEST(FrameTest, MaxSizePayloadFrameRoundTrip) {
+  // A full frame at a large (but allocatable) payload size survives the
+  // append + peek + decode path byte-exactly.
+  FrameHeader in;
+  in.type = 5;
+  in.dest_kind = 1;
+  in.dest = 12345;
+  in.trace_id = 0xDEADBEEFCAFEF00DULL;
+  Buffer payload(1u << 20, '\x7F');
+  in.payload_len = static_cast<uint32_t>(payload.size());
+
+  Buffer frame;
+  AppendFrameHeader(in, &frame);
+  frame.append(payload);
+
+  auto peeked = PeekFrameSize(frame);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(*peeked, frame.size());
+  FrameHeader out;
+  ASSERT_TRUE(DecodeFrameHeader(frame, &out).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(BytesView(frame).substr(kFrameHeaderBytes), BytesView(payload));
+}
+
+}  // namespace
+}  // namespace serde
+}  // namespace heron
