@@ -1,0 +1,228 @@
+// Recovery work vs checkpoint interval: the whole argument for snapshot
+// checkpoints, measured on the real components.
+//
+// A step-mode WordCount universe runs in exactly-once mode with periodic
+// aligned checkpoints; at a scripted sim-time the bolt container is
+// hard-killed and the cluster rolls back to the latest globally-complete
+// checkpoint. The recovery work is the spout suffix the restore must
+// re-emit: (words emitted at the kill) - (emission cursor inside the
+// restored snapshot). Two panels:
+//
+//  1. Interval sweep, fixed kill time — snapshot-based recovery work is
+//     bounded by (rate x interval): shrink the interval, shrink the
+//     re-emission, independent of how long the topology ran.
+//  2. Uptime sweep, fixed interval — replay-based recovery (no
+//     snapshots: rebuild state by replaying the full history) re-emits
+//     everything since t=0 and grows linearly with uptime, while the
+//     snapshot-based suffix stays flat.
+//
+// Each measured row sits next to the analytic model of
+// sim/cost_model.h (SnapshotRecoveryWork / ReplayRecoveryWork) so the
+// shapes can be eyeballed; the universes replay deterministically on a
+// SimClock (same two-universe step harness the recovery tests use).
+//
+// `--smoke` (or HERON_BENCH_FAST=1) trims the sweeps for CI.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/figures/fig_util.h"
+#include "common/logging.h"
+#include "runtime/local_cluster.h"
+#include "serde/wire.h"
+#include "sim/cost_model.h"
+#include "statemgr/state_manager.h"
+#include "workloads/word_count.h"
+
+using namespace heron;
+
+namespace {
+
+/// What one kill-and-restore universe measured.
+struct RecoveryRun {
+  bool ok = false;
+  uint64_t emitted_at_kill = 0;    ///< Replay-based recovery re-emits all.
+  uint64_t snapshot_cursor = 0;    ///< Spout emission count in the snapshot.
+  uint64_t restored_ckpt = 0;
+  uint64_t checkpoints_completed = 0;
+  double rate_per_sec = 0;         ///< Emission rate up to the kill.
+  /// The suffix a snapshot restore re-emits.
+  uint64_t snapshot_work() const {
+    return emitted_at_kill - snapshot_cursor;
+  }
+};
+
+/// Reads the spout's emission cursor (field 2 of the WordSpout snapshot)
+/// out of the restored checkpoint's task-0 node.
+uint64_t ParseSpoutCursor(const serde::Buffer& snapshot) {
+  serde::WireDecoder dec(snapshot);
+  while (!dec.AtEnd()) {
+    auto tag = dec.ReadTag();
+    if (!tag.ok() || *tag == 0) break;
+    if (serde::TagFieldNumber(*tag) == 2) {
+      auto v = dec.ReadUint64();
+      return v.ok() ? *v : 0;
+    }
+    if (!dec.SkipField(serde::TagWireType(*tag)).ok()) break;
+  }
+  return 0;
+}
+
+RecoveryRun RunUniverse(int64_t interval_ms, double kill_at_sec) {
+  RecoveryRun out;
+  const std::string name = "ckpt-interval";
+  SimClock clock(0);
+
+  Config config;
+  config.SetInt(config_keys::kNumContainersHint, 2);
+  config.SetBool(config_keys::kClusterStepMode, true);
+  config.SetInt(config_keys::kSchedulerMonitorIntervalMs, 100);
+  config.SetInt(config_keys::kSchedulerMonitorMissLimit, 3);
+  config.SetInt(config_keys::kMetricsCollectIntervalMs, 50);
+  config.SetBool(config_keys::kAckingEnabled, true);
+  config.SetInt(config_keys::kMessageTimeoutMs, 600000);
+  config.SetInt(config_keys::kMaxSpoutPending, 16);
+  config.Set(config_keys::kCheckpointMode, "exactly-once");
+  config.SetInt(config_keys::kCheckpointIntervalMs, interval_ms);
+  runtime::LocalCluster cluster(config, &clock);
+
+  workloads::WordSpout::Options spout_options;
+  spout_options.dictionary_size = 1000;
+  spout_options.words_per_call = 2;
+  auto topology =
+      workloads::BuildWordCountTopology(name, /*spouts=*/1, /*bolts=*/1,
+                                        spout_options, config);
+  if (!topology.ok() || !cluster.Submit(*topology).ok()) return out;
+  auto* coordinator = cluster.checkpoint_coordinator();
+  if (coordinator == nullptr) return out;
+
+  // Run to the scripted kill time; the coordinator's periodic triggers
+  // and completion polls ride the monitor tick.
+  const int64_t kill_nanos = static_cast<int64_t>(kill_at_sec * 1e9);
+  while (clock.NowNanos() < kill_nanos) {
+    cluster.StepAll();
+    clock.AdvanceMillis(5);
+    cluster.StepAll();
+    cluster.MonitorTick();
+  }
+  out.emitted_at_kill = cluster.SumCounter("instance.emitted");
+  out.checkpoints_completed = coordinator->completed();
+  out.rate_per_sec = static_cast<double>(out.emitted_at_kill) / kill_at_sec;
+
+  // The kill, then heartbeat-silence detection → global rollback.
+  if (!cluster.FailContainer(1).ok()) return out;
+  int detect_ticks = 0;
+  while (cluster.recovery_metrics()
+                 ->GetCounter("recovery.checkpoint.restores")
+                 ->value() == 0 &&
+         detect_ticks < 30) {
+    ++detect_ticks;
+    clock.AdvanceMillis(50);
+    cluster.StepAll();
+    cluster.MonitorTick();
+  }
+  out.restored_ckpt = coordinator->latest_complete();
+  if (out.restored_ckpt != 0) {
+    const auto snapshot = cluster.state_manager()->GetNodeData(
+        statemgr::paths::CheckpointTask(name, out.restored_ckpt, /*task=*/0));
+    if (snapshot.ok()) out.snapshot_cursor = ParseSpoutCursor(*snapshot);
+  }
+  out.ok = cluster.Kill().ok() && out.emitted_at_kill > 0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
+  Logging::SetLevel(LogLevel::kError);
+
+  bench::PrintFigureHeader(
+      "Recovery work vs checkpoint interval (exactly-once rollback)",
+      "Snapshot restore re-emits at most one checkpoint interval of "
+      "history; replay-from-scratch grows with uptime");
+
+  // Off the cadence grid so the analytic model's (kill mod interval)
+  // column is non-degenerate.
+  const double kill_at_sec = bench::FastMode() ? 1.05 : 2.05;
+
+  std::printf("\n-- panel 1: interval sweep, kill at %.1fs --\n", kill_at_sec);
+  bench::PrintColumns({"interval_ms", "ckpts_done", "rate_w/s", "snap_work",
+                       "model_snap", "replay_work", "bound_r*i"});
+  const std::vector<int64_t> intervals =
+      bench::FastMode() ? std::vector<int64_t>{100, 400}
+                        : std::vector<int64_t>{100, 200, 400, 800};
+  double max_bound_ratio = 0;
+  for (const int64_t interval_ms : intervals) {
+    const RecoveryRun r = RunUniverse(interval_ms, kill_at_sec);
+    const double interval_sec = static_cast<double>(interval_ms) / 1000.0;
+    const double model_snap =
+        sim::SnapshotRecoveryWork(r.rate_per_sec, interval_sec, kill_at_sec);
+    const double bound = r.rate_per_sec * interval_sec;
+    bench::PrintCellInt(interval_ms);
+    bench::PrintCellInt(static_cast<int64_t>(r.checkpoints_completed));
+    bench::PrintCell(r.rate_per_sec);
+    bench::PrintCellInt(static_cast<int64_t>(r.snapshot_work()));
+    bench::PrintCell(model_snap);
+    bench::PrintCellInt(static_cast<int64_t>(r.emitted_at_kill));
+    bench::PrintCell(bound);
+    bench::EndRow();
+    if (!r.ok) std::printf("  (universe did not recover!)\n");
+    // The bound has slack for completion lag: a checkpoint cut at the
+    // cadence still needs a barrier round-trip before it is restorable,
+    // so the restored snapshot can be up to ~2 intervals stale.
+    if (bound > 0) {
+      const double ratio = static_cast<double>(r.snapshot_work()) / bound;
+      if (ratio > max_bound_ratio) max_bound_ratio = ratio;
+    }
+  }
+  bench::PrintVerdict("snapshot work / (rate x interval) stays bounded",
+                      max_bound_ratio, 0.0, 3.0);
+
+  std::printf("\n-- panel 2: uptime sweep, interval fixed at 200ms --\n");
+  bench::PrintColumns({"kill_at_s", "snap_work", "replay_work",
+                       "model_replay", "replay/snap"});
+  const std::vector<double> uptimes =
+      bench::FastMode() ? std::vector<double>{0.5, 1.0}
+                        : std::vector<double>{0.5, 1.0, 2.0, 4.0};
+  double first_replay = 0, last_replay = 0;
+  double worst_snap_over_bound = 0;
+  for (const double uptime : uptimes) {
+    const RecoveryRun r = RunUniverse(/*interval_ms=*/200, uptime);
+    const double model_replay =
+        sim::ReplayRecoveryWork(r.rate_per_sec, uptime);
+    const double snap = static_cast<double>(r.snapshot_work());
+    const double replay = static_cast<double>(r.emitted_at_kill);
+    bench::PrintCell(uptime);
+    bench::PrintCellInt(static_cast<int64_t>(snap));
+    bench::PrintCellInt(static_cast<int64_t>(replay));
+    bench::PrintCell(model_replay);
+    bench::PrintCell(snap > 0 ? replay / snap : 0.0);
+    bench::EndRow();
+    if (!r.ok) std::printf("  (universe did not recover!)\n");
+    const double bound = r.rate_per_sec * 0.2;
+    if (bound > 0 && snap / bound > worst_snap_over_bound) {
+      worst_snap_over_bound = snap / bound;
+    }
+    if (first_replay == 0) first_replay = replay;
+    last_replay = replay;
+  }
+  // Replay work scales with uptime (last/first tracks the uptime ratio);
+  // snapshot work stays under the interval bound at *every* uptime — it
+  // wobbles with the kill's phase in the cadence but never grows with
+  // history.
+  const double uptime_ratio = uptimes.back() / uptimes.front();
+  bench::PrintVerdict(
+      "replay-work growth / uptime growth (linear => ~1)",
+      first_replay > 0 ? (last_replay / first_replay) / uptime_ratio : 0.0,
+      0.5, 1.5);
+  bench::PrintVerdict(
+      "max snapshot work / (rate x interval) over the sweep",
+      worst_snap_over_bound, 0.0, 2.0);
+  std::printf(
+      "\n  shape: the replay column grows linearly with uptime while the "
+      "snapshot\n  column stays pinned near rate x interval — the restored "
+      "suffix is bounded\n  by the checkpoint cadence, not by history.\n");
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/tuple.h"
@@ -53,6 +54,28 @@ class IBolt {
   virtual void Execute(const Tuple& input) = 0;
 
   virtual void Cleanup() {}
+};
+
+/// \brief A bolt whose state participates in checkpointing (exactly-once
+/// delivery, ROADMAP item 2).
+///
+/// The executor treats the bolt as a deterministic state machine: when the
+/// barriers of checkpoint N have arrived on every input channel (barrier
+/// alignment), SnapshotState captures the state reflecting exactly the
+/// tuples before those barriers; after a failure, RestoreState receives
+/// the bytes of the latest globally-complete checkpoint before any
+/// post-restore Execute. Serialization must be deterministic — two
+/// instances that executed the same tuple sequence must produce identical
+/// bytes (sort any unordered containers), since recovery tests compare
+/// snapshots across universes byte for byte.
+class IStatefulBolt : public IBolt {
+ public:
+  /// Appends this bolt's state to `out` (deterministic encoding).
+  virtual void SnapshotState(std::string* out) = 0;
+
+  /// Replaces this bolt's state with a previously snapshotted `state`.
+  /// Called after Prepare and before any Execute.
+  virtual void RestoreState(std::string_view state) = 0;
 };
 
 /// Factory the topology carries; one bolt object per Heron Instance.

@@ -1,25 +1,29 @@
 #ifndef HERON_API_CONTEXT_H_
 #define HERON_API_CONTEXT_H_
 
+#include <memory>
 #include <string>
 
 #include "common/ids.h"
+#include "metrics/metrics.h"
 
 namespace heron {
 namespace api {
 
 /// \brief What user code may know about where it is running: its task
-/// identity within the topology. Handed to ISpout::Open / IBolt::Prepare
-/// by the executor.
+/// identity within the topology, plus a metrics surface. Handed to
+/// ISpout::Open / IBolt::Prepare by the executor.
 class TopologyContext {
  public:
   TopologyContext(std::string topology_name, ComponentId component,
-                  TaskId task_id, int component_index, int parallelism)
+                  TaskId task_id, int component_index, int parallelism,
+                  metrics::MetricsRegistry* registry = nullptr)
       : topology_name_(std::move(topology_name)),
         component_(std::move(component)),
         task_id_(task_id),
         component_index_(component_index),
-        parallelism_(parallelism) {}
+        parallelism_(parallelism),
+        registry_(registry) {}
 
   const std::string& topology_name() const { return topology_name_; }
   /// The logical component this instance executes.
@@ -32,12 +36,28 @@ class TopologyContext {
   /// Current parallelism of the component.
   int parallelism() const { return parallelism_; }
 
+  /// User-code metric registration, namespaced under the instance's
+  /// registry (e.g. WordSpout's `replay.dropped`). Always non-null: when
+  /// the executor injects no registry (unit-test contexts) a private one
+  /// backs the counters so user code never has to null-check.
+  metrics::MetricsRegistry* metrics() {
+    if (registry_ == nullptr) {
+      if (own_registry_ == nullptr) {
+        own_registry_ = std::make_unique<metrics::MetricsRegistry>();
+      }
+      registry_ = own_registry_.get();
+    }
+    return registry_;
+  }
+
  private:
   std::string topology_name_;
   ComponentId component_;
   TaskId task_id_;
   int component_index_;
   int parallelism_;
+  metrics::MetricsRegistry* registry_;
+  std::unique_ptr<metrics::MetricsRegistry> own_registry_;
 };
 
 }  // namespace api

@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "api/tuple.h"
 #include "common/config.h"
@@ -60,6 +61,25 @@ class ISpout {
   virtual void Fail(int64_t message_id) {}
 
   virtual void Close() {}
+};
+
+/// \brief A spout whose emission cursor participates in checkpointing.
+///
+/// SnapshotState must capture everything needed to deterministically
+/// re-emit the post-checkpoint suffix of the stream — generator state,
+/// emission count, next message id — and nothing volatile (ack counters),
+/// so that the same logical position always snapshots to the same bytes.
+/// After a failure, RestoreState rewinds the spout to the checkpoint's
+/// offset and NextTuple replays only from there (bounded recovery work,
+/// vs. replaying entire tuple trees from history).
+class IStatefulSpout : public ISpout {
+ public:
+  /// Appends the replay cursor to `out` (deterministic encoding).
+  virtual void SnapshotState(std::string* out) = 0;
+
+  /// Rewinds to a previously snapshotted cursor. Called after Open and
+  /// before any NextTuple.
+  virtual void RestoreState(std::string_view state) = 0;
 };
 
 /// Factory the topology carries; each Heron Instance constructs its own

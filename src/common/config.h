@@ -112,6 +112,21 @@ inline constexpr char kChaosSeed[] = "heron.chaos.seed";
 inline constexpr char kStateManagerKind[] = "heron.statemgr.kind";
 inline constexpr char kStateManagerRoot[] = "heron.statemgr.root.path";
 
+// Checkpointing (aligned barriers + snapshot restore).
+/// Cadence at which the TMaster-side coordinator injects a checkpoint
+/// barrier into every spout. 0 (default) disables checkpointing.
+inline constexpr char kCheckpointIntervalMs[] = "heron.checkpoint.interval.ms";
+/// Delivery semantics on container failure: "at-least-once" (default,
+/// PR 4 ack-XOR replay) or "exactly-once" (restore every task from the
+/// latest globally-complete checkpoint and replay from the snapshotted
+/// spout offsets).
+inline constexpr char kCheckpointMode[] = "heron.checkpoint.mode";
+/// Cap on the WordSpout replay-tracking maps (`inflight_` and the replay
+/// queue); beyond it new emissions are not tracked for replay and
+/// `replay.dropped` counts the loss.
+inline constexpr char kSpoutReplayTrackLimit[] =
+    "heron.spout.replay.track.limit";
+
 // Stream manager.
 inline constexpr char kCacheDrainFrequencyMs[] =
     "heron.streammgr.cache.drain.frequency.ms";

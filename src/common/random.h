@@ -38,6 +38,12 @@ class Random {
   /// Bernoulli draw with probability p.
   bool NextBool(double p = 0.5) { return NextDouble() < p; }
 
+  /// The full generator state, for checkpoint snapshots: restoring it with
+  /// set_state replays the exact tail of the sequence (splitmix64 keeps
+  /// all of its state in one word).
+  uint64_t state() const { return state_; }
+  void set_state(uint64_t state) { state_ = state; }
+
  private:
   uint64_t state_;
 };

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "serde/wire.h"
 
 namespace heron {
 namespace instance {
@@ -141,6 +142,11 @@ HeronInstance::HeronInstance(const Options& options,
   executed_ = metrics_.GetCounter("instance.executed");
   acked_ = metrics_.GetCounter("instance.acked");
   failed_ = metrics_.GetCounter("instance.failed");
+  checkpoints_ = metrics_.GetCounter("instance.checkpoints");
+  checkpoint_aborts_ = metrics_.GetCounter("instance.checkpoint.aborts");
+  restores_ = metrics_.GetCounter("instance.restores");
+  aligned_buffered_ = metrics_.GetCounter("instance.aligned.buffered");
+  stale_root_events_ = metrics_.GetCounter("instance.rootevent.stale");
   complete_latency_ = metrics_.GetHistogram("instance.complete.latency.ns");
 }
 
@@ -172,16 +178,26 @@ Status HeronInstance::Prepare() {
   context_ = std::make_unique<api::TopologyContext>(
       plan_->topology().name(), component_, options_.task,
       inst->component_index,
-      static_cast<int>(plan_->TasksOfComponent(component_).size()));
+      static_cast<int>(plan_->TasksOfComponent(component_).size()),
+      &metrics_);
   outbox_ = std::make_unique<Outbox>(options_.task, component_, container_,
                                      transport_, options_.emit_batch_tuples);
 
   if (is_spout_) {
     spout_ = def->spout_factory();
+    stateful_spout_ = dynamic_cast<api::IStatefulSpout*>(spout_.get());
     spout_collector_ = std::make_unique<SpoutCollector>(this);
   } else {
     bolt_ = def->bolt_factory();
+    stateful_bolt_ = dynamic_cast<api::IStatefulBolt*>(bolt_.get());
     bolt_collector_ = std::make_unique<BoltCollector>(this);
+    // Barrier alignment needs the full producer set: one barrier per
+    // upstream task must arrive before this task's snapshot is cut.
+    for (const auto& input : def->inputs) {
+      for (const TaskId t : plan_->TasksOfComponent(input.source)) {
+        upstream_tasks_.insert(t);
+      }
+    }
   }
 
   HERON_RETURN_NOT_OK(transport_->RegisterInstance(options_.task, &inbound_));
@@ -195,6 +211,7 @@ Status HeronInstance::Prepare() {
   if (is_spout_) {
     loop_.OnStartup([this] {
       spout_->Open(options_.config, context_.get(), spout_collector_.get());
+      MaybeRestore();
     });
     // The idle worker carries a throttle predicate: while any backpressure
     // initiator (local SMGR or a remote peer via kStartBackpressure) holds
@@ -209,6 +226,7 @@ Status HeronInstance::Prepare() {
   } else {
     loop_.OnStartup([this] {
       bolt_->Prepare(options_.config, context_.get(), bolt_collector_.get());
+      MaybeRestore();
     });
   }
   loop_.AddChannel<proto::Envelope>(
@@ -254,7 +272,12 @@ void HeronInstance::HandleRootEvent(const serde::Buffer& payload) {
   proto::RootEventMsg msg;
   if (!msg.ParseFromBytes(payload).ok()) return;
   const auto it = pending_roots_.find(msg.root);
-  if (it == pending_roots_.end()) return;  // Stale (e.g. double timeout).
+  if (it == pending_roots_.end()) {
+    // Stale: double timeout, or an ack from a pre-restore epoch reaching
+    // the restarted incarnation (whose pending set was rebuilt fresh).
+    stale_root_events_->Increment();
+    return;
+  }
   const PendingRoot pending = it->second;
   pending_roots_.erase(it);
   pending_count_.fetch_sub(1, std::memory_order_relaxed);
@@ -284,11 +307,20 @@ void HeronInstance::HandleEnvelope(proto::Envelope env) {
     if (env.type == proto::MessageType::kRootEvent) {
       HandleRootEvent(env.payload);
       transport_->buffer_pool()->Release(std::move(env.payload));
+    } else if (env.type == proto::MessageType::kCheckpointBarrier) {
+      HandleBarrier(env.payload);
+      transport_->buffer_pool()->Release(std::move(env.payload));
     }
     return;
   }
   if (env.type == proto::MessageType::kTupleBatchRouted) {
-    ProcessRoutedBatch(env.payload);
+    // false = alignment moved the payload into aligned_buffer_; it will
+    // be recycled when the buffered batch eventually executes.
+    if (ProcessRoutedBatch(env.payload)) {
+      transport_->buffer_pool()->Release(std::move(env.payload));
+    }
+  } else if (env.type == proto::MessageType::kCheckpointBarrier) {
+    HandleBarrier(env.payload);
     transport_->buffer_pool()->Release(std::move(env.payload));
   }
   outbox_->Flush();
@@ -317,11 +349,19 @@ bool HeronInstance::SpoutStep() {
   return emitted_->value() != before;
 }
 
-void HeronInstance::ProcessRoutedBatch(const serde::Buffer& payload) {
+bool HeronInstance::ProcessRoutedBatch(serde::Buffer& payload) {
   proto::TupleBatchMsg batch;
   if (!batch.ParseFromBytes(payload).ok()) {
     HLOG(ERROR) << "task " << options_.task << " dropping malformed batch";
-    return;
+    return true;
+  }
+  if (aligning_ckpt_ != 0 && barriered_.count(batch.src_task) > 0) {
+    // This channel already delivered its barrier for the in-flight
+    // checkpoint: the batch is post-barrier data and must not leak into
+    // the snapshot. Park the raw payload until alignment completes.
+    aligned_buffer_.push_back(std::move(payload));
+    aligned_buffered_->Increment();
+    return false;
   }
   api::Tuple tuple;
   proto::TupleDataMsg msg;
@@ -346,6 +386,135 @@ void HeronInstance::ProcessRoutedBatch(const serde::Buffer& payload) {
                                       options_.task, clock_->NowNanos());
     }
   }
+  return true;
+}
+
+void HeronInstance::HandleBarrier(const serde::Buffer& payload) {
+  if (options_.checkpoint_state == nullptr) return;
+  proto::CheckpointBarrierMsg msg;
+  if (!msg.ParseFromBytes(payload).ok()) return;
+  if (is_spout_) {
+    // Coordinator trigger: snapshot the replay cursor now, then inject
+    // the barrier behind everything emitted so far.
+    if (msg.kind != proto::CheckpointBarrierMsg::kTrigger) return;
+    if (msg.ckpt_id <= last_ckpt_done_) return;  // Duplicate trigger.
+    TakeCheckpoint(msg.ckpt_id);
+    ForwardBarrier(msg.ckpt_id);
+    last_ckpt_done_ = msg.ckpt_id;
+    return;
+  }
+  if (msg.kind == proto::CheckpointBarrierMsg::kAbort) {
+    if (aligning_ckpt_ != 0) AbortAlignment();
+    return;
+  }
+  if (msg.kind != proto::CheckpointBarrierMsg::kBarrier) return;
+  if (msg.ckpt_id <= last_ckpt_done_) return;  // Stale barrier.
+  if (aligning_ckpt_ != 0 && msg.ckpt_id > aligning_ckpt_) {
+    // A newer checkpoint's barrier overtook an incomplete alignment —
+    // some producer of the older one died or aborted, so that checkpoint
+    // can never complete here. Abandon it instead of wedging; its
+    // buffered batches execute (at-least-once data is still valid).
+    AbortAlignment();
+  }
+  if (aligning_ckpt_ == 0) {
+    aligning_ckpt_ = msg.ckpt_id;
+    barriered_.clear();
+  }
+  if (msg.ckpt_id != aligning_ckpt_) return;  // Older than in-flight; drop.
+  if (upstream_tasks_.count(msg.origin_task) > 0) {
+    barriered_.insert(msg.origin_task);
+  }
+  if (barriered_.size() < upstream_tasks_.size()) return;
+  // Aligned: every input channel's pre-barrier prefix has executed and
+  // nothing after any barrier has. Cut the snapshot, pass the barrier
+  // downstream, then release the post-barrier backlog.
+  const uint64_t ckpt = aligning_ckpt_;
+  TakeCheckpoint(ckpt);
+  ForwardBarrier(ckpt);
+  last_ckpt_done_ = ckpt;
+  aligning_ckpt_ = 0;
+  barriered_.clear();
+  std::vector<serde::Buffer> buffered;
+  buffered.swap(aligned_buffer_);
+  for (serde::Buffer& buf : buffered) {
+    if (ProcessRoutedBatch(buf)) {
+      transport_->buffer_pool()->Release(std::move(buf));
+    }
+  }
+}
+
+void HeronInstance::TakeCheckpoint(uint64_t ckpt_id) {
+  // FIFO on the instance → SMGR channel makes the boundary exact: every
+  // pre-snapshot emission ships before the barrier fan-out request.
+  outbox_->Flush();
+  std::string snapshot;
+  if (stateful_spout_ != nullptr) stateful_spout_->SnapshotState(&snapshot);
+  if (stateful_bolt_ != nullptr) stateful_bolt_->SnapshotState(&snapshot);
+  // Stateless tasks write an empty marker: global completion is "every
+  // task reported", uniform across stateful and stateless components.
+  const Status st = statemgr::EnsurePath(
+      options_.checkpoint_state,
+      statemgr::paths::CheckpointTask(plan_->topology().name(), ckpt_id,
+                                      options_.task),
+      snapshot);
+  if (!st.ok()) {
+    HLOG(WARNING) << "task " << options_.task << " checkpoint " << ckpt_id
+                  << " snapshot write failed: " << st.message();
+    return;
+  }
+  checkpoints_->Increment();
+}
+
+void HeronInstance::ForwardBarrier(uint64_t ckpt_id) {
+  smgr::EnvelopeChannel* channel = transport_->SmgrChannel(container_);
+  if (channel == nullptr) return;
+  proto::CheckpointBarrierMsg msg;
+  msg.ckpt_id = ckpt_id;
+  msg.origin_task = options_.task;
+  msg.kind = proto::CheckpointBarrierMsg::kBarrier;
+  serde::Buffer payload = transport_->buffer_pool()->Acquire();
+  serde::WireEncoder enc(&payload);
+  msg.SerializeTo(&enc);
+  proto::Envelope env(proto::MessageType::kCheckpointBarrier,
+                      std::move(payload));
+  // dest_task -1 = fan-out request: the local SMGR flushes its tuple
+  // cache (pre-barrier data first) and barriers every consumer channel.
+  env.dest_task = -1;
+  channel->Send(std::move(env)).ok();
+}
+
+void HeronInstance::AbortAlignment() {
+  checkpoint_aborts_->Increment();
+  aligning_ckpt_ = 0;
+  barriered_.clear();
+  std::vector<serde::Buffer> buffered;
+  buffered.swap(aligned_buffer_);
+  for (serde::Buffer& buf : buffered) {
+    if (ProcessRoutedBatch(buf)) {
+      transport_->buffer_pool()->Release(std::move(buf));
+    }
+  }
+}
+
+void HeronInstance::MaybeRestore() {
+  if (options_.checkpoint_state == nullptr ||
+      options_.restore_checkpoint == 0) {
+    return;
+  }
+  const auto data = options_.checkpoint_state->GetNodeData(
+      statemgr::paths::CheckpointTask(plan_->topology().name(),
+                                      options_.restore_checkpoint,
+                                      options_.task));
+  if (!data.ok()) {
+    HLOG(WARNING) << "task " << options_.task << " has no snapshot in "
+                  << "checkpoint " << options_.restore_checkpoint;
+    return;
+  }
+  if (stateful_spout_ != nullptr) stateful_spout_->RestoreState(*data);
+  if (stateful_bolt_ != nullptr) stateful_bolt_->RestoreState(*data);
+  // Barriers of checkpoints at or below the restored id are stale.
+  last_ckpt_done_ = options_.restore_checkpoint;
+  restores_->Increment();
 }
 
 }  // namespace instance

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <set>
+#include <vector>
 
 #include "api/bolt.h"
 #include "api/context.h"
@@ -17,6 +19,7 @@
 #include "runtime/event_loop.h"
 #include "smgr/stream_manager.h"
 #include "smgr/transport.h"
+#include "statemgr/state_manager.h"
 
 namespace heron {
 namespace instance {
@@ -55,6 +58,16 @@ class HeronInstance {
     /// The container's span sink; nullptr disables recording entirely
     /// (the hot path never even peeks trace ids then).
     observability::SpanCollector* span_collector = nullptr;
+    /// Snapshot target for checkpoint barriers; nullptr disables the
+    /// checkpoint path entirely (barrier envelopes are then dropped).
+    statemgr::IStateManager* checkpoint_state = nullptr;
+    /// When nonzero, restore this checkpoint's snapshot for our task from
+    /// `checkpoint_state` right after user Open/Prepare (recovery).
+    uint64_t restore_checkpoint = 0;
+    /// Incarnation counter bumped on every cluster-wide restore; acks
+    /// from a previous epoch that still reach us are counted as stale
+    /// (`instance.rootevent.stale`) instead of completing fresh roots.
+    int64_t checkpoint_epoch = 0;
   };
 
   /// \param local_smgr  the container's SMGR, for the back-pressure flag
@@ -105,7 +118,29 @@ class HeronInstance {
   /// Inbound envelope dispatch (root events for spouts, batches for bolts).
   void HandleEnvelope(proto::Envelope env);
   void HandleRootEvent(const serde::Buffer& payload);
-  void ProcessRoutedBatch(const serde::Buffer& payload);
+  /// Executes a routed batch — unless barrier alignment is buffering its
+  /// channel, in which case the payload is moved into `aligned_buffer_`
+  /// and false is returned (the caller must not recycle it).
+  bool ProcessRoutedBatch(serde::Buffer& payload);
+
+  // -- Checkpointing (aligned barriers; ROADMAP item 2) --------------------
+
+  /// Dispatches a CheckpointBarrierMsg: trigger (spouts), in-stream
+  /// barrier (bolt alignment) or abort.
+  void HandleBarrier(const serde::Buffer& payload);
+  /// Flushes the outbox (pre-barrier tuples first), snapshots user state
+  /// (empty marker for stateless tasks — completion counts every task)
+  /// into the state tree, and forwards the barrier to the local SMGR.
+  void TakeCheckpoint(uint64_t ckpt_id);
+  /// Sends the fan-out barrier request (origin = this task) to the local
+  /// SMGR, behind everything the outbox already shipped.
+  void ForwardBarrier(uint64_t ckpt_id);
+  /// Drops alignment state and executes any buffered post-barrier batches
+  /// (the data is still at-least-once valid; only the snapshot dies).
+  void AbortAlignment();
+  /// Restores this task's snapshot of `options_.restore_checkpoint` (runs
+  /// as a startup hook, after user Open/Prepare).
+  void MaybeRestore();
 
   Options options_;
   std::shared_ptr<const proto::PhysicalPlan> plan_;
@@ -122,6 +157,10 @@ class HeronInstance {
   std::unique_ptr<api::TopologyContext> context_;
   std::unique_ptr<api::ISpout> spout_;
   std::unique_ptr<api::IBolt> bolt_;
+  /// Non-owning stateful views of spout_/bolt_ (null when the user object
+  /// does not implement the stateful surface).
+  api::IStatefulSpout* stateful_spout_ = nullptr;
+  api::IStatefulBolt* stateful_bolt_ = nullptr;
   std::unique_ptr<SpoutCollector> spout_collector_;
   std::unique_ptr<BoltCollector> bolt_collector_;
   Random rng_;
@@ -139,6 +178,16 @@ class HeronInstance {
   /// Spout emission sequence for deterministic 1-in-N trace sampling.
   uint64_t emit_seq_ = 0;
 
+  // Barrier alignment (bolts). A checkpoint is "in alignment" from the
+  // first input channel's barrier until every upstream task's barrier has
+  // arrived; batches from already-barriered channels are buffered so the
+  // snapshot reflects exactly the pre-barrier prefix of every channel.
+  std::set<TaskId> upstream_tasks_;   ///< All producer tasks feeding us.
+  uint64_t aligning_ckpt_ = 0;        ///< 0 = no alignment in progress.
+  uint64_t last_ckpt_done_ = 0;       ///< Completed or aborted; staleness.
+  std::set<TaskId> barriered_;        ///< Channels whose barrier arrived.
+  std::vector<serde::Buffer> aligned_buffer_;  ///< Post-barrier batches.
+
   runtime::EventLoop loop_;
   std::atomic<bool> running_{false};
   bool registered_ = false;
@@ -149,6 +198,11 @@ class HeronInstance {
   metrics::Counter* executed_;
   metrics::Counter* acked_;
   metrics::Counter* failed_;
+  metrics::Counter* checkpoints_;
+  metrics::Counter* checkpoint_aborts_;
+  metrics::Counter* restores_;
+  metrics::Counter* aligned_buffered_;
+  metrics::Counter* stale_root_events_;
   metrics::Histogram* complete_latency_;
 };
 

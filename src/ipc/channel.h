@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 
@@ -142,6 +143,13 @@ class Channel {
     wakeup_ = wakeup;
   }
 
+  /// Expires when this channel is destroyed. A party holding a deferred
+  /// reference to the channel (the EventLoop's teardown unbind) locks the
+  /// token first, so channel-before-loop destruction is safe: touching a
+  /// destroyed channel's mutex is undefined behavior (it wedged the UBSan
+  /// lane in a futex wait on the dead lock's stack bytes).
+  std::weak_ptr<void> alive_token() const { return alive_; }
+
   bool closed() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return closed_;
@@ -178,6 +186,9 @@ class Channel {
   bool closed_ = false;
   uint64_t total_enqueued_ = 0;
   Wakeup* wakeup_ = nullptr;  ///< Reactor notification hook; see BindWakeup.
+  /// Declared last so it is destroyed first: alive_token() observers see
+  /// expiry before any other member (the mutex above all) is torn down.
+  std::shared_ptr<void> alive_ = std::make_shared<int>(0);
 };
 
 }  // namespace ipc

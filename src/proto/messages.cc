@@ -31,6 +31,10 @@ constexpr uint32_t kReFail = 2;
 // BackpressureMsg fields.
 constexpr uint32_t kBpInitiator = 1;
 constexpr uint32_t kBpRetryDepth = 2;
+// CheckpointBarrierMsg fields.
+constexpr uint32_t kCbCkptId = 1;
+constexpr uint32_t kCbOriginTask = 2;
+constexpr uint32_t kCbKind = 3;
 // TMasterLocationMsg fields.
 constexpr uint32_t kTmTopology = 1;
 constexpr uint32_t kTmHost = 2;
@@ -327,6 +331,43 @@ Status BackpressureMsg::ParseFrom(serde::WireDecoder* dec) {
 void BackpressureMsg::Clear() {
   initiator = -1;
   retry_depth = 0;
+}
+
+void CheckpointBarrierMsg::SerializeTo(serde::WireEncoder* enc) const {
+  enc->WriteUint64Field(kCbCkptId, ckpt_id);
+  enc->WriteInt32Field(kCbOriginTask, origin_task);
+  enc->WriteUint64Field(kCbKind, kind);
+}
+
+Status CheckpointBarrierMsg::ParseFrom(serde::WireDecoder* dec) {
+  while (!dec->AtEnd()) {
+    HERON_ASSIGN_OR_RETURN(uint32_t tag, dec->ReadTag());
+    if (tag == 0) break;
+    switch (serde::TagFieldNumber(tag)) {
+      case kCbCkptId: {
+        HERON_ASSIGN_OR_RETURN(ckpt_id, dec->ReadUint64());
+        break;
+      }
+      case kCbOriginTask: {
+        HERON_ASSIGN_OR_RETURN(origin_task, dec->ReadInt32());
+        break;
+      }
+      case kCbKind: {
+        HERON_ASSIGN_OR_RETURN(uint64_t v, dec->ReadUint64());
+        kind = static_cast<uint8_t>(v);
+        break;
+      }
+      default:
+        HERON_RETURN_NOT_OK(dec->SkipField(serde::TagWireType(tag)));
+    }
+  }
+  return Status::OK();
+}
+
+void CheckpointBarrierMsg::Clear() {
+  ckpt_id = 0;
+  origin_task = -1;
+  kind = kBarrier;
 }
 
 void TMasterLocationMsg::SerializeTo(serde::WireEncoder* enc) const {

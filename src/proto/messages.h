@@ -22,6 +22,7 @@ enum class MessageType : uint8_t {
   kTupleBatchRouted = 5,  ///< Routed tuples, SMGR → SMGR or SMGR → instance.
   kStartBackpressure = 6, ///< SMGR → all peer SMGRs: throttle your spouts.
   kStopBackpressure = 7,  ///< SMGR → all peer SMGRs: release the throttle.
+  kCheckpointBarrier = 8, ///< Checkpoint barrier control tuple (in-stream).
 };
 
 /// \brief A typed, serialized payload as it crosses the IPC kernel.
@@ -189,6 +190,41 @@ class BackpressureMsg final : public serde::Message {
 
   bool operator==(const BackpressureMsg& o) const {
     return initiator == o.initiator && retry_depth == o.retry_depth;
+  }
+};
+
+/// \brief The checkpoint barrier control tuple (aligned snapshots per
+/// *Stream-based State-Machine Replication*; ROADMAP item 2).
+///
+/// One message class serves all three legs of the protocol, distinguished
+/// by `kind` and the envelope's `dest_task`:
+///  - **kTrigger**, coordinator → spout instance (dest_task = spout task):
+///    snapshot your replay cursor and start barrier `ckpt_id`.
+///  - **kBarrier** with envelope dest_task = -1, instance → local SMGR: a
+///    fan-out request — "I snapshotted; flush my cached tuples, then put a
+///    barrier behind them on every downstream channel of `origin_task`".
+///  - **kBarrier** with envelope dest_task >= 0, SMGR → SMGR → instance:
+///    the in-stream barrier itself; `origin_task` names the upstream
+///    channel it closes for alignment purposes.
+///  - **kAbort**: coordinator-initiated cancellation (a barrier died with
+///    a killed container); aligning bolts release their buffers.
+///
+/// Field layout: 1 ckpt_id varint, 2 origin_task zigzag, 3 kind varint.
+class CheckpointBarrierMsg final : public serde::Message {
+ public:
+  enum Kind : uint8_t { kTrigger = 0, kBarrier = 1, kAbort = 2 };
+
+  uint64_t ckpt_id = 0;
+  TaskId origin_task = -1;
+  uint8_t kind = kBarrier;
+
+  void SerializeTo(serde::WireEncoder* enc) const override;
+  Status ParseFrom(serde::WireDecoder* dec) override;
+  void Clear() override;
+
+  bool operator==(const CheckpointBarrierMsg& o) const {
+    return ckpt_id == o.ckpt_id && origin_task == o.origin_task &&
+           kind == o.kind;
   }
 };
 

@@ -77,6 +77,9 @@ Status Container::StartInternal(bool step_mode) {
     options.trace_sample_inverse =
         config_.GetIntOr(config_keys::kTraceSampleInverse, 0);
     options.span_collector = span_collector_;
+    options.checkpoint_state = checkpoint_state_;
+    options.restore_checkpoint = restore_checkpoint_;
+    options.checkpoint_epoch = checkpoint_epoch_;
     auto instance = std::make_unique<instance::HeronInstance>(
         options, physical_plan_, transport_, clock_, smgr_.get());
     const Status st = step_mode ? instance->StartStepMode() : instance->Start();

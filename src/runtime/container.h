@@ -75,6 +75,17 @@ class Container {
     return span_collector_;
   }
 
+  /// Wires the checkpoint subsystem into every instance this container
+  /// starts: the snapshot target, the checkpoint to restore on startup
+  /// (0 = cold start) and the cluster incarnation epoch. Must be set
+  /// before Start; nullptr state (the default) disables checkpointing.
+  void set_checkpoint_options(statemgr::IStateManager* state,
+                              uint64_t restore_checkpoint, int64_t epoch) {
+    checkpoint_state_ = state;
+    restore_checkpoint_ = restore_checkpoint;
+    checkpoint_epoch_ = epoch;
+  }
+
   ContainerId id() const { return plan_.id; }
   smgr::StreamManager* stream_manager() { return smgr_.get(); }
   metrics::MetricsManager* metrics_manager() { return &metrics_manager_; }
@@ -115,6 +126,9 @@ class Container {
   bool step_mode_ = false;
   bool recovering_ = false;
   observability::SpanCollector* span_collector_ = nullptr;
+  statemgr::IStateManager* checkpoint_state_ = nullptr;
+  uint64_t restore_checkpoint_ = 0;
+  int64_t checkpoint_epoch_ = 0;
 
   /// Shared Start/StartStepMode body.
   Status StartInternal(bool step_mode);

@@ -98,7 +98,11 @@ class EventLoop {
 
   /// Registers `channel` as a source: each iteration drains up to
   /// `Options::burst` items into `handler`. Binds the channel's wakeup to
-  /// this loop. The channel must outlive the loop (or be removed first).
+  /// this loop. The channel must outlive every *iteration* that polls it;
+  /// teardown order is free — the loop's destructor unbind checks the
+  /// channel's alive token, so a channel destroyed before the loop is
+  /// skipped instead of having its dead mutex locked (undefined behavior
+  /// that wedged the UBSan lane).
   template <typename T>
   SourceId AddChannel(ipc::Channel<T>* channel,
                       std::function<void(T&&)> handler) {
@@ -117,7 +121,9 @@ class EventLoop {
       }
       return false;
     };
-    source.unbind = [channel] { channel->BindWakeup(nullptr); };
+    source.unbind = [channel, alive = channel->alive_token()] {
+      if (alive.lock()) channel->BindWakeup(nullptr);
+    };
     sources_.push_back(std::move(source));
     return sources_.back().id;
   }

@@ -30,6 +30,8 @@ LocalCluster::LocalCluster(Config cluster_config, const Clock* clock)
   recovery_deaths_ = recovery_metrics_.GetCounter("recovery.deaths");
   recovery_restarts_ = recovery_metrics_.GetCounter("recovery.restarts");
   chaos_kill_counter_ = recovery_metrics_.GetCounter("chaos.kills");
+  checkpoint_restores_ =
+      recovery_metrics_.GetCounter("recovery.checkpoint.restores");
 }
 
 LocalCluster::~LocalCluster() {
@@ -140,6 +142,30 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
                           [this] { MonitorTick(); });
   }
 
+  // 4a. Checkpointing: the coordinator rides the TMaster's monitor tick
+  //     (periodic triggers + completion polling). Enabled by an interval
+  //     or by exactly-once mode (which tests drive with explicit
+  //     TriggerCheckpoint calls even at interval 0).
+  const int64_t checkpoint_interval_ms =
+      merged_config_.GetIntOr(config_keys::kCheckpointIntervalMs, 0);
+  const std::string checkpoint_mode = merged_config_.GetStringOr(
+      config_keys::kCheckpointMode, "at-least-once");
+  checkpoint_exactly_once_ = checkpoint_mode == "exactly-once";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_restore_ckpt_ = 0;
+    checkpoint_epoch_ = 0;
+  }
+  if (checkpoint_interval_ms > 0 || checkpoint_exactly_once_) {
+    tmaster::CheckpointCoordinator::Options ckpt_options;
+    ckpt_options.topology = topology->name();
+    ckpt_options.interval_ms = checkpoint_interval_ms;
+    checkpoint_coordinator_ = std::make_unique<tmaster::CheckpointCoordinator>(
+        ckpt_options, &state_, &transport_, clock_);
+  } else {
+    checkpoint_coordinator_.reset();
+  }
+
   // 4b. Observability: the TMaster's metrics cache — "the gateway for the
   //     topology metrics" (§II) — which every container's Metrics Manager
   //     flushes into (the AddSink in StartContainer is the TMaster's
@@ -165,6 +191,9 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
 
   // 5. Physical plan, then Scheduler starts every container.
   HERON_RETURN_NOT_OK(BuildAndInstallPhysicalPlan(plan));
+  if (checkpoint_coordinator_ != nullptr) {
+    checkpoint_coordinator_->SetPlan(physical_plan());
+  }
   HERON_RETURN_NOT_OK(scheduler_->Initialize(merged_config_));
   HERON_RETURN_NOT_OK(scheduler_->OnSchedule(plan));
 
@@ -278,6 +307,10 @@ Status LocalCluster::Scale(const ComponentId& component,
   }
 
   HERON_RETURN_NOT_OK(BuildAndInstallPhysicalPlan(new_plan));
+  if (checkpoint_coordinator_ != nullptr) {
+    // Aborts any in-flight checkpoint too: its task set just changed.
+    checkpoint_coordinator_->SetPlan(physical_plan());
+  }
 
   // Scheduler applies the container diff (§IV-B onUpdate): stops removed,
   // starts added (on the new plan).
@@ -357,6 +390,9 @@ void LocalCluster::MonitorTick() {
     // the framework contract allows.
     tmaster_->CheckLiveness();
   }
+  if (checkpoint_coordinator_ != nullptr && running()) {
+    checkpoint_coordinator_->Tick(clock_->NowNanos());
+  }
 }
 
 void LocalCluster::OnContainerEvent(
@@ -368,6 +404,12 @@ void LocalCluster::OnContainerEvent(
         static_cast<uint64_t>(std::max<int64_t>(event.latency_ms, 0)));
     recovery_detect_last_ms_->Set(event.latency_ms);
     if (!running()) return;
+    if (checkpoint_coordinator_ != nullptr && checkpoint_exactly_once_) {
+      // Exactly-once mode: recovery is a global rollback to the latest
+      // complete checkpoint, not per-container ack-replay.
+      RestoreFromCheckpoint(event.container);
+      return;
+    }
     // Framework-contract routing (§IV-B): stateless schedulers lean on
     // the framework's auto-restart; stateful ones restart explicitly.
     const Status st =
@@ -391,6 +433,71 @@ void LocalCluster::OnContainerEvent(
   recovery_restore_last_ms_->Set(event.latency_ms);
 }
 
+void LocalCluster::RestoreFromCheckpoint(ContainerId dead) {
+  // 1. Freeze the checkpoint epoch: abort the in-flight checkpoint (the
+  //    dead container can never report into it) and pick the restore
+  //    target — the latest globally-complete id, 0 = cold restart.
+  const uint64_t restore_id = checkpoint_coordinator_->latest_complete();
+  checkpoint_coordinator_->AbortInFlight();
+  HLOG(WARNING) << "container " << dead
+                << " died in exactly-once mode; rolling every container "
+                << "back to checkpoint " << restore_id;
+
+  // 2. Halt every survivor. The rollback is global: tuples in flight past
+  //    the checkpoint — in outboxes, caches, channels — are of the failed
+  //    epoch and must be discarded, not drained. Survivors join
+  //    failed_containers_ so their replacements register as recovered
+  //    incarnations (backpressure-ref cleanup).
+  std::vector<ContainerId> survivors;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_restore_ckpt_ = restore_id;
+    ++checkpoint_epoch_;
+    for (const auto& [id, _] : containers_) survivors.push_back(id);
+  }
+  for (const ContainerId id : survivors) {
+    std::unique_ptr<Container> victim;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = containers_.find(id);
+      if (it == containers_.end()) continue;
+      victim = std::move(it->second);
+      containers_.erase(it);
+      failed_containers_.insert(id);
+    }
+    victim->Fail();
+  }
+
+  // 3. Restart the dead container through the framework contract, then
+  //    the survivors directly; StartContainer hands every one the restore
+  //    id and the new epoch.
+  const Status st = scheduler_->OnContainerDead(topology_->name(), dead);
+  if (!st.ok()) {
+    HLOG(ERROR) << "checkpoint recovery of container " << dead
+                << " failed: " << st.ToString();
+  }
+  const packing::PackingPlan plan = current_packing_plan();
+  for (const ContainerId id : survivors) {
+    const packing::ContainerPlan* c = plan.FindContainer(id);
+    if (c == nullptr) continue;
+    const Status restart = StartContainer(*c);
+    if (!restart.ok()) {
+      HLOG(ERROR) << "checkpoint recovery: restart of survivor " << id
+                  << " failed: " << restart.ToString();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_restore_ckpt_ = 0;
+  }
+  checkpoint_restores_->Increment();
+}
+
+int64_t LocalCluster::checkpoint_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return checkpoint_epoch_;
+}
+
 Status LocalCluster::StartContainer(const packing::ContainerPlan& container) {
   std::shared_ptr<const proto::PhysicalPlan> plan = physical_plan();
   if (plan == nullptr) {
@@ -405,6 +512,13 @@ Status LocalCluster::StartContainer(const packing::ContainerPlan& container) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (failed_containers_.erase(container.id) > 0) {
       live->MarkRecovering();
+    }
+    // Checkpoint wiring: instances snapshot into (and restore from) the
+    // cluster state tree. pending_restore_ckpt_ is nonzero only inside
+    // RestoreFromCheckpoint's restart storm.
+    if (checkpoint_coordinator_ != nullptr) {
+      live->set_checkpoint_options(&state_, pending_restore_ckpt_,
+                                   checkpoint_epoch_);
     }
     // Sampled tracing: hand the container its span ring. The ring is
     // keyed by container id and kept across restarts, so a recovered

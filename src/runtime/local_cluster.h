@@ -19,6 +19,7 @@
 #include "scheduler/framework_scheduler.h"
 #include "scheduler/local_scheduler.h"
 #include "statemgr/in_memory_state_manager.h"
+#include "tmaster/checkpoint_coordinator.h"
 #include "tmaster/tmaster.h"
 
 namespace heron {
@@ -117,6 +118,21 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   statemgr::IStateManager* state_manager() { return &state_; }
   smgr::Transport* transport() { return &transport_; }
   tmaster::TopologyMaster* tmaster() { return tmaster_.get(); }
+  /// Null unless checkpointing is enabled (heron.checkpoint.interval.ms
+  /// > 0 or heron.checkpoint.mode == "exactly-once").
+  tmaster::CheckpointCoordinator* checkpoint_coordinator() {
+    return checkpoint_coordinator_.get();
+  }
+  /// Test hook: triggers a checkpoint immediately (threaded or step
+  /// mode); returns its id, 0 when checkpointing is off or one is
+  /// already in flight.
+  uint64_t TriggerCheckpoint() {
+    return checkpoint_coordinator_ != nullptr
+               ? checkpoint_coordinator_->TriggerNow()
+               : 0;
+  }
+  /// Incarnation counter: bumped on every checkpoint-restore recovery.
+  int64_t checkpoint_epoch() const;
   scheduler::IScheduler* scheduler() { return scheduler_.get(); }
   Container* GetContainer(ContainerId id);
   int num_live_containers() const;
@@ -183,6 +199,13 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   void OnContainerEvent(const tmaster::TopologyMaster::ContainerEvent& event);
   /// Chaos: maybe hard-kill one random live container this monitor tick.
   void MaybeChaosKill();
+  /// Exactly-once recovery: global rollback to the latest complete
+  /// checkpoint. Halts every survivor (their post-checkpoint in-flight
+  /// data must die), restarts the dead container through the Scheduler's
+  /// framework contract, then restarts the survivors; every instance
+  /// restores its snapshot on startup and the spouts deterministically
+  /// re-emit the post-checkpoint suffix.
+  void RestoreFromCheckpoint(ContainerId dead);
 
   Config cluster_config_;
   Config merged_config_;
@@ -194,6 +217,11 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   std::shared_ptr<const api::Topology> topology_;
   std::unique_ptr<packing::IPacking> packing_;
   std::unique_ptr<tmaster::TopologyMaster> tmaster_;
+  /// Non-null while checkpointing is enabled for the running topology.
+  std::unique_ptr<tmaster::CheckpointCoordinator> checkpoint_coordinator_;
+  /// heron.checkpoint.mode == "exactly-once": container death triggers
+  /// the global checkpoint rollback instead of ack-replay recovery.
+  bool checkpoint_exactly_once_ = false;
   /// Simulated machine substrate + scheduling framework (framework kinds
   /// only; null for "local").
   std::unique_ptr<frameworks::SimCluster> sim_cluster_;
@@ -223,6 +251,8 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   metrics::Counter* recovery_deaths_ = nullptr;
   metrics::Counter* recovery_restarts_ = nullptr;
   metrics::Counter* chaos_kill_counter_ = nullptr;
+  /// Checkpoint-restore recoveries completed (exactly-once mode).
+  metrics::Counter* checkpoint_restores_ = nullptr;
 
   /// TMaster metrics cache; created at Submit, AddSink'ed to every
   /// container's Metrics Manager (shared_ptr because MetricsManager owns
@@ -243,6 +273,11 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   /// starts as a recovered incarnation (Container::MarkRecovering).
   std::set<ContainerId> failed_containers_;
   bool running_ = false;
+  /// Checkpoint id the next StartContainer hands to its instances for
+  /// startup restore (set only inside RestoreFromCheckpoint), and the
+  /// cluster incarnation epoch. Guarded by mutex_.
+  uint64_t pending_restore_ckpt_ = 0;
+  int64_t checkpoint_epoch_ = 0;
 
   /// Signalled by each container's metrics-collection round; WaitForCounter
   /// parks here instead of sleep-polling.

@@ -78,6 +78,13 @@ class IScheduler {
   /// recovers on its own; a stateful scheduler restarts the container
   /// explicitly. The container's processes are already gone — handlers
   /// must tolerate stop-side NotFound. Default: treat as a restart request.
+  ///
+  /// Exactly-once note (heron.checkpoint.mode == "exactly-once"): the
+  /// runtime halts every *surviving* container before this is invoked and
+  /// restarts them afterwards — the scheduler still only owns the dead
+  /// container's relaunch. Restarted containers restore the latest
+  /// globally-complete checkpoint on startup; the scheduler contract is
+  /// unchanged.
   virtual Status OnContainerDead(const std::string& topology,
                                  ContainerId container) {
     return OnRestart({topology, container});

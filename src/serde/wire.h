@@ -93,9 +93,13 @@ class WireEncoder {
 ///     ------  ----  --------------------------------------------------
 ///       0       2   magic 0x4846 ("HF") — tear/desync detector
 ///       2       1   type       (proto::MessageType as u8)
-///       3       1   dest_kind  (0 = none, 1 = task-addressed)
+///       3       1   dest_kind  (0 = none, 1 = task-addressed,
+///                               2 = checkpoint barrier)
 ///       4       4   payload_len u32
-///       8       4   dest        i32 (task id; -1 when dest_kind == 0)
+///       8       4   dest        i32 (task id; -1 when dest_kind == 0;
+///                               for dest_kind == 2, the barrier's
+///                               destination task or -1 for a fan-out
+///                               request to the receiving SMGR)
 ///      12       8   trace_id    u64 (0 = untraced)
 ///
 /// The header is everything a forwarding Stream Manager needs to route:
@@ -103,7 +107,8 @@ class WireEncoder {
 /// zero-copy invariant asserted by `smgr.payload_touches`).
 struct FrameHeader {
   uint8_t type = 0;
-  uint8_t dest_kind = 0;  ///< 0 = unaddressed, 1 = dest is a task id.
+  uint8_t dest_kind = 0;  ///< 0 = unaddressed, 1 = dest is a task id,
+                          ///< 2 = checkpoint barrier (dest may be -1).
   uint32_t payload_len = 0;
   int32_t dest = -1;
   uint64_t trace_id = 0;

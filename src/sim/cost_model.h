@@ -97,6 +97,33 @@ struct StormCostModel {
   double oversubscription = 1.25;
 };
 
+/// \brief Analytic model of the re-emission work a recovery performs,
+/// used by bench/figures/recovery_checkpoint_interval to sanity-check the
+/// measured shape.
+///
+/// With aligned checkpoints every `interval_sec`, a kill at `kill_at_sec`
+/// rolls the topology back to the last complete checkpoint; the spouts
+/// re-emit only the suffix since that snapshot — at most one interval of
+/// history, regardless of how long the topology ran:
+///   work = rate * (kill_at mod interval)   (bounded by rate * interval)
+/// Replay-from-scratch recovery (no snapshots: rebuild state by replaying
+/// the full history) instead re-emits everything:
+///   work = rate * kill_at
+/// The crossover is the whole story of the figure: snapshot restore is
+/// interval-bounded, replay grows linearly with uptime.
+inline double SnapshotRecoveryWork(double rate_per_sec, double interval_sec,
+                                   double kill_at_sec) {
+  if (interval_sec <= 0) return rate_per_sec * kill_at_sec;
+  const double since_checkpoint =
+      kill_at_sec - interval_sec * static_cast<int64_t>(kill_at_sec /
+                                                        interval_sec);
+  return rate_per_sec * since_checkpoint;
+}
+
+inline double ReplayRecoveryWork(double rate_per_sec, double kill_at_sec) {
+  return rate_per_sec * kill_at_sec;
+}
+
 }  // namespace sim
 }  // namespace heron
 

@@ -75,6 +75,8 @@ StreamManager::StreamManager(const Options& options,
   roots_timeout_ = metrics_.GetCounter("smgr.roots.timeout");
   retry_depth_ = metrics_.GetGauge("smgr.retry.depth");
   payload_touches_ = metrics_.GetCounter("smgr.payload_touches");
+  barrier_fanouts_ = metrics_.GetCounter("smgr.barrier.fanouts");
+  barriers_forwarded_ = metrics_.GetCounter("smgr.barriers.forwarded");
   backpressure_active_ = metrics_.GetGauge("smgr.backpressure.active");
   backpressure_duration_ns_ =
       metrics_.GetCounter("smgr.backpressure.duration.ns");
@@ -229,6 +231,9 @@ void StreamManager::ProcessEnvelope(proto::Envelope env) {
       break;
     case proto::MessageType::kAckBatch:
       HandleAckBatch(std::move(env));
+      break;
+    case proto::MessageType::kCheckpointBarrier:
+      HandleBarrier(std::move(env));
       break;
     case proto::MessageType::kStartBackpressure:
     case proto::MessageType::kStopBackpressure:
@@ -491,6 +496,65 @@ void StreamManager::HandleAckBatch(proto::Envelope env) {
                                       update.fail);
     if (completion.has_value()) {
       EmitRootEvent(*completion);
+    }
+  }
+}
+
+void StreamManager::HandleBarrier(proto::Envelope env) {
+  if (env.dest_task >= 0) {
+    // Addressed barrier: forward on metadata alone, exactly like a routed
+    // batch — per-dest FIFO keeps it behind the data it must trail.
+    const TaskId dest = env.dest_task;
+    auto container = plan_->ContainerOfTask(dest);
+    if (!container.ok()) {
+      HLOG(WARNING) << "dropping barrier for unknown task " << dest;
+      transport_->buffer_pool()->Release(std::move(env.payload));
+      return;
+    }
+    barriers_forwarded_->Increment();
+    if (*container == options_.container) {
+      SendToInstance(dest, std::move(env));
+    } else {
+      SendToContainer(*container, std::move(env));
+    }
+    return;
+  }
+  // Fan-out request from a local instance: "my pre-barrier emissions are
+  // all behind me on this channel — barrier every consumer I feed."
+  proto::CheckpointBarrierMsg msg;
+  const Status st = msg.ParseFromBytes(env.payload);
+  transport_->buffer_pool()->Release(std::move(env.payload));
+  if (!st.ok() || msg.origin_task < 0) {
+    HLOG(ERROR) << "dropping malformed barrier fan-out request";
+    return;
+  }
+  // Flush the cache first: batches staged there hold the origin's (and
+  // everyone else's) pre-barrier tuples, and they must enter each
+  // consumer channel ahead of the barrier.
+  DrainCacheNow(/*timer_drain=*/false);
+  barrier_fanouts_->Increment();
+  const api::ComponentDef* def = plan_->ComponentOfTask(msg.origin_task);
+  if (def == nullptr) return;
+  std::set<TaskId> consumers;
+  for (const auto& [stream, fields] : def->outputs) {
+    for (const auto& sub : plan_->SubscribersOf(def->id, stream)) {
+      consumers.insert(sub.consumer_tasks.begin(), sub.consumer_tasks.end());
+    }
+  }
+  for (const TaskId consumer : consumers) {
+    auto container = plan_->ContainerOfTask(consumer);
+    if (!container.ok()) continue;
+    serde::Buffer payload = transport_->buffer_pool()->Acquire();
+    serde::WireEncoder enc(&payload);
+    msg.SerializeTo(&enc);
+    proto::Envelope out(proto::MessageType::kCheckpointBarrier,
+                        std::move(payload));
+    out.dest_task = consumer;
+    barriers_forwarded_->Increment();
+    if (*container == options_.container) {
+      SendToInstance(consumer, std::move(out));
+    } else {
+      SendToContainer(*container, std::move(out));
     }
   }
 }

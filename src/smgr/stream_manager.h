@@ -181,6 +181,13 @@ class StreamManager {
   void HandleRoutedBatch(proto::Envelope env);
   /// Applies or forwards ack updates.
   void HandleAckBatch(proto::Envelope env);
+  /// Checkpoint barriers. A fan-out request from a local instance
+  /// (dest_task < 0) flushes the tuple cache — pre-barrier data first —
+  /// then injects an addressed barrier into every consumer channel of the
+  /// origin task, through the same park/retry FIFO as tuples. An
+  /// addressed barrier (dest_task >= 0) forwards on metadata alone, like
+  /// a routed batch (zero-copy).
+  void HandleBarrier(proto::Envelope env);
 
   /// Routes one serialized tuple along every subscribed edge.
   /// `trace_id` (0 = untraced) rides into the tuple cache so outgoing
@@ -281,6 +288,10 @@ class StreamManager {
   /// must read 0. Fallback peeks (unaddressed envelopes) and the ablation
   /// deserialize-reserialize hop each count one touch.
   metrics::Counter* payload_touches_;
+  /// Barrier fan-out requests served for local origin tasks.
+  metrics::Counter* barrier_fanouts_;
+  /// Addressed barriers delivered or forwarded (one per consumer channel).
+  metrics::Counter* barriers_forwarded_;
 
   // Backpressure protocol metrics (§ back pressure).
   metrics::Gauge* backpressure_active_;       ///< 1 while a local episode runs.

@@ -77,7 +77,9 @@ Status Transport::OpenLinkLocked(const Endpoint& dest,
         proto::Envelope env(static_cast<proto::MessageType>(header.type),
                             std::move(payload));
         env.trace_id = header.trace_id;
-        if (header.dest_kind == 1) env.dest_task = header.dest;
+        if (header.dest_kind == 1 || header.dest_kind == 2) {
+          env.dest_task = header.dest;
+        }
         Status st = channel->TrySend(std::move(env));
         if (st.IsResourceExhausted()) {
           // Receiver full: the fabric retains the frame and retries, so
@@ -178,7 +180,12 @@ Status Transport::SendOnRouteLocked(const Route& route,
   header.type = static_cast<uint8_t>(env->type);
   header.trace_id = env->trace_id;
   header.payload_len = static_cast<uint32_t>(env->payload.size());
-  if (env->dest_task >= 0) {
+  if (env->type == proto::MessageType::kCheckpointBarrier) {
+    // Barriers get their own frame kind: dest may legitimately be -1 (a
+    // fan-out request), which dest_kind 1 could not express on the wire.
+    header.dest_kind = 2;
+    header.dest = env->dest_task;
+  } else if (env->dest_task >= 0) {
     header.dest_kind = 1;
     header.dest = env->dest_task;
   }

@@ -1,8 +1,12 @@
 #include "statemgr/local_file_state_manager.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace fs = std::filesystem;
@@ -13,30 +17,61 @@ namespace statemgr {
 namespace {
 constexpr char kDataFile[] = "__data__";
 constexpr char kEphemeralMarker[] = "__ephemeral__";
+constexpr char kTmpSuffix[] = ".tmp";
 
 bool IsReservedName(const std::string& name) {
   return name == kDataFile || name == kEphemeralMarker;
 }
 
+bool IsTmpName(const std::string& name) {
+  const size_t n = sizeof(kTmpSuffix) - 1;
+  return name.size() > n && name.compare(name.size() - n, n, kTmpSuffix) == 0;
+}
+
+/// Syncs a directory so a just-committed rename inside it survives a
+/// crash. Best-effort: some filesystems refuse directory fsync.
+void FsyncDir(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Crash-safe write: the data lands in `<file>.tmp` first, is fsynced to
+/// stable storage, and only then renamed over `file` (atomic on POSIX).
+/// A kill at any point leaves either the old committed bytes or a stray
+/// .tmp that Initialize() quarantines — never a torn `file`. The state
+/// tree is load-bearing for checkpoint snapshots, so "mostly durable"
+/// is not enough here.
 Status WriteFileAtomic(const fs::path& file, serde::BytesView data) {
-  const fs::path tmp = file.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IOError(
-          StrFormat("cannot open '%s' for writing", tmp.c_str()));
-    }
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out) {
+  const fs::path tmp = file.string() + kTmpSuffix;
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("cannot open '%s' for writing", tmp.c_str()));
+  }
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written,
+                              data.size() - written);
+    if (n < 0) {
+      ::close(fd);
       return Status::IOError(StrFormat("short write to '%s'", tmp.c_str()));
     }
+    written += static_cast<size_t>(n);
   }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IOError(StrFormat("fsync '%s' failed", tmp.c_str()));
+  }
+  ::close(fd);
   std::error_code ec;
   fs::rename(tmp, file, ec);
   if (ec) {
     return Status::IOError(StrFormat("rename '%s' failed: %s", tmp.c_str(),
                                      ec.message().c_str()));
   }
+  FsyncDir(file.parent_path());
   return Status::OK();
 }
 }  // namespace
@@ -59,16 +94,49 @@ Status LocalFileStateManager::Initialize(const Config& config) {
     return Status::IOError(StrFormat("cannot create root '%s': %s",
                                      root_.c_str(), ec.message().c_str()));
   }
-  // Sweep ephemeral leftovers from a previous crashed run.
+  // Sweep leftovers from a previous crashed run: ephemeral nodes, torn
+  // `.tmp` files (crash between write and rename — the committed file, if
+  // any, is still intact next to them), and node directories that never
+  // committed a `__data__` file (crash between mkdir and first write —
+  // the node never logically existed).
   std::vector<fs::path> stale;
+  std::vector<fs::path> torn_tmp;
+  std::vector<fs::path> torn_dirs;
   for (auto it = fs::recursive_directory_iterator(root_, ec);
        !ec && it != fs::recursive_directory_iterator(); ++it) {
-    if (it->is_regular_file() && it->path().filename() == kEphemeralMarker) {
-      stale.push_back(it->path().parent_path());
+    const std::string name = it->path().filename().string();
+    if (it->is_regular_file()) {
+      if (name == kEphemeralMarker) {
+        stale.push_back(it->path().parent_path());
+      } else if (IsTmpName(name)) {
+        torn_tmp.push_back(it->path());
+      }
+    } else if (it->is_directory() && it->path() != fs::path(root_)) {
+      std::error_code probe;
+      if (!fs::exists(it->path() / kDataFile, probe)) {
+        torn_dirs.push_back(it->path());
+      }
     }
   }
   for (const auto& dir : stale) {
     fs::remove_all(dir, ec);
+  }
+  for (const auto& file : torn_tmp) {
+    HLOG(WARNING) << "quarantining torn state write " << file;
+    fs::remove(file, ec);
+    ++torn_quarantined_;
+  }
+  // Deepest first so nested torn dirs empty out bottom-up; a dir already
+  // removed as part of an ancestor is skipped by the exists re-check.
+  std::sort(torn_dirs.begin(), torn_dirs.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.string().size() > b.string().size();
+            });
+  for (const auto& dir : torn_dirs) {
+    if (!fs::exists(dir, ec)) continue;
+    HLOG(WARNING) << "quarantining torn state node " << dir;
+    fs::remove_all(dir, ec);
+    ++torn_quarantined_;
   }
   initialized_ = true;
   return Status::OK();

@@ -43,6 +43,14 @@ class LocalFileStateManager final : public IStateManager {
 
   const std::string& root_dir() const { return root_; }
 
+  /// Torn artifacts quarantined by the Initialize() load sweep: stray
+  /// `.tmp` files (a crash between write and rename) plus node
+  /// directories that never committed a `__data__` file.
+  uint64_t torn_files_quarantined() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return torn_quarantined_;
+  }
+
  private:
   /// Filesystem directory corresponding to a state path.
   std::string DirOf(const std::string& path) const;
@@ -56,6 +64,7 @@ class LocalFileStateManager final : public IStateManager {
   std::multimap<std::string, WatchCallback> watches_;
   std::map<SessionId, std::set<std::string>> session_nodes_;
   SessionId next_session_ = 1;
+  uint64_t torn_quarantined_ = 0;
 };
 
 }  // namespace statemgr

@@ -69,6 +69,14 @@ Status EnsurePath(IStateManager* sm, const std::string& path,
   return sm->CreateNode(path, data);
 }
 
+Status DeleteTree(IStateManager* sm, const std::string& path) {
+  HERON_ASSIGN_OR_RETURN(auto children, sm->ListChildren(path));
+  for (const auto& child : children) {
+    HERON_RETURN_NOT_OK(DeleteTree(sm, path + "/" + child));
+  }
+  return sm->DeleteNode(path);
+}
+
 namespace paths {
 
 std::string Topologies() { return "/topologies"; }
@@ -123,6 +131,21 @@ std::string MetricsComponent(const std::string& topology,
                              const std::string& component) {
   return StrFormat("/topologies/%s/metrics/components/%s", topology.c_str(),
                    component.c_str());
+}
+
+std::string Checkpoints(const std::string& topology) {
+  return "/topologies/" + topology + "/checkpoints";
+}
+
+std::string Checkpoint(const std::string& topology, uint64_t ckpt_id) {
+  return StrFormat("/topologies/%s/checkpoints/%llu", topology.c_str(),
+                   static_cast<unsigned long long>(ckpt_id));
+}
+
+std::string CheckpointTask(const std::string& topology, uint64_t ckpt_id,
+                           int task) {
+  return StrFormat("/topologies/%s/checkpoints/%llu/%d", topology.c_str(),
+                   static_cast<unsigned long long>(ckpt_id), task);
 }
 
 }  // namespace paths

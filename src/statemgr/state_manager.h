@@ -106,6 +106,11 @@ std::string ParentPath(const std::string& path);
 Status EnsurePath(IStateManager* sm, const std::string& path,
                   serde::BytesView data);
 
+/// Recursively deletes `path` and everything under it (children first).
+/// kNotFound when the path does not exist. Used to garbage-collect
+/// superseded checkpoint trees.
+Status DeleteTree(IStateManager* sm, const std::string& path);
+
 /// Canonical locations of topology metadata under the root, mirroring the
 /// layout Heron uses in ZooKeeper (§IV-C lists what is stored: topology
 /// definition, packing plan, container locations, scheduler URL, ...).
@@ -132,6 +137,16 @@ std::string MetricsComponents(const std::string& topology);
 /// One component's rollup JSON.
 std::string MetricsComponent(const std::string& topology,
                              const std::string& component);
+/// Parent of the checkpoint trees; its node data holds the id of the
+/// latest globally-complete checkpoint (decimal string, absent/empty
+/// when none has completed yet).
+std::string Checkpoints(const std::string& topology);
+/// One checkpoint's tree; children are per-task snapshot nodes, and the
+/// node's own data flips from "" to "complete" when every task reported.
+std::string Checkpoint(const std::string& topology, uint64_t ckpt_id);
+/// One task's snapshot inside a checkpoint.
+std::string CheckpointTask(const std::string& topology, uint64_t ckpt_id,
+                           int task);
 }  // namespace paths
 
 /// \brief Instantiates the backend named by `heron.statemgr.kind`

@@ -1,7 +1,10 @@
 #include "workloads/word_count.h"
 
+#include <algorithm>
+
 #include "api/context.h"
 #include "common/strings.h"
+#include "serde/wire.h"
 
 namespace heron {
 namespace workloads {
@@ -26,10 +29,24 @@ const WordDictionary& WordDictionary::Default() {
   return dictionary;
 }
 
+namespace {
+// WordSpout snapshot fields (replay cursor).
+constexpr uint32_t kWsRngState = 1;
+constexpr uint32_t kWsEmitted = 2;
+constexpr uint32_t kWsNextMessageId = 3;
+// CountBolt snapshot fields, repeated in sorted word order.
+constexpr uint32_t kCbWord = 1;
+constexpr uint32_t kCbCount = 2;
+}  // namespace
+
 void WordSpout::Open(const Config& config, api::TopologyContext* context,
                      api::ISpoutOutputCollector* collector) {
   collector_ = collector;
   acking_ = config.GetBoolOr(config_keys::kAckingEnabled, false);
+  options_.replay_track_limit = static_cast<size_t>(
+      config.GetIntOr(config_keys::kSpoutReplayTrackLimit,
+                      static_cast<int64_t>(options_.replay_track_limit)));
+  replay_dropped_counter_ = context->metrics()->GetCounter("replay.dropped");
   if (options_.dictionary_size == 450000) {
     dictionary_ = &WordDictionary::Default();
   } else {
@@ -47,8 +64,9 @@ void WordSpout::NextTuple() {
   while (!replay_queue_.empty()) {
     const int64_t id = replay_queue_.front();
     replay_queue_.pop_front();
+    if (replay_pending_.erase(id) == 0) continue;  // Drained by an ack.
     const auto it = inflight_.find(id);
-    if (it == inflight_.end()) continue;  // Raced an ack; already done.
+    if (it == inflight_.end()) continue;
     collector_->Emit({api::Value(dictionary_->WordAt(it->second))}, id);
     ++replayed_;
   }
@@ -57,12 +75,103 @@ void WordSpout::NextTuple() {
     const size_t index = rng_.NextBelow(dictionary_->size());
     const std::string& word = dictionary_->WordAt(index);
     if (acking_) {
-      if (options_.replay_failed) inflight_[next_message_id_] = index;
+      if (options_.replay_failed) {
+        if (inflight_.size() < options_.replay_track_limit) {
+          inflight_[next_message_id_] = index;
+        } else {
+          // Tracking is full (endless outage): this word cannot be
+          // replayed if its tree fails. Emit it anyway — losing replay
+          // coverage beats unbounded memory — and count the loss.
+          ++replay_dropped_;
+          replay_dropped_counter_->Increment();
+        }
+      }
       collector_->Emit({api::Value(word)}, next_message_id_++);
     } else {
       collector_->Emit({api::Value(word)}, std::nullopt);
     }
     ++emitted_;
+  }
+}
+
+void WordSpout::SnapshotState(std::string* out) {
+  serde::WireEncoder enc(out);
+  enc.WriteUint64Field(kWsRngState, rng_.state());
+  enc.WriteUint64Field(kWsEmitted, emitted_);
+  enc.WriteInt64Field(kWsNextMessageId, next_message_id_);
+}
+
+void WordSpout::RestoreState(std::string_view state) {
+  serde::WireDecoder dec(state);
+  while (!dec.AtEnd()) {
+    auto tag = dec.ReadTag();
+    if (!tag.ok() || *tag == 0) break;
+    switch (serde::TagFieldNumber(*tag)) {
+      case kWsRngState: {
+        auto v = dec.ReadUint64();
+        if (v.ok()) rng_.set_state(*v);
+        break;
+      }
+      case kWsEmitted: {
+        auto v = dec.ReadUint64();
+        if (v.ok()) emitted_ = *v;
+        break;
+      }
+      case kWsNextMessageId: {
+        auto v = dec.ReadInt64();
+        if (v.ok()) next_message_id_ = *v;
+        break;
+      }
+      default:
+        if (!dec.SkipField(serde::TagWireType(*tag)).ok()) return;
+    }
+  }
+  // The restore rewinds past any in-flight bookkeeping: those trees died
+  // with the failed epoch and their words will be re-emitted fresh.
+  inflight_.clear();
+  replay_queue_.clear();
+  replay_pending_.clear();
+}
+
+void CountBolt::SnapshotState(std::string* out) {
+  // Sorted encoding: two bolts that counted the same multiset of words
+  // produce identical bytes regardless of hash-map iteration order.
+  std::vector<std::pair<std::string_view, uint64_t>> sorted;
+  sorted.reserve(counts_.size());
+  for (const auto& [word, count] : counts_) sorted.emplace_back(word, count);
+  std::sort(sorted.begin(), sorted.end());
+  serde::WireEncoder enc(out);
+  for (const auto& [word, count] : sorted) {
+    enc.WriteBytesField(kCbWord, word);
+    enc.WriteUint64Field(kCbCount, count);
+  }
+}
+
+void CountBolt::RestoreState(std::string_view state) {
+  counts_.clear();
+  executed_ = 0;
+  serde::WireDecoder dec(state);
+  std::string word;
+  while (!dec.AtEnd()) {
+    auto tag = dec.ReadTag();
+    if (!tag.ok() || *tag == 0) break;
+    switch (serde::TagFieldNumber(*tag)) {
+      case kCbWord: {
+        auto v = dec.ReadBytes();
+        if (v.ok()) word = std::string(*v);
+        break;
+      }
+      case kCbCount: {
+        auto v = dec.ReadUint64();
+        if (v.ok() && !word.empty()) {
+          counts_[word] = *v;
+          executed_ += *v;
+        }
+        break;
+      }
+      default:
+        if (!dec.SkipField(serde::TagWireType(*tag)).ok()) return;
+    }
   }
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "api/context.h"
@@ -39,7 +40,12 @@ class WordDictionary {
 
 /// \brief The word-emitting spout. "Spouts are extremely fast, if left
 /// unrestricted" — NextTuple emits `words_per_call` words per invocation.
-class WordSpout final : public api::ISpout {
+///
+/// Stateful-spout surface: the replay cursor (RNG state, emission count,
+/// next message id) snapshots into checkpoints, so after a restore the
+/// spout deterministically re-emits exactly the post-checkpoint suffix of
+/// its word sequence (same words, same ids).
+class WordSpout final : public api::IStatefulSpout {
  public:
   struct Options {
     size_t dictionary_size = 450000;
@@ -52,8 +58,15 @@ class WordSpout final : public api::ISpout {
     /// reports it failed — e.g. because its tuple tree died with a killed
     /// container and the message timeout replayed it. Replays do not count
     /// toward `emit_limit`, so "`emit_limit` distinct words all acked"
-    /// remains the zero-loss acceptance condition under faults.
+    /// remains the zero-loss acceptance condition under faults. Off in
+    /// exactly-once mode, where checkpoint restore owns recovery.
     bool replay_failed = false;
+    /// Cap on the replay-tracking maps (`inflight_` + the pending-replay
+    /// set): an endless downstream outage must not grow them without
+    /// bound. Beyond the cap new emissions go untracked (unable to
+    /// replay) and the `replay.dropped` counter records each loss.
+    /// Overridden by `heron.spout.replay.track.limit` when set.
+    size_t replay_track_limit = 1 << 16;
   };
 
   explicit WordSpout(const Options& options) : options_(options) {}
@@ -63,14 +76,29 @@ class WordSpout final : public api::ISpout {
   void NextTuple() override;
   void Ack(int64_t message_id) override {
     ++acked_;
-    if (options_.replay_failed) inflight_.erase(message_id);
+    if (options_.replay_failed) {
+      inflight_.erase(message_id);
+      // Forget any queued replay for this id: the tree completed via a
+      // later ack, so re-emitting it now would double-deliver.
+      replay_pending_.erase(message_id);
+    }
   }
   void Fail(int64_t message_id) override {
     ++failed_;
-    if (options_.replay_failed && inflight_.count(message_id) > 0) {
+    // The pending-set insert dedupes: a root that fails twice before its
+    // replay drains (message timeout firing again) used to be enqueued
+    // twice and re-emitted twice.
+    if (options_.replay_failed && inflight_.count(message_id) > 0 &&
+        replay_pending_.insert(message_id).second) {
       replay_queue_.push_back(message_id);
     }
   }
+
+  // IStatefulSpout: the replay cursor. Volatile counters (acked/failed/
+  // replayed) and the replay maps are deliberately excluded so the same
+  // logical position always snapshots to the same bytes.
+  void SnapshotState(std::string* out) override;
+  void RestoreState(std::string_view state) override;
 
   uint64_t emitted() const { return emitted_; }
   uint64_t acked() const { return acked_; }
@@ -79,6 +107,8 @@ class WordSpout final : public api::ISpout {
   uint64_t replayed() const { return replayed_; }
   /// Words emitted but neither acked nor failed yet (replay_failed mode).
   size_t inflight() const { return inflight_.size(); }
+  /// Emissions that exceeded `replay_track_limit` and went untracked.
+  uint64_t replay_dropped() const { return replay_dropped_; }
 
  private:
   Options options_;
@@ -91,15 +121,26 @@ class WordSpout final : public api::ISpout {
   uint64_t acked_ = 0;
   uint64_t failed_ = 0;
   uint64_t replayed_ = 0;
+  uint64_t replay_dropped_ = 0;
+  metrics::Counter* replay_dropped_counter_ = nullptr;
   int64_t next_message_id_ = 1;
   /// message id → dictionary index of the word it carried (replay mode).
+  /// Bounded by `replay_track_limit`.
   std::unordered_map<int64_t, size_t> inflight_;
-  /// Failed ids awaiting re-emission, FIFO.
+  /// Failed ids awaiting re-emission, FIFO. Members mirror
+  /// `replay_pending_`, which both dedupes and bounds the queue.
   std::deque<int64_t> replay_queue_;
+  /// Ids currently queued for replay (dedupe + ack-drain bookkeeping).
+  std::unordered_set<int64_t> replay_pending_;
 };
 
 /// \brief The counting bolt: tallies words and acks every input.
-class CountBolt final : public api::IBolt {
+///
+/// Stateful-bolt surface: the word→count table snapshots in sorted order
+/// (deterministic bytes — recovery tests byte-compare snapshots across
+/// universes) and restores wholesale, making the bolt a deterministic
+/// replicated state machine over its aligned input prefix.
+class CountBolt final : public api::IStatefulBolt {
  public:
   void Prepare(const Config& config, api::TopologyContext* context,
                api::IBoltOutputCollector* collector) override {
@@ -111,6 +152,9 @@ class CountBolt final : public api::IBolt {
     ++executed_;
     collector_->Ack(input);
   }
+
+  void SnapshotState(std::string* out) override;
+  void RestoreState(std::string_view state) override;
 
   uint64_t executed() const { return executed_; }
   const std::unordered_map<std::string, uint64_t>& counts() const {
