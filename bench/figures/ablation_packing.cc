@@ -1,87 +1,260 @@
-// Ablation: the two §IV-A packing policies the paper contrasts — Round
-// Robin ("optimize for load balancing") vs First Fit Decreasing bin
-// packing ("reduce the total cost ... minimum number of containers") —
-// plus the resource-compliant middle ground, across topology sizes.
+// Placement-quality shootout: the two §IV-A packing policies the paper
+// contrasts — Round Robin ("optimize for load balancing") vs First Fit
+// Decreasing bin packing ("reduce the total cost ... minimum number of
+// containers") — plus the resource-compliant middle ground and the
+// search-based MCTS packer (MIPS-style Monte-Carlo Tree Search over
+// instance→container assignments, the paper's "policies based on
+// Monte-Carlo Tree Search" extensibility example).
 //
-// Reports container count (pay-as-you-go cost proxy) and load balance
-// (max/mean instance count per container).
+// Part 1 reports the static shape of each plan: container count
+// (pay-as-you-go cost proxy), load balance (max/mean instances per
+// container) and the largest container ask.
+//
+// Part 2 replays each placement against DES traffic with two load
+// curves — a diurnal sine and a flash crowd — and charges every tuple
+// that crosses a container boundary. Placement is static while load
+// moves, so the integral separates the policies: a traffic-aware
+// placement (MCTS colocates DAG neighbours) ships fewer tuples over the
+// wire at every point of the curve, while a skewed placement (FFD)
+// overloads its hottest container exactly when the flash crowd peaks.
 
 #include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
 
 #include "bench/figures/fig_util.h"
 #include "packing/packing_registry.h"
+#include "packing/placement_cost.h"
+#include "sim/des.h"
 #include "workloads/word_count.h"
 
 using namespace heron;
 
 namespace {
 
-struct PolicyStats {
-  int containers = 0;
-  double balance = 0;  ///< max/mean instances per container; 1.0 = perfect.
-  double max_cpu = 0;  ///< Largest container CPU ask (homogeneous sizing).
+constexpr double kSpoutRateTps = 1000.0;  // Per-spout emit rate hint.
+
+const std::vector<std::pair<std::string, std::string>>& Policies() {
+  static const std::vector<std::pair<std::string, std::string>> kPolicies = {
+      {"ROUND_ROBIN", "RR"},
+      {"FIRST_FIT_DECREASING", "FFD_BINPACK"},
+      {"RESOURCE_COMPLIANT_RR", "RC_RR"},
+      {"MCTS", "MCTS"}};
+  return kPolicies;
+}
+
+Config ShootoutConfig() {
+  Config config;
+  config.SetDouble(config_keys::kContainerCpuHint, 9.0);
+  config.SetInt(config_keys::kContainerRamMbHint, 10 * 1024);
+  // Rate hints feed both the MCTS objective and the DES traffic charge:
+  // the spout is the only producer in WordCount.
+  config.SetDouble(std::string(config_keys::kMctsRatePrefix) + "word",
+                   kSpoutRateTps);
+  return config;
+}
+
+struct PlacedTopology {
+  packing::PackingPlan plan;
+  packing::PlacementCost cost;  // Under unit spout rate hints.
+  int spouts = 0;
+  int bolts = 0;
 };
 
-PolicyStats Evaluate(const std::string& policy, int spouts, int bolts) {
+PlacedTopology Evaluate(const std::string& policy, int spouts, int bolts) {
   auto topology =
       workloads::BuildWordCountTopology("ablation", spouts, bolts);
   HERON_CHECK_OK(topology.status());
   auto packing = packing::PackingRegistry::Global()->Create(policy);
   HERON_CHECK_OK(packing.status());
-  Config config;
-  config.SetDouble(config_keys::kContainerCpuHint, 9.0);
-  config.SetInt(config_keys::kContainerRamMbHint, 10 * 1024);
+  const Config config = ShootoutConfig();
   HERON_CHECK_OK((*packing)->Initialize(config, *topology));
   auto plan = (*packing)->Pack();
   HERON_CHECK_OK(plan.status());
 
-  PolicyStats stats;
-  stats.containers = plan->NumContainers();
+  PlacedTopology placed;
+  placed.plan = std::move(*plan);
+  placed.spouts = spouts;
+  placed.bolts = bolts;
+  const auto rates = packing::ComponentRatesFromConfig(**topology, config);
+  placed.cost = packing::EvaluatePlacement(
+      **topology, placed.plan, rates, /*previous=*/nullptr,
+      packing::PlacementCostWeights());
+  return placed;
+}
+
+double Balance(const packing::PackingPlan& plan) {
   size_t max_instances = 0;
-  size_t total_instances = 0;
-  for (const auto& c : plan->containers()) {
+  size_t total = 0;
+  for (const auto& c : plan.containers()) {
     max_instances = std::max(max_instances, c.instances.size());
-    total_instances += c.instances.size();
-    stats.max_cpu = std::max(stats.max_cpu, c.required.cpu);
+    total += c.instances.size();
   }
-  stats.balance = static_cast<double>(max_instances) /
-                  (static_cast<double>(total_instances) /
-                   static_cast<double>(stats.containers));
-  return stats;
+  return static_cast<double>(max_instances) /
+         (static_cast<double>(total) /
+          static_cast<double>(plan.NumContainers()));
+}
+
+double MaxCpuAsk(const packing::PackingPlan& plan) {
+  double max_cpu = 0;
+  for (const auto& c : plan.containers()) {
+    max_cpu = std::max(max_cpu, c.required.cpu);
+  }
+  return max_cpu;
+}
+
+// ---- Part 2: DES traffic replay -----------------------------------------
+
+/// Offered load multiplier at simulated time `t` (seconds over a
+/// `duration`-long trace). Diurnal: a full sine period, trough 0.2x, peak
+/// 1.8x. Flash crowd: flat 0.5x with an 8x spike in the middle tenth.
+double DiurnalLoad(double t, double duration) {
+  return 1.0 + 0.8 * std::sin(2.0 * M_PI * t / duration);
+}
+double FlashCrowdLoad(double t, double duration) {
+  const bool spike = t >= 0.45 * duration && t < 0.55 * duration;
+  return spike ? 8.0 : 0.5;
+}
+
+struct TrafficResult {
+  double cross_mtuples = 0;   ///< Tuples shipped between containers (M).
+  double peak_backlog_sec = 0;  ///< Worst backlog on the hottest container.
+};
+
+/// Integrates the load curve against the placement: each tick charges
+/// `cross_fraction` of the offered tuples to the wire and each
+/// container's share of the processing work to a SimServer, whose backlog
+/// shows when the hottest container falls behind the curve.
+TrafficResult ReplayTraffic(const PlacedTopology& placed,
+                            double (*load)(double, double)) {
+  const double duration = bench::FastMode() ? 30.0 : 120.0;
+  const double tick = duration / 600.0;
+  const double total_tps =
+      kSpoutRateTps * static_cast<double>(placed.spouts);
+  // inter_container_tps is absolute under the kSpoutRateTps hints.
+  const double cross_fraction = placed.cost.inter_container_tps / total_tps;
+
+  // Per-container share of the data-plane work: spouts emit their own
+  // rate, bolts absorb an even hash-partitioned share of the total.
+  std::vector<double> work_share;
+  double share_sum = 0;
+  for (const auto& c : placed.plan.containers()) {
+    double share = 0;
+    for (const auto& inst : c.instances) {
+      share += inst.component == "word"
+                   ? 1.0
+                   : static_cast<double>(placed.spouts) /
+                         static_cast<double>(placed.bolts);
+    }
+    work_share.push_back(share);
+    share_sum += share;
+  }
+  // Capacity: the whole cluster can absorb 1.25x the flat-load rate when
+  // the work is spread evenly — a skewed placement saturates its hottest
+  // container well before that.
+  const double capacity_tps =
+      1.25 * total_tps * 2.0 / static_cast<double>(work_share.size());
+
+  sim::Des des;
+  std::vector<sim::SimServer> servers;
+  servers.reserve(work_share.size());
+  for (size_t i = 0; i < work_share.size(); ++i) servers.emplace_back(&des);
+
+  TrafficResult result;
+  for (double t = 0; t < duration; t += tick) {
+    des.ScheduleAt(t, [&, t] {
+      const double tuples = total_tps * load(t, duration) * tick;
+      result.cross_mtuples += tuples * cross_fraction / 1e6;
+      for (size_t i = 0; i < servers.size(); ++i) {
+        const double container_tuples =
+            tuples * 2.0 * work_share[i] / share_sum;
+        servers[i].Submit(container_tuples / capacity_tps, [] {});
+        result.peak_backlog_sec =
+            std::max(result.peak_backlog_sec, servers[i].Backlog());
+      }
+    });
+  }
+  des.RunUntil(duration + 1.0);
+  return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
+  bench::JsonReport report("ablation_packing");
+
   bench::PrintFigureHeader(
-      "Ablation: packing policy (Resource Manager, §IV-A)",
-      "Round Robin balances load; bin packing minimizes containers (cost)");
+      "Placement shootout: packing policy (Resource Manager, §IV-A)",
+      "RR balances load; FFD minimizes containers; MCTS minimizes traffic");
   bench::PrintColumns({"topology", "policy", "containers", "balance",
-                       "max_cpu_ask"});
+                       "max_cpu_ask", "cross_tps"});
 
   for (const auto& [spouts, bolts] : std::vector<std::pair<int, int>>{
            {25, 25}, {100, 100}, {200, 200}, {10, 100}}) {
-    for (const auto& [policy, label] :
-         std::vector<std::pair<std::string, std::string>>{
-             {"ROUND_ROBIN", "RR"},
-             {"FIRST_FIT_DECREASING", "FFD_BINPACK"},
-             {"RESOURCE_COMPLIANT_RR", "RC_RR"}}) {
-      const PolicyStats stats = Evaluate(policy, spouts, bolts);
+    for (const auto& [policy, label] : Policies()) {
+      const PlacedTopology placed = Evaluate(policy, spouts, bolts);
       char topo[32];
       std::snprintf(topo, sizeof(topo), "%dx%d", spouts, bolts);
       bench::PrintCell(topo);
       bench::PrintCell(label.c_str());
-      bench::PrintCellInt(stats.containers);
-      bench::PrintCell(stats.balance);
-      bench::PrintCell(stats.max_cpu);
+      bench::PrintCellInt(placed.plan.NumContainers());
+      bench::PrintCell(Balance(placed.plan));
+      bench::PrintCell(MaxCpuAsk(placed.plan));
+      bench::PrintCell(placed.cost.inter_container_tps);
       bench::EndRow();
+
+      const std::string scenario = std::string(topo) + "_" + label;
+      report.Add(scenario, "containers", placed.plan.NumContainers());
+      report.Add(scenario, "balance", Balance(placed.plan));
+      report.Add(scenario, "cross_tps", placed.cost.inter_container_tps);
     }
   }
+
+  std::printf(
+      "\nDES traffic replay (placement static, load moving; %s trace)\n",
+      bench::FastMode() ? "30s smoke" : "120s");
+  bench::PrintColumns({"curve", "policy", "cross_ktuples", "peak_backlog_s"});
+  double rr_diurnal_cross = 0;
+  double mcts_diurnal_cross = 0;
+  for (const auto& [curve, load] :
+       std::vector<std::pair<std::string, double (*)(double, double)>>{
+           {"diurnal", DiurnalLoad}, {"flash_crowd", FlashCrowdLoad}}) {
+    for (const auto& [policy, label] : Policies()) {
+      const PlacedTopology placed = Evaluate(policy, 25, 25);
+      const TrafficResult traffic = ReplayTraffic(placed, load);
+      bench::PrintCell(curve.c_str());
+      bench::PrintCell(label.c_str());
+      bench::PrintCell(traffic.cross_mtuples * 1000.0);
+      bench::PrintCell(traffic.peak_backlog_sec);
+      bench::EndRow();
+      if (curve == "diurnal" && label == "RR")
+        rr_diurnal_cross = traffic.cross_mtuples;
+      if (curve == "diurnal" && label == "MCTS")
+        mcts_diurnal_cross = traffic.cross_mtuples;
+      report.Add(curve + "_" + label, "cross_mtuples",
+                 traffic.cross_mtuples);
+      report.Add(curve + "_" + label, "peak_backlog_sec",
+                 traffic.peak_backlog_sec);
+    }
+  }
+
   std::printf(
       "\n  Reading: FIRST_FIT_DECREASING packs the same topology into fewer\n"
-      "  containers (lower cost) at the price of skew; ROUND_ROBIN keeps\n"
-      "  balance ~1.0 with more containers. Different topologies on one\n"
-      "  cluster can each pick their own policy (§IV-A).\n");
-  return 0;
+      "  containers (lower cost) but crosses the most edges; ROUND_ROBIN\n"
+      "  keeps balance ~1.0 and never colocates on purpose. MCTS colocates\n"
+      "  spout→bolt edges under the rate hints and ships the fewest tuples\n"
+      "  over the wire at every point of both curves, at the price of some\n"
+      "  balance — visible as backlog on its hottest container when the\n"
+      "  flash crowd peaks (§IV-A: packing is a swappable policy, and the\n"
+      "  objective is the policy).\n");
+  std::printf("  MCTS vs RR inter-container traffic (diurnal): %.1fk vs "
+              "%.1fk %s\n",
+              mcts_diurnal_cross * 1000.0, rr_diurnal_cross * 1000.0,
+              mcts_diurnal_cross < rr_diurnal_cross ? "(MCTS WINS)"
+                                                    : "(REGRESSION)");
+
+  report.Write();
+  return mcts_diurnal_cross < rr_diurnal_cross ? 0 : 1;
 }

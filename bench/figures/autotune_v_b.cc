@@ -15,6 +15,7 @@ using namespace heron;
 
 int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
+  bench::JsonReport report("autotune_v_b");
   sim::HeronCostModel costs;
   sim::HeronSimConfig base;
   base.spouts = base.bolts = 25;
@@ -42,6 +43,14 @@ int main(int argc, char** argv) {
                 tuned->cache_drain_frequency_ms,
                 tuned->best.tuples_per_min / 1e6,
                 tuned->best.latency_ms_mean);
+    const std::string scenario =
+        "slo_" + std::to_string(static_cast<int>(slo_ms)) + "ms";
+    report.Add(scenario, "max_spout_pending",
+               static_cast<double>(tuned->max_spout_pending));
+    report.Add(scenario, "drain_ms", tuned->cache_drain_frequency_ms);
+    report.Add(scenario, "tput_mtuples_min",
+               tuned->best.tuples_per_min / 1e6);
+    report.Add(scenario, "latency_ms", tuned->best.latency_ms_mean);
     bench::PrintColumns(
         {"max_pending", "drain_ms", "tput_Mt/min", "lat_ms", "feasible"});
     for (const auto& c : tuned->evaluated) {
@@ -56,5 +65,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\n  A tighter objective trades throughput for latency exactly along\n"
       "  the Figs. 10-13 frontier; the tuner finds the knee automatically.\n");
+  report.Write();
   return 0;
 }

@@ -48,6 +48,7 @@ SimResult RunOne(double slow_factor, bool cluster_bp) {
 
 int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
+  bench::JsonReport report("backpressure_slow_container");
   bench::PrintFigureHeader(
       "Backpressure: straggler container, cluster-wide vs container-local",
       "Spout back pressure keeps the straggler's queue bounded; without the "
@@ -68,6 +69,13 @@ int main(int argc, char** argv) {
       bench::PrintCell(r.max_smgr_backlog_sec * 1e3);
       bench::PrintCellInt(static_cast<int64_t>(r.backpressure_stalls));
       bench::EndRow();
+      const std::string scenario =
+          "slowdown_" + std::to_string(static_cast<int>(factor)) +
+          (cluster_bp ? "_cluster" : "_local");
+      report.Add(scenario, "tput_mtuples_min", r.tuples_per_min / 1e6);
+      report.Add(scenario, "peak_backlog_ms", r.max_smgr_backlog_sec * 1e3);
+      report.Add(scenario, "bp_stalls",
+                 static_cast<double>(r.backpressure_stalls));
       if (factor == sweep.back()) {
         (cluster_bp ? peak_with_protocol : peak_without_protocol) =
             r.max_smgr_backlog_sec;
@@ -85,5 +93,6 @@ int main(int argc, char** argv) {
       "  The protocol bounds the queue: every spout in the topology pauses "
       "within one\n  control round-trip of the straggler tripping its high "
       "watermark.\n");
+  report.Write();
   return 0;
 }

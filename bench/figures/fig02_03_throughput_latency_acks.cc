@@ -14,6 +14,7 @@ using namespace heron::sim;
 
 int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
+  bench::JsonReport report("fig02_03_throughput_latency_acks");
   HeronCostModel heron_costs;
   StormCostModel storm_costs;
   constexpr int64_t kMaxSpoutPending = 14000;
@@ -59,6 +60,14 @@ int main(int argc, char** argv) {
     bench::PrintCell(sr.latency_ms_mean);
     bench::PrintCell(lat_ratio);
     bench::EndRow();
+
+    const std::string scenario = "parallelism_" + std::to_string(p);
+    report.Add(scenario, "heron_mtuples_min", hr.tuples_per_min / 1e6);
+    report.Add(scenario, "storm_mtuples_min", sr.tuples_per_min / 1e6);
+    report.Add(scenario, "tput_ratio", tput_ratio);
+    report.Add(scenario, "heron_latency_ms", hr.latency_ms_mean);
+    report.Add(scenario, "storm_latency_ms", sr.latency_ms_mean);
+    report.Add(scenario, "latency_ratio", lat_ratio);
   }
 
   std::printf("\n");
@@ -70,5 +79,6 @@ int main(int argc, char** argv) {
                       2.0, 4.0);
   bench::PrintVerdict("Fig 3 max Storm/Heron latency ratio", max_lat_ratio,
                       2.0, 4.0);
+  report.Write();
   return 0;
 }

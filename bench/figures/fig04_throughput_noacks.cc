@@ -12,6 +12,7 @@ using namespace heron::sim;
 
 int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
+  bench::JsonReport report("fig04_throughput_noacks");
   HeronCostModel heron_costs;
   StormCostModel storm_costs;
 
@@ -46,6 +47,11 @@ int main(int argc, char** argv) {
     bench::PrintCell(sr.tuples_per_min / 1e6);
     bench::PrintCell(ratio);
     bench::EndRow();
+
+    const std::string scenario = "parallelism_" + std::to_string(p);
+    report.Add(scenario, "heron_mtuples_min", hr.tuples_per_min / 1e6);
+    report.Add(scenario, "storm_mtuples_min", sr.tuples_per_min / 1e6);
+    report.Add(scenario, "tput_ratio", ratio);
   }
 
   std::printf("\n");
@@ -53,5 +59,6 @@ int main(int argc, char** argv) {
                       2.0, 3.2);
   bench::PrintVerdict("Fig 4 max Heron/Storm throughput ratio", max_ratio,
                       2.0, 3.2);
+  report.Write();
   return 0;
 }

@@ -13,6 +13,7 @@ using namespace heron::sim;
 
 int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
+  bench::JsonReport report("fig07_08_smgr_opts_acks");
   HeronCostModel costs;
   constexpr int64_t kMaxSpoutPending = 50000;
 
@@ -49,6 +50,13 @@ int main(int argc, char** argv) {
     bench::PrintCell(on.tuples_per_min_per_core /
                      off.tuples_per_min_per_core);
     bench::EndRow();
+
+    const std::string scenario = "parallelism_" + std::to_string(p);
+    report.Add(scenario, "opt_mtuples_min", on.tuples_per_min / 1e6);
+    report.Add(scenario, "noopt_mtuples_min", off.tuples_per_min / 1e6);
+    report.Add(scenario, "tput_ratio", ratio);
+    report.Add(scenario, "core_ratio",
+               on.tuples_per_min_per_core / off.tuples_per_min_per_core);
   }
 
   std::printf("\n");
@@ -56,5 +64,6 @@ int main(int argc, char** argv) {
                       3.5, 4.5);
   bench::PrintVerdict("Fig 7 max optimization throughput ratio", max_ratio,
                       3.5, 4.5);
+  report.Write();
   return 0;
 }

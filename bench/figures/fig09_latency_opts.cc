@@ -12,6 +12,7 @@ using namespace heron::sim;
 
 int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
+  bench::JsonReport report("fig09_latency_opts");
   HeronCostModel costs;
   constexpr int64_t kMaxSpoutPending = 50000;
 
@@ -44,6 +45,11 @@ int main(int argc, char** argv) {
     bench::PrintCell(off.latency_ms_mean);
     bench::PrintCell(ratio);
     bench::EndRow();
+
+    const std::string scenario = "parallelism_" + std::to_string(p);
+    report.Add(scenario, "opt_latency_ms", on.latency_ms_mean);
+    report.Add(scenario, "noopt_latency_ms", off.latency_ms_mean);
+    report.Add(scenario, "latency_ratio", ratio);
   }
 
   std::printf("\n");
@@ -51,5 +57,6 @@ int main(int argc, char** argv) {
                       3.5);
   bench::PrintVerdict("Fig 9 max latency reduction ratio", max_ratio, 2.0,
                       3.5);
+  report.Write();
   return 0;
 }

@@ -18,6 +18,7 @@ using namespace heron::sim;
 
 int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
+  bench::JsonReport report("fig12_13_cache_drain");
   HeronCostModel costs;
   const std::vector<double> sweep = {1, 2, 5, 10, 15, 20, 25, 30, 35};
 
@@ -45,6 +46,10 @@ int main(int argc, char** argv) {
       bench::PrintCell(r.tuples_per_min / 1e6);
       bench::PrintCell(r.latency_ms_mean);
       bench::EndRow();
+      const std::string scenario = "p" + std::to_string(p) + "_drain_" +
+                                   std::to_string(static_cast<int>(drain));
+      report.Add(scenario, "tput_mtuples_min", r.tuples_per_min / 1e6);
+      report.Add(scenario, "latency_ms", r.latency_ms_mean);
       if (r.tuples_per_min > peak_tput) {
         peak_tput = r.tuples_per_min;
         peak_at = drain;
@@ -59,5 +64,6 @@ int main(int argc, char** argv) {
         (peak_tput > first_tput && peak_tput > last_tput) ? "CONFIRMED"
                                                           : "NOT OBSERVED");
   }
+  report.Write();
   return 0;
 }

@@ -89,5 +89,13 @@ int main(int argc, char** argv) {
                       100.0 * heron / total, 5.0, 18.0);
   bench::PrintVerdict("Fetch share of total CPU (%)", 100.0 * fetch / total,
                       50.0, 70.0);
+
+  bench::JsonReport report("fig14_resource_breakdown");
+  report.Add("pipeline", "fetch_share_pct", 100.0 * fetch / total);
+  report.Add("pipeline", "user_share_pct", 100.0 * user / total);
+  report.Add("pipeline", "heron_share_pct", 100.0 * heron / total);
+  report.Add("pipeline", "write_share_pct", 100.0 * write / total);
+  report.Add("pipeline", "events_fetched", static_cast<double>(fetched));
+  report.Write();
   return 0;
 }

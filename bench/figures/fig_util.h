@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,53 @@ inline void ParseSmoke(int argc, char** argv) {
 inline bool FastMode() { return std::getenv("HERON_BENCH_FAST") != nullptr; }
 inline double WarmupSec() { return FastMode() ? 0.1 : 0.2; }
 inline double MeasureSec() { return FastMode() ? 0.2 : 0.4; }
+
+/// \brief Machine-readable companion to the human tables: a
+/// {scenario → {metric → value}} map written as `BENCH_<name>.json` so CI
+/// can archive one file per figure and diff the perf trajectory across
+/// PRs. HERON_BENCH_JSON_DIR overrides the output directory (default:
+/// current directory). Keys are sorted (std::map), so reruns of an
+/// unchanged binary produce byte-identical files modulo the values.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& scenario, const std::string& metric,
+           double value) {
+    rows_[scenario][metric] = value;
+  }
+
+  /// Writes BENCH_<name>.json; call once, after the tables are printed.
+  void Write() const {
+    const char* dir = std::getenv("HERON_BENCH_JSON_DIR");
+    const std::string path = (dir != nullptr ? std::string(dir) + "/" : "") +
+                             "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": {", name_.c_str());
+    const char* scen_sep = "\n";
+    for (const auto& [scenario, metrics] : rows_) {
+      std::fprintf(f, "%s    \"%s\": {", scen_sep, scenario.c_str());
+      const char* metric_sep = "";
+      for (const auto& [metric, value] : metrics) {
+        std::fprintf(f, "%s\"%s\": %.6g", metric_sep, metric.c_str(), value);
+        metric_sep = ", ";
+      }
+      std::fprintf(f, "}");
+      scen_sep = ",\n";
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("\n  Machine-readable: %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::map<std::string, double>> rows_;
+};
 
 }  // namespace bench
 }  // namespace heron

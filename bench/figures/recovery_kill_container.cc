@@ -146,6 +146,7 @@ sim::SimResult RunSimOutage(double offline_sec) {
 
 int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
+  bench::JsonReport report("recovery_kill_container");
   Logging::SetLevel(LogLevel::kError);
 
   bench::PrintFigureHeader(
@@ -169,6 +170,10 @@ int main(int argc, char** argv) {
     bench::PrintCellInt(r.failovers);
     bench::EndRow();
     if (!r.ok) std::printf("  (recovery did not complete!)\n");
+    report.Add("live_" + kind, "detect_ms", r.detect_ms);
+    report.Add("live_" + kind, "restore_ms", r.restore_ms);
+    report.Add("live_" + kind, "before_acks_min", r.tput_before);
+    report.Add("live_" + kind, "after_acks_min", r.tput_after);
   }
   std::printf(
       "\n  detect = heartbeat silence until the TMaster declares the "
@@ -192,11 +197,18 @@ int main(int argc, char** argv) {
     bench::PrintCell(r.tput_after_per_min / 1e6);
     bench::PrintCell(r.tuples_per_min / 1e6);
     bench::EndRow();
+    const std::string scenario =
+        "sim_offline_" + std::to_string(static_cast<int>(offline_sec * 1e3)) +
+        "ms";
+    report.Add(scenario, "before_mtuples_min", r.tput_before_per_min / 1e6);
+    report.Add(scenario, "outage_mtuples_min", r.tput_outage_per_min / 1e6);
+    report.Add(scenario, "after_mtuples_min", r.tput_after_per_min / 1e6);
   }
   std::printf(
       "\n  shape: outage throughput collapses while the container is dark "
       "(survivors\n  park its traffic and back-pressure the spouts), then "
       "overshoots briefly as\n  the parked backlog drains after "
       "re-registration.\n");
+  report.Write();
   return 0;
 }

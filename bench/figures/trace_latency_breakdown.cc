@@ -102,6 +102,7 @@ bool SnapshotsAgree(const observability::TopologySnapshot& a,
 
 int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
+  bench::JsonReport report("trace_latency_breakdown");
   Logging::SetLevel(LogLevel::kError);
 
   bench::PrintFigureHeader(
@@ -125,7 +126,9 @@ int main(int argc, char** argv) {
     bench::PrintCell(stage_sum_ms > 0 ? stage.mean_ms / stage_sum_ms * 100.0
                                       : 0);
     bench::EndRow();
+    report.Add("stages", stage.stage + "_ms", stage.mean_ms);
   }
+  report.Add("stages", "end_to_end_ms", trace.mean_end_to_end_ms);
   std::printf(
       "\n  traces %llu (complete %llu)  spans %llu (dropped %llu)\n",
       static_cast<unsigned long long>(trace.traces),
@@ -169,11 +172,14 @@ int main(int argc, char** argv) {
     std::printf("  traced/untraced throughput ratio: %.2f\n",
                 traced.acks_per_min / untraced.acks_per_min);
   }
+  report.Add("overhead", "untraced_acks_min", untraced.acks_per_min);
+  report.Add("overhead", "traced_acks_min", traced.acks_per_min);
 
   const bool telescopes = telescope_err < 1e-3 && trace.complete > 0;
   std::printf("\n  %s\n", telescopes && round_trips
                               ? "OK: breakdown telescopes and the snapshot "
                                 "round-trips"
                               : "FAILED: see panels above");
+  report.Write();
   return telescopes && round_trips ? 0 : 1;
 }

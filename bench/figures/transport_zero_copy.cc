@@ -66,6 +66,7 @@ double MeasureHops(double warmup_sec, double measure_sec, Hop hop) {
 
 int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
+  bench::JsonReport report("transport_zero_copy");
 
   bench::PrintFigureHeader(
       "Transport zero-copy: per-hop routing cost by strategy",
@@ -127,6 +128,12 @@ int main(int argc, char** argv) {
     bench::PrintCell(header_ratio);
     bench::PrintCell(peek_hops / reser_hops);
     bench::EndRow();
+
+    const std::string scenario = "batch_" + std::to_string(tuples);
+    report.Add(scenario, "header_mhops_s", header_hops / 1e6);
+    report.Add(scenario, "peek_mhops_s", peek_hops / 1e6);
+    report.Add(scenario, "reserialize_mhops_s", reser_hops / 1e6);
+    report.Add(scenario, "header_speedup", header_ratio);
   }
 
   std::printf("\n");
@@ -137,5 +144,6 @@ int main(int argc, char** argv) {
       "  size while the reserialize baseline is O(tuples), so the ratio\n"
       "  grows with batch size; the check is that the floor holds.\n");
   (void)sink;
+  report.Write();
   return 0;
 }

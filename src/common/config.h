@@ -77,6 +77,42 @@ inline constexpr char kContainerDiskMbHint[] = "heron.packing.container.disk.mb"
 inline constexpr char kInstanceCpuDefault[] = "heron.packing.instance.cpu";
 inline constexpr char kInstanceRamMbDefault[] = "heron.packing.instance.ram.mb";
 inline constexpr char kNumContainersHint[] = "heron.packing.num.containers";
+/// MCTS packing (heron.packing.algorithm = MCTS): search budget in
+/// simulations per decision, UCT exploration constant, and the RNG seed
+/// (the search is deterministic for a fixed seed — two-universe tests
+/// depend on it).
+inline constexpr char kMctsIterations[] = "heron.packing.mcts.iterations";
+inline constexpr char kMctsExploration[] = "heron.packing.mcts.exploration";
+inline constexpr char kMctsSeed[] = "heron.packing.mcts.seed";
+/// Per-instance emit rate hint (tuples/sec) weighing a component's output
+/// edges in the MCTS cost function: heron.packing.mcts.rate.<component>.
+/// Unset components default to a uniform rate.
+inline constexpr char kMctsRatePrefix[] = "heron.packing.mcts.rate.";
+
+// Auto-scaling (the TMaster's ScalingPolicyEngine, riding the monitor
+// tick; requires the monitor and the metrics cache).
+/// Master switch; off by default — scaling restarts containers.
+inline constexpr char kScalingEnabled[] = "heron.scaling.enabled";
+/// Fraction of a metrics window a topology may spend under backpressure
+/// before the window counts as hot.
+inline constexpr char kScalingBackpressureRatio[] =
+    "heron.scaling.backpressure.ratio";
+/// Per-task throughput skew (max/mean within a component) above which a
+/// window counts as hot. 0 disables the skew detector.
+inline constexpr char kScalingSkewThreshold[] = "heron.scaling.skew.threshold";
+/// p90 complete-latency rise (newest window / rolling baseline) above
+/// which a window counts as hot. 0 disables the latency detector.
+inline constexpr char kScalingLatencyRise[] = "heron.scaling.latency.rise";
+/// Consecutive hot windows before the engine fires (hysteresis: one
+/// healthy window resets the streak).
+inline constexpr char kScalingHotWindows[] = "heron.scaling.hot.windows";
+/// Quiet period after a repack during which no new decision fires.
+inline constexpr char kScalingCooldownMs[] = "heron.scaling.cooldown.ms";
+/// Parallelism multiplier per scale-up (ceil; always grows by >= 1).
+inline constexpr char kScalingFactor[] = "heron.scaling.factor";
+/// Hard per-component parallelism ceiling for engine decisions.
+inline constexpr char kScalingMaxParallelism[] =
+    "heron.scaling.max.parallelism";
 
 // Scheduler.
 inline constexpr char kSchedulerKind[] = "heron.scheduler.kind";
@@ -142,6 +178,16 @@ inline constexpr char kBackpressureHighWater[] =
 /// (kStopBackpressure). 0 = half the high watermark (hysteresis default).
 inline constexpr char kBackpressureLowWater[] =
     "heron.streammgr.backpressure.lowwater";
+/// Capacity (envelopes) of each Heron Instance's inbound queue. A slow
+/// instance fills it; the SMGR's undeliverable sends then park in the
+/// retry queue, which is what the backpressure watermarks measure.
+inline constexpr char kInstanceInboundCapacity[] =
+    "heron.instance.inbound.capacity";
+/// Tuples an instance's outbox packs per data envelope before handing it
+/// to the SMGR. 1 = per-tuple envelopes (every queued tuple is visible
+/// to channel capacities and the backpressure watermarks).
+inline constexpr char kInstanceEmitBatchTuples[] =
+    "heron.instance.emit.batch.tuples";
 
 // Metrics manager.
 inline constexpr char kMetricsCollectIntervalMs[] =

@@ -27,10 +27,19 @@ double LastOr(const std::map<std::string, double>& samples,
   return it == samples.end() ? fallback : it->second;
 }
 
+/// Counter delta across the window, reset-aware. A restarted process
+/// comes back with its counters at zero, so `last < first` for the same
+/// source means the counter was reborn mid-window — the plain difference
+/// would be negative, poisoning throughput and every scaling decision
+/// downstream. The pre-reset run-up is unknowable from two samples; the
+/// post-reset value is a correct lower bound on the work done this
+/// window, so rebase the delta to it.
 double Delta(const std::map<std::string, double>& first,
              const std::map<std::string, double>& last,
              const std::string& name) {
-  return LastOr(last, name, 0) - LastOr(first, name, 0);
+  const double begin = LastOr(first, name, 0);
+  const double end = LastOr(last, name, 0);
+  return end >= begin ? end - begin : end;
 }
 
 }  // namespace
@@ -236,6 +245,20 @@ std::vector<ComponentRollup> MetricsCache::ComponentRollups() const {
   const Window* w = NewestWindowLocked();
   if (w == nullptr) return {};
   return RollupsLocked(*w);
+}
+
+std::map<TaskId, double> MetricsCache::PerTaskProcessedDelta() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<TaskId, double> out;
+  const Window* w = NewestWindowLocked();
+  if (w == nullptr) return out;
+  for (const auto& [source, sw] : w->sources) {
+    const int task = SourceTask(source);
+    if (task < 0) continue;
+    out[task] = Delta(sw.first, sw.last, "instance.executed") +
+                Delta(sw.first, sw.last, "instance.emitted");
+  }
+  return out;
 }
 
 ComponentRollup MetricsCache::TopologyRollup() const {

@@ -100,6 +100,9 @@ class MetricsCache final : public metrics::IMetricsSink {
   std::vector<ComponentRollup> ComponentRollups() const;
   /// Topology-level rollup over the newest window with data.
   ComponentRollup TopologyRollup() const;
+  /// Per-task processed deltas (executed + emitted, reset-rebased) over
+  /// the newest window with data — the scaling engine's skew signal.
+  std::map<TaskId, double> PerTaskProcessedDelta() const;
 
   /// Writes the current rollups to the state tree now (no-op without a
   /// publish target or topology).

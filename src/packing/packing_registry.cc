@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "packing/first_fit_decreasing_packing.h"
+#include "packing/mcts_packing.h"
 #include "packing/resource_compliant_rr_packing.h"
 #include "packing/round_robin_packing.h"
 
@@ -17,6 +18,9 @@ PackingRegistry::PackingRegistry() {
   });
   factories_.emplace_back("RESOURCE_COMPLIANT_RR", [] {
     return std::make_unique<ResourceCompliantRRPacking>();
+  });
+  factories_.emplace_back("MCTS", [] {
+    return std::make_unique<MctsPacking>();
   });
 }
 

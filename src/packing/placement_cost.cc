@@ -1,0 +1,116 @@
+#include "packing/placement_cost.h"
+
+#include <algorithm>
+
+#include "common/config.h"
+
+namespace heron {
+namespace packing {
+
+std::map<ComponentId, double> ComponentRatesFromConfig(
+    const api::Topology& topology, const Config& config) {
+  std::map<ComponentId, double> rates;
+  for (const api::ComponentDef& def : topology.components()) {
+    rates[def.id] = config.GetDoubleOr(
+        std::string(config_keys::kMctsRatePrefix) + def.id, 1.0);
+  }
+  return rates;
+}
+
+PlacementCost EvaluatePlacement(const api::Topology& topology,
+                                const PackingPlan& plan,
+                                const std::map<ComponentId, double>& rates,
+                                const PackingPlan* previous,
+                                const PlacementCostWeights& weights) {
+  PlacementCost cost;
+
+  // task → container, and component → (container of each task) maps, built
+  // once — the edge walk below is per (producer instance × edge), so keep
+  // its inner loop a lookup, not a scan.
+  std::map<TaskId, ContainerId> task_container;
+  std::map<ComponentId, std::vector<std::pair<TaskId, ContainerId>>>
+      component_tasks;
+  for (const ContainerPlan& c : plan.containers()) {
+    for (const InstancePlan& i : c.instances) {
+      task_container[i.task_id] = c.id;
+      component_tasks[i.component].emplace_back(i.task_id, c.id);
+    }
+  }
+  for (auto& [_, tasks] : component_tasks) std::sort(tasks.begin(), tasks.end());
+
+  const auto rate_of = [&rates](const ComponentId& id) {
+    const auto it = rates.find(id);
+    return it == rates.end() ? 1.0 : it->second;
+  };
+
+  // Every subscribed edge, from the consumer side (inputs list the DAG).
+  for (const api::ComponentDef& consumer : topology.components()) {
+    const auto consumers_it = component_tasks.find(consumer.id);
+    if (consumers_it == component_tasks.end()) continue;
+    const auto& consumer_tasks = consumers_it->second;
+    if (consumer_tasks.empty()) continue;
+    for (const api::InputSpec& input : consumer.inputs) {
+      const auto producers_it = component_tasks.find(input.source);
+      if (producers_it == component_tasks.end()) continue;
+      const double rate = rate_of(input.source);
+      for (const auto& [ptask, pcontainer] : producers_it->second) {
+        (void)ptask;
+        double cross_fraction = 0;
+        switch (input.grouping) {
+          case api::GroupingKind::kAll:
+            // Every consumer task receives a copy.
+            for (const auto& [_, ccontainer] : consumer_tasks) {
+              if (ccontainer != pcontainer) cross_fraction += 1.0;
+            }
+            break;
+          case api::GroupingKind::kGlobal:
+            // Everything lands on the lowest consumer task.
+            if (consumer_tasks.front().second != pcontainer) {
+              cross_fraction = 1.0;
+            }
+            break;
+          default: {
+            // Shuffle/fields/custom spread uniformly over consumer tasks
+            // (fields is uniform in expectation for a balanced key space —
+            // the skew case is the rate hint's job, not the grouping's).
+            int remote = 0;
+            for (const auto& [_, ccontainer] : consumer_tasks) {
+              if (ccontainer != pcontainer) ++remote;
+            }
+            cross_fraction =
+                static_cast<double>(remote) / consumer_tasks.size();
+            break;
+          }
+        }
+        cost.inter_container_tps += rate * cross_fraction;
+      }
+    }
+  }
+
+  // CPU imbalance: max/mean of instance CPU load per container.
+  if (plan.NumContainers() > 1) {
+    double max_cpu = 0, total_cpu = 0;
+    for (const ContainerPlan& c : plan.containers()) {
+      const double cpu = c.InstanceTotal().cpu;
+      max_cpu = std::max(max_cpu, cpu);
+      total_cpu += cpu;
+    }
+    const double mean = total_cpu / plan.NumContainers();
+    if (mean > 0) cost.cpu_imbalance = max_cpu / mean - 1.0;
+  }
+
+  if (previous != nullptr) {
+    for (const auto& [task, container] : task_container) {
+      const ContainerPlan* was = previous->FindContainerOfTask(task);
+      if (was != nullptr && was->id != container) ++cost.moved_instances;
+    }
+  }
+
+  cost.total = weights.traffic_ns_per_tuple * cost.inter_container_tps +
+               weights.imbalance_penalty_ns * cost.cpu_imbalance +
+               weights.disruption_per_move_ns * cost.moved_instances;
+  return cost;
+}
+
+}  // namespace packing
+}  // namespace heron

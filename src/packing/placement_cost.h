@@ -1,0 +1,65 @@
+#ifndef HERON_PACKING_PLACEMENT_COST_H_
+#define HERON_PACKING_PLACEMENT_COST_H_
+
+#include <map>
+
+#include "api/topology.h"
+#include "common/config.h"
+#include "packing/packing_plan.h"
+
+namespace heron {
+namespace packing {
+
+/// \brief Weights of the placement objective the search-based packers
+/// (MCTS) minimize. Defaults derive from the DES HeronCostModel so "cost"
+/// reads as nanoseconds of data-plane work per second of topology runtime
+/// — the same currency the simulator charges.
+struct PlacementCostWeights {
+  /// ns of network work per tuple that crosses a container boundary
+  /// (per-tuple wire time plus the per-batch latency amortized over a
+  /// full tuple cache batch).
+  double traffic_ns_per_tuple = 64.0;
+  /// Penalty (ns/sec) per unit of CPU imbalance (max/mean − 1) across
+  /// containers: a skewed placement turns one container into the
+  /// backpressure initiator for the whole topology.
+  double imbalance_penalty_ns = 100000.0;
+  /// Penalty (ns/sec, amortized) per instance a repack moves out of its
+  /// current container — each move is a checkpoint-restore cycle.
+  double disruption_per_move_ns = 50000.0;
+};
+
+/// \brief EvaluatePlacement's itemized result.
+struct PlacementCost {
+  /// Tuples/sec crossing container boundaries under the rate model.
+  double inter_container_tps = 0;
+  /// max/mean container CPU load − 1 (0 = perfectly balanced).
+  double cpu_imbalance = 0;
+  /// Instances whose container differs from `previous` (0 without one).
+  int moved_instances = 0;
+  /// Weighted objective the packers minimize.
+  double total = 0;
+};
+
+/// Per-instance emit rates (tuples/sec) for every component, read from
+/// heron.packing.mcts.rate.<component>; components without a hint get
+/// 1.0, so with no hints at all the objective degrades to minimizing
+/// *edge crossings*, which is still the right shape.
+std::map<ComponentId, double> ComponentRatesFromConfig(
+    const api::Topology& topology, const Config& config);
+
+/// Scores `plan` against the topology DAG: walks every subscribed edge,
+/// splits each producer instance's emit rate across consumer tasks by
+/// grouping semantics (shuffle/fields spread uniformly, global pins to
+/// the lowest task, all duplicates per consumer) and charges the fraction
+/// that lands outside the producer's container. `previous` (nullable)
+/// adds the moved-instance disruption term for repacks.
+PlacementCost EvaluatePlacement(const api::Topology& topology,
+                                const PackingPlan& plan,
+                                const std::map<ComponentId, double>& rates,
+                                const PackingPlan* previous,
+                                const PlacementCostWeights& weights);
+
+}  // namespace packing
+}  // namespace heron
+
+#endif  // HERON_PACKING_PLACEMENT_COST_H_

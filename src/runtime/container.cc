@@ -73,6 +73,10 @@ Status Container::StartInternal(bool step_mode) {
     options.acking = smgr_options.acking;
     options.max_spout_pending =
         config_.GetIntOr(config_keys::kMaxSpoutPending, 0);
+    options.inbound_capacity = static_cast<size_t>(
+        config_.GetIntOr(config_keys::kInstanceInboundCapacity, 1 << 16));
+    options.emit_batch_tuples = static_cast<size_t>(
+        config_.GetIntOr(config_keys::kInstanceEmitBatchTuples, 64));
     options.seed = 1000 + static_cast<uint64_t>(inst.task_id);
     options.trace_sample_inverse =
         config_.GetIntOr(config_keys::kTraceSampleInverse, 0);

@@ -11,6 +11,7 @@
 #include "frameworks/marathon_like_framework.h"
 #include "frameworks/slurm_like_framework.h"
 #include "frameworks/yarn_like_framework.h"
+#include "smgr/stream_manager.h"
 
 namespace heron {
 namespace runtime {
@@ -42,14 +43,23 @@ Status LocalCluster::BuildAndInstallPhysicalPlan(
     const packing::PackingPlan& plan) {
   HERON_ASSIGN_OR_RETURN(auto physical,
                          proto::PhysicalPlan::Build(topology_, plan));
-  // Keep the metrics cache's task → component attribution in lockstep
-  // with the plan (scaling changes it).
-  if (metrics_cache_ != nullptr) {
-    std::map<TaskId, ComponentId> task_component;
-    for (const TaskId task : physical->all_tasks()) {
-      const api::ComponentDef* def = physical->ComponentOfTask(task);
-      if (def != nullptr) task_component[task] = def->id;
+  // Keep the metrics cache's (and scaling engine's) task → component
+  // attribution in lockstep with the plan (scaling changes it).
+  std::map<TaskId, ComponentId> task_component;
+  for (const TaskId task : physical->all_tasks()) {
+    const api::ComponentDef* def = physical->ComponentOfTask(task);
+    if (def != nullptr) task_component[task] = def->id;
+  }
+  if (scaling_engine_ != nullptr) {
+    // Only bolts are scalable: backpressure throttles the spouts, so
+    // growing spout parallelism feeds the fire instead of relieving it.
+    std::vector<ComponentId> bolts;
+    for (const api::ComponentDef& def : topology_->components()) {
+      if (def.kind == api::ComponentKind::kBolt) bolts.push_back(def.id);
     }
+    scaling_engine_->SetScalableComponents(std::move(bolts), task_component);
+  }
+  if (metrics_cache_ != nullptr) {
     metrics_cache_->SetTopology(topology_->name(), std::move(task_component));
   }
   std::lock_guard<std::mutex> lock(mutex_);
@@ -189,6 +199,23 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
     span_collectors_.clear();
   }
 
+  // 4c. Auto-scaling: the policy engine rides the monitor tick, judging
+  //     each completed metrics-cache window and driving the exactly-once
+  //     repack rollout when a component runs sustained-hot.
+  const tmaster::ScalingPolicyEngine::Options scaling_options =
+      tmaster::ScalingPolicyEngine::Options::FromConfig(topology->name(),
+                                                        merged_config_);
+  if (scaling_options.enabled) {
+    scaling_engine_ = std::make_unique<tmaster::ScalingPolicyEngine>(
+        scaling_options, metrics_cache_.get(), &state_, clock_);
+    scaling_engine_->SetExecute(
+        [this](const ComponentId& component, int new_parallelism) {
+          return ScaleWithRollback(component, new_parallelism);
+        });
+  } else {
+    scaling_engine_.reset();
+  }
+
   // 5. Physical plan, then Scheduler starts every container.
   HERON_RETURN_NOT_OK(BuildAndInstallPhysicalPlan(plan));
   if (checkpoint_coordinator_ != nullptr) {
@@ -283,6 +310,7 @@ Status LocalCluster::Kill() {
 Status LocalCluster::Scale(const ComponentId& component,
                            int new_parallelism) {
   if (!running()) return Status::FailedPrecondition("nothing running");
+  const packing::PackingPlan old_packing = current_packing_plan();
 
   // TMaster coordinates the repack (§IV-A) and publishes the plan.
   HERON_ASSIGN_OR_RETURN(
@@ -312,6 +340,24 @@ Status LocalCluster::Scale(const ComponentId& component,
     checkpoint_coordinator_->SetPlan(physical_plan());
   }
 
+  // Plan-change hygiene for removed containers that are *already dead*
+  // (hard-killed, not yet recovered): the graceful StopContainer below
+  // will answer NotFound for them, so nothing else would ever stop
+  // expecting their heartbeats, clear their recovery marker, or release
+  // the throttle refs their SMGR stranded on survivors mid-episode.
+  for (const auto& c : old_packing.containers()) {
+    if (new_plan.FindContainer(c.id) != nullptr) continue;
+    bool was_failed = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      was_failed = failed_containers_.erase(c.id) > 0;
+    }
+    if (was_failed) {
+      tmaster_->ForgetContainer(c.id).ok();
+      smgr::AnnounceInitiatorRemoved(&transport_, c.id);
+    }
+  }
+
   // Scheduler applies the container diff (§IV-B onUpdate): stops removed,
   // starts added (on the new plan).
   HERON_RETURN_NOT_OK(
@@ -322,6 +368,99 @@ Status LocalCluster::Scale(const ComponentId& component,
     const packing::ContainerPlan* c = new_plan.FindContainer(id);
     HERON_RETURN_NOT_OK(StartContainer(*c));
   }
+  return Status::OK();
+}
+
+Status LocalCluster::ScaleWithRollback(const ComponentId& component,
+                                       int new_parallelism) {
+  if (!running()) return Status::FailedPrecondition("nothing running");
+  if (checkpoint_coordinator_ == nullptr || !checkpoint_exactly_once_) {
+    // Without exactly-once checkpointing there is no epoch to roll back
+    // to; the plain scale path (at-least-once ack-replay) applies.
+    return Scale(component, new_parallelism);
+  }
+  const packing::PackingPlan old_plan = current_packing_plan();
+
+  // 1. Freeze the checkpoint epoch: abort the in-flight checkpoint (its
+  //    task set is about to change) and pick the restore target.
+  const uint64_t restore_id = checkpoint_coordinator_->latest_complete();
+  checkpoint_coordinator_->AbortInFlight();
+  HLOG(WARNING) << "scaling '" << component << "' to " << new_parallelism
+                << " via rollback to checkpoint " << restore_id;
+
+  // 2. TMaster coordinates the repack and publishes the plan; the
+  //    topology object follows so the physical plan validates.
+  HERON_ASSIGN_OR_RETURN(
+      packing::PackingPlan new_plan,
+      tmaster_->ScaleTopology(packing_.get(), {{component, new_parallelism}}));
+  HERON_ASSIGN_OR_RETURN(
+      api::Topology scaled,
+      topology_->WithParallelism(component, new_parallelism));
+  topology_ = std::make_shared<const api::Topology>(std::move(scaled));
+
+  // 3. Halt every live container — the global rollback contract: tuples
+  //    in flight past the checkpoint are of the doomed epoch and must be
+  //    discarded, not drained onto a plan that no longer routes them.
+  //    Halted incumbents join failed_containers_ so their replacements
+  //    register as recovered incarnations.
+  std::vector<ContainerId> halted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_restore_ckpt_ = restore_id;
+    ++checkpoint_epoch_;
+    for (const auto& [id, _] : containers_) halted.push_back(id);
+  }
+  for (const ContainerId id : halted) {
+    std::unique_ptr<Container> victim;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = containers_.find(id);
+      if (it == containers_.end()) continue;
+      victim = std::move(it->second);
+      containers_.erase(it);
+      failed_containers_.insert(id);
+    }
+    victim->Fail();
+  }
+
+  // 4. Swap the plan everywhere: physical plan (+ metrics cache and
+  //    scaling-engine attribution) and the coordinator's completion fence.
+  HERON_RETURN_NOT_OK(BuildAndInstallPhysicalPlan(new_plan));
+  checkpoint_coordinator_->SetPlan(physical_plan());
+
+  // 5. Plan-change hygiene for containers the repack removed: stop
+  //    expecting their heartbeats, clear their recovery marker (they will
+  //    never restart, so a later same-id container must not boot as a
+  //    recovered incarnation), and broadcast kStop on their behalf so no
+  //    registered SMGR keeps a throttle ref a vanished initiator can
+  //    never release.
+  for (const auto& c : old_plan.containers()) {
+    if (new_plan.FindContainer(c.id) != nullptr) continue;
+    tmaster_->ForgetContainer(c.id).ok();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      failed_containers_.erase(c.id);
+    }
+    smgr::AnnounceInitiatorRemoved(&transport_, c.id);
+  }
+
+  // 6. Scheduler applies the diff (repack-added containers start now,
+  //    their instances cold — MaybeRestore tolerates tasks the checkpoint
+  //    never knew), then the halted incumbents restart on the new plan;
+  //    StartContainer hands every one the restore id and the new epoch,
+  //    and the spouts re-emit the post-checkpoint suffix onto the new
+  //    routing tables.
+  HERON_RETURN_NOT_OK(scheduler_->OnUpdate({topology_->name(), new_plan}));
+  for (const ContainerId id : halted) {
+    const packing::ContainerPlan* c = new_plan.FindContainer(id);
+    if (c == nullptr) continue;  // Removed by the repack.
+    HERON_RETURN_NOT_OK(StartContainer(*c));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_restore_ckpt_ = 0;
+  }
+  checkpoint_restores_->Increment();
   return Status::OK();
 }
 
@@ -392,6 +531,11 @@ void LocalCluster::MonitorTick() {
   }
   if (checkpoint_coordinator_ != nullptr && running()) {
     checkpoint_coordinator_->Tick(clock_->NowNanos());
+  }
+  if (scaling_engine_ != nullptr && running()) {
+    // After liveness and checkpoint rounds: a scaling decision must see
+    // the cluster's settled state, and its rollout reuses both paths.
+    scaling_engine_->Tick();
   }
 }
 

@@ -20,6 +20,7 @@
 #include "scheduler/local_scheduler.h"
 #include "statemgr/in_memory_state_manager.h"
 #include "tmaster/checkpoint_coordinator.h"
+#include "tmaster/scaling_policy_engine.h"
 #include "tmaster/tmaster.h"
 
 namespace heron {
@@ -85,6 +86,18 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   /// repack → §IV-B onUpdate). Containers restart on the new plan.
   Status Scale(const ComponentId& component, int new_parallelism);
 
+  /// Exactly-once Scale: rolls the repacked plan out through the
+  /// checkpoint-rollback machinery so no tuple trees are lost. Aborts the
+  /// in-flight checkpoint, halts every container (post-checkpoint
+  /// in-flight data is of the doomed epoch), swaps the plan, and restarts
+  /// everything with the latest complete checkpoint as the restore
+  /// target — new instances the repack added start cold, survivors
+  /// restore their snapshots, and the spouts deterministically re-emit
+  /// the post-checkpoint suffix onto the *new* routing tables. This is
+  /// the ScalingPolicyEngine's executor. Falls back to plain Scale()
+  /// when checkpointing is off or not exactly-once.
+  Status ScaleWithRollback(const ComponentId& component, int new_parallelism);
+
   /// Restarts one container (all its Heron processes).
   Status RestartContainer(ContainerId id);
 
@@ -122,6 +135,10 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   /// > 0 or heron.checkpoint.mode == "exactly-once").
   tmaster::CheckpointCoordinator* checkpoint_coordinator() {
     return checkpoint_coordinator_.get();
+  }
+  /// Null unless auto-scaling is enabled (heron.scaling.enabled).
+  tmaster::ScalingPolicyEngine* scaling_engine() {
+    return scaling_engine_.get();
   }
   /// Test hook: triggers a checkpoint immediately (threaded or step
   /// mode); returns its id, 0 when checkpointing is off or one is
@@ -219,6 +236,9 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   std::unique_ptr<tmaster::TopologyMaster> tmaster_;
   /// Non-null while checkpointing is enabled for the running topology.
   std::unique_ptr<tmaster::CheckpointCoordinator> checkpoint_coordinator_;
+  /// Non-null while auto-scaling is enabled; rides the monitor tick after
+  /// liveness and checkpoint rounds.
+  std::unique_ptr<tmaster::ScalingPolicyEngine> scaling_engine_;
   /// heron.checkpoint.mode == "exactly-once": container death triggers
   /// the global checkpoint rollback instead of ack-replay recovery.
   bool checkpoint_exactly_once_ = false;

@@ -129,7 +129,12 @@ Status LocalScheduler::OnUpdate(const UpdateTopologyRequest& request) {
 
   for (const auto& c : old_plan.containers()) {
     if (new_ids.count(c.id) == 0) {
-      HERON_RETURN_NOT_OK(launcher_->StopContainer(c.id));
+      // A removed container may already be down — the exactly-once scaling
+      // path halts every container before applying the plan diff — so the
+      // stop side mirrors OnContainerDead: NotFound is an answer, not an
+      // error.
+      const Status stop = launcher_->StopContainer(c.id);
+      if (!stop.ok() && !stop.IsNotFound()) return stop;
     }
   }
   for (const auto& c : request.new_plan.containers()) {

@@ -148,6 +148,15 @@ std::string CheckpointTask(const std::string& topology, uint64_t ckpt_id,
                    static_cast<unsigned long long>(ckpt_id), task);
 }
 
+std::string Scaling(const std::string& topology) {
+  return "/topologies/" + topology + "/scaling";
+}
+
+std::string ScalingDecision(const std::string& topology, uint64_t seq) {
+  return StrFormat("/topologies/%s/scaling/%llu", topology.c_str(),
+                   static_cast<unsigned long long>(seq));
+}
+
 }  // namespace paths
 
 Result<std::unique_ptr<IStateManager>> CreateStateManager(

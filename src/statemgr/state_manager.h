@@ -147,6 +147,12 @@ std::string Checkpoint(const std::string& topology, uint64_t ckpt_id);
 /// One task's snapshot inside a checkpoint.
 std::string CheckpointTask(const std::string& topology, uint64_t ckpt_id,
                            int task);
+/// Parent of the ScalingPolicyEngine's published decision records; its
+/// node data holds the sequence number of the latest decision.
+std::string Scaling(const std::string& topology);
+/// One scaling decision record (JSON: trigger signals, component, old and
+/// new parallelism, packing algorithm, outcome).
+std::string ScalingDecision(const std::string& topology, uint64_t seq);
 }  // namespace paths
 
 /// \brief Instantiates the backend named by `heron.statemgr.kind`

@@ -21,6 +21,7 @@ CheckpointCoordinator::CheckpointCoordinator(const Options& options,
 void CheckpointCoordinator::SetPlan(
     std::shared_ptr<const proto::PhysicalPlan> plan) {
   std::lock_guard<std::mutex> lock(mutex_);
+  ++plan_epoch_;
   if (in_flight_ != 0) AbortInFlightLocked();
   plan_ = std::move(plan);
 }
@@ -49,17 +50,20 @@ void CheckpointCoordinator::Tick(int64_t now_nanos) {
 }
 
 uint64_t CheckpointCoordinator::TriggerNow() {
-  std::shared_ptr<const proto::PhysicalPlan> plan;
-  uint64_t id = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (plan_ == nullptr || in_flight_ != 0) return 0;
-    plan = plan_;
-    id = next_ckpt_id_++;
-    in_flight_ = id;
-    last_trigger_nanos_ = clock_->NowNanos();
-    ++triggered_;
-  }
+  // The whole trigger — id allocation, tree creation, barrier injection —
+  // runs under the lock. The old unlocked middle section could be raced
+  // by SetPlan: the abort would delete the checkpoint tree, and the
+  // trigger would then resurrect it and inject barriers for a plan that
+  // no longer exists. Nothing called here re-enters the coordinator, so
+  // holding the lock is safe.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (plan_ == nullptr || in_flight_ != 0) return 0;
+  const std::shared_ptr<const proto::PhysicalPlan> plan = plan_;
+  const uint64_t id = next_ckpt_id_++;
+  in_flight_ = id;
+  in_flight_plan_ = plan;
+  last_trigger_nanos_ = clock_->NowNanos();
+  ++triggered_;
   // The checkpoint's parent node must exist before any task writes its
   // snapshot (CreateNode requires parents); EnsurePath also covers the
   // very first checkpoint creating /topologies/<t>/checkpoints itself.
@@ -68,8 +72,8 @@ uint64_t CheckpointCoordinator::TriggerNow() {
   if (!st.ok()) {
     HLOG(ERROR) << "checkpoint " << id
                 << ": cannot create tree: " << st.ToString();
-    std::lock_guard<std::mutex> lock(mutex_);
     in_flight_ = 0;
+    in_flight_plan_.reset();
     ++aborted_;
     return 0;
   }
@@ -100,12 +104,18 @@ uint64_t CheckpointCoordinator::TriggerNow() {
 }
 
 void CheckpointCoordinator::PollCompletionLocked() {
-  if (plan_ == nullptr || in_flight_ == 0) return;
+  if (in_flight_plan_ == nullptr || in_flight_ == 0) return;
   const std::string path =
       statemgr::paths::Checkpoint(options_.topology, in_flight_);
   const auto children = state_->ListChildren(path);
   if (!children.ok()) return;
-  if (children->size() < static_cast<size_t>(plan_->num_tasks())) return;
+  // Completion is fenced to the plan that triggered the checkpoint. A
+  // plan swapped in mid-flight (scaling down, say) must never let a
+  // partial old-epoch snapshot set pass for "globally complete" — a
+  // restore from it would bring tasks up with state missing.
+  if (children->size() < static_cast<size_t>(in_flight_plan_->num_tasks())) {
+    return;
+  }
   // Globally complete: publish, then garbage-collect superseded trees.
   state_->SetNodeData(path, "complete").ok();
   statemgr::EnsurePath(state_,
@@ -116,6 +126,7 @@ void CheckpointCoordinator::PollCompletionLocked() {
   const uint64_t done = in_flight_;
   latest_complete_ = done;
   in_flight_ = 0;
+  in_flight_plan_.reset();
   ++completed_;
   const auto ids = state_->ListChildren(
       statemgr::paths::Checkpoints(options_.topology));
@@ -145,7 +156,13 @@ void CheckpointCoordinator::AbortInFlightLocked() {
       state_, statemgr::paths::Checkpoint(options_.topology, in_flight_))
       .ok();
   in_flight_ = 0;
+  in_flight_plan_.reset();
   ++aborted_;
+}
+
+uint64_t CheckpointCoordinator::plan_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_epoch_;
 }
 
 uint64_t CheckpointCoordinator::latest_complete() const {

@@ -50,8 +50,11 @@ class CheckpointCoordinator {
   CheckpointCoordinator(const Options& options, statemgr::IStateManager* state,
                         smgr::Transport* transport, const Clock* clock);
 
-  /// Installs (or replaces, after scaling) the plan completion is counted
-  /// against. Aborts any in-flight checkpoint: its task set changed.
+  /// Installs (or replaces, after scaling) the plan new checkpoints are
+  /// counted against. Bumps the plan epoch and aborts any in-flight
+  /// checkpoint: its task set changed, so it must never be judged
+  /// complete against the new (possibly smaller) plan and restored with
+  /// tasks missing.
   void SetPlan(std::shared_ptr<const proto::PhysicalPlan> plan);
 
   /// One coordinator round: polls the in-flight checkpoint for global
@@ -76,10 +79,14 @@ class CheckpointCoordinator {
   uint64_t triggered() const;
   uint64_t completed() const;
   uint64_t aborted() const;
+  /// Plan installations so far; checkpoints are fenced to the epoch that
+  /// triggered them.
+  uint64_t plan_epoch() const;
 
  private:
-  /// Checks the in-flight tree for one-child-per-task; on completion
-  /// publishes the id and garbage-collects superseded trees.
+  /// Checks the in-flight tree for one-child-per-task *of the plan that
+  /// triggered the checkpoint*; on completion publishes the id and
+  /// garbage-collects superseded trees.
   void PollCompletionLocked();
   void AbortInFlightLocked();
 
@@ -90,6 +97,14 @@ class CheckpointCoordinator {
 
   mutable std::mutex mutex_;
   std::shared_ptr<const proto::PhysicalPlan> plan_;
+  /// Bumped by every SetPlan. The in-flight checkpoint remembers the
+  /// epoch (and plan snapshot) it was triggered under, so completion is
+  /// never counted against a plan installed later.
+  uint64_t plan_epoch_ = 0;
+  /// The plan the in-flight checkpoint was triggered against (null when
+  /// nothing is in flight). SetPlan aborts in-flight work, but the fence
+  /// keeps a racing completion poll honest regardless.
+  std::shared_ptr<const proto::PhysicalPlan> in_flight_plan_;
   uint64_t next_ckpt_id_ = 1;
   uint64_t in_flight_ = 0;
   uint64_t latest_complete_ = 0;

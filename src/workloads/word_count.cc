@@ -1,6 +1,7 @@
 #include "workloads/word_count.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "api/context.h"
 #include "common/strings.h"
@@ -131,6 +132,16 @@ void WordSpout::RestoreState(std::string_view state) {
   inflight_.clear();
   replay_queue_.clear();
   replay_pending_.clear();
+}
+
+void CountBolt::BurnCpu() const {
+  // Busy spin on the steady clock: the artificial work must consume the
+  // instance thread like real user logic would — a sleep yields the core
+  // and never builds the queue depth backpressure needs.
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(delay_us_);
+  while (std::chrono::steady_clock::now() < until) {
+  }
 }
 
 void CountBolt::SnapshotState(std::string* out) {

@@ -134,6 +134,12 @@ class WordSpout final : public api::IStatefulSpout {
   std::unordered_set<int64_t> replay_pending_;
 };
 
+/// Per-tuple artificial work in CountBolt::Execute, microseconds (busy
+/// spin, so the cost is CPU like real user logic, not a scheduler yield).
+/// 0 = off. The auto-scaling tests use it to make the bolt a genuine
+/// bottleneck that trips real backpressure under load.
+inline constexpr char kCountBoltDelayUs[] = "heron.workload.count.delay.us";
+
 /// \brief The counting bolt: tallies words and acks every input.
 ///
 /// Stateful-bolt surface: the word→count table snapshots in sorted order
@@ -145,11 +151,13 @@ class CountBolt final : public api::IStatefulBolt {
   void Prepare(const Config& config, api::TopologyContext* context,
                api::IBoltOutputCollector* collector) override {
     collector_ = collector;
+    delay_us_ = config.GetIntOr(kCountBoltDelayUs, 0);
   }
 
   void Execute(const api::Tuple& input) override {
     ++counts_[input.GetString(0)];
     ++executed_;
+    if (delay_us_ > 0) BurnCpu();
     collector_->Ack(input);
   }
 
@@ -162,9 +170,12 @@ class CountBolt final : public api::IStatefulBolt {
   }
 
  private:
+  void BurnCpu() const;
+
   api::IBoltOutputCollector* collector_ = nullptr;
   std::unordered_map<std::string, uint64_t> counts_;
   uint64_t executed_ = 0;
+  int64_t delay_us_ = 0;
 };
 
 /// \brief Assembles the WordCount topology at the given parallelism:

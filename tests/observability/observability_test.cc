@@ -260,6 +260,39 @@ TEST_F(MetricsCacheTest, RetainsAtMostMaxWindows) {
   EXPECT_DOUBLE_EQ(rollups[0].processed_total, 50);
 }
 
+TEST_F(MetricsCacheTest, CounterResetAcrossRestartRebasesInsteadOfGoingNegative) {
+  // A task flushes cumulative counters, dies mid-window, and its fresh
+  // incarnation starts counting from zero. The window delta used to come
+  // out negative (end - begin with end < begin), which poisoned the
+  // throughput rollup the scaling policy reads. A reset must rebase: the
+  // post-restart count IS the progress since the reset.
+  FlushTask(0, 1000, 0, 1'100'000'000);  // Cumulative 1000 before the kill.
+  FlushTask(0, 50, 0, 1'700'000'000);    // Restarted: cumulative starts over.
+
+  const auto rollups = cache_.ComponentRollups();
+  ASSERT_EQ(rollups.size(), 1u);
+  EXPECT_EQ(rollups[0].component, "word");
+  EXPECT_GE(rollups[0].processed_delta, 0.0);
+  EXPECT_DOUBLE_EQ(rollups[0].processed_delta, 50);
+  EXPECT_GE(rollups[0].throughput_tps, 0.0);
+
+  // The topology rollup inherits the rebased (non-negative) delta too.
+  const ComponentRollup total = cache_.TopologyRollup();
+  EXPECT_DOUBLE_EQ(total.processed_delta, 50);
+}
+
+TEST_F(MetricsCacheTest, PerTaskProcessedDeltaSplitsByTaskAndSurvivesReset) {
+  FlushTask(0, 100, 0, 1'100'000'000);
+  FlushTask(1, 0, 40, 1'100'000'000);
+  FlushTask(0, 600, 0, 1'600'000'000);
+  FlushTask(1, 0, 10, 1'600'000'000);  // Task 1 restarted mid-window.
+
+  const auto deltas = cache_.PerTaskProcessedDelta();
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_DOUBLE_EQ(deltas.at(0), 500);  // 600 - 100.
+  EXPECT_DOUBLE_EQ(deltas.at(1), 10);   // Reset: rebased, not 10 - 40.
+}
+
 TEST_F(MetricsCacheTest, BackpressureAndRestartsLandOnTopologyRollup) {
   cache_.Flush("smgr-0", {{"smgr.backpressure.duration.ns", 1e6}},
                1'100'000'000);

@@ -8,8 +8,11 @@
 
 #include <set>
 
+#include "common/random.h"
 #include "packing/first_fit_decreasing_packing.h"
+#include "packing/mcts_packing.h"
 #include "packing/packing_registry.h"
+#include "packing/placement_cost.h"
 #include "packing/resource_compliant_rr_packing.h"
 #include "packing/round_robin_packing.h"
 #include "workloads/word_count.h"
@@ -82,7 +85,10 @@ INSTANTIATE_TEST_SUITE_P(
                       PolicyCase{"FIRST_FIT_DECREASING", 7, 13},
                       PolicyCase{"RESOURCE_COMPLIANT_RR", 2, 2},
                       PolicyCase{"RESOURCE_COMPLIANT_RR", 25, 25},
-                      PolicyCase{"RESOURCE_COMPLIANT_RR", 7, 13}),
+                      PolicyCase{"RESOURCE_COMPLIANT_RR", 7, 13},
+                      PolicyCase{"MCTS", 2, 2},
+                      PolicyCase{"MCTS", 25, 25},
+                      PolicyCase{"MCTS", 7, 13}),
     [](const ::testing::TestParamInfo<PolicyCase>& info) {
       return info.param.policy + "_" +
              std::to_string(info.param.spouts) + "x" +
@@ -265,7 +271,143 @@ TEST_P(RepackTest, RejectsUnknownComponent) {
 INSTANTIATE_TEST_SUITE_P(Policies, RepackTest,
                          ::testing::Values("ROUND_ROBIN",
                                            "FIRST_FIT_DECREASING",
-                                           "RESOURCE_COMPLIANT_RR"));
+                                           "RESOURCE_COMPLIANT_RR",
+                                           "MCTS"));
+
+// ---------------------------------------------------------------------
+// MCTS packing: determinism, randomized repack properties, and the
+// placement objective it optimizes.
+// ---------------------------------------------------------------------
+
+// A heterogeneous four-stage pipeline: unlike WordCount's single all-to-
+// all edge, placement quality actually varies between plans, so the
+// search has something to optimize.
+std::shared_ptr<const api::Topology> Pipeline() {
+  api::TopologyBuilder b("pipeline");
+  b.SetSpout(
+       "ingest", [] { return nullptr; }, 4)
+      .OutputFields({"ev"});
+  b.SetBolt(
+       "parse", [] { return nullptr; }, 6)
+      .ShuffleGrouping("ingest")
+      .OutputFields({"rec"});
+  b.SetBolt(
+       "join", [] { return nullptr; }, 4)
+      .FieldsGrouping("parse", {"rec"})
+      .OutputFields({"out"});
+  b.SetBolt(
+       "sink", [] { return nullptr; }, 2)
+      .GlobalGrouping("join");
+  auto t = b.Build();
+  HERON_CHECK_OK(t.status());
+  return *t;
+}
+
+TEST(MctsTest, SameSeedProducesByteIdenticalPlans) {
+  auto topology = Pipeline();
+  MctsPacking first;
+  MctsPacking second;
+  ASSERT_TRUE(first.Initialize(Config(), topology).ok());
+  ASSERT_TRUE(second.Initialize(Config(), topology).ok());
+  auto plan1 = first.Pack();
+  auto plan2 = second.Pack();
+  ASSERT_TRUE(plan1.ok()) << plan1.status().ToString();
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_EQ(*plan1, *plan2);
+  // The two-universe guarantee is byte-level: serialized plans match.
+  EXPECT_EQ(plan1->SerializeAsBuffer(), plan2->SerializeAsBuffer());
+
+  // A different seed is still a valid plan (and deterministic too).
+  Config seeded;
+  seeded.SetInt(config_keys::kMctsSeed, 7);
+  seeded.SetInt(config_keys::kMctsIterations, 64);
+  MctsPacking third;
+  ASSERT_TRUE(third.Initialize(seeded, topology).ok());
+  auto plan3 = third.Pack();
+  ASSERT_TRUE(plan3.ok());
+  EXPECT_TRUE(plan3->Validate(/*require_dense_task_ids=*/true).ok());
+}
+
+TEST(MctsTest, RandomizedRepackKeepsSurvivorsAndRespectsCapacity) {
+  // Property test over random scale-ups: whatever the sizes, survivors
+  // never move, additions land inside capacity, and repeating the same
+  // repack yields the identical plan.
+  Random rng(20260809);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int spouts = 1 + static_cast<int>(rng.NextBelow(4));
+    const int bolts = 1 + static_cast<int>(rng.NextBelow(6));
+    auto topology = WordCount(spouts, bolts);
+    Config config;
+    config.SetInt(config_keys::kMctsIterations, 64);
+    config.SetInt(config_keys::kMctsSeed,
+                  static_cast<int64_t>(rng.NextBelow(1000)));
+    MctsPacking packing;
+    ASSERT_TRUE(packing.Initialize(config, topology).ok());
+    auto before = packing.Pack();
+    ASSERT_TRUE(before.ok());
+
+    const int target = bolts + 1 + static_cast<int>(rng.NextBelow(8));
+    auto after = packing.Repack(*before, {{"count", target}});
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    EXPECT_TRUE(after->Validate().ok());
+    EXPECT_EQ(after->TasksOfComponent("count").size(),
+              static_cast<size_t>(target));
+    EXPECT_EQ(after->TasksOfComponent("word").size(),
+              static_cast<size_t>(spouts));
+
+    // Survivors pinned: nothing that existed before may move.
+    for (const auto& c : before->containers()) {
+      for (const auto& inst : c.instances) {
+        const ContainerPlan* now = after->FindContainerOfTask(inst.task_id);
+        ASSERT_NE(now, nullptr);
+        EXPECT_EQ(now->id, c.id)
+            << "trial " << trial << ": task " << inst.task_id << " moved";
+      }
+    }
+    // Capacity: requirement covers load in every container.
+    for (const auto& c : after->containers()) {
+      EXPECT_TRUE(c.required.Fits(c.InstanceTotal() + ContainerOverhead()));
+    }
+    // Determinism: the same repack again is the same plan.
+    auto again = packing.Repack(*before, {{"count", target}});
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*after, *again);
+  }
+}
+
+TEST(MctsTest, BeatsRoundRobinOnInterContainerTraffic) {
+  auto topology = Pipeline();
+  // Rate hints make "parse" the heavy producer, so colocating it with
+  // its consumers is where the traffic win lives.
+  Config config;
+  config.SetInt(config_keys::kNumContainersHint, 4);
+  config.SetDouble(std::string(config_keys::kMctsRatePrefix) + "ingest",
+                   1000.0);
+  config.SetDouble(std::string(config_keys::kMctsRatePrefix) + "parse",
+                   800.0);
+  config.SetDouble(std::string(config_keys::kMctsRatePrefix) + "join", 200.0);
+
+  RoundRobinPacking rr;
+  ASSERT_TRUE(rr.Initialize(config, topology).ok());
+  auto rr_plan = rr.Pack();
+  ASSERT_TRUE(rr_plan.ok());
+
+  MctsPacking mcts;
+  ASSERT_TRUE(mcts.Initialize(config, topology).ok());
+  auto mcts_plan = mcts.Pack();
+  ASSERT_TRUE(mcts_plan.ok());
+
+  const auto rates = ComponentRatesFromConfig(*topology, config);
+  const PlacementCostWeights weights;
+  const PlacementCost rr_cost =
+      EvaluatePlacement(*topology, *rr_plan, rates, nullptr, weights);
+  const PlacementCost mcts_cost =
+      EvaluatePlacement(*topology, *mcts_plan, rates, nullptr, weights);
+  EXPECT_LT(mcts_cost.inter_container_tps, rr_cost.inter_container_tps);
+  EXPECT_LT(mcts_cost.total, rr_cost.total);
+  // The packer's own introspection agrees with an external evaluation.
+  EXPECT_DOUBLE_EQ(mcts.last_cost().total, mcts_cost.total);
+}
 
 // ---------------------------------------------------------------------
 // Registry.

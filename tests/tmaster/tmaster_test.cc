@@ -1,12 +1,16 @@
 // Topology Master tests: ephemeral advertisement, single-active-master,
-// failover via session expiry, and scaling coordination (§IV-C / §IV-A).
+// failover via session expiry, scaling coordination (§IV-C / §IV-A), and
+// the checkpoint coordinator's plan-swap fence.
 
 #include "tmaster/tmaster.h"
 
 #include <gtest/gtest.h>
 
 #include "packing/round_robin_packing.h"
+#include "proto/physical_plan.h"
+#include "smgr/transport.h"
 #include "statemgr/in_memory_state_manager.h"
+#include "tmaster/checkpoint_coordinator.h"
 #include "workloads/word_count.h"
 
 namespace heron {
@@ -162,6 +166,106 @@ TEST_F(TMasterTest, BackpressureReportsSurfaceInTopologyStatus) {
   ASSERT_TRUE(statemgr::UnregisterTopology(&state_, "wc").ok());
   EXPECT_TRUE(
       statemgr::GetBackpressureContainers(state_, "wc")->empty());
+}
+
+// -- CheckpointCoordinator plan-swap fence ---------------------------------
+
+namespace {
+
+std::shared_ptr<const proto::PhysicalPlan> MakePlan(int spouts, int bolts) {
+  auto topology = workloads::BuildWordCountTopology("wc", spouts, bolts);
+  EXPECT_TRUE(topology.ok());
+  packing::RoundRobinPacking packer;
+  EXPECT_TRUE(packer.Initialize(Config(), *topology).ok());
+  auto packed = packer.Pack();
+  EXPECT_TRUE(packed.ok());
+  auto plan = proto::PhysicalPlan::Build(*topology, *packed);
+  EXPECT_TRUE(plan.ok());
+  return *plan;
+}
+
+}  // namespace
+
+class CoordinatorFenceTest : public ::testing::Test {
+ protected:
+  CoordinatorFenceTest()
+      : coordinator_(MakeOptions(), &state_, &transport_, RealClock::Get()) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(state_.Initialize(Config()).ok());
+    ASSERT_TRUE(statemgr::RegisterTopology(&state_, "wc").ok());
+  }
+
+  static CheckpointCoordinator::Options MakeOptions() {
+    CheckpointCoordinator::Options options;
+    options.topology = "wc";
+    options.interval_ms = 0;  // Explicit TriggerNow drives everything.
+    return options;
+  }
+
+  // A task reporting its snapshot: one child node under the checkpoint.
+  void WriteSnapshot(uint64_t ckpt, int task) {
+    ASSERT_TRUE(statemgr::EnsurePath(
+                    &state_, statemgr::paths::CheckpointTask("wc", ckpt, task),
+                    "bytes")
+                    .ok());
+  }
+
+  statemgr::InMemoryStateManager state_;
+  smgr::Transport transport_;
+  CheckpointCoordinator coordinator_;
+};
+
+TEST_F(CoordinatorFenceTest, CompletionCountsAgainstTriggeringPlanOnly) {
+  // Trigger under a 4-task plan, then report only 2 snapshots. A 2-task
+  // plan's worth of children must never be judged "globally complete"
+  // for a checkpoint triggered against 4 tasks.
+  coordinator_.SetPlan(MakePlan(2, 2));
+  EXPECT_EQ(coordinator_.plan_epoch(), 1u);
+  const uint64_t first = coordinator_.TriggerNow();
+  ASSERT_NE(first, 0u);
+  WriteSnapshot(first, 0);
+  WriteSnapshot(first, 1);
+  coordinator_.Tick(0);
+  EXPECT_EQ(coordinator_.latest_complete(), 0u);
+  EXPECT_EQ(coordinator_.in_flight(), first);
+
+  // The remaining two arrive; now it completes.
+  WriteSnapshot(first, 2);
+  WriteSnapshot(first, 3);
+  coordinator_.Tick(0);
+  EXPECT_EQ(coordinator_.latest_complete(), first);
+  EXPECT_EQ(coordinator_.in_flight(), 0u);
+}
+
+TEST_F(CoordinatorFenceTest, SetPlanMidFlightAbortsAndDeletesPartialTree) {
+  coordinator_.SetPlan(MakePlan(2, 2));
+  const uint64_t doomed = coordinator_.TriggerNow();
+  ASSERT_NE(doomed, 0u);
+  WriteSnapshot(doomed, 0);
+  WriteSnapshot(doomed, 1);
+
+  // Scaling swaps in a smaller plan mid-flight. Without the abort the
+  // next poll would see 2 children >= the new plan's 2 tasks and publish
+  // a restore target that is missing half the old plan's state.
+  coordinator_.SetPlan(MakePlan(1, 1));
+  EXPECT_EQ(coordinator_.plan_epoch(), 2u);
+  EXPECT_EQ(coordinator_.in_flight(), 0u);
+  EXPECT_EQ(coordinator_.aborted(), 1u);
+  // The partial tree is gone from the state manager.
+  EXPECT_FALSE(
+      state_.ListChildren(statemgr::paths::Checkpoint("wc", doomed)).ok());
+  coordinator_.Tick(0);
+  EXPECT_EQ(coordinator_.latest_complete(), 0u);
+
+  // The new epoch checkpoints cleanly under the new plan.
+  const uint64_t fresh = coordinator_.TriggerNow();
+  ASSERT_NE(fresh, 0u);
+  WriteSnapshot(fresh, 0);
+  WriteSnapshot(fresh, 1);
+  coordinator_.Tick(0);
+  EXPECT_EQ(coordinator_.latest_complete(), fresh);
+  EXPECT_EQ(coordinator_.completed(), 1u);
 }
 
 }  // namespace
