@@ -17,17 +17,23 @@
 #
 # Usage:
 #   scripts/san_lane.sh <address|thread|undefined> [build-dir] \
-#       [--transport <in-process|socket|shm>] [-- ctest args]
+#       [--transport <in-process|socket|shm>] \
+#       [--execution <thread|cooperative>] [-- ctest args]
 # Examples:
 #   scripts/san_lane.sh thread                     # build-tsan, full suite
 #   scripts/san_lane.sh address build-ci-asan      # CI's ASan lane
 #   scripts/san_lane.sh thread build-tsan -- -R smgr
 #   scripts/san_lane.sh thread --transport socket  # wire fabric under TSan
+#   scripts/san_lane.sh thread --execution cooperative -- \
+#       -R "event_loop|step_mode|comparison"       # tasklet pool under TSan
 #
 # --transport exports HERON_TRANSPORT_MODE so every LocalCluster in the
 # suite rides the chosen ipc::Fabric — the pump thread, writev spill and
 # ring wrap paths only exist in the wire modes, so TSan/ASan only see them
-# when a lane opts in.
+# when a lane opts in. --execution exports HERON_EXECUTION_MODE the same
+# way: `cooperative` puts every instance and SMGR loop on the tasklet
+# pool, so the worker drive loop, wakeup chaining and the Retire fence
+# run under the sanitizer.
 
 set -euo pipefail
 
@@ -52,6 +58,7 @@ esac
 
 BUILD_DIR="${DEFAULT_DIR}"
 TRANSPORT=""
+EXECUTION=""
 while [[ $# -gt 0 && "$1" != "--" ]]; do
   case "$1" in
     --transport)
@@ -60,6 +67,14 @@ while [[ $# -gt 0 && "$1" != "--" ]]; do
         exit 2
       fi
       TRANSPORT="$2"
+      shift 2
+      ;;
+    --execution)
+      if [[ $# -lt 2 ]]; then
+        echo "--execution needs a mode (thread or cooperative)" >&2
+        exit 2
+      fi
+      EXECUTION="$2"
       shift 2
       ;;
     *)
@@ -81,6 +96,17 @@ case "${TRANSPORT}" in
 esac
 if [[ -n "${TRANSPORT}" ]]; then
   export HERON_TRANSPORT_MODE="${TRANSPORT}"
+fi
+
+case "${EXECUTION}" in
+  "" | thread | cooperative) ;;
+  *)
+    echo "unknown execution mode '${EXECUTION}' (want thread or cooperative)" >&2
+    exit 2
+    ;;
+esac
+if [[ -n "${EXECUTION}" ]]; then
+  export HERON_EXECUTION_MODE="${EXECUTION}"
 fi
 
 GENERATOR_ARGS=()

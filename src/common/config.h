@@ -136,6 +136,25 @@ inline constexpr char kClusterStepMode[] = "heron.cluster.step.mode";
 /// variable overrides the default when the key is unset (CI lanes).
 inline constexpr char kTransportMode[] = "heron.transport.mode";
 
+// Execution engine.
+/// Module scheduling: "thread" (default, one thread per SMGR/instance
+/// loop) or "cooperative" (a fixed thread-per-core runtime::TaskletPool
+/// multiplexes every module loop as cooperative tasklets — the
+/// Hazelcast-Jet tail-latency model). The HERON_EXECUTION_MODE
+/// environment variable overrides the default when the key is unset (CI
+/// lanes). Step mode wins: with kClusterStepMode set, no pool is built.
+inline constexpr char kExecutionMode[] = "heron.execution.mode";
+/// Cooperative idle policy: "condvar-park" (default), "adaptive-spin" or
+/// "busy-spin" — what a pool worker does when none of its tasklets has
+/// work (see runtime::IdlePolicy).
+inline constexpr char kExecutionIdlePolicy[] = "heron.execution.idle.policy";
+/// Cooperative worker count; 0 (default) = one per hardware core.
+inline constexpr char kExecutionWorkers[] = "heron.execution.workers";
+/// Cooperative slice budget: target wall nanoseconds for one tasklet
+/// slice; the tuples-per-slice burst is autotuned (AIMD) against it.
+inline constexpr char kExecutionSliceNanos[] =
+    "heron.execution.slice.target.nanos";
+
 // Chaos (fault injection on the monitor tick).
 /// Per-tick probability of hard-killing one random live container.
 inline constexpr char kChaosKillProbability[] = "heron.chaos.kill.probability";

@@ -160,6 +160,19 @@ Status HeronInstance::Start() {
 
 Status HeronInstance::StartStepMode() { return Prepare(); }
 
+Status HeronInstance::StartCooperative(runtime::TaskletPool* pool) {
+  HERON_RETURN_NOT_OK(Prepare());
+  // A tasklet must never block its pool worker: the SMGR tasklet draining
+  // our outbound channel may be scheduled *behind us on the same worker*,
+  // so a blocking send would deadlock the core. Full-channel sends park in
+  // the outbox backlog instead, retried by this idle worker.
+  outbox_->SetNonBlocking(true);
+  loop_.AddIdle([this] { return outbox_->PumpBacklog(); });
+  pool_ = pool;
+  pool_handle_ = pool->Add(&loop_);
+  return Status::OK();
+}
+
 Status HeronInstance::Prepare() {
   if (running_.exchange(true)) {
     return Status::FailedPrecondition("instance already running");
@@ -217,12 +230,15 @@ Status HeronInstance::Prepare() {
     // initiator (local SMGR or a remote peer via kStartBackpressure) holds
     // a throttle ref, the reactor skips NextTuple entirely — the spout
     // pauses at the loop layer, not inside the worker. SpoutStep keeps its
-    // own check as defense in depth for direct single-step calls.
-    loop_.AddIdle([this] { return SpoutStep(); },
-                  [this] {
-                    return local_smgr_ != nullptr &&
-                           local_smgr_->backpressure();
-                  });
+    // own check as defense in depth for direct single-step calls. With no
+    // local SMGR (unit tests) the flag can never rise, so register the
+    // predicate-free variant and keep the loop on its hoisted fast path.
+    if (local_smgr_ != nullptr) {
+      loop_.AddIdle([this] { return SpoutStep(); },
+                    [this] { return local_smgr_->backpressure(); });
+    } else {
+      loop_.AddIdle([this] { return SpoutStep(); });
+    }
   } else {
     loop_.OnStartup([this] {
       bolt_->Prepare(options_.config, context_.get(), bolt_collector_.get());
@@ -246,6 +262,21 @@ void HeronInstance::Stop() {
   // Close-then-join: the reactor drains remaining envelopes and runs the
   // shutdown flush before exiting; Shutdown() covers step mode.
   inbound_.Close();
+  if (pool_handle_ != nullptr) {
+    // Cooperative: fence the pool worker off the loop, then finish the
+    // drain on this thread — exactly the iterations Run() would have done
+    // before exiting. Blocking delivery is safe again here: we are not a
+    // pool worker, and the SMGR tasklet (stopped after us) still drains.
+    pool_->Retire(pool_handle_);
+    pool_handle_ = nullptr;
+    outbox_->SetNonBlocking(false);
+    // Bounded: drops the backlog if the SMGR never drains (it is stopped
+    // after us, so in practice this empties within a few retries).
+    for (int i = 0; outbox_->HasBacklog() && i < 100000; ++i) {
+      if (!outbox_->PumpBacklog()) std::this_thread::yield();
+    }
+    while (!loop_.stopped() && !loop_.sources_done()) loop_.RunOnce();
+  }
   loop_.Join();
   loop_.Shutdown();
   if (started_) {
@@ -263,6 +294,10 @@ void HeronInstance::Kill() {
   running_.store(false);
   // Halt: no shutdown flush, no user Close/Cleanup — abrupt death.
   loop_.Halt();
+  if (pool_handle_ != nullptr) {
+    pool_->Retire(pool_handle_);
+    pool_handle_ = nullptr;
+  }
   inbound_.Close();
   loop_.Join();
   started_ = false;
@@ -330,6 +365,13 @@ bool HeronInstance::SpoutStep() {
   bool can_emit = true;
   if (local_smgr_ != nullptr && local_smgr_->backpressure()) {
     can_emit = false;  // Container-local spout back pressure.
+  }
+  if (outbox_->HasBacklog()) {
+    // Non-blocking mode with parked output: emitting more would only grow
+    // the backlog unboundedly — wait for the SMGR to drain (the pump idle
+    // worker is retrying). This is the cooperative analogue of the
+    // blocking send's implicit flow control.
+    can_emit = false;
   }
   if (options_.acking && options_.max_spout_pending > 0 &&
       pending_count_.load(std::memory_order_relaxed) >=
@@ -466,8 +508,7 @@ void HeronInstance::TakeCheckpoint(uint64_t ckpt_id) {
 }
 
 void HeronInstance::ForwardBarrier(uint64_t ckpt_id) {
-  smgr::EnvelopeChannel* channel = transport_->SmgrChannel(container_);
-  if (channel == nullptr) return;
+  if (transport_->SmgrChannel(container_) == nullptr) return;
   proto::CheckpointBarrierMsg msg;
   msg.ckpt_id = ckpt_id;
   msg.origin_task = options_.task;
@@ -479,8 +520,11 @@ void HeronInstance::ForwardBarrier(uint64_t ckpt_id) {
                       std::move(payload));
   // dest_task -1 = fan-out request: the local SMGR flushes its tuple
   // cache (pre-barrier data first) and barriers every consumer channel.
+  // Shipping through the outbox keeps the barrier FIFO behind any data
+  // parked in the non-blocking backlog — a barrier overtaking data would
+  // corrupt the snapshot's pre-barrier prefix.
   env.dest_task = -1;
-  channel->Send(std::move(env)).ok();
+  outbox_->ShipEnvelope(std::move(env));
 }
 
 void HeronInstance::AbortAlignment() {

@@ -17,6 +17,7 @@
 #include "observability/trace.h"
 #include "proto/physical_plan.h"
 #include "runtime/event_loop.h"
+#include "runtime/tasklet.h"
 #include "smgr/stream_manager.h"
 #include "smgr/transport.h"
 #include "statemgr/state_manager.h"
@@ -86,6 +87,11 @@ class HeronInstance {
   Status Start();
   /// Step-mode Start: full wiring, no thread — drive loop()->RunOnce().
   Status StartStepMode();
+  /// Cooperative Start: full wiring, then hands the reactor to `pool` as a
+  /// tasklet instead of spawning a thread. The outbox switches to
+  /// non-blocking delivery (a tasklet must never block its pool worker)
+  /// and a backlog-pump idle worker retries parked envelopes.
+  Status StartCooperative(runtime::TaskletPool* pool);
   /// Closes the channel, joins, runs user Close/Cleanup. Idempotent.
   void Stop();
   /// Hard-kill (fault injection): deregisters and halts the reactor. The
@@ -192,6 +198,10 @@ class HeronInstance {
   std::atomic<bool> running_{false};
   bool registered_ = false;
   bool started_ = false;
+
+  // Cooperative mode: the pool driving loop_ (null in thread/step mode).
+  runtime::TaskletPool* pool_ = nullptr;
+  runtime::TaskletPool::Handle* pool_handle_ = nullptr;
 
   // Hot-path metric handles.
   metrics::Counter* emitted_;

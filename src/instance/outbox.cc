@@ -50,33 +50,80 @@ void Outbox::AddAckUpdate(TaskId owner_task, const proto::AckUpdate& update) {
 
 void Outbox::FlushStream(const StreamId& stream, PendingBatch* batch) {
   if (batch->count == 0) return;
-  smgr::EnvelopeChannel* channel = transport_->SmgrChannel(container_);
-  if (channel == nullptr) {
-    HLOG(WARNING) << "task " << task_
-                  << " has no local smgr; dropping batch";
-  } else {
-    proto::Envelope env(proto::MessageType::kTupleBatch,
-                        std::move(batch->buffer));
-    env.trace_id = batch->trace_id;
-    const Status st = channel->Send(std::move(env));
-    if (st.ok()) ++batches_sent_;
-  }
+  proto::Envelope env(proto::MessageType::kTupleBatch,
+                      std::move(batch->buffer));
+  env.trace_id = batch->trace_id;
+  Ship(std::move(env));
   batch->buffer = serde::Buffer();
   batch->count = 0;
   batch->trace_id = 0;
   pending_.erase(stream);
 }
 
+void Outbox::Ship(proto::Envelope env) {
+  smgr::EnvelopeChannel* channel = transport_->SmgrChannel(container_);
+  if (channel == nullptr) {
+    HLOG(WARNING) << "task " << task_
+                  << " has no local smgr; dropping batch";
+    return;
+  }
+  const bool is_batch = env.type == proto::MessageType::kTupleBatch;
+  if (nonblocking_) {
+    // FIFO no-overtake: while anything is parked, everything parks.
+    if (!backlog_.empty()) {
+      backlog_.push_back(std::move(env));
+      return;
+    }
+    // TrySend moves from `env` only on success; on a full channel the
+    // envelope is intact and parks in the backlog.
+    const Status st = channel->TrySend(std::move(env));
+    if (st.ok()) {
+      if (is_batch) ++batches_sent_;
+    } else if (st.IsResourceExhausted()) {
+      backlog_.push_back(std::move(env));
+    }
+    // Closed channel: dropped, same as a failed blocking send.
+    return;
+  }
+  const Status st = channel->Send(std::move(env));
+  if (st.ok() && is_batch) ++batches_sent_;
+}
+
+bool Outbox::PumpBacklog() {
+  if (backlog_.empty()) return false;
+  smgr::EnvelopeChannel* channel = transport_->SmgrChannel(container_);
+  if (channel == nullptr) {
+    // SMGR endpoint gone (torn down): drop, as the blocking path would.
+    backlog_.clear();
+    return false;
+  }
+  bool progressed = false;
+  while (!backlog_.empty()) {
+    const bool is_batch =
+        backlog_.front().type == proto::MessageType::kTupleBatch;
+    const Status st = channel->TrySend(std::move(backlog_.front()));
+    if (st.IsResourceExhausted()) break;  // Still full; front is intact.
+    backlog_.pop_front();
+    if (st.ok()) {
+      if (is_batch) ++batches_sent_;
+      progressed = true;
+    }
+    // Closed channel: popped and dropped.
+  }
+  return progressed;
+}
+
+void Outbox::ShipEnvelope(proto::Envelope env) { Ship(std::move(env)); }
+
 void Outbox::Flush() {
+  if (nonblocking_) PumpBacklog();
   while (!pending_.empty()) {
     auto it = pending_.begin();
     const StreamId stream = it->first;
     FlushStream(stream, &it->second);
   }
   if (!pending_acks_.empty()) {
-    smgr::EnvelopeChannel* channel = transport_->SmgrChannel(container_);
     for (auto& [owner, batch] : pending_acks_) {
-      if (channel == nullptr) break;
       serde::Buffer payload = transport_->buffer_pool()->Acquire();
       serde::WireEncoder enc(&payload);
       batch.SerializeTo(&enc);
@@ -84,7 +131,7 @@ void Outbox::Flush() {
       // Address the envelope at the serialization point: every SMGR the
       // ack batch crosses then routes on metadata alone (zero-copy).
       env.dest_task = owner;
-      channel->Send(std::move(env)).ok();
+      Ship(std::move(env));
     }
     pending_acks_.clear();
   }

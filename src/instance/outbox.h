@@ -1,6 +1,7 @@
 #ifndef HERON_INSTANCE_OUTBOX_H_
 #define HERON_INSTANCE_OUTBOX_H_
 
+#include <deque>
 #include <map>
 #include <string>
 
@@ -17,9 +18,19 @@ namespace instance {
 ///
 /// Tuples leave the instance as bytes — the executor serializes exactly
 /// once, the SMGR routes the serialized form (§V-A), and only the
-/// receiving instance deserializes. Sends block when the SMGR inbound is
-/// full; that is safe because the SMGR loop never blocks, so it always
-/// drains.
+/// receiving instance deserializes.
+///
+/// Two delivery modes:
+///  - **blocking** (thread-per-instance, default): sends block when the
+///    SMGR inbound is full — safe because the SMGR loop never blocks, so
+///    it always drains;
+///  - **non-blocking** (`SetNonBlocking(true)`, cooperative mode): a
+///    tasklet must never block its pool worker (the SMGR tasklet draining
+///    our channel may be *behind us on the same worker* — a blocking send
+///    would deadlock the core). Full-channel sends instead park the
+///    envelope in a FIFO backlog retried by PumpBacklog(); while a backlog
+///    exists every later envelope parks behind it, so tuple order is
+///    preserved (no overtake).
 class Outbox {
  public:
   /// \param flush_tuples  per-stream batch size that triggers a flush
@@ -37,6 +48,20 @@ class Outbox {
   /// loop iteration so nothing lingers while the instance waits for input.
   void Flush();
 
+  /// Ships an already-built envelope through the same FIFO discipline as
+  /// staged batches — checkpoint barriers use this so a barrier can never
+  /// overtake data parked in the backlog.
+  void ShipEnvelope(proto::Envelope env);
+
+  /// Selects the delivery mode (see class comment). Toggle only while no
+  /// send is in flight (pre-start, or after the tasklet is retired).
+  void SetNonBlocking(bool on) { nonblocking_ = on; }
+
+  /// Retries parked envelopes in FIFO order; true when any shipped.
+  /// Cooperative instances register this as an idle worker.
+  bool PumpBacklog();
+  bool HasBacklog() const { return !backlog_.empty(); }
+
   uint64_t tuples_emitted() const { return tuples_emitted_; }
   uint64_t batches_sent() const { return batches_sent_; }
 
@@ -51,6 +76,8 @@ class Outbox {
   };
 
   void FlushStream(const StreamId& stream, PendingBatch* batch);
+  /// Delivers or (non-blocking mode, full channel) parks `env`.
+  void Ship(proto::Envelope env);
 
   TaskId task_;
   ComponentId component_;
@@ -60,6 +87,8 @@ class Outbox {
 
   std::map<StreamId, PendingBatch> pending_;
   std::map<TaskId, proto::AckBatchMsg> pending_acks_;
+  bool nonblocking_ = false;
+  std::deque<proto::Envelope> backlog_;
   uint64_t tuples_emitted_ = 0;
   uint64_t batches_sent_ = 0;
 };

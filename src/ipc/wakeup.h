@@ -1,10 +1,12 @@
 #ifndef HERON_IPC_WAKEUP_H_
 #define HERON_IPC_WAKEUP_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <thread>
 
 namespace heron {
 namespace ipc {
@@ -30,13 +32,50 @@ class Wakeup {
   Wakeup& operator=(const Wakeup&) = delete;
 
   /// Announces that work may be available. Cheap when already pending.
+  ///
+  /// When chained (see Chain()), the latch is still set locally but the
+  /// condition variable is skipped: the parent is notified instead, so a
+  /// consumer parked on the *parent* wakes and can Poll() this latch.
+  /// Coalescing still applies — a notify while already pending forwards
+  /// nothing, which is safe only under the chained consumer's discipline
+  /// of Poll()ing every member latch immediately before parking.
   void Notify() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (pending_) return;  // Coalesce.
       pending_ = true;
     }
+    Wakeup* parent = parent_.load(std::memory_order_acquire);
+    if (parent != nullptr) {
+      parent->Notify();
+      return;
+    }
+    // Same-thread fast path: the consumer cannot be parked in WaitFor()
+    // while it is itself calling Notify(), so the cv signal would be
+    // wasted. This is what makes same-loop handoff between cooperative
+    // tasklets a latch flip instead of a futex syscall.
+    if (owner_.load(std::memory_order_relaxed) == std::this_thread::get_id()) {
+      return;
+    }
     cv_.notify_all();
+  }
+
+  /// Routes future notifications to `parent` instead of this latch's
+  /// condition variable (nullptr restores direct delivery). Used by the
+  /// cooperative tasklet pool: every member loop's wakeup chains to its
+  /// worker's wakeup, so one parked worker hears all of its loops.
+  void Chain(Wakeup* parent) {
+    parent_.store(parent, std::memory_order_release);
+  }
+
+  /// Declares the calling thread the latch's consumer, enabling the
+  /// same-thread notify elision above. Call from the consumer thread; a
+  /// default-constructed id (never equal to a live thread) disables it.
+  void SetOwnerThread() {
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  }
+  void ClearOwnerThread() {
+    owner_.store(std::thread::id(), std::memory_order_relaxed);
   }
 
   /// Blocks until notified or `timeout_nanos` elapse. Returns true when a
@@ -65,6 +104,8 @@ class Wakeup {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool pending_ = false;
+  std::atomic<Wakeup*> parent_{nullptr};
+  std::atomic<std::thread::id> owner_{};
 };
 
 }  // namespace ipc

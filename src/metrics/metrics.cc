@@ -111,6 +111,10 @@ std::vector<Sample> MetricsRegistry::Snapshot() const {
     out.push_back({name + ".p50", static_cast<double>(h->Quantile(0.5))});
     out.push_back({name + ".p90", static_cast<double>(h->Quantile(0.9))});
     out.push_back({name + ".p99", static_cast<double>(h->Quantile(0.99))});
+    // Deep-tail percentiles: the cooperative-scheduling work (ROADMAP
+    // item 4) is judged at p99.99, so the sinks must carry it.
+    out.push_back({name + ".p999", static_cast<double>(h->Quantile(0.999))});
+    out.push_back({name + ".p9999", static_cast<double>(h->Quantile(0.9999))});
     out.push_back({name + ".max", static_cast<double>(h->max())});
   }
   return out;

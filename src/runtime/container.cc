@@ -61,7 +61,13 @@ Status Container::StartInternal(bool step_mode) {
   recovering_ = false;
   smgr_ = std::make_unique<smgr::StreamManager>(smgr_options, physical_plan_,
                                                 transport_, clock_);
-  HERON_RETURN_NOT_OK(step_mode ? smgr_->StartStepMode() : smgr_->Start());
+  if (step_mode) {
+    HERON_RETURN_NOT_OK(smgr_->StartStepMode());
+  } else if (tasklet_pool_ != nullptr) {
+    HERON_RETURN_NOT_OK(smgr_->StartCooperative(tasklet_pool_));
+  } else {
+    HERON_RETURN_NOT_OK(smgr_->Start());
+  }
   metrics_manager_
       .RegisterSource(StrFormat("smgr-%d", plan_.id), smgr_->metrics())
       .ok();
@@ -86,7 +92,14 @@ Status Container::StartInternal(bool step_mode) {
     options.checkpoint_epoch = checkpoint_epoch_;
     auto instance = std::make_unique<instance::HeronInstance>(
         options, physical_plan_, transport_, clock_, smgr_.get());
-    const Status st = step_mode ? instance->StartStepMode() : instance->Start();
+    Status st;
+    if (step_mode) {
+      st = instance->StartStepMode();
+    } else if (tasklet_pool_ != nullptr) {
+      st = instance->StartCooperative(tasklet_pool_);
+    } else {
+      st = instance->Start();
+    }
     if (!st.ok()) {
       Stop();
       return st.WithContext(
@@ -113,7 +126,13 @@ Status Container::StartInternal(bool step_mode) {
                               [this] { metrics_manager_.Collect(); });
     housekeeping_wired_ = true;
   }
-  if (!step_mode) housekeeping_.Start();
+  if (!step_mode) {
+    if (tasklet_pool_ != nullptr) {
+      housekeeping_handle_ = tasklet_pool_->Add(&housekeeping_);
+    } else {
+      housekeeping_.Start();
+    }
+  }
 
   started_ = true;
   HLOG(INFO) << "container " << plan_.id << " up: smgr + "
@@ -136,6 +155,10 @@ void Container::Fail() {
   // Halt instead of Stop: no shutdown drain anywhere. Housekeeping first —
   // its Collect() snapshots registries the kills below will orphan.
   housekeeping_.Halt();
+  if (housekeeping_handle_ != nullptr) {
+    tasklet_pool_->Retire(housekeeping_handle_);
+    housekeeping_handle_ = nullptr;
+  }
   housekeeping_.Join();
   for (auto& instance : instances_) {
     instance->Kill();
@@ -153,6 +176,10 @@ void Container::Fail() {
 void Container::Stop() {
   // Housekeeping first: Collect() snapshots the instance registries, so
   // the collection loop must be parked before any registry dies.
+  if (housekeeping_handle_ != nullptr) {
+    tasklet_pool_->Retire(housekeeping_handle_);
+    housekeeping_handle_ = nullptr;
+  }
   housekeeping_.Stop();
   housekeeping_.Join();
   housekeeping_.Shutdown();
@@ -199,9 +226,11 @@ uint64_t Container::SmgrCounter(const std::string& name) const {
       ->value();
 }
 
-uint64_t Container::SumInstanceCounter(const std::string& name) const {
+uint64_t Container::SumInstanceCounter(const std::string& name,
+                                       const std::string& component) const {
   uint64_t total = 0;
   for (const auto& instance : instances_) {
+    if (!component.empty() && instance->component() != component) continue;
     total += const_cast<instance::HeronInstance*>(instance.get())
                  ->metrics()
                  ->GetCounter(name)

@@ -10,6 +10,7 @@
 #include "packing/packing_plan.h"
 #include "proto/physical_plan.h"
 #include "runtime/event_loop.h"
+#include "runtime/tasklet.h"
 #include "smgr/stream_manager.h"
 
 namespace heron {
@@ -63,6 +64,12 @@ class Container {
   /// throttle ref the dead predecessor held (see Options::announce_recovery).
   void MarkRecovering() { recovering_ = true; }
 
+  /// Cooperative execution: every module loop this container starts (SMGR,
+  /// instances, housekeeping) becomes a tasklet on `pool` instead of owning
+  /// a thread. Must be set before Start; null (the default) keeps
+  /// thread-per-instance. Ignored in step mode (zero threads either way).
+  void set_tasklet_pool(TaskletPool* pool) { tasklet_pool_ = pool; }
+
   /// Attaches the container's span sink for sampled tuple-path tracing
   /// (shared by the SMGR and every instance). Must be set before Start;
   /// nullptr (the default) disables tracing for this container. The
@@ -94,8 +101,10 @@ class Container {
     return instances_;
   }
 
-  /// Sums a counter across this container's instances.
-  uint64_t SumInstanceCounter(const std::string& name) const;
+  /// Sums a counter across this container's instances. With `component`
+  /// non-empty, only that component's instances contribute.
+  uint64_t SumInstanceCounter(const std::string& name,
+                              const std::string& component = "") const;
 
   /// Sums a gauge across this container's instances.
   int64_t SumInstanceGauge(const std::string& name) const;
@@ -122,6 +131,8 @@ class Container {
   /// The Metrics Manager's collection reactor.
   EventLoop housekeeping_;
   bool housekeeping_wired_ = false;
+  TaskletPool* tasklet_pool_ = nullptr;
+  TaskletPool::Handle* housekeeping_handle_ = nullptr;
   bool started_ = false;
   bool step_mode_ = false;
   bool recovering_ = false;

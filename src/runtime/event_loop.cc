@@ -74,6 +74,7 @@ void EventLoop::AddIdle(std::function<bool()> fn) {
 
 void EventLoop::AddIdle(std::function<bool()> fn,
                         std::function<bool()> throttled) {
+  if (throttled) has_throttled_idle_ = true;
   idle_.push_back(IdleWorker{std::move(fn), std::move(throttled)});
 }
 
@@ -151,12 +152,14 @@ bool EventLoop::Step() {
   // Drain a bounded burst from every source, registration order.
   bool any_open = false;
   bool has_sources = false;
+  last_step_handled_ = 0;
   for (Source& source : sources_) {
     if (source.removed) continue;
     has_sources = true;
     if (source.closed) continue;
     size_t handled = 0;
     source.closed = source.poll(options_.burst, &handled);
+    last_step_handled_ += handled;
     if (handled > 0) did_work = true;
     if (!source.closed) any_open = true;
   }
@@ -172,17 +175,27 @@ bool EventLoop::Step() {
   }
 
   // Idle workers (spout NextTuple rounds) run after inbound traffic so
-  // acks free pending slots before the next emission attempt.
-  for (IdleWorker& worker : idle_) {
-    if (worker.throttled && worker.throttled()) {
-      // Paused (e.g. spout back pressure): skipped, counted, no progress —
-      // the loop parks on its idle backoff and re-checks next iteration.
-      if (idle_throttled_counter_ != nullptr) {
-        idle_throttled_counter_->Increment();
-      }
-      continue;
+  // acks free pending slots before the next emission attempt. The throttle
+  // check is hoisted: loops with no throttleable worker (every bolt, the
+  // SMGR) take the predicate-free sweep, so a busy-spin driver never pays
+  // a per-iteration predicate call (an atomic back-pressure load) for a
+  // feature nothing registered.
+  if (!has_throttled_idle_) {
+    for (IdleWorker& worker : idle_) {
+      if (worker.fn()) did_work = true;
     }
-    if (worker.fn()) did_work = true;
+  } else {
+    for (IdleWorker& worker : idle_) {
+      if (worker.throttled && worker.throttled()) {
+        // Paused (e.g. spout back pressure): skipped, counted, no progress —
+        // the loop parks on its idle backoff and re-checks next iteration.
+        if (idle_throttled_counter_ != nullptr) {
+          idle_throttled_counter_->Increment();
+        }
+        continue;
+      }
+      if (worker.fn()) did_work = true;
+    }
   }
 
   if (iter_latency_ != nullptr) {

@@ -191,6 +191,35 @@ class EventLoop {
   /// Wakes a parked loop from any thread.
   void Nudge() { wakeup_.Notify(); }
 
+  // -- Cooperative driving (runtime::TaskletPool) --------------------------
+  //
+  // A tasklet drives the loop via RunOnce() from a pool worker thread
+  // instead of Run() on an owned thread. These accessors expose exactly
+  // what the external driver needs: the burst knob it autotunes between
+  // slices, the exit condition Run() would have checked, the wakeup it
+  // chains to its worker, and the deadlines that bound the worker's park.
+  // All of them follow the loop's single-driver discipline.
+
+  /// Per-iteration source drain bound; cooperative tasklets retune this
+  /// between slices. Call only from the driving thread (or pre-start).
+  void set_burst(size_t burst) { options_.burst = burst; }
+  size_t burst() const { return options_.burst; }
+  /// Envelopes drained across all sources by the most recent Step(): the
+  /// denominator a cooperative driver needs to turn a step's wall time
+  /// into a per-tuple cost estimate. Call only from the driving thread.
+  size_t last_step_handled() const { return last_step_handled_; }
+  /// True when every registered channel source is closed and drained — the
+  /// condition (with stopped()) that ends Run(). Meaningful only from the
+  /// driving thread.
+  bool sources_done() const { return all_sources_done_; }
+  bool has_idle_workers() const { return !idle_.empty(); }
+  /// The loop's coalescing latch, for chaining into a pool worker.
+  ipc::Wakeup* wakeup() { return &wakeup_; }
+  /// Earliest timer/service deadline (kNoDeadline when none): an external
+  /// driver bounds its park with it. Call only from the driving thread.
+  int64_t NextWakeDeadlineNanos() const { return NextDeadlineNanos(); }
+  int64_t idle_backoff_nanos() const { return options_.idle_backoff_nanos; }
+
   // -- Introspection (tests, benches) -------------------------------------
 
   const std::string& name() const { return options_.name; }
@@ -248,6 +277,8 @@ class EventLoop {
   std::vector<Source> sources_;
   SourceId next_source_id_ = 1;
   bool all_sources_done_ = false;
+  /// Envelopes drained by the most recent Step() (driving thread only).
+  size_t last_step_handled_ = 0;
 
   std::priority_queue<TimerEntry, std::vector<TimerEntry>,
                       std::greater<TimerEntry>>
@@ -262,6 +293,11 @@ class EventLoop {
     std::function<bool()> throttled;  ///< Null = never throttled.
   };
   std::vector<IdleWorker> idle_;
+  /// Hoisted "any worker has a throttle predicate" check: when false, Step
+  /// runs a branch-free sweep over idle_ instead of testing each worker's
+  /// predicate slot — a busy-spin driver pays no per-iteration atomic load
+  /// for a feature nothing registered.
+  bool has_throttled_idle_ = false;
   std::vector<std::function<int64_t(int64_t)>> services_;
   int64_t service_deadline_ = kNoDeadline;
   std::vector<std::function<void()>> startup_hooks_;

@@ -99,6 +99,39 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
   transport_options.mode = transport_kind;
   transport_options.inline_pump = step_mode_;
   HERON_RETURN_NOT_OK(transport_.Configure(transport_options));
+
+  // Execution-mode selection, same precedence as the transport: config
+  // key, then the HERON_EXECUTION_MODE environment override, default
+  // thread-per-instance. Step mode wins over cooperative — a step-mode
+  // universe is threadless by definition, so no pool is built.
+  std::string execution_mode =
+      merged_config_.GetStringOr(config_keys::kExecutionMode, "");
+  if (execution_mode.empty()) {
+    const char* env_mode = std::getenv("HERON_EXECUTION_MODE");
+    if (env_mode != nullptr) execution_mode = env_mode;
+  }
+  if (execution_mode.empty()) execution_mode = "thread";
+  if (execution_mode != "thread" && execution_mode != "cooperative") {
+    return Status::InvalidArgument("unknown execution mode: '" +
+                                   execution_mode +
+                                   "' (thread | cooperative)");
+  }
+  tasklet_pool_.reset();
+  if (execution_mode == "cooperative" && !step_mode_) {
+    TaskletPool::Options pool_options;
+    pool_options.workers = static_cast<size_t>(
+        merged_config_.GetIntOr(config_keys::kExecutionWorkers, 0));
+    HERON_ASSIGN_OR_RETURN(
+        pool_options.idle_policy,
+        ParseIdlePolicy(merged_config_.GetStringOr(
+            config_keys::kExecutionIdlePolicy, "condvar-park")));
+    pool_options.tasklet.target_slice_nanos = merged_config_.GetIntOr(
+        config_keys::kExecutionSliceNanos,
+        pool_options.tasklet.target_slice_nanos);
+    tasklet_pool_ = std::make_unique<TaskletPool>(pool_options, clock_);
+    tasklet_pool_->Start();
+  }
+
   chaos_kill_probability_ =
       merged_config_.GetDoubleOr(config_keys::kChaosKillProbability, 0);
   chaos_max_kills_ = static_cast<int>(
@@ -300,6 +333,12 @@ Status LocalCluster::Kill() {
   tmaster_->Stop().ok();
   statemgr::UnregisterTopology(&state_, topology_->name()).ok();
   packing_->Close();
+  // Cooperative pool last: every container (and thus every tasklet) is
+  // stopped and retired by OnKill above, so the workers are idle.
+  if (tasklet_pool_ != nullptr) {
+    tasklet_pool_->Stop();
+    tasklet_pool_.reset();
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     failed_containers_.clear();
@@ -710,6 +749,7 @@ Status LocalCluster::StartContainer(const packing::ContainerPlan& container) {
     // death (and a recovering container stays dead until it truly beats).
     tmaster_->ExpectContainer(container.id).ok();
   }
+  if (tasklet_pool_ != nullptr) live->set_tasklet_pool(tasklet_pool_.get());
   HERON_RETURN_NOT_OK(step_mode_ ? live->StartStepMode() : live->Start());
   std::lock_guard<std::mutex> lock(mutex_);
   containers_[container.id] = std::move(live);
@@ -774,11 +814,12 @@ int LocalCluster::num_live_containers() const {
   return static_cast<int>(containers_.size());
 }
 
-uint64_t LocalCluster::SumCounter(const std::string& name) const {
+uint64_t LocalCluster::SumCounter(const std::string& name,
+                                  const std::string& component) const {
   std::lock_guard<std::mutex> lock(mutex_);
   uint64_t total = 0;
   for (const auto& [_, container] : containers_) {
-    total += container->SumInstanceCounter(name);
+    total += container->SumInstanceCounter(name, component);
   }
   return total;
 }
@@ -911,13 +952,15 @@ observability::TopologySnapshot LocalCluster::BuildSnapshot() const {
   return snap;
 }
 
-uint64_t LocalCluster::CompleteLatencyQuantile(double q) const {
+uint64_t LocalCluster::CompleteLatencyQuantile(
+    double q, const std::string& component) const {
   // Merge is approximate: take the max of per-instance quantiles weighted
   // by presence; adequate for shape-level assertions.
   std::lock_guard<std::mutex> lock(mutex_);
   uint64_t worst = 0;
   for (const auto& [_, container] : containers_) {
     for (const auto& instance : container->instances()) {
+      if (!component.empty() && instance->component() != component) continue;
       auto* h = const_cast<instance::HeronInstance*>(instance.get())
                     ->metrics()
                     ->GetHistogram("instance.complete.latency.ns");

@@ -164,8 +164,10 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   /// Containers killed by the probabilistic chaos schedule so far.
   int chaos_kills() const;
 
-  /// Sums an instance counter across every live container.
-  uint64_t SumCounter(const std::string& name) const;
+  /// Sums an instance counter across every live container. With
+  /// `component` non-empty, only that component's instances contribute.
+  uint64_t SumCounter(const std::string& name,
+                      const std::string& component = "") const;
   /// Sums an instance gauge across every live container.
   int64_t SumInstanceGauge(const std::string& name) const;
   /// Sums an SMGR gauge across every live container.
@@ -179,7 +181,13 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   Status WaitForCounter(const std::string& name, uint64_t target,
                         int64_t timeout_ms);
   /// Aggregated end-to-end (spout complete) latency quantile in nanos.
-  uint64_t CompleteLatencyQuantile(double q) const;
+  /// Max-merged complete-latency quantile across spout instances. With
+  /// `component` non-empty, only that component's instances contribute —
+  /// a topology with a side branch (e.g. a benchmark's background-load
+  /// spout) would otherwise have the branch's window sojourn drown the
+  /// measured path in the max-merge.
+  uint64_t CompleteLatencyQuantile(double q,
+                                   const std::string& component = "") const;
 
   // -- Observability (tracing + TMaster metrics cache + snapshot) ---------
 
@@ -253,6 +261,10 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   /// The heartbeat monitor reactor (null when monitoring is disabled).
   std::unique_ptr<EventLoop> monitor_;
   bool step_mode_ = false;
+  /// Cooperative execution engine (heron.execution.mode=cooperative):
+  /// created at Submit, handed to every container it starts (including
+  /// restarts and repacks), stopped at Kill. Null in thread/step mode.
+  std::unique_ptr<TaskletPool> tasklet_pool_;
 
   // Chaos schedule. The RNG and knobs are touched on the monitor tick
   // only; the kill count is atomic because tests poll chaos_kills() from

@@ -1,0 +1,277 @@
+#ifndef HERON_RUNTIME_TASKLET_H_
+#define HERON_RUNTIME_TASKLET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "ipc/wakeup.h"
+#include "runtime/event_loop.h"
+
+namespace heron {
+namespace runtime {
+
+/// What a pool worker does when none of its tasklets made progress.
+///
+///   kCondvarPark   park on the worker's coalescing Wakeup until a chained
+///                  member loop announces work or a deadline arrives — the
+///                  default, lowest CPU, pays one futex wake per handoff.
+///   kAdaptiveSpin  spin (cpu-relax) for a bounded window first, then fall
+///                  back to parking — absorbs sub-window handoff gaps
+///                  without a syscall, the Hazelcast-Jet middle ground.
+///   kBusySpin      never park; spin on the member loops — lowest tail
+///                  latency, one core burned per worker.
+enum class IdlePolicy {
+  kCondvarPark,
+  kAdaptiveSpin,
+  kBusySpin,
+};
+
+/// Parses "condvar-park" | "adaptive-spin" | "busy-spin".
+Result<IdlePolicy> ParseIdlePolicy(std::string_view text);
+const char* IdlePolicyName(IdlePolicy policy);
+
+/// Knobs for one tasklet's slice autotuner (see Tasklet).
+struct TaskletOptions {
+  /// Target wall time for one Drive() slice. A single RunOnce() step is
+  /// the uninterruptible unit, so overrunning steps halve the burst
+  /// budget while in-budget steps grow it additively — AIMD against
+  /// overrun, so a tasklet that turns expensive (bigger tuples, slower
+  /// Execute) backs off fast and re-probes slowly.
+  int64_t target_slice_nanos = 200000;  // 200 us.
+  /// Bound on one uninterruptible RunOnce() step; 0 = 8x the slice
+  /// target. Distinct from the slice target on purpose: the slice is a
+  /// tasklet's fair share of a pass, while the step bound is the worst
+  /// stall one tasklet may inflict on its worker. Sizing steps to the
+  /// slice target itself would convoy bursty traffic — a 64-tuple burst
+  /// whose drain costs a few slice targets of CPU would be doled out a
+  /// handful of tuples per pass, turning microseconds of work into
+  /// milliseconds of queueing.
+  int64_t max_step_nanos = 0;
+  size_t min_burst = 8;
+  size_t max_burst = 1024;
+  size_t burst_step = 32;  ///< Additive increase per in-budget step.
+  /// Deterministic bound on RunOnce() steps per slice. The wall-time
+  /// check cannot be the only slice bound: under a virtual clock time
+  /// never advances inside Drive(), and idle-worker progress (a spout's
+  /// NextTuple runs once per step, not once per burst) must still be
+  /// sliced fairly against source-burst progress.
+  size_t max_steps_per_slice = 64;
+};
+
+/// \brief One cooperatively-scheduled module loop: an EventLoop driven in
+/// bounded slices from a pool worker instead of Run() on an owned thread.
+///
+/// Drive() = one slice: repeated RunOnce() steps until the slice's wall
+/// budget (`target_slice_nanos`) or the deterministic step cap is spent,
+/// or the loop reports no progress. Each step drains at most `budget_`
+/// tuples per source; one step is the uninterruptible unit, so that
+/// burst is the yield contract — a tasklet may not hog its worker past
+/// the step bound (`max_step_nanos`) — and it is autotuned instead of
+/// guessed: multiplicative decrease when a step overruns the bound,
+/// additive increase otherwise, plus a predictive per-tuple-cost clamp
+/// so the overrun case is the exception, not the steady state. Idle-worker
+/// progress (a spout's NextTuple) happens once per step, which is why a
+/// slice is many steps: one step per pass would let a burst-drained
+/// consumer starve its producer of offered load. Everything here runs on
+/// one driving thread at a time — the pool's per-handle mutex enforces
+/// that.
+class Tasklet {
+ public:
+  /// The burst budget slow-starts from `min_burst`: additive increase
+  /// reaches `max_burst` within ~(max-min)/step in-budget steps, while
+  /// starting high would let the very first steps of a cold loop run
+  /// multi-millisecond slices (draining a pre-filled channel at full
+  /// burst) before the autotuner has any overrun signal to react to —
+  /// a startup transient that lands exactly in the p99.99 tail.
+  Tasklet(EventLoop* loop, const TaskletOptions& options, const Clock* clock)
+      : loop_(loop), options_(options), clock_(clock),
+        step_bound_nanos_(options.max_step_nanos > 0
+                              ? options.max_step_nanos
+                              : 8 * options.target_slice_nanos),
+        budget_(options.min_burst) {}
+
+  /// One slice: returns whether the loop reported progress.
+  bool Drive() {
+    const int64_t slice_start = clock_->NowNanos();
+    bool did_work = false;
+    size_t steps = 0;
+    do {
+      // Predictive clamp on top of AIMD: AIMD only reacts *after* an
+      // overrunning step has run to completion, and one full-burst step
+      // against a sudden backlog can take milliseconds — straight into
+      // the deep tail the step bound exists to cap. The per-tuple cost
+      // EWMA turns the bound into a burst the step can actually finish
+      // in time, with a floor of 1 — a loop whose single tuple costs
+      // more than the bound (a CPU-heavy Execute) drains one at a time.
+      // (The EWMA stays zero under a virtual clock, where steps take no
+      // wall time: the clamp stays off and stepping stays deterministic.)
+      size_t burst = budget_;
+      if (cost_ewma_nanos_ > 0) {
+        const size_t cap = std::max(
+            size_t{1},
+            static_cast<size_t>(static_cast<double>(step_bound_nanos_) /
+                                cost_ewma_nanos_));
+        burst = std::min(burst, cap);
+      }
+      loop_->set_burst(burst);
+      const int64_t step_start = clock_->NowNanos();
+      const bool step_work = loop_->RunOnce();
+      const int64_t step_elapsed = clock_->NowNanos() - step_start;
+      const size_t handled = loop_->last_step_handled();
+      if (handled > 0 && step_elapsed > 0) {
+        const double cost =
+            static_cast<double>(step_elapsed) / static_cast<double>(handled);
+        cost_ewma_nanos_ =
+            cost_ewma_nanos_ > 0 ? (cost_ewma_nanos_ * 7 + cost) / 8 : cost;
+      }
+      ++steps;
+      // Only steps that did work carry a cost signal: an idle step must
+      // not creep the budget toward max, or a long-idle tasklet would
+      // meet its next flood with a cold full-burst step — the recurring
+      // version of the startup transient slow-start exists to prevent.
+      if (step_work) {
+        // Overrun = the step bound, not the slice target: a step is
+        // allowed to spend several slice targets draining a burst (that
+        // is what keeps bursts from convoying across passes); only a
+        // step that blows the uninterruptible-stall contract halves the
+        // budget.
+        if (step_elapsed > step_bound_nanos_) {
+          ++overruns_;
+          budget_ = std::max(options_.min_burst, budget_ / 2);
+        } else if (budget_ < options_.max_burst) {
+          budget_ =
+              std::min(options_.max_burst, budget_ + options_.burst_step);
+        }
+      } else {
+        break;
+      }
+      did_work = true;
+    } while (steps < options_.max_steps_per_slice &&
+             clock_->NowNanos() - slice_start < options_.target_slice_nanos);
+    ++slices_;
+    return did_work;
+  }
+
+  /// True when the loop would have exited Run(): stopped, or every channel
+  /// source closed and drained.
+  bool Done() const { return loop_->stopped() || loop_->sources_done(); }
+
+  EventLoop* loop() const { return loop_; }
+  size_t budget() const { return budget_; }
+  /// Per-tuple wall cost estimate (ns); 0 until a timed step drained work.
+  double cost_ewma_nanos() const { return cost_ewma_nanos_; }
+  uint64_t slices() const { return slices_; }
+  uint64_t overruns() const { return overruns_; }
+
+ private:
+  EventLoop* loop_;
+  TaskletOptions options_;
+  const Clock* clock_;
+  const int64_t step_bound_nanos_;
+  size_t budget_;
+  double cost_ewma_nanos_ = 0;
+  uint64_t slices_ = 0;
+  uint64_t overruns_ = 0;
+};
+
+/// \brief Thread-per-core cooperative scheduler: N workers, each driving
+/// many tasklets round-robin, parking per the configured IdlePolicy.
+///
+/// This is `heron.execution.mode=cooperative`'s engine. Instead of one OS
+/// thread per instance (tail latency at the mercy of the kernel scheduler
+/// once instances outnumber cores), every module EventLoop becomes a
+/// tasklet on one of a fixed set of workers — the Hazelcast-Jet execution
+/// model grafted onto the paper's §II reactor kernel.
+///
+/// ## Wakeup protocol (lost-wakeup-free parking)
+/// Add() chains the member loop's Wakeup to its worker's Wakeup: producers
+/// notify the member latch, which forwards one coalesced notify to the
+/// worker. Because member latches coalesce (a second notify while pending
+/// forwards nothing), a worker must Poll() every member latch immediately
+/// before parking — any pending latch means undrained work, so it re-drives
+/// instead of parking, and the cleared latch re-arms forwarding. A notify
+/// landing between the Poll and the park still reaches the worker's own
+/// latch, which WaitFor() consumes.
+///
+/// ## Retire fence
+/// Retire() is synchronous: it marks the handle retired, then acquires the
+/// per-handle drive mutex, guaranteeing any in-flight Drive() finished and
+/// no later one starts. After Retire() returns, the caller owns the loop
+/// again (e.g. to drain it on its own thread during graceful Stop).
+///
+/// ## Inline mode
+/// `Options::threaded=false` spawns no threads; DriveAll() steps every
+/// worker's tasklets once, in registration order, from the caller — the
+/// deterministic two-universe harness for cooperative mode.
+class TaskletPool {
+ public:
+  struct Options {
+    /// Worker count; 0 = one per hardware core.
+    size_t workers = 0;
+    /// False = inline stepping via DriveAll() (deterministic tests).
+    bool threaded = true;
+    IdlePolicy idle_policy = IdlePolicy::kCondvarPark;
+    /// Adaptive-spin window before falling back to a park.
+    int64_t spin_window_nanos = 50000;  // 50 us.
+    /// Cap on any single park (back-pressure flags clear silently).
+    int64_t max_park_nanos = 1000000;  // 1 ms.
+    TaskletOptions tasklet;
+  };
+
+  class Handle;
+
+  TaskletPool(const Options& options, const Clock* clock);
+  ~TaskletPool();
+
+  TaskletPool(const TaskletPool&) = delete;
+  TaskletPool& operator=(const TaskletPool&) = delete;
+
+  /// Registers `loop` as a tasklet, round-robin across workers, and chains
+  /// its wakeup. The loop must be fully registered (channels, timers, idle
+  /// workers) before Add — the pool worker becomes its driving thread.
+  /// Returns a handle for Retire(); owned by the pool.
+  Handle* Add(EventLoop* loop);
+
+  /// Synchronously stops driving `handle`'s loop (see class comment).
+  /// Idempotent; null is a no-op. Does not stop or drain the loop itself.
+  void Retire(Handle* handle);
+
+  void Start();
+  /// Stops and joins every worker. Member loops are left as-is.
+  void Stop();
+
+  /// Inline mode: one Drive pass over every tasklet; true when any
+  /// progressed. Threaded pools must not call this.
+  bool DriveAll();
+
+  size_t num_workers() const { return workers_.size(); }
+  const Options& options() const { return options_; }
+
+ private:
+  class Worker;
+
+  Options options_;
+  const Clock* clock_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<size_t> next_worker_{0};
+  bool started_ = false;
+  /// Keeps every un-retired handle alive independent of the workers'
+  /// member lists, so Retire() can safely dereference the raw pointer it
+  /// was given (and detect an already-retired one without touching it).
+  std::mutex registry_mu_;
+  std::unordered_map<Handle*, std::shared_ptr<Handle>> registry_;
+};
+
+}  // namespace runtime
+}  // namespace heron
+
+#endif  // HERON_RUNTIME_TASKLET_H_

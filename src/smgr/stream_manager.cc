@@ -172,6 +172,16 @@ Status StreamManager::StartStepMode() {
   return Register();
 }
 
+Status StreamManager::StartCooperative(runtime::TaskletPool* pool) {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("stream manager already running");
+  }
+  HERON_RETURN_NOT_OK(Register());
+  pool_ = pool;
+  pool_handle_ = pool->Add(&loop_);
+  return Status::OK();
+}
+
 void StreamManager::Stop() {
   if (registered_) {
     transport_->UnregisterSmgr(options_.container).ok();
@@ -182,6 +192,13 @@ void StreamManager::Stop() {
   // and exit; Stop() is deliberately not called first, so nothing is
   // stranded. Shutdown() is a no-op when the loop thread already ran it.
   inbound_.Close();
+  if (pool_handle_ != nullptr) {
+    // Cooperative: fence the pool worker off the loop, then finish the
+    // drain on this thread — the same iterations Run() would have done.
+    pool_->Retire(pool_handle_);
+    pool_handle_ = nullptr;
+    while (!loop_.stopped() && !loop_.sources_done()) loop_.RunOnce();
+  }
   loop_.Join();
   loop_.Shutdown();
   // Post-loop teardown bookkeeping: drop the throttle refs held by remote
@@ -211,6 +228,10 @@ void StreamManager::Kill() {
   // tuple cache or retry queue dies with the "process" — exactly the loss
   // the ack-timeout replay must repair.
   loop_.Halt();
+  if (pool_handle_ != nullptr) {
+    pool_->Retire(pool_handle_);
+    pool_handle_ = nullptr;
+  }
   inbound_.Close();
   loop_.Join();
 }

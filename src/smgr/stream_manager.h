@@ -15,6 +15,7 @@
 #include "observability/trace.h"
 #include "proto/physical_plan.h"
 #include "runtime/event_loop.h"
+#include "runtime/tasklet.h"
 #include "smgr/ack_tracker.h"
 #include "smgr/transport.h"
 #include "smgr/tuple_cache.h"
@@ -106,6 +107,10 @@ class StreamManager {
   /// Step-mode Start: registers with the transport and arms the reactor,
   /// but spawns no thread — the caller drives loop()->RunOnce().
   Status StartStepMode();
+  /// Cooperative Start: registers, then hands the reactor to `pool` as a
+  /// tasklet instead of spawning a thread. The SMGR loop already never
+  /// blocks (TrySend-or-park routing), so no delivery-mode change needed.
+  Status StartCooperative(runtime::TaskletPool* pool);
   /// Drains, deregisters and joins. Idempotent.
   void Stop();
   /// Hard-kill (fault injection): deregisters, halts the reactor without
@@ -272,6 +277,10 @@ class StreamManager {
   runtime::EventLoop loop_;
   std::atomic<bool> running_{false};
   bool registered_ = false;
+
+  // Cooperative mode: the pool driving loop_ (null in thread/step mode).
+  runtime::TaskletPool* pool_ = nullptr;
+  runtime::TaskletPool::Handle* pool_handle_ = nullptr;
 
   // Hot-path metric handles.
   metrics::Counter* tuples_routed_;

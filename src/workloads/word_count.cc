@@ -73,9 +73,28 @@ void WordSpout::NextTuple() {
   }
   for (int i = 0; i < options_.words_per_call; ++i) {
     if (options_.emit_limit != 0 && emitted_ >= options_.emit_limit) return;
+    if (options_.target_rate_per_sec > 0) {
+      // Token bucket against the wall clock. No sleeping — NextTuple just
+      // declines, and the engine's idle policy decides when to ask again.
+      // The bucket depth is capped at one call's worth of words: a spout
+      // that fell behind (cold pipeline, stalled worker) must not bank
+      // the deficit and then blast a catch-up burst at full speed — that
+      // backlog would queue ahead of every later word and own the tail.
+      const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count();
+      if (rate_epoch_nanos_ < 0) rate_epoch_nanos_ = now;
+      rate_tokens_ += static_cast<double>(now - rate_epoch_nanos_) / 1e9 *
+                      options_.target_rate_per_sec;
+      rate_epoch_nanos_ = now;
+      rate_tokens_ =
+          std::min(rate_tokens_, static_cast<double>(options_.words_per_call));
+      if (rate_tokens_ < 1.0) return;
+      rate_tokens_ -= 1.0;
+    }
     const size_t index = rng_.NextBelow(dictionary_->size());
     const std::string& word = dictionary_->WordAt(index);
-    if (acking_) {
+    if (acking_ && emitted_ >= options_.warmup_emits) {
       if (options_.replay_failed) {
         if (inflight_.size() < options_.replay_track_limit) {
           inflight_[next_message_id_] = index;
@@ -201,6 +220,36 @@ Result<std::shared_ptr<const api::Topology>> BuildWordCountTopology(
       .SetBolt(
           "count", [] { return std::make_unique<CountBolt>(); }, bolts)
       .FieldsGrouping("word", {"word"});
+  return builder.Build();
+}
+
+Result<std::shared_ptr<const api::Topology>> BuildWordChainTopology(
+    const std::string& name, int spouts, int relay_stages,
+    int relay_parallelism, int bolts, const WordSpout::Options& spout_options,
+    const Config& topology_config) {
+  api::TopologyBuilder builder(name);
+  *builder.mutable_config() = topology_config;
+  builder
+      .SetSpout(
+          "word",
+          [spout_options] { return std::make_unique<WordSpout>(spout_options); },
+          spouts)
+      .OutputFields({"word"});
+  std::string upstream = "word";
+  for (int stage = 0; stage < relay_stages; ++stage) {
+    const std::string id = "relay" + std::to_string(stage);
+    builder
+        .SetBolt(
+            id, [] { return std::make_unique<RelayBolt>(); },
+            relay_parallelism)
+        .OutputFields({"word"})
+        .ShuffleGrouping(upstream);
+    upstream = id;
+  }
+  builder
+      .SetBolt(
+          "count", [] { return std::make_unique<CountBolt>(); }, bolts)
+      .FieldsGrouping(upstream, {"word"});
   return builder.Build();
 }
 

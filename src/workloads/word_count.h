@@ -67,6 +67,19 @@ class WordSpout final : public api::IStatefulSpout {
     /// replay) and the `replay.dropped` counter records each loss.
     /// Overridden by `heron.spout.replay.track.limit` when set.
     size_t replay_track_limit = 1 << 16;
+    /// First N words go out unanchored even with acking on: they carry no
+    /// message id, join no tuple tree, and therefore leave no complete-
+    /// latency sample. Latency benches use this as a warmup phase — cold-
+    /// start tuples (first-touch page faults, lazy pool growth) otherwise
+    /// own the deep-tail quantiles of a short run.
+    uint64_t warmup_emits = 0;
+    /// Fixed offered load in words/sec; 0 = unrestricted ("spouts are
+    /// extremely fast, if left unrestricted"). Token-bucket against the
+    /// wall clock, so latency benches can compare execution modes below
+    /// saturation — equal throughput by construction, with the latency
+    /// distribution isolating scheduling. Wall-clock based: leave at 0
+    /// under a virtual clock (it would break replay determinism).
+    double target_rate_per_sec = 0;
   };
 
   explicit WordSpout(const Options& options) : options_(options) {}
@@ -124,6 +137,11 @@ class WordSpout final : public api::IStatefulSpout {
   uint64_t replay_dropped_ = 0;
   metrics::Counter* replay_dropped_counter_ = nullptr;
   int64_t next_message_id_ = 1;
+  /// Token-bucket state for `target_rate_per_sec`: last refill time (wall
+  /// nanoseconds; -1 = not started) and the accumulated token balance,
+  /// capped at `words_per_call` so a stalled spout cannot bank debt.
+  int64_t rate_epoch_nanos_ = -1;
+  double rate_tokens_ = 0;
   /// message id → dictionary index of the word it carried (replay mode).
   /// Bounded by `replay_track_limit`.
   std::unordered_map<int64_t, size_t> inflight_;
@@ -178,11 +196,46 @@ class CountBolt final : public api::IStatefulBolt {
   int64_t delay_us_ = 0;
 };
 
+/// \brief A pass-through relay: re-emits each word anchored to its input
+/// and acks it. Chained between the spout and the counting sink it
+/// deepens the tuple tree, so end-to-end complete latency crosses one
+/// module handoff per stage — the knob latency figures turn to scale the
+/// per-hop scheduling cost they measure.
+class RelayBolt final : public api::IBolt {
+ public:
+  void Prepare(const Config& config, api::TopologyContext* context,
+               api::IBoltOutputCollector* collector) override {
+    collector_ = collector;
+  }
+
+  void Execute(const api::Tuple& input) override {
+    collector_->Emit(input, {api::Value(input.GetString(0))});
+    collector_->Ack(input);
+    ++forwarded_;
+  }
+
+  uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  api::IBoltOutputCollector* collector_ = nullptr;
+  uint64_t forwarded_ = 0;
+};
+
 /// \brief Assembles the WordCount topology at the given parallelism:
 /// `spouts` WordSpout instances, fields-grouped ("hash partitioning") into
 /// `bolts` CountBolt instances.
 Result<std::shared_ptr<const api::Topology>> BuildWordCountTopology(
     const std::string& name, int spouts, int bolts,
+    const WordSpout::Options& spout_options = {},
+    const Config& topology_config = Config());
+
+/// \brief WordCount with a relay pipeline in the middle: `spouts` WordSpout
+/// instances, shuffle-grouped through `relay_stages` RelayBolt stages (each
+/// at `relay_parallelism`), fields-grouped into `bolts` CountBolt sinks.
+/// `relay_stages = 0` degenerates to plain WordCount.
+Result<std::shared_ptr<const api::Topology>> BuildWordChainTopology(
+    const std::string& name, int spouts, int relay_stages,
+    int relay_parallelism, int bolts,
     const WordSpout::Options& spout_options = {},
     const Config& topology_config = Config());
 

@@ -120,16 +120,19 @@ TEST(RegistryTest, SnapshotEmitsMinAndMidQuantiles) {
     ADD_FAILURE() << "missing sample " << name;
     return -1;
   };
-  // The full histogram sample family: .count/.mean/.min/.p50/.p90/.p99/.max.
+  // The full histogram sample family:
+  // .count/.mean/.min/.p50/.p90/.p99/.p999/.p9999/.max.
   EXPECT_DOUBLE_EQ(find("lat.count"), 4);
   EXPECT_DOUBLE_EQ(find("lat.min"), 10);
   EXPECT_DOUBLE_EQ(find("lat.max"), 80);
   EXPECT_DOUBLE_EQ(find("lat.p90"), static_cast<double>(h->Quantile(0.9)));
-  // Ordering sanity across the emitted quantiles.
+  // Ordering sanity across the emitted quantiles, deep tail included.
   EXPECT_LE(find("lat.min"), find("lat.p50"));
   EXPECT_LE(find("lat.p50"), find("lat.p90"));
   EXPECT_LE(find("lat.p90"), find("lat.p99"));
-  EXPECT_LE(find("lat.p99"), find("lat.max"));
+  EXPECT_LE(find("lat.p99"), find("lat.p999"));
+  EXPECT_LE(find("lat.p999"), find("lat.p9999"));
+  EXPECT_LE(find("lat.p9999"), find("lat.max"));
 }
 
 TEST(InMemorySinkTest, EvictsOldestRoundsPerSourceAtCap) {
