@@ -232,6 +232,16 @@ inline constexpr char kMetricsCacheMaxWindows[] =
 /// oldest rounds are evicted (bounded-memory satellite).
 inline constexpr char kInMemorySinkMaxRounds[] =
     "heron.metricsmgr.inmemory.max.rounds";
+/// Capacity (events) of each flight-recorder ring: one per container plus
+/// one for the control plane. Always-on by default — control-plane events
+/// are rare, so the ring is cheap; 0 turns the whole observability layer
+/// (journal, scheduler profiler, timeline slices) dark.
+inline constexpr char kJournalRingCapacity[] =
+    "heron.observability.journal.ring.capacity";
+/// Capacity (slices) of the cooperative scheduler's timeline slice ring.
+/// Only allocated when the journal is on and a TaskletPool exists.
+inline constexpr char kJournalSliceRingCapacity[] =
+    "heron.observability.journal.slice.ring.capacity";
 
 }  // namespace config_keys
 

@@ -1,0 +1,172 @@
+#include "observability/journal.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace heron {
+namespace observability {
+
+const char* JournalEventTypeName(JournalEventType type) {
+  switch (type) {
+    case JournalEventType::kBackpressureStart:
+      return "backpressure_start";
+    case JournalEventType::kBackpressureStop:
+      return "backpressure_stop";
+    case JournalEventType::kRemoteThrottleOn:
+      return "remote_throttle_on";
+    case JournalEventType::kRemoteThrottleOff:
+      return "remote_throttle_off";
+    case JournalEventType::kCheckpointTriggered:
+      return "checkpoint_triggered";
+    case JournalEventType::kCheckpointComplete:
+      return "checkpoint_complete";
+    case JournalEventType::kCheckpointAborted:
+      return "checkpoint_aborted";
+    case JournalEventType::kCheckpointRestore:
+      return "checkpoint_restore";
+    case JournalEventType::kScalingDecision:
+      return "scaling_decision";
+    case JournalEventType::kContainerStart:
+      return "container_start";
+    case JournalEventType::kContainerDead:
+      return "container_dead";
+    case JournalEventType::kContainerRestored:
+      return "container_restored";
+    case JournalEventType::kPlanSwap:
+      return "plan_swap";
+    case JournalEventType::kChaosKill:
+      return "chaos_kill";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Pack up to kJournalDetailBytes of tag text into two words. NUL-padded,
+/// so unpacking stops at the first zero byte.
+void PackDetail(const char* detail, uint64_t* lo, uint64_t* hi) {
+  char buf[kJournalDetailBytes] = {0};
+  if (detail != nullptr) {
+    const size_t len = std::min(std::strlen(detail), kJournalDetailBytes);
+    std::memcpy(buf, detail, len);
+  }
+  std::memcpy(lo, buf, sizeof(*lo));
+  std::memcpy(hi, buf + sizeof(*lo), sizeof(*hi));
+}
+
+std::string UnpackDetail(uint64_t lo, uint64_t hi) {
+  char buf[kJournalDetailBytes + 1] = {0};
+  std::memcpy(buf, &lo, sizeof(lo));
+  std::memcpy(buf + sizeof(lo), &hi, sizeof(hi));
+  return std::string(buf);
+}
+
+}  // namespace
+
+EventJournal::EventJournal(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+void EventJournal::Record(JournalEventType type, int32_t origin, int32_t task,
+                          int64_t at_nanos, int64_t arg0, int64_t arg1,
+                          const char* detail) {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  PackDetail(detail, &lo, &hi);
+  const uint64_t index = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[index % capacity_];
+  // Invalidate while the fields are in flux, then publish with the new
+  // stamp. A concurrent Snapshot seeing stamp==0 or a stamp that does not
+  // match the expected index skips the slot.
+  slot.stamp.store(0, std::memory_order_release);
+  slot.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
+  slot.origin.store(origin, std::memory_order_relaxed);
+  slot.task.store(task, std::memory_order_relaxed);
+  slot.at_nanos.store(at_nanos, std::memory_order_relaxed);
+  slot.arg0.store(arg0, std::memory_order_relaxed);
+  slot.arg1.store(arg1, std::memory_order_relaxed);
+  slot.detail_lo.store(lo, std::memory_order_relaxed);
+  slot.detail_hi.store(hi, std::memory_order_relaxed);
+  slot.stamp.store(index + 1, std::memory_order_release);
+}
+
+std::vector<JournalEvent> EventJournal::Snapshot() const {
+  const uint64_t total = next_.load(std::memory_order_acquire);
+  const uint64_t retained = std::min<uint64_t>(total, capacity_);
+  std::vector<JournalEvent> out;
+  out.reserve(retained);
+  // Oldest retained record index.
+  const uint64_t first = total - retained;
+  for (uint64_t index = first; index < total; ++index) {
+    const Slot& slot = slots_[index % capacity_];
+    if (slot.stamp.load(std::memory_order_acquire) != index + 1) {
+      continue;  // Mid-overwrite by a concurrent Record; skip.
+    }
+    JournalEvent e;
+    e.seq = index;
+    e.type = static_cast<JournalEventType>(
+        slot.type.load(std::memory_order_relaxed));
+    e.origin = slot.origin.load(std::memory_order_relaxed);
+    e.task = slot.task.load(std::memory_order_relaxed);
+    e.at_nanos = slot.at_nanos.load(std::memory_order_relaxed);
+    e.arg0 = slot.arg0.load(std::memory_order_relaxed);
+    e.arg1 = slot.arg1.load(std::memory_order_relaxed);
+    const uint64_t lo = slot.detail_lo.load(std::memory_order_relaxed);
+    const uint64_t hi = slot.detail_hi.load(std::memory_order_relaxed);
+    if (slot.stamp.load(std::memory_order_acquire) != index + 1) {
+      continue;  // Overwritten while copying.
+    }
+    e.detail = UnpackDetail(lo, hi);
+    out.push_back(e);
+  }
+  return out;
+}
+
+uint64_t EventJournal::dropped() const {
+  const uint64_t total = next_.load(std::memory_order_acquire);
+  return total > capacity_ ? total - capacity_ : 0;
+}
+
+SliceRing::SliceRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+void SliceRing::Record(int32_t worker, int32_t tasklet, int64_t start_nanos,
+                       int64_t dur_nanos) {
+  const uint64_t index = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[index % capacity_];
+  slot.stamp.store(0, std::memory_order_release);
+  slot.worker.store(worker, std::memory_order_relaxed);
+  slot.tasklet.store(tasklet, std::memory_order_relaxed);
+  slot.start_nanos.store(start_nanos, std::memory_order_relaxed);
+  slot.dur_nanos.store(dur_nanos, std::memory_order_relaxed);
+  slot.stamp.store(index + 1, std::memory_order_release);
+}
+
+std::vector<SchedSlice> SliceRing::Snapshot() const {
+  const uint64_t total = next_.load(std::memory_order_acquire);
+  const uint64_t retained = std::min<uint64_t>(total, capacity_);
+  std::vector<SchedSlice> out;
+  out.reserve(retained);
+  const uint64_t first = total - retained;
+  for (uint64_t index = first; index < total; ++index) {
+    const Slot& slot = slots_[index % capacity_];
+    if (slot.stamp.load(std::memory_order_acquire) != index + 1) continue;
+    SchedSlice s;
+    s.worker = slot.worker.load(std::memory_order_relaxed);
+    s.tasklet = slot.tasklet.load(std::memory_order_relaxed);
+    s.start_nanos = slot.start_nanos.load(std::memory_order_relaxed);
+    s.dur_nanos = slot.dur_nanos.load(std::memory_order_relaxed);
+    if (slot.stamp.load(std::memory_order_acquire) != index + 1) continue;
+    out.push_back(s);
+  }
+  return out;
+}
+
+uint64_t SliceRing::dropped() const {
+  const uint64_t total = next_.load(std::memory_order_acquire);
+  return total > capacity_ ? total - capacity_ : 0;
+}
+
+}  // namespace observability
+}  // namespace heron

@@ -26,6 +26,28 @@ TopologySnapshot::TraceSummary SummarizeTraces(const TraceBreakdown& breakdown,
   return out;
 }
 
+TopologySnapshot::JournalSummary SummarizeJournal(
+    const std::vector<JournalEvent>& events, uint64_t recorded,
+    uint64_t dropped) {
+  TopologySnapshot::JournalSummary out;
+  out.events = events.size();
+  out.recorded = recorded;
+  out.dropped = dropped;
+  uint64_t counts[kNumJournalEventTypes] = {};
+  for (const JournalEvent& e : events) {
+    const size_t type = static_cast<size_t>(e.type);
+    if (type < kNumJournalEventTypes) ++counts[type];
+  }
+  for (size_t type = 0; type < kNumJournalEventTypes; ++type) {
+    if (counts[type] == 0) continue;
+    TopologySnapshot::JournalTypeCount entry;
+    entry.type = JournalEventTypeName(static_cast<JournalEventType>(type));
+    entry.count = counts[type];
+    out.by_type.push_back(std::move(entry));
+  }
+  return out;
+}
+
 std::string TopologySnapshot::ToJson() const {
   json::Writer w;
   w.BeginObject();
@@ -74,6 +96,32 @@ std::string TopologySnapshot::ToJson() const {
     w.EndObject();
   }
   w.EndArray();
+  w.EndObject();
+
+  w.Key("journal").BeginObject();
+  w.Key("events").Uint(journal.events);
+  w.Key("recorded").Uint(journal.recorded);
+  w.Key("dropped").Uint(journal.dropped);
+  w.Key("by_type").BeginArray();
+  for (const JournalTypeCount& entry : journal.by_type) {
+    w.BeginObject();
+    w.Key("type").String(entry.type);
+    w.Key("count").Uint(entry.count);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  w.Key("scheduler").BeginObject();
+  w.Key("workers").Uint(scheduler.workers);
+  w.Key("tasklets").Uint(scheduler.tasklets);
+  w.Key("slices").Uint(scheduler.slices);
+  w.Key("overruns").Uint(scheduler.overruns);
+  w.Key("occupancy").Number(scheduler.occupancy);
+  w.Key("busy_ms").Number(scheduler.busy_ms);
+  w.Key("wall_ms").Number(scheduler.wall_ms);
+  w.Key("slice_events").Uint(scheduler.slice_events);
+  w.Key("dropped_slices").Uint(scheduler.dropped_slices);
   w.EndObject();
 
   w.EndObject();
@@ -139,6 +187,41 @@ Result<TopologySnapshot> TopologySnapshot::FromJson(std::string_view text) {
         out.trace.stages.push_back(std::move(stage));
       }
     }
+  }
+
+  if (const json::Value* journal = v.Find("journal")) {
+    out.journal.events =
+        static_cast<uint64_t>(journal->NumberOr("events", 0));
+    out.journal.recorded =
+        static_cast<uint64_t>(journal->NumberOr("recorded", 0));
+    out.journal.dropped =
+        static_cast<uint64_t>(journal->NumberOr("dropped", 0));
+    if (const json::Value* by_type = journal->Find("by_type")) {
+      for (const json::Value& entry : by_type->array) {
+        JournalTypeCount count;
+        count.type = entry.StringOr("type", "");
+        count.count = static_cast<uint64_t>(entry.NumberOr("count", 0));
+        out.journal.by_type.push_back(std::move(count));
+      }
+    }
+  }
+
+  if (const json::Value* sched = v.Find("scheduler")) {
+    out.scheduler.workers =
+        static_cast<uint64_t>(sched->NumberOr("workers", 0));
+    out.scheduler.tasklets =
+        static_cast<uint64_t>(sched->NumberOr("tasklets", 0));
+    out.scheduler.slices =
+        static_cast<uint64_t>(sched->NumberOr("slices", 0));
+    out.scheduler.overruns =
+        static_cast<uint64_t>(sched->NumberOr("overruns", 0));
+    out.scheduler.occupancy = sched->NumberOr("occupancy", 0);
+    out.scheduler.busy_ms = sched->NumberOr("busy_ms", 0);
+    out.scheduler.wall_ms = sched->NumberOr("wall_ms", 0);
+    out.scheduler.slice_events =
+        static_cast<uint64_t>(sched->NumberOr("slice_events", 0));
+    out.scheduler.dropped_slices =
+        static_cast<uint64_t>(sched->NumberOr("dropped_slices", 0));
   }
   return out;
 }

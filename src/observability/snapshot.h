@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "observability/journal.h"
 #include "observability/metrics_cache.h"
 #include "observability/trace.h"
 
@@ -57,6 +58,52 @@ struct TopologySnapshot {
     }
   };
 
+  /// Count of one flight-recorder event type across every ring.
+  struct JournalTypeCount {
+    std::string type;  ///< JournalEventTypeName().
+    uint64_t count = 0;
+
+    bool operator==(const JournalTypeCount& o) const {
+      return type == o.type && count == o.count;
+    }
+  };
+
+  /// Flight-recorder digest: ring totals plus retained-event counts by
+  /// type (non-zero types only, in enum order).
+  struct JournalSummary {
+    uint64_t events = 0;    ///< Events retained across rings.
+    uint64_t recorded = 0;  ///< Events ever recorded (incl. overwritten).
+    uint64_t dropped = 0;   ///< Events lost to ring wraparound.
+    std::vector<JournalTypeCount> by_type;
+
+    bool operator==(const JournalSummary& o) const {
+      return events == o.events && recorded == o.recorded &&
+             dropped == o.dropped && by_type == o.by_type;
+    }
+  };
+
+  /// Cooperative-scheduler profiler rollup (all zero outside cooperative
+  /// execution or with the journal dark).
+  struct SchedulerSummary {
+    uint64_t workers = 0;
+    uint64_t tasklets = 0;
+    uint64_t slices = 0;          ///< Slices driven (tasklet counters).
+    uint64_t overruns = 0;        ///< Slices that blew their budget.
+    double occupancy = 0;         ///< Worker busy / wall ratio.
+    double busy_ms = 0;           ///< Summed worker busy wall-clock.
+    double wall_ms = 0;           ///< Summed worker uptime.
+    uint64_t slice_events = 0;    ///< Slices retained in the ring.
+    uint64_t dropped_slices = 0;  ///< Slices lost to ring wraparound.
+
+    bool operator==(const SchedulerSummary& o) const {
+      return workers == o.workers && tasklets == o.tasklets &&
+             slices == o.slices && overruns == o.overruns &&
+             occupancy == o.occupancy && busy_ms == o.busy_ms &&
+             wall_ms == o.wall_ms && slice_events == o.slice_events &&
+             dropped_slices == o.dropped_slices;
+    }
+  };
+
   std::string topology;
   int64_t captured_at_nanos = 0;
 
@@ -75,9 +122,19 @@ struct TopologySnapshot {
   // Sampled tuple-path tracing.
   TraceSummary trace;
 
+  // Flight recorder + scheduler profiler.
+  JournalSummary journal;
+  SchedulerSummary scheduler;
+
   std::string ToJson() const;
   static Result<TopologySnapshot> FromJson(std::string_view text);
 };
+
+/// Folds a merged journal stream (LocalCluster::CollectJournal) plus ring
+/// totals into the snapshot's digest form.
+TopologySnapshot::JournalSummary SummarizeJournal(
+    const std::vector<JournalEvent>& events, uint64_t recorded,
+    uint64_t dropped);
 
 /// Folds a trace breakdown into the snapshot's summary form (ms units,
 /// named stages; stages that never fired are included with 0 so the

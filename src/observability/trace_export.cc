@@ -1,0 +1,198 @@
+#include "observability/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "common/strings.h"
+#include "observability/json.h"
+
+namespace heron {
+namespace observability {
+namespace {
+
+// Synthetic track groups ("processes" to the viewer). Disjoint ranges:
+// task ids and worker indices are small integers in this codebase, so the
+// bases never collide in practice.
+constexpr int32_t kControlPid = 0;
+constexpr int32_t kContainerPidBase = 1;
+constexpr int32_t kTaskPidBase = 1000;
+constexpr int32_t kWorkerPidBase = 2000;
+
+/// One trace_event entry before serialization.
+struct Event {
+  int32_t pid = 0;
+  char ph = 'X';  ///< 'X' duration, 'i' instant.
+  std::string name;
+  int64_t ts_nanos = 0;
+  int64_t dur_nanos = 0;   ///< 'X' only.
+  std::string args_json;   ///< Pre-rendered object, or empty.
+};
+
+/// Instance-side stages track by task id; SMGR-side by container id
+/// (Span::location holds whichever applies, per trace.h).
+bool InstanceSideStage(TraceStage stage) {
+  return stage == TraceStage::kSpoutEmit ||
+         stage == TraceStage::kInstanceDequeue ||
+         stage == TraceStage::kExecute ||
+         stage == TraceStage::kAckComplete;
+}
+
+int32_t SpanPid(const Span& span) {
+  if (span.location < 0) return kControlPid;
+  return InstanceSideStage(span.stage) ? kTaskPidBase + span.location
+                                       : kContainerPidBase + span.location;
+}
+
+void AppendEvent(const Event& e, std::string* out) {
+  out->append("{\"name\":");
+  json::AppendEscaped(e.name, out);
+  out->append(StrFormat(",\"ph\":\"%c\",\"pid\":%d,\"tid\":0,\"ts\":%.3f",
+                        e.ph, e.pid, e.ts_nanos / 1000.0));
+  if (e.ph == 'X') {
+    out->append(StrFormat(",\"dur\":%.3f", e.dur_nanos / 1000.0));
+  } else {
+    // Thread-scoped instant: renders as a marker on its own track.
+    out->append(",\"s\":\"t\"");
+  }
+  if (!e.args_json.empty()) {
+    out->append(",\"args\":");
+    out->append(e.args_json);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string BuildChromeTrace(const TimelineInput& input) {
+  std::vector<Event> events;
+  // Track labels for the ph:"M" process_name metadata, keyed (= sorted)
+  // by pid so the header block is deterministic.
+  std::map<int32_t, std::string> labels;
+  const auto label = [&labels](int32_t pid, const char* fmt, int32_t id) {
+    auto& name = labels[pid];
+    if (name.empty()) name = StrFormat(fmt, id);
+  };
+  labels[kControlPid] = "control-plane";
+
+  // 1. Tuple-path spans → telescoping duration events: each recorded
+  //    stage spans from the previous recorded stage's timestamp to its
+  //    own, so one trace's slices tile its end-to-end latency. The first
+  //    stage (spout emit) anchors with a zero-width slice. Grouping by
+  //    trace id preserves the caller's (timestamp-sorted) order inside
+  //    each trace.
+  std::map<uint64_t, std::vector<Span>> traces;
+  for (const Span& span : input.spans) {
+    traces[span.trace_id].push_back(span);
+  }
+  for (const auto& [trace_id, spans] : traces) {
+    const Span* prev = nullptr;
+    for (const Span& span : spans) {
+      Event e;
+      e.pid = SpanPid(span);
+      e.name = TraceStageName(span.stage);
+      e.ts_nanos = prev != nullptr ? prev->at_nanos : span.at_nanos;
+      e.dur_nanos =
+          prev != nullptr ? std::max<int64_t>(span.at_nanos - e.ts_nanos, 0)
+                          : 0;
+      e.args_json = StrFormat(
+          "{\"trace\":%llu}", static_cast<unsigned long long>(trace_id));
+      if (InstanceSideStage(span.stage)) {
+        label(e.pid, "task-%d", span.location);
+      } else {
+        label(e.pid, "container-%d", span.location);
+      }
+      events.push_back(std::move(e));
+      prev = &span;
+    }
+  }
+
+  // 2. Flight-recorder events → instants on the originating container's
+  //    track (control plane for origin -1).
+  for (const JournalEvent& je : input.events) {
+    Event e;
+    e.ph = 'i';
+    e.pid = je.origin < 0 ? kControlPid : kContainerPidBase + je.origin;
+    e.name = JournalEventTypeName(je.type);
+    e.ts_nanos = je.at_nanos;
+    std::string args = StrFormat(
+        "{\"seq\":%llu,\"arg0\":%lld,\"arg1\":%lld",
+        static_cast<unsigned long long>(je.seq),
+        static_cast<long long>(je.arg0), static_cast<long long>(je.arg1));
+    if (je.task >= 0) args += StrFormat(",\"task\":%d", je.task);
+    if (!je.detail.empty()) {
+      args += ",\"detail\":";
+      json::AppendEscaped(je.detail, &args);
+    }
+    args += "}";
+    e.args_json = std::move(args);
+    if (je.origin >= 0) label(e.pid, "container-%d", je.origin);
+    events.push_back(std::move(e));
+  }
+
+  // 3. Scheduler slices → duration events on the worker's track, named by
+  //    the tasklet that ran.
+  for (const SchedSlice& slice : input.slices) {
+    Event e;
+    e.pid = kWorkerPidBase + std::max(slice.worker, 0);
+    e.name = slice.tasklet >= 0 &&
+                     static_cast<size_t>(slice.tasklet) <
+                         input.tasklet_names.size()
+                 ? input.tasklet_names[slice.tasklet]
+                 : StrFormat("tasklet-%d", slice.tasklet);
+    e.ts_nanos = slice.start_nanos;
+    e.dur_nanos = std::max<int64_t>(slice.dur_nanos, 0);
+    e.args_json = StrFormat("{\"tasklet\":%d}", slice.tasklet);
+    label(e.pid, "worker-%d", std::max(slice.worker, 0));
+    events.push_back(std::move(e));
+  }
+
+  // Deterministic, per-track-monotonic order. stable_sort keeps the fixed
+  // build order above as the final tiebreaker, so equal-keyed events
+  // cannot reorder between runs.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.ts_nanos != b.ts_nanos) {
+                       return a.ts_nanos < b.ts_nanos;
+                     }
+                     return a.name < b.name;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [pid, name] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(StrFormat(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+        "\"args\":{\"name\":",
+        pid));
+    json::AppendEscaped(name, &out);
+    out.append("}}");
+  }
+  for (const Event& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendEvent(e, &out);
+  }
+  out.append("]}\n");
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int closed = std::fclose(f);
+  if (written != content.size() || closed != 0) {
+    return Status::IOError(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace observability
+}  // namespace heron

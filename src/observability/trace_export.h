@@ -1,0 +1,55 @@
+#ifndef HERON_OBSERVABILITY_TRACE_EXPORT_H_
+#define HERON_OBSERVABILITY_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "observability/journal.h"
+#include "observability/trace.h"
+
+namespace heron {
+namespace observability {
+
+/// \brief Everything the unified timeline merges: sampled tuple-path
+/// spans, flight-recorder events and cooperative-scheduler slices. Any
+/// of the vectors may be empty (tracing sampled out, journal dark,
+/// thread-per-instance execution).
+struct TimelineInput {
+  std::vector<Span> spans;
+  std::vector<JournalEvent> events;
+  std::vector<SchedSlice> slices;
+  /// Tasklet ordinal → loop name (TaskletPool::TaskletNames); slices
+  /// whose ordinal has no name render as "tasklet-<n>".
+  std::vector<std::string> tasklet_names;
+};
+
+/// \brief Renders the merged timeline as one Chrome trace_event JSON
+/// document ({"traceEvents": [...]}), loadable at chrome://tracing and
+/// https://ui.perfetto.dev.
+///
+/// Track layout (the "pid" is a synthetic track group, not a process):
+///  - pid 0                "control-plane": journal instants from the
+///    TMaster, checkpoint coordinator, scaling engine and cluster runtime;
+///  - pid 1 + container    "container-<id>": SMGR-side span stages as
+///    duration events plus that container's journal instants;
+///  - pid 1000 + task      "task-<id>": instance-side span stages
+///    (spout emit, dequeue, execute, ack) as duration events;
+///  - pid 2000 + worker    "worker-<n>": scheduler slices, named by the
+///    tasklet that ran.
+///
+/// Span stages telescope into duration events: each recorded stage spans
+/// from the previous recorded stage's timestamp to its own, so a trace's
+/// slices tile its end-to-end latency exactly (trace.h's attribution,
+/// drawn). Output is byte-deterministic for a given input: events are
+/// ordered by (track, timestamp, name) with fixed %.3f microsecond
+/// formatting, so two-universe SimClock runs export identical files.
+std::string BuildChromeTrace(const TimelineInput& input);
+
+/// Writes `content` to `path` (truncating). Used for timeline dumps.
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace observability
+}  // namespace heron
+
+#endif  // HERON_OBSERVABILITY_TRACE_EXPORT_H_

@@ -58,6 +58,7 @@ Status Container::StartInternal(bool step_mode) {
   smgr_options.seed = 42 + static_cast<uint64_t>(plan_.id);
   smgr_options.announce_recovery = recovering_;
   smgr_options.span_collector = span_collector_;
+  smgr_options.journal = journal_;
   recovering_ = false;
   smgr_ = std::make_unique<smgr::StreamManager>(smgr_options, physical_plan_,
                                                 transport_, clock_);

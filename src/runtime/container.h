@@ -82,6 +82,16 @@ class Container {
     return span_collector_;
   }
 
+  /// Attaches the container's flight recorder (control-plane event ring,
+  /// fed by the SMGR's backpressure protocol). Must be set before Start;
+  /// nullptr (the default) leaves the journal dark. Owned by the caller
+  /// (LocalCluster keeps it across restarts so a recovered incarnation
+  /// appends to the same ring).
+  void set_journal(observability::EventJournal* journal) {
+    journal_ = journal;
+  }
+  observability::EventJournal* journal() const { return journal_; }
+
   /// Wires the checkpoint subsystem into every instance this container
   /// starts: the snapshot target, the checkpoint to restore on startup
   /// (0 = cold start) and the cluster incarnation epoch. Must be set
@@ -137,6 +147,7 @@ class Container {
   bool step_mode_ = false;
   bool recovering_ = false;
   observability::SpanCollector* span_collector_ = nullptr;
+  observability::EventJournal* journal_ = nullptr;
   statemgr::IStateManager* checkpoint_state_ = nullptr;
   uint64_t restore_checkpoint_ = 0;
   int64_t checkpoint_epoch_ = 0;

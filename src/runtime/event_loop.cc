@@ -17,6 +17,10 @@ EventLoop::EventLoop(const Options& options, const Clock* clock)
     iteration_counter_ = options_.registry->GetCounter(p + ".loop.iterations");
     idle_throttled_counter_ =
         options_.registry->GetCounter(p + ".loop.idle.throttled");
+    busy_ns_counter_ = options_.registry->GetCounter(p + ".loop.busy.ns");
+    idle_ns_counter_ = options_.registry->GetCounter(p + ".loop.idle.ns");
+    handled_watermark_gauge_ =
+        options_.registry->GetGauge(p + ".loop.handled.watermark");
   }
 }
 
@@ -198,9 +202,22 @@ bool EventLoop::Step() {
     }
   }
 
+  // Queue-depth watermark: the deepest single-iteration drain so far, a
+  // monotone max (driving-thread writes, any-thread reads).
+  if (last_step_handled_ > handled_watermark_.load(std::memory_order_relaxed)) {
+    handled_watermark_.store(last_step_handled_, std::memory_order_relaxed);
+    if (handled_watermark_gauge_ != nullptr) {
+      handled_watermark_gauge_->Set(static_cast<int64_t>(last_step_handled_));
+    }
+  }
+
   if (iter_latency_ != nullptr) {
-    iter_latency_->Record(
-        static_cast<uint64_t>(std::max<int64_t>(clock_->NowNanos() - start, 0)));
+    const int64_t busy = std::max<int64_t>(clock_->NowNanos() - start, 0);
+    iter_latency_->Record(static_cast<uint64_t>(busy));
+    busy_nanos_.fetch_add(busy, std::memory_order_relaxed);
+    if (busy_ns_counter_ != nullptr) {
+      busy_ns_counter_->Increment(static_cast<uint64_t>(busy));
+    }
   }
   if (thread_cpu_ != nullptr &&
       (iterations_.load(std::memory_order_relaxed) & 1023) == 0) {
@@ -259,6 +276,11 @@ void EventLoop::Run() {
       if (notified) {
         wakeups_.fetch_add(1, std::memory_order_relaxed);
         if (wakeup_counter_ != nullptr) wakeup_counter_->Increment();
+      }
+      if (idle_ns_counter_ != nullptr) {
+        const int64_t idled = std::max<int64_t>(clock_->NowNanos() - now, 0);
+        idle_nanos_.fetch_add(idled, std::memory_order_relaxed);
+        idle_ns_counter_->Increment(static_cast<uint64_t>(idled));
       }
     }
   }

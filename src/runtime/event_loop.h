@@ -64,7 +64,11 @@ namespace runtime {
 /// per-loop metrics (previously re-implemented inconsistently by every
 /// module loop): `<prefix>.thread.cpu.ns` gauge, `<prefix>.loop.iter.ns`
 /// histogram, `<prefix>.loop.wakeups` and `<prefix>.loop.iterations`
-/// counters.
+/// counters, plus the profiler triple `<prefix>.loop.busy.ns` /
+/// `<prefix>.loop.idle.ns` counters and the
+/// `<prefix>.loop.handled.watermark` gauge (deepest single-iteration
+/// drain ever observed — the queue-depth high-water mark an operator
+/// reads to size bursts).
 class EventLoop {
  public:
   using TimerId = uint64_t;
@@ -227,6 +231,18 @@ class EventLoop {
     return iterations_.load(std::memory_order_relaxed);
   }
   uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+  /// Nanoseconds spent inside Step() (profiling; 0 without a registry).
+  int64_t busy_nanos() const {
+    return busy_nanos_.load(std::memory_order_relaxed);
+  }
+  /// Nanoseconds spent parked in Run() (profiling; 0 without a registry).
+  int64_t idle_nanos() const {
+    return idle_nanos_.load(std::memory_order_relaxed);
+  }
+  /// Deepest single-iteration drain across all sources so far.
+  uint64_t handled_watermark() const {
+    return handled_watermark_.load(std::memory_order_relaxed);
+  }
   /// Earliest pending timer deadline, kNoDeadline when the heap is empty.
   int64_t NextTimerDeadlineNanos() const;
   size_t num_sources() const;
@@ -312,11 +328,17 @@ class EventLoop {
   // Instrumentation.
   std::atomic<uint64_t> iterations_{0};
   std::atomic<uint64_t> wakeups_{0};
+  std::atomic<int64_t> busy_nanos_{0};
+  std::atomic<int64_t> idle_nanos_{0};
+  std::atomic<uint64_t> handled_watermark_{0};
   metrics::Gauge* thread_cpu_ = nullptr;
   metrics::Histogram* iter_latency_ = nullptr;
   metrics::Counter* wakeup_counter_ = nullptr;
   metrics::Counter* iteration_counter_ = nullptr;
   metrics::Counter* idle_throttled_counter_ = nullptr;
+  metrics::Counter* busy_ns_counter_ = nullptr;
+  metrics::Counter* idle_ns_counter_ = nullptr;
+  metrics::Gauge* handled_watermark_gauge_ = nullptr;
 };
 
 }  // namespace runtime

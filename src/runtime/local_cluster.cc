@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "observability/trace_export.h"
 #include "frameworks/aurora_like_framework.h"
 #include "frameworks/marathon_like_framework.h"
 #include "frameworks/slurm_like_framework.h"
@@ -116,9 +117,34 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
                                    execution_mode +
                                    "' (thread | cooperative)");
   }
+
+  // Flight recorder + scheduler profiler: always-on by default (the rings
+  // are wait-free and control-plane events are rare); capacity 0 turns
+  // the whole layer dark — no rings, no slice accounting, no per-pass
+  // profiling. Allocated before the pool so workers get their slice ring.
+  journal_ring_capacity_ = static_cast<size_t>(
+      merged_config_.GetIntOr(config_keys::kJournalRingCapacity, 8192));
+  slice_ring_capacity_ = static_cast<size_t>(
+      merged_config_.GetIntOr(config_keys::kJournalSliceRingCapacity,
+                              1 << 16));
+  control_journal_.reset();
+  slice_ring_.reset();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    journals_.clear();
+  }
+  if (journal_ring_capacity_ > 0) {
+    control_journal_ = std::make_unique<observability::EventJournal>(
+        journal_ring_capacity_);
+    slice_ring_ =
+        std::make_unique<observability::SliceRing>(slice_ring_capacity_);
+  }
+
   tasklet_pool_.reset();
   if (execution_mode == "cooperative" && !step_mode_) {
     TaskletPool::Options pool_options;
+    pool_options.profile = journal_ring_capacity_ > 0;
+    pool_options.slice_ring = slice_ring_.get();
     pool_options.workers = static_cast<size_t>(
         merged_config_.GetIntOr(config_keys::kExecutionWorkers, 0));
     HERON_ASSIGN_OR_RETURN(
@@ -203,6 +229,7 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
     tmaster::CheckpointCoordinator::Options ckpt_options;
     ckpt_options.topology = topology->name();
     ckpt_options.interval_ms = checkpoint_interval_ms;
+    ckpt_options.journal = control_journal_.get();
     checkpoint_coordinator_ = std::make_unique<tmaster::CheckpointCoordinator>(
         ckpt_options, &state_, &transport_, clock_);
   } else {
@@ -235,9 +262,10 @@ Status LocalCluster::Submit(std::shared_ptr<const api::Topology> topology) {
   // 4c. Auto-scaling: the policy engine rides the monitor tick, judging
   //     each completed metrics-cache window and driving the exactly-once
   //     repack rollout when a component runs sustained-hot.
-  const tmaster::ScalingPolicyEngine::Options scaling_options =
+  tmaster::ScalingPolicyEngine::Options scaling_options =
       tmaster::ScalingPolicyEngine::Options::FromConfig(topology->name(),
                                                         merged_config_);
+  scaling_options.journal = control_journal_.get();
   if (scaling_options.enabled) {
     scaling_engine_ = std::make_unique<tmaster::ScalingPolicyEngine>(
         scaling_options, metrics_cache_.get(), &state_, clock_);
@@ -316,6 +344,19 @@ Status LocalCluster::Kill() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!running_) return Status::FailedPrecondition("nothing running");
   }
+  // Unified timeline export on demand: every run (tests, benches, CI
+  // lanes) dumps its merged Perfetto timeline when HERON_TRACE_OUT names
+  // a file. Before teardown so the tasklet names are still resolvable.
+  const char* trace_out = std::getenv("HERON_TRACE_OUT");
+  if (trace_out != nullptr && trace_out[0] != '\0') {
+    const Status dumped = DumpTimeline(trace_out);
+    if (dumped.ok()) {
+      HLOG(INFO) << "timeline dumped to " << trace_out
+                 << " (open at https://ui.perfetto.dev)";
+    } else {
+      HLOG(ERROR) << "timeline dump failed: " << dumped.ToString();
+    }
+  }
   // Monitor first — and only then flip running_: an in-flight recovery
   // finishes consistently (Join waits it out) and no new one can start, so
   // teardown below races nothing.
@@ -374,6 +415,12 @@ Status LocalCluster::Scale(const ComponentId& component,
   }
 
   HERON_RETURN_NOT_OK(BuildAndInstallPhysicalPlan(new_plan));
+  if (control_journal_ != nullptr) {
+    control_journal_->Record(observability::JournalEventType::kPlanSwap,
+                             /*origin=*/-1, /*task=*/-1, clock_->NowNanos(),
+                             /*arg0=*/new_plan.NumContainers(),
+                             /*arg1=*/new_parallelism, "scale");
+  }
   if (checkpoint_coordinator_ != nullptr) {
     // Aborts any in-flight checkpoint too: its task set just changed.
     checkpoint_coordinator_->SetPlan(physical_plan());
@@ -465,6 +512,17 @@ Status LocalCluster::ScaleWithRollback(const ComponentId& component,
   // 4. Swap the plan everywhere: physical plan (+ metrics cache and
   //    scaling-engine attribution) and the coordinator's completion fence.
   HERON_RETURN_NOT_OK(BuildAndInstallPhysicalPlan(new_plan));
+  if (control_journal_ != nullptr) {
+    control_journal_->Record(observability::JournalEventType::kPlanSwap,
+                             /*origin=*/-1, /*task=*/-1, clock_->NowNanos(),
+                             /*arg0=*/new_plan.NumContainers(),
+                             /*arg1=*/new_parallelism, "scale-rollback");
+    control_journal_->Record(
+        observability::JournalEventType::kCheckpointRestore,
+        /*origin=*/-1, /*task=*/-1, clock_->NowNanos(),
+        /*arg0=*/static_cast<int64_t>(restore_id),
+        /*arg1=*/static_cast<int64_t>(halted.size()));
+  }
   checkpoint_coordinator_->SetPlan(physical_plan());
 
   // 5. Plan-change hygiene for containers the repack removed: stop
@@ -521,6 +579,27 @@ Status LocalCluster::FailContainer(ContainerId id) {
     failed_containers_.insert(id);
   }
   HLOG(WARNING) << "FAULT INJECTION: hard-killing container " << id;
+  // Failure-state diagnostics: the dead container's flight-recorder tail
+  // is the first thing an operator wants — what the control plane was
+  // doing in the moments before the kill.
+  if (journal_ring_capacity_ > 0) {
+    std::vector<observability::JournalEvent> tail;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = journals_.find(id);
+      if (it != journals_.end()) tail = it->second->Snapshot();
+    }
+    constexpr size_t kTailEvents = 8;
+    const size_t first =
+        tail.size() > kTailEvents ? tail.size() - kTailEvents : 0;
+    for (size_t i = first; i < tail.size(); ++i) {
+      const observability::JournalEvent& e = tail[i];
+      HLOG(WARNING) << "  journal[" << e.seq << "] "
+                    << observability::JournalEventTypeName(e.type) << " at "
+                    << e.at_nanos << " args " << e.arg0 << "," << e.arg1
+                    << (e.detail.empty() ? "" : " " + e.detail);
+    }
+  }
   // Abrupt death: halt everything, drain nothing. The TMaster is NOT told —
   // detection is the heartbeat monitor's job, which is the point.
   victim->Fail();
@@ -555,6 +634,12 @@ void LocalCluster::MaybeChaosKill() {
   if (FailContainer(target).ok()) {
     ++chaos_kills_;
     chaos_kill_counter_->Increment();
+    if (control_journal_ != nullptr) {
+      control_journal_->Record(observability::JournalEventType::kChaosKill,
+                               /*origin=*/target, /*task=*/-1,
+                               clock_->NowNanos(),
+                               /*arg0=*/chaos_kills_.load(), /*arg1=*/0);
+    }
   }
 }
 
@@ -586,6 +671,12 @@ void LocalCluster::OnContainerEvent(
     recovery_detect_ms_->Record(
         static_cast<uint64_t>(std::max<int64_t>(event.latency_ms, 0)));
     recovery_detect_last_ms_->Set(event.latency_ms);
+    if (control_journal_ != nullptr) {
+      control_journal_->Record(
+          observability::JournalEventType::kContainerDead,
+          /*origin=*/event.container, /*task=*/-1, clock_->NowNanos(),
+          /*arg0=*/event.latency_ms, /*arg1=*/0);
+    }
     if (!running()) return;
     if (checkpoint_coordinator_ != nullptr && checkpoint_exactly_once_) {
       // Exactly-once mode: recovery is a global rollback to the latest
@@ -605,6 +696,12 @@ void LocalCluster::OnContainerEvent(
   }
   // kRestored: heartbeats resumed from the replacement incarnation.
   recovery_restarts_->Increment();
+  if (control_journal_ != nullptr) {
+    control_journal_->Record(
+        observability::JournalEventType::kContainerRestored,
+        /*origin=*/event.container, /*task=*/-1, clock_->NowNanos(),
+        /*arg0=*/event.latency_ms, /*arg1=*/0);
+  }
   if (metrics_cache_ != nullptr) {
     metrics_cache_->NoteRestart(event.container);
   }
@@ -625,6 +722,12 @@ void LocalCluster::RestoreFromCheckpoint(ContainerId dead) {
   HLOG(WARNING) << "container " << dead
                 << " died in exactly-once mode; rolling every container "
                 << "back to checkpoint " << restore_id;
+  if (control_journal_ != nullptr) {
+    control_journal_->Record(
+        observability::JournalEventType::kCheckpointRestore,
+        /*origin=*/dead, /*task=*/-1, clock_->NowNanos(),
+        /*arg0=*/static_cast<int64_t>(restore_id), /*arg1=*/0);
+  }
 
   // 2. Halt every survivor. The rollback is global: tuples in flight past
   //    the checkpoint — in outboxes, caches, channels — are of the failed
@@ -693,8 +796,25 @@ Status LocalCluster::StartContainer(const packing::ContainerPlan& container) {
     // its SMGR announces recovery on registration (clears any throttle ref
     // the dead predecessor stranded on survivors).
     std::lock_guard<std::mutex> lock(mutex_);
-    if (failed_containers_.erase(container.id) > 0) {
+    const bool recovering = failed_containers_.erase(container.id) > 0;
+    if (recovering) {
       live->MarkRecovering();
+    }
+    // Flight recorder: like the span ring, the journal is keyed by
+    // container id and kept across restarts, so a recovered incarnation's
+    // events land next to its predecessor's.
+    if (journal_ring_capacity_ > 0) {
+      auto& journal = journals_[container.id];
+      if (journal == nullptr) {
+        journal = std::make_unique<observability::EventJournal>(
+            journal_ring_capacity_);
+      }
+      live->set_journal(journal.get());
+      journal->Record(observability::JournalEventType::kContainerStart,
+                      /*origin=*/container.id, /*task=*/-1,
+                      clock_->NowNanos(),
+                      /*arg0=*/static_cast<int64_t>(container.instances.size()),
+                      /*arg1=*/recovering ? 1 : 0);
     }
     // Checkpoint wiring: instances snapshot into (and restore from) the
     // cluster state tree. pending_restore_ckpt_ is nonzero only inside
@@ -911,6 +1031,70 @@ uint64_t LocalCluster::dropped_spans() const {
   return total;
 }
 
+observability::EventJournal* LocalCluster::journal(ContainerId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = journals_.find(id);
+  return it == journals_.end() ? nullptr : it->second.get();
+}
+
+std::vector<observability::JournalEvent> LocalCluster::CollectJournal()
+    const {
+  std::vector<observability::JournalEvent> merged;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [_, journal] : journals_) {
+      auto events = journal->Snapshot();
+      merged.insert(merged.end(), events.begin(), events.end());
+    }
+  }
+  if (control_journal_ != nullptr) {
+    auto events = control_journal_->Snapshot();
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  // Deterministic merge: the pre-order (journals_ is id-sorted, control
+  // plane last) is fixed and the stable sort keys on (timestamp, origin,
+  // seq) — under a SimClock two runs of the same step schedule produce
+  // byte-identical streams (the two-universe journal test).
+  std::stable_sort(
+      merged.begin(), merged.end(),
+      [](const observability::JournalEvent& a,
+         const observability::JournalEvent& b) {
+        if (a.at_nanos != b.at_nanos) return a.at_nanos < b.at_nanos;
+        if (a.origin != b.origin) return a.origin < b.origin;
+        return a.seq < b.seq;
+      });
+  return merged;
+}
+
+uint64_t LocalCluster::journal_dropped() const {
+  uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [_, journal] : journals_) {
+      total += journal->dropped();
+    }
+  }
+  if (control_journal_ != nullptr) total += control_journal_->dropped();
+  return total;
+}
+
+std::string LocalCluster::BuildTimelineJson() const {
+  observability::TimelineInput input;
+  input.spans = CollectSpans();
+  input.events = CollectJournal();
+  if (slice_ring_ != nullptr) {
+    input.slices = slice_ring_->Snapshot();
+  }
+  if (tasklet_pool_ != nullptr) {
+    input.tasklet_names = tasklet_pool_->TaskletNames();
+  }
+  return observability::BuildChromeTrace(input);
+}
+
+Status LocalCluster::DumpTimeline(const std::string& path) const {
+  return observability::WriteFile(path, BuildTimelineJson());
+}
+
 observability::TopologySnapshot LocalCluster::BuildSnapshot() const {
   observability::TopologySnapshot snap;
   snap.captured_at_nanos = clock_->NowNanos();
@@ -949,6 +1133,39 @@ observability::TopologySnapshot LocalCluster::BuildSnapshot() const {
   snap.trace = observability::SummarizeTraces(
       observability::BuildTraceBreakdown(spans), spans.size(),
       dropped_spans());
+
+  // Flight recorder.
+  uint64_t journal_recorded = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [_, journal] : journals_) {
+      journal_recorded += journal->total_recorded();
+    }
+  }
+  if (control_journal_ != nullptr) {
+    journal_recorded += control_journal_->total_recorded();
+  }
+  snap.journal = observability::SummarizeJournal(
+      CollectJournal(), journal_recorded, journal_dropped());
+
+  // Cooperative-scheduler profiler.
+  if (tasklet_pool_ != nullptr) {
+    const TaskletPool::SchedulerStats stats =
+        tasklet_pool_->CollectStats(clock_->NowNanos());
+    snap.scheduler.workers = stats.workers;
+    snap.scheduler.tasklets = stats.tasklets;
+    snap.scheduler.slices = stats.slices;
+    snap.scheduler.overruns = stats.overruns;
+    snap.scheduler.occupancy = stats.occupancy();
+    snap.scheduler.busy_ms = stats.busy_nanos / 1e6;
+    snap.scheduler.wall_ms = stats.wall_nanos / 1e6;
+  }
+  if (slice_ring_ != nullptr) {
+    const uint64_t recorded = slice_ring_->total_recorded();
+    const uint64_t dropped = slice_ring_->dropped();
+    snap.scheduler.slice_events = recorded - dropped;
+    snap.scheduler.dropped_slices = dropped;
+  }
   return snap;
 }
 

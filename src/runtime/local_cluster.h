@@ -11,6 +11,7 @@
 
 #include "common/random.h"
 #include "frameworks/framework.h"
+#include "observability/journal.h"
 #include "observability/metrics_cache.h"
 #include "observability/snapshot.h"
 #include "observability/trace.h"
@@ -210,10 +211,49 @@ class LocalCluster final : public scheduler::IContainerLauncher {
   uint64_t dropped_spans() const;
 
   /// Builds the queryable topology dump: physical plan, liveness,
-  /// MetricsCache rollups and the sampled-trace breakdown. Callable while
+  /// MetricsCache rollups, the sampled-trace breakdown, the flight
+  /// recorder digest and the scheduler-profiler rollup. Callable while
   /// the topology runs or after its containers stopped (the collectors and
   /// cache outlive them).
   observability::TopologySnapshot BuildSnapshot() const;
+
+  // -- Flight recorder + scheduler profiler (always-on) --------------------
+
+  /// The flight-recorder ring of `id`'s container (SMGR backpressure
+  /// protocol events); null when the journal is dark
+  /// (heron.observability.journal.ring.capacity == 0) or the container
+  /// never started. Rings survive container restarts, like span rings.
+  observability::EventJournal* journal(ContainerId id) const;
+
+  /// The control-plane ring (TMaster liveness, checkpoint coordinator,
+  /// scaling engine, plan swaps, chaos); null when the journal is dark or
+  /// before Submit.
+  observability::EventJournal* control_journal() const {
+    return control_journal_.get();
+  }
+
+  /// Snapshot of every ring (containers + control plane), merged into one
+  /// stream ordered by (timestamp, origin, sequence) — deterministic under
+  /// SimClock, which is what the two-universe journal test asserts.
+  std::vector<observability::JournalEvent> CollectJournal() const;
+
+  /// Events lost to ring wraparound, summed across every ring.
+  uint64_t journal_dropped() const;
+
+  /// The cooperative scheduler's slice ring; null outside cooperative
+  /// mode or when the journal is dark.
+  observability::SliceRing* slice_ring() const { return slice_ring_.get(); }
+
+  /// The unified timeline: tuple-path spans, flight-recorder events and
+  /// scheduler slices merged into one Chrome trace_event / Perfetto JSON
+  /// document (one track per container, worker and task; instant events
+  /// for control-plane transitions). Load it at chrome://tracing or
+  /// https://ui.perfetto.dev.
+  std::string BuildTimelineJson() const;
+
+  /// Writes BuildTimelineJson() to `path`. Kill() calls this
+  /// automatically when HERON_TRACE_OUT names a file.
+  Status DumpTimeline(const std::string& path) const;
 
  private:
   Status BuildAndInstallPhysicalPlan(const packing::PackingPlan& plan);
@@ -297,6 +337,20 @@ class LocalCluster final : public scheduler::IContainerLauncher {
       span_collectors_;
   int64_t trace_sample_inverse_ = 0;
   size_t trace_ring_capacity_ = 1 << 16;
+
+  /// Per-container flight-recorder rings (journal enabled only), keyed by
+  /// container id so a restarted incarnation appends to its predecessor's
+  /// ring. Guarded by mutex_ (the map; the rings themselves are wait-free).
+  std::map<ContainerId, std::unique_ptr<observability::EventJournal>>
+      journals_;
+  /// Control-plane ring: liveness transitions, checkpoint lifecycle,
+  /// scaling decisions, plan swaps, chaos kills. Created at Submit.
+  std::unique_ptr<observability::EventJournal> control_journal_;
+  /// Cooperative-scheduler slice ring, handed to the TaskletPool. Outlives
+  /// the pool so the timeline can be exported after Kill.
+  std::unique_ptr<observability::SliceRing> slice_ring_;
+  size_t journal_ring_capacity_ = 0;
+  size_t slice_ring_capacity_ = 0;
 
   mutable std::mutex mutex_;
   std::shared_ptr<const proto::PhysicalPlan> physical_plan_;

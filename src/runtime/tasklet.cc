@@ -47,10 +47,12 @@ const char* IdlePolicyName(IdlePolicy policy) {
 /// observed under mu" means "no driver will ever touch the loop again".
 class TaskletPool::Handle {
  public:
-  Handle(EventLoop* loop, const TaskletOptions& options, const Clock* clock)
-      : tasklet(loop, options, clock) {}
+  Handle(EventLoop* loop, const TaskletOptions& options, const Clock* clock,
+         int32_t ord)
+      : tasklet(loop, options, clock), ord(ord) {}
 
   Tasklet tasklet;
+  const int32_t ord;  ///< Pool registration ordinal (slice-ring identity).
   std::mutex mu;
   std::atomic<bool> retired{false};
   bool finished = false;  ///< Loop reached Done(); guarded by mu.
@@ -100,12 +102,24 @@ class TaskletPool::Worker {
       scratch_ = members_;
     }
     bool did_work = false;
+    observability::SliceRing* ring = options_->slice_ring;
     for (const std::shared_ptr<Handle>& handle : scratch_) {
       std::lock_guard<std::mutex> drive(handle->mu);
       if (handle->retired.load(std::memory_order_acquire) || handle->finished) {
         continue;
       }
-      if (handle->tasklet.Drive()) did_work = true;
+      if (ring != nullptr) {
+        // Timeline slice: only progressing drives are recorded — idle
+        // passes happen thousands of times a second and carry no signal.
+        const int64_t t0 = clock_->NowNanos();
+        if (handle->tasklet.Drive()) {
+          ring->Record(static_cast<int32_t>(index_), handle->ord, t0,
+                       clock_->NowNanos() - t0);
+          did_work = true;
+        }
+      } else if (handle->tasklet.Drive()) {
+        did_work = true;
+      }
       if (handle->tasklet.Done()) {
         // Mirror Run()'s exit: the loop's sources closed and drained (or
         // Stop was requested) while pooled — run its shutdown hooks here
@@ -119,12 +133,32 @@ class TaskletPool::Worker {
 
   ipc::Wakeup* wakeup() { return &wakeup_; }
 
+  /// Worker wall-time spent inside drive passes (profiling; 0 when off).
+  int64_t busy_nanos() const {
+    return busy_nanos_.load(std::memory_order_relaxed);
+  }
+  /// When Run() began, -1 before Start (occupancy denominator).
+  int64_t started_nanos() const {
+    return started_nanos_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Run() {
     wakeup_.SetOwnerThread();
+    const bool profile = options_->profile;
+    started_nanos_.store(clock_->NowNanos(), std::memory_order_relaxed);
     int64_t spin_start = -1;  // -1 = not currently in an idle spin window.
     while (!stop_.load(std::memory_order_acquire)) {
-      const bool did_work = Pass();
+      bool did_work;
+      if (profile) {
+        const int64_t t0 = clock_->NowNanos();
+        did_work = Pass();
+        busy_nanos_.fetch_add(
+            std::max<int64_t>(clock_->NowNanos() - t0, 0),
+            std::memory_order_relaxed);
+      } else {
+        did_work = Pass();
+      }
       if (stop_.load(std::memory_order_acquire)) break;
       if (did_work) {
         spin_start = -1;
@@ -198,9 +232,11 @@ class TaskletPool::Worker {
 
   const Options* options_;
   const Clock* clock_;
-  [[maybe_unused]] size_t index_;
+  size_t index_;
 
   ipc::Wakeup wakeup_;
+  std::atomic<int64_t> busy_nanos_{0};
+  std::atomic<int64_t> started_nanos_{-1};
   std::mutex list_mu_;
   std::vector<std::shared_ptr<Handle>> members_;  ///< Guarded by list_mu_.
   std::vector<std::shared_ptr<Handle>> scratch_;  ///< Worker-thread only.
@@ -222,11 +258,14 @@ TaskletPool::TaskletPool(const Options& options, const Clock* clock)
 TaskletPool::~TaskletPool() { Stop(); }
 
 TaskletPool::Handle* TaskletPool::Add(EventLoop* loop) {
-  auto handle =
-      std::make_shared<Handle>(loop, options_.tasklet, clock_);
-  Handle* raw = handle.get();
+  std::shared_ptr<Handle> handle;
+  Handle* raw = nullptr;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
+    handle = std::make_shared<Handle>(loop, options_.tasklet, clock_,
+                                      static_cast<int32_t>(names_.size()));
+    raw = handle.get();
+    names_.push_back(loop->name());
     registry_.emplace(raw, handle);
   }
   const size_t slot =
@@ -276,6 +315,35 @@ bool TaskletPool::DriveAll() {
     if (worker->Pass()) did_work = true;
   }
   return did_work;
+}
+
+TaskletPool::SchedulerStats TaskletPool::CollectStats(int64_t now_nanos) const {
+  SchedulerStats stats;
+  stats.workers = workers_.size();
+  for (const auto& worker : workers_) {
+    stats.busy_nanos += worker->busy_nanos();
+    const int64_t started = worker->started_nanos();
+    if (started >= 0 && now_nanos > started) {
+      stats.wall_nanos += now_nanos - started;
+    }
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& [raw, handle] : registry_) {
+    // The drive mutex is the established fence: holding it briefly means
+    // no Drive() is mutating the tasklet's counters while we read them.
+    std::lock_guard<std::mutex> fence(handle->mu);
+    ++stats.tasklets;
+    stats.slices += handle->tasklet.slices();
+    stats.overruns += handle->tasklet.overruns();
+    stats.budget_sum += handle->tasklet.budget();
+    stats.cost_ewma_sum += handle->tasklet.cost_ewma_nanos();
+  }
+  return stats;
+}
+
+std::vector<std::string> TaskletPool::TaskletNames() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return names_;
 }
 
 }  // namespace runtime

@@ -14,6 +14,7 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "ipc/wakeup.h"
+#include "observability/journal.h"
 #include "runtime/event_loop.h"
 
 namespace heron {
@@ -225,6 +226,15 @@ class TaskletPool {
     /// Cap on any single park (back-pressure flags clear silently).
     int64_t max_park_nanos = 1000000;  // 1 ms.
     TaskletOptions tasklet;
+    /// Profiling: when true, workers account busy wall-time per pass so
+    /// CollectStats() can report an occupancy ratio. Two clock reads per
+    /// drive pass — cheap against a pass that did work, but off together
+    /// with the rest of the observability layer when the journal is dark.
+    bool profile = true;
+    /// Timeline slices: when set, every progressing Drive() records a
+    /// (worker, tasklet, start, duration) slice. Owned by the caller
+    /// (LocalCluster); nullptr leaves the scheduler out of the timeline.
+    observability::SliceRing* slice_ring = nullptr;
   };
 
   class Handle;
@@ -253,6 +263,38 @@ class TaskletPool {
   /// progressed. Threaded pools must not call this.
   bool DriveAll();
 
+  /// \brief Aggregated scheduler profile: what the pool's tasklets and
+  /// workers have been doing since Start(). Tasklet counters cover the
+  /// *live* (un-retired) handles; worker busy/wall cover every threaded
+  /// worker since its Run() began.
+  struct SchedulerStats {
+    size_t workers = 0;
+    uint64_t tasklets = 0;     ///< Live handles.
+    uint64_t slices = 0;       ///< Drive() slices across live tasklets.
+    uint64_t overruns = 0;     ///< Steps that blew the step bound.
+    uint64_t budget_sum = 0;   ///< Sum of current autotuned burst budgets.
+    double cost_ewma_sum = 0;  ///< Sum of per-tuple cost estimates (ns).
+    int64_t busy_nanos = 0;    ///< Worker wall-time inside drive passes.
+    int64_t wall_nanos = 0;    ///< Worker wall-time since Run() started.
+    /// Fraction of worker wall-time spent driving; 0 when unprofiled or
+    /// inline (no worker threads, so no wall to divide by).
+    double occupancy() const {
+      return wall_nanos > 0
+                 ? static_cast<double>(busy_nanos) /
+                       static_cast<double>(wall_nanos)
+                 : 0.0;
+    }
+  };
+
+  /// Snapshot of the scheduler profile; safe from any thread (briefly
+  /// fences each tasklet's drive mutex). `now_nanos` bounds the wall term.
+  SchedulerStats CollectStats(int64_t now_nanos) const;
+
+  /// Registration-ordered tasklet names (their loops' names); index =
+  /// the ordinal recorded in SchedSlice::tasklet. Names persist past
+  /// retirement so old slices stay resolvable.
+  std::vector<std::string> TaskletNames() const;
+
   size_t num_workers() const { return workers_.size(); }
   const Options& options() const { return options_; }
 
@@ -267,8 +309,11 @@ class TaskletPool {
   /// Keeps every un-retired handle alive independent of the workers'
   /// member lists, so Retire() can safely dereference the raw pointer it
   /// was given (and detect an already-retired one without touching it).
-  std::mutex registry_mu_;
+  mutable std::mutex registry_mu_;
   std::unordered_map<Handle*, std::shared_ptr<Handle>> registry_;
+  /// Registration-ordered loop names; index = SchedSlice ordinal.
+  /// Guarded by registry_mu_; grows only.
+  std::vector<std::string> names_;
 };
 
 }  // namespace runtime

@@ -739,6 +739,14 @@ void StreamManager::MaybeTripBackpressure() {
   HLOG(INFO) << "smgr " << options_.container
              << " starting backpressure (retry depth " << retry_.size()
              << " > " << options_.backpressure_high_water << ")";
+  if (options_.journal != nullptr) {
+    options_.journal->Record(
+        observability::JournalEventType::kBackpressureStart,
+        static_cast<int32_t>(options_.container), /*task=*/-1,
+        backpressure_started_nanos_,
+        /*arg0=*/static_cast<int64_t>(retry_.size()),
+        /*arg1=*/static_cast<int64_t>(options_.backpressure_high_water));
+  }
   BroadcastBackpressure(proto::MessageType::kStartBackpressure);
 }
 
@@ -754,10 +762,17 @@ void StreamManager::MaybeClearBackpressure() {
 void StreamManager::EndLocalEpisode(bool broadcast) {
   if (!local_backpressure_active_) return;
   local_backpressure_active_ = false;
-  backpressure_duration_ns_->Increment(clock_->NowNanos() -
-                                       backpressure_started_nanos_);
+  const int64_t now = clock_->NowNanos();
+  backpressure_duration_ns_->Increment(now - backpressure_started_nanos_);
   throttle_refs_.fetch_sub(1, std::memory_order_acq_rel);
   backpressure_active_->Set(0);
+  if (options_.journal != nullptr) {
+    options_.journal->Record(
+        observability::JournalEventType::kBackpressureStop,
+        static_cast<int32_t>(options_.container), /*task=*/-1, now,
+        /*arg0=*/now - backpressure_started_nanos_,
+        /*arg1=*/static_cast<int64_t>(retry_.size()));
+  }
   if (broadcast) {
     BroadcastBackpressure(proto::MessageType::kStopBackpressure);
   }
@@ -797,6 +812,13 @@ void StreamManager::HandleBackpressureControl(proto::MessageType type,
     HLOG(INFO) << "smgr " << options_.container
                << " throttling spouts for initiator " << msg.initiator
                << " (remote retry depth " << msg.retry_depth << ")";
+    if (options_.journal != nullptr) {
+      options_.journal->Record(
+          observability::JournalEventType::kRemoteThrottleOn,
+          static_cast<int32_t>(options_.container), /*task=*/-1,
+          clock_->NowNanos(), /*arg0=*/msg.initiator,
+          /*arg1=*/static_cast<int64_t>(msg.retry_depth));
+    }
   } else {
     if (remote_initiators_.erase(msg.initiator) == 0) return;  // Unknown.
     throttle_refs_.fetch_sub(1, std::memory_order_acq_rel);
@@ -805,6 +827,12 @@ void StreamManager::HandleBackpressureControl(proto::MessageType type,
         ->Set(0);
     HLOG(INFO) << "smgr " << options_.container
                << " released throttle for initiator " << msg.initiator;
+    if (options_.journal != nullptr) {
+      options_.journal->Record(
+          observability::JournalEventType::kRemoteThrottleOff,
+          static_cast<int32_t>(options_.container), /*task=*/-1,
+          clock_->NowNanos(), /*arg0=*/msg.initiator, /*arg1=*/0);
+    }
   }
   backpressure_remote_->Set(static_cast<int64_t>(remote_initiators_.size()));
 }

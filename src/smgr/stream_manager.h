@@ -12,6 +12,7 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "metrics/metrics.h"
+#include "observability/journal.h"
 #include "observability/trace.h"
 #include "proto/physical_plan.h"
 #include "runtime/event_loop.h"
@@ -92,6 +93,10 @@ class StreamManager {
     /// disables SMGR-side span recording entirely (the routing hot path
     /// then never inspects trace ids at all).
     observability::SpanCollector* span_collector = nullptr;
+    /// The container's flight recorder: backpressure transitions land here
+    /// (start/stop of the local episode, remote throttle on/off). nullptr
+    /// leaves the journal dark — no control-plane event is recorded.
+    observability::EventJournal* journal = nullptr;
   };
 
   StreamManager(const Options& options,

@@ -77,6 +77,13 @@ uint64_t CheckpointCoordinator::TriggerNow() {
     ++aborted_;
     return 0;
   }
+  if (options_.journal != nullptr) {
+    options_.journal->Record(
+        observability::JournalEventType::kCheckpointTriggered,
+        /*origin=*/-1, /*task=*/-1, last_trigger_nanos_,
+        /*arg0=*/static_cast<int64_t>(id),
+        /*arg1=*/static_cast<int64_t>(plan->num_tasks()));
+  }
   // Inject the trigger into every spout. A spout whose container is mid
   // restart simply misses it — the checkpoint then never completes and is
   // aborted by the recovery path or superseded by the next trigger.
@@ -142,6 +149,14 @@ void CheckpointCoordinator::PollCompletionLocked() {
   }
   HLOG(INFO) << "checkpoint " << done << " complete for '"
              << options_.topology << "'";
+  if (options_.journal != nullptr) {
+    const int64_t now = clock_->NowNanos();
+    options_.journal->Record(
+        observability::JournalEventType::kCheckpointComplete,
+        /*origin=*/-1, /*task=*/-1, now,
+        /*arg0=*/static_cast<int64_t>(done),
+        /*arg1=*/now - last_trigger_nanos_);
+  }
 }
 
 void CheckpointCoordinator::AbortInFlight() {
@@ -155,6 +170,12 @@ void CheckpointCoordinator::AbortInFlightLocked() {
   statemgr::DeleteTree(
       state_, statemgr::paths::Checkpoint(options_.topology, in_flight_))
       .ok();
+  if (options_.journal != nullptr) {
+    options_.journal->Record(
+        observability::JournalEventType::kCheckpointAborted,
+        /*origin=*/-1, /*task=*/-1, clock_->NowNanos(),
+        /*arg0=*/static_cast<int64_t>(in_flight_), /*arg1=*/0);
+  }
   in_flight_ = 0;
   in_flight_plan_.reset();
   ++aborted_;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "observability/journal.h"
 #include "proto/physical_plan.h"
 #include "smgr/transport.h"
 #include "statemgr/state_manager.h"
@@ -45,6 +46,10 @@ class CheckpointCoordinator {
     /// leaving the checkpoint permanently incomplete — without this
     /// timeout it would wedge periodic triggering forever.
     int64_t stale_timeout_multiple = 5;
+    /// Control-plane flight recorder: trigger/complete/abort land here
+    /// (origin -1, arg0 = checkpoint id). nullptr = dark. Record() is
+    /// wait-free, so emitting under the coordinator lock is safe.
+    observability::EventJournal* journal = nullptr;
   };
 
   CheckpointCoordinator(const Options& options, statemgr::IStateManager* state,

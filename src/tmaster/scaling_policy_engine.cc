@@ -253,6 +253,13 @@ bool ScalingPolicyEngine::Tick() {
     PublishLocked(decision).ok();
     history_.push_back(decision);
   }
+  if (options_.journal != nullptr) {
+    options_.journal->Record(
+        observability::JournalEventType::kScalingDecision,
+        /*origin=*/-1, /*task=*/-1, decision.decided_at_nanos,
+        /*arg0=*/decision.from, /*arg1=*/decision.to,
+        decision.component.c_str());
+  }
   return true;
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/config.h"
+#include "observability/journal.h"
 #include "observability/metrics_cache.h"
 #include "statemgr/state_manager.h"
 
@@ -59,6 +60,9 @@ class ScalingPolicyEngine {
     int64_t cooldown_ms = 10000;          ///< kScalingCooldownMs.
     double factor = 2.0;                  ///< kScalingFactor.
     int max_parallelism = 64;             ///< kScalingMaxParallelism.
+    /// Control-plane flight recorder: every fired decision lands here
+    /// (detail = component, arg0 = from, arg1 = to). nullptr = dark.
+    observability::EventJournal* journal = nullptr;
 
     static Options FromConfig(const std::string& topology,
                               const Config& config);

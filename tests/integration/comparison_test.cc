@@ -95,6 +95,21 @@ TEST_F(ComparisonTest, AckingSemanticsAgree) {
       fprintf(stderr, "DIAG %-24s = %lld\n", gauge,
               static_cast<long long>(heron.SumSmgrGauge(gauge)));
     }
+    // The flight recorder is the "what was the control plane doing"
+    // companion to the counters: dump the merged stream, then write the
+    // full timeline next to the ctest log for offline inspection.
+    for (const observability::JournalEvent& e : heron.CollectJournal()) {
+      fprintf(stderr, "DIAG journal[%llu] %s origin=%d at=%lld args=%lld,%lld %s\n",
+              static_cast<unsigned long long>(e.seq),
+              observability::JournalEventTypeName(e.type), e.origin,
+              static_cast<long long>(e.at_nanos),
+              static_cast<long long>(e.arg0),
+              static_cast<long long>(e.arg1), e.detail.c_str());
+    }
+    const char* diag_path = "comparison_test_failure_timeline.json";
+    if (heron.DumpTimeline(diag_path).ok()) {
+      fprintf(stderr, "DIAG timeline written to %s\n", diag_path);
+    }
     fprintf(stderr, "DIAG wait status: %s\n", wait.ToString().c_str());
   }
   ASSERT_TRUE(wait.ok());

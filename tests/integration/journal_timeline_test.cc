@@ -1,0 +1,302 @@
+// The flight recorder and the unified timeline, replayed twice: the
+// journal is an always-on structured record of control-plane transitions
+// (container lifecycle, checkpoint barriers, restores, plan swaps), and
+// like every other observability surface it must be a pure function of
+// the (SimClock-driven) execution. Two identical step-mode universes —
+// including a mid-stream hard kill recovered via checkpoint rollback —
+// therefore produce identical merged journal streams and byte-identical
+// Perfetto timeline documents.
+//
+// Also covered here because they need a live cluster: the journal dump
+// lands in the TopologySnapshot's journal section, HERON_TRACE_OUT makes
+// Kill() write the merged timeline to disk, and a zero ring capacity
+// leaves the whole layer dark (no rings, no events, empty digest).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "observability/journal.h"
+#include "observability/json.h"
+#include "observability/snapshot.h"
+#include "runtime/local_cluster.h"
+#include "workloads/word_count.h"
+
+namespace heron {
+namespace runtime {
+namespace {
+
+constexpr uint64_t kEmitLimit = 200;
+constexpr int64_t kMonitorIntervalMs = 100;
+constexpr int64_t kCollectIntervalMs = 50;
+constexpr char kTopologyName[] = "journal-det";
+
+Config StepClusterConfig(int64_t journal_capacity) {
+  Config config;
+  config.SetInt(config_keys::kNumContainersHint, 2);
+  config.SetBool(config_keys::kClusterStepMode, true);
+  config.SetInt(config_keys::kSchedulerMonitorIntervalMs, kMonitorIntervalMs);
+  config.SetInt(config_keys::kSchedulerMonitorMissLimit, 3);
+  config.SetInt(config_keys::kMetricsCollectIntervalMs, kCollectIntervalMs);
+  config.SetInt(config_keys::kTraceSampleInverse, 4);
+  config.SetInt(config_keys::kJournalRingCapacity, journal_capacity);
+  return config;
+}
+
+Config ExactlyOnceTopologyConfig() {
+  Config config;
+  config.SetBool(config_keys::kAckingEnabled, true);
+  config.SetInt(config_keys::kMessageTimeoutMs, 600000);
+  config.SetInt(config_keys::kMaxSpoutPending, 16);
+  config.Set(config_keys::kCheckpointMode, "exactly-once");
+  return config;
+}
+
+/// Everything one universe produces that the twin must reproduce.
+struct JournalUniverse {
+  bool ok = false;
+  std::vector<observability::JournalEvent> events;
+  std::string timeline_json;
+  std::string snapshot_json;
+  uint64_t dropped = 0;
+};
+
+/// A fixed step schedule: pump, checkpoint, pump, hard-kill the bolt
+/// container, recover via rollback, pump — so the journal sees container
+/// starts, checkpoint lifecycle, a death, a restore and the re-starts.
+JournalUniverse RunJournalUniverse() {
+  JournalUniverse out;
+  SimClock clock(0);
+  LocalCluster cluster(StepClusterConfig(/*journal_capacity=*/8192), &clock);
+
+  workloads::WordSpout::Options spout_options;
+  spout_options.dictionary_size = 200;
+  spout_options.words_per_call = 2;
+  spout_options.emit_limit = kEmitLimit;
+  auto topology = workloads::BuildWordCountTopology(
+      kTopologyName, /*spouts=*/1, /*bolts=*/1, spout_options,
+      ExactlyOnceTopologyConfig());
+  EXPECT_TRUE(topology.ok());
+  if (!cluster.Submit(*topology).ok()) return out;
+
+  const auto rounds = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      cluster.StepAll();
+      clock.AdvanceMillis(5);
+      cluster.StepAll();
+    }
+  };
+
+  // Phase 1: pump, then cut a checkpoint and step it to completion.
+  rounds(6);
+  const uint64_t ck1 = cluster.TriggerCheckpoint();
+  EXPECT_GT(ck1, 0u);
+  int waited = 0;
+  while (cluster.checkpoint_coordinator()->latest_complete() < ck1 &&
+         waited < 500) {
+    ++waited;
+    rounds(1);
+    cluster.MonitorTick();
+  }
+  EXPECT_EQ(cluster.checkpoint_coordinator()->latest_complete(), ck1);
+
+  // Phase 2: post-checkpoint data, then a mid-stream hard kill. Recovery
+  // is the global rollback; the journal records death, restore and the
+  // recovered incarnations' starts.
+  rounds(6);
+  EXPECT_TRUE(cluster.FailContainer(1).ok());
+  int detect_ticks = 0;
+  while (cluster.recovery_metrics()->GetCounter("recovery.deaths")->value() ==
+             0 &&
+         detect_ticks < 30) {
+    ++detect_ticks;
+    clock.AdvanceMillis(kCollectIntervalMs);
+    cluster.StepAll();
+    cluster.MonitorTick();
+  }
+  EXPECT_EQ(
+      cluster.recovery_metrics()->GetCounter("recovery.deaths")->value(), 1u);
+  EXPECT_EQ(cluster.num_live_containers(), 2);
+
+  // Phase 3: a fixed post-recovery schedule (heartbeats resume → the
+  // monitor records the restoration).
+  for (int r = 0; r < 40; ++r) {
+    rounds(1);
+    cluster.MonitorTick();
+  }
+
+  out.events = cluster.CollectJournal();
+  out.dropped = cluster.journal_dropped();
+  out.timeline_json = cluster.BuildTimelineJson();
+  out.snapshot_json = cluster.BuildSnapshot().ToJson();
+  out.ok = cluster.Kill().ok();
+  return out;
+}
+
+uint64_t CountType(const std::vector<observability::JournalEvent>& events,
+                   observability::JournalEventType type) {
+  uint64_t n = 0;
+  for (const auto& e : events) {
+    if (e.type == type) ++n;
+  }
+  return n;
+}
+
+class JournalTimelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { Logging::SetLevel(LogLevel::kError); }
+};
+
+TEST_F(JournalTimelineTest, TwoUniversesProduceIdenticalJournalsAndTimelines) {
+  const JournalUniverse first = RunJournalUniverse();
+  const JournalUniverse second = RunJournalUniverse();
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+
+  // Identical merged journal streams: same events, same sequence numbers,
+  // same SimClock timestamps, same merge order.
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_FALSE(first.events.empty());
+  EXPECT_EQ(first.dropped, 0u);
+
+  // Byte-identical timeline and snapshot documents.
+  EXPECT_EQ(first.timeline_json, second.timeline_json);
+  EXPECT_EQ(first.snapshot_json, second.snapshot_json);
+}
+
+TEST_F(JournalTimelineTest, JournalRecordsTheControlPlaneStory) {
+  const JournalUniverse r = RunJournalUniverse();
+  ASSERT_TRUE(r.ok);
+  using T = observability::JournalEventType;
+
+  // 2 initial starts + 2 recovered incarnations after the rollback.
+  EXPECT_GE(CountType(r.events, T::kContainerStart), 4u);
+  EXPECT_GE(CountType(r.events, T::kCheckpointTriggered), 1u);
+  EXPECT_GE(CountType(r.events, T::kCheckpointComplete), 1u);
+  EXPECT_EQ(CountType(r.events, T::kContainerDead), 1u);
+  EXPECT_EQ(CountType(r.events, T::kCheckpointRestore), 1u);
+  EXPECT_GE(CountType(r.events, T::kContainerRestored), 1u);
+
+  // Merged stream is time-ordered (the total order the export relies on).
+  for (size_t i = 1; i < r.events.size(); ++i) {
+    EXPECT_GE(r.events[i].at_nanos, r.events[i - 1].at_nanos);
+  }
+
+  // The snapshot's journal digest agrees with the raw stream.
+  const auto snapshot =
+      observability::TopologySnapshot::FromJson(r.snapshot_json);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->journal.events, r.events.size());
+  EXPECT_EQ(snapshot->journal.dropped, 0u);
+  EXPECT_FALSE(snapshot->journal.by_type.empty());
+}
+
+TEST_F(JournalTimelineTest, TimelineParsesAndTracksAreMonotonic) {
+  const JournalUniverse r = RunJournalUniverse();
+  ASSERT_TRUE(r.ok);
+  const auto parsed = observability::json::Parse(r.timeline_json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const observability::json::Value* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->array.empty());
+
+  std::vector<std::pair<int, double>> last_per_pid;
+  bool saw_instant = false;
+  for (const observability::json::Value& e : events->array) {
+    if (e.StringOr("ph", "") == "M") continue;
+    if (e.StringOr("ph", "") == "i") saw_instant = true;
+    const int pid = static_cast<int>(e.NumberOr("pid", -1));
+    const double ts = e.NumberOr("ts", -1);
+    bool found = false;
+    for (auto& [p, last] : last_per_pid) {
+      if (p != pid) continue;
+      EXPECT_GE(ts, last) << "track " << pid << " went backwards";
+      last = ts;
+      found = true;
+    }
+    if (!found) last_per_pid.push_back({pid, ts});
+  }
+  EXPECT_TRUE(saw_instant) << "no journal instants reached the timeline";
+}
+
+TEST_F(JournalTimelineTest, TraceOutEnvDumpsTimelineOnKill) {
+  const std::string path =
+      testing::TempDir() + "/journal_timeline_trace_out.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("HERON_TRACE_OUT", path.c_str(), 1), 0);
+
+  {
+    SimClock clock(0);
+    LocalCluster cluster(StepClusterConfig(/*journal_capacity=*/1024),
+                         &clock);
+    workloads::WordSpout::Options spout_options;
+    spout_options.emit_limit = 20;
+    auto topology = workloads::BuildWordCountTopology(
+        "trace-out", 1, 1, spout_options, ExactlyOnceTopologyConfig());
+    ASSERT_TRUE(topology.ok());
+    ASSERT_TRUE(cluster.Submit(*topology).ok());
+    for (int i = 0; i < 10; ++i) {
+      cluster.StepAll();
+      clock.AdvanceMillis(5);
+      cluster.StepAll();
+    }
+    ASSERT_TRUE(cluster.Kill().ok());
+  }
+  unsetenv("HERON_TRACE_OUT");
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "Kill() did not write " << path;
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const auto parsed = observability::json::Parse(content);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(parsed->Find("traceEvents"), nullptr);
+}
+
+TEST_F(JournalTimelineTest, ZeroCapacityLeavesTheJournalDark) {
+  SimClock clock(0);
+  LocalCluster cluster(StepClusterConfig(/*journal_capacity=*/0), &clock);
+  workloads::WordSpout::Options spout_options;
+  spout_options.emit_limit = 20;
+  auto topology = workloads::BuildWordCountTopology(
+      "journal-dark", 1, 1, spout_options, ExactlyOnceTopologyConfig());
+  ASSERT_TRUE(topology.ok());
+  ASSERT_TRUE(cluster.Submit(*topology).ok());
+  for (int i = 0; i < 10; ++i) {
+    cluster.StepAll();
+    clock.AdvanceMillis(5);
+    cluster.StepAll();
+  }
+
+  EXPECT_EQ(cluster.journal(0), nullptr);
+  EXPECT_EQ(cluster.journal(1), nullptr);
+  EXPECT_EQ(cluster.control_journal(), nullptr);
+  EXPECT_TRUE(cluster.CollectJournal().empty());
+  EXPECT_EQ(cluster.journal_dropped(), 0u);
+
+  const auto snapshot = cluster.BuildSnapshot();
+  EXPECT_EQ(snapshot.journal.events, 0u);
+  EXPECT_TRUE(snapshot.journal.by_type.empty());
+
+  // The timeline still renders (spans only) and still parses.
+  const auto parsed =
+      observability::json::Parse(cluster.BuildTimelineJson());
+  EXPECT_TRUE(parsed.ok());
+  ASSERT_TRUE(cluster.Kill().ok());
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace heron
